@@ -1,0 +1,378 @@
+// Command specsyn is the system-design environment CLI: it reads a
+// behavioral VHDL specification, builds the annotated SLIF access graph,
+// and supports the paper's four system-design tasks — allocation (via a
+// component library file), partitioning, transformation and estimation.
+//
+// Usage:
+//
+//	specsyn build     -vhd f.vhd [-prob f.prob] [-lib f.lib] [-ov f.ov] [-o out.slif] [-dot out.dot]
+//	specsyn estimate  -vhd f.vhd [...] [-split]         estimate a partition
+//	specsyn partition -vhd f.vhd [...] -algo gm [-deadline proc=us] [-seed n] [-iters n]
+//	specsyn xform     -vhd f.vhd [...] -inline-all | -merge a,b
+//	specsyn simulate  -vhd f.vhd [-steps n] [-seed n] [-prob-out f.prob]
+//	specsyn shell     -vhd f.vhd [...]                  interactive session
+//
+// Every subcommand accepts the same input flags as build. simulate runs
+// the behavioral interpreter under a random port stimulus and can write
+// the measured branch-probability profile — the paper's "obtained through
+// profiling" path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+	"specsyn/internal/interp"
+	"specsyn/internal/partition"
+	"specsyn/internal/sem"
+	"specsyn/internal/shell"
+	"specsyn/internal/specsyn"
+	"specsyn/internal/vhdl"
+	"specsyn/internal/xform"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "build":
+		runBuild(args)
+	case "estimate":
+		runEstimate(args)
+	case "partition":
+		runPartition(args)
+	case "xform":
+		runXform(args)
+	case "simulate":
+		runSimulate(args)
+	case "shell":
+		runShell(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: specsyn build|estimate|partition|xform|simulate|shell [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specsyn:", err)
+	os.Exit(1)
+}
+
+// inputFlags registers the shared input flags on fs and returns a loader.
+func inputFlags(fs *flag.FlagSet) func() *specsyn.Env {
+	vhd := fs.String("vhd", "", "VHDL specification (required)")
+	prob := fs.String("prob", "", "branch probability file")
+	lib := fs.String("lib", "", "component library / allocation file (default: built-in std)")
+	ov := fs.String("ov", "", "designer weight override file")
+	return func() *specsyn.Env {
+		if *vhd == "" {
+			fmt.Fprintln(os.Stderr, "specsyn: -vhd is required")
+			fs.Usage()
+			os.Exit(2)
+		}
+		env := specsyn.New()
+		if err := env.LoadVHDLFile(*vhd); err != nil {
+			fatal(err)
+		}
+		if *prob != "" {
+			if err := env.LoadProfileFile(*prob); err != nil {
+				fatal(err)
+			}
+		}
+		if *lib != "" {
+			if err := env.LoadLibraryFile(*lib); err != nil {
+				fatal(err)
+			}
+		}
+		if *ov != "" {
+			if err := env.LoadOverridesFile(*ov); err != nil {
+				fatal(err)
+			}
+		}
+		if err := env.Build(); err != nil {
+			fatal(err)
+		}
+		for _, w := range env.Design.Warnings {
+			fmt.Fprintln(os.Stderr, "warning:", w)
+		}
+		return env
+	}
+}
+
+func runBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	load := inputFlags(fs)
+	out := fs.String("o", "", "write the SLIF graph to this .slif file")
+	dot := fs.String("dot", "", "write a Graphviz rendering to this file")
+	_ = fs.Parse(args)
+
+	env := load()
+	st := env.Graph.Stats()
+	fmt.Printf("built SLIF for %s in %v\n", env.Graph.Name, env.BuildTime)
+	fmt.Printf("  %d BV nodes (%d behaviors, %d variables), %d ports, %d channels\n",
+		st.BV, len(env.Graph.Behaviors()), len(env.Graph.Variables()), st.IO, st.Channels)
+	fmt.Printf("  allocation: %d processors, %d memories, %d buses\n", st.Procs, st.Mems, st.Buses)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := core.Write(f, env.Graph, nil); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", *out)
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := core.WriteDOT(f, env.Graph); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", *dot)
+	}
+}
+
+func runEstimate(args []string) {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	load := inputFlags(fs)
+	split := fs.Bool("split", false, "move heavy arrays and non-process behaviors to the second processor (if any) before estimating")
+	mode := fs.String("mode", "avg", "access-count mode: min, avg or max")
+	_ = fs.Parse(args)
+
+	env := load()
+	pt, err := env.DefaultPartition()
+	if err != nil {
+		fatal(err)
+	}
+	if *split && len(env.Graph.Procs) > 1 {
+		second := env.Graph.Procs[1]
+		for _, n := range env.Graph.Nodes {
+			if _, ok := n.ICT[second.TypeName]; !ok {
+				continue
+			}
+			if (n.IsBehavior() && !n.IsProcess) || n.StorageBits > 2048 {
+				if err := pt.Assign(n, second); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+	var opts estimate.Options
+	switch *mode {
+	case "min":
+		opts.Mode = estimate.Min
+	case "max":
+		opts.Mode = estimate.Max
+	case "avg":
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	rep, dur, err := env.Estimate(pt, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("T-slif %v   T-est %v   (%s access counts)\n\n", env.BuildTime, dur, *mode)
+	fmt.Print(rep.String())
+}
+
+func runPartition(args []string) {
+	fs := flag.NewFlagSet("partition", flag.ExitOnError)
+	load := inputFlags(fs)
+	algo := fs.String("algo", "gm", "algorithm: random, greedy, cluster, gm, anneal, exhaustive")
+	seed := fs.Int64("seed", 1, "random seed")
+	iters := fs.Int("iters", 0, "iteration budget (0 = algorithm default)")
+	var deadlines deadlineFlag
+	fs.Var(&deadlines, "deadline", "process deadline as name=microseconds (repeatable)")
+	_ = fs.Parse(args)
+
+	env := load()
+	cons := partition.Constraints{Deadline: deadlines.m}
+	res, err := env.PartitionSearch(*algo, cons, partition.DefaultWeights(), *seed, *iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %s\n\n", *algo, res)
+	fmt.Print(res.Best.String())
+	rep, _, err := env.Estimate(res.Best, estimate.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rep.String())
+}
+
+func runXform(args []string) {
+	fs := flag.NewFlagSet("xform", flag.ExitOnError)
+	load := inputFlags(fs)
+	inlineAll := fs.Bool("inline-all", false, "inline every single-caller procedure")
+	merge := fs.String("merge", "", "merge two processes: a,b")
+	_ = fs.Parse(args)
+
+	env := load()
+	g := env.Graph
+	before := g.Stats()
+	fmt.Printf("before: %d nodes, %d channels, traffic %.1f bits/iteration\n",
+		before.BV, before.Channels, xform.Traffic(g))
+
+	if *inlineAll {
+		inlined, err := xform.InlineAll(g)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("inlined: %s\n", strings.Join(inlined, ", "))
+	}
+	if *merge != "" {
+		parts := strings.Split(*merge, ",")
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-merge wants a,b"))
+		}
+		a, b := g.NodeByName(strings.TrimSpace(parts[0])), g.NodeByName(strings.TrimSpace(parts[1]))
+		if a == nil || b == nil {
+			fatal(fmt.Errorf("unknown process in -merge %q", *merge))
+		}
+		merged, err := xform.MergeProcesses(g, a, b, a.Name+"_"+b.Name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("merged into %s\n", merged.Name)
+	}
+
+	after := g.Stats()
+	fmt.Printf("after:  %d nodes, %d channels, traffic %.1f bits/iteration\n",
+		after.BV, after.Channels, xform.Traffic(g))
+}
+
+// deadlineFlag accumulates repeatable name=value pairs.
+type deadlineFlag struct{ m map[string]float64 }
+
+func (d *deadlineFlag) String() string { return fmt.Sprint(d.m) }
+
+func (d *deadlineFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=microseconds, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return err
+	}
+	if d.m == nil {
+		d.m = make(map[string]float64)
+	}
+	d.m[strings.ToLower(name)] = v
+	return nil
+}
+
+func runSimulate(args []string) {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	vhd := fs.String("vhd", "", "VHDL specification (required)")
+	steps := fs.Int("steps", 1000, "simulation steps")
+	seed := fs.Int64("seed", 1, "stimulus seed")
+	probOut := fs.String("prob-out", "", "write the measured branch-probability profile here")
+	_ = fs.Parse(args)
+	if *vhd == "" {
+		fmt.Fprintln(os.Stderr, "specsyn: -vhd is required")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*vhd)
+	if err != nil {
+		fatal(err)
+	}
+	df, err := vhdl.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := interp.New(d)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	// Random stimulus over the input ports' declared ranges.
+	type in struct {
+		name     string
+		lo, span int64
+	}
+	var ins []in
+	for _, p := range d.Ports {
+		if p.Dir == vhdl.DirOut {
+			continue
+		}
+		lo, hi := p.Type.Low, p.Type.High
+		if p.Type.IsArray() {
+			lo, hi = 0, 1
+		}
+		ins = append(ins, in{name: p.Name, lo: lo, span: hi - lo + 1})
+	}
+	stim := func(step int, m *interp.Machine) {
+		for _, p := range ins {
+			if rng.Intn(3) == 0 { // change a third of the inputs per step
+				_ = m.SetPort(p.name, p.lo+rng.Int63n(p.span))
+			}
+		}
+	}
+	if err := m.Run(*steps, stim); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("simulated %d steps\n", m.StepCount())
+	names := make([]string, 0, len(m.Activations))
+	acts := map[string]int64{}
+	for b, n := range m.Activations {
+		names = append(names, b.UniqueID)
+		acts[b.UniqueID] = n
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-20s %8d activations\n", n, acts[n])
+	}
+
+	if *probOut != "" {
+		prof := m.Profile()
+		f, err := os.Create(*probOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := prof.Dump(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote measured profile to %s\n", *probOut)
+	}
+}
+
+func runShell(args []string) {
+	fs := flag.NewFlagSet("shell", flag.ExitOnError)
+	load := inputFlags(fs)
+	_ = fs.Parse(args)
+	env := load()
+	sess, err := shell.New(env)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sess.Run(os.Stdin, os.Stdout); err != nil {
+		fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestDeadlineFlag(t *testing.T) {
+	var d deadlineFlag
+	if err := d.Set("Ctrl=3500000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("volmain=50.5"); err != nil {
+		t.Fatal(err)
+	}
+	if d.m["ctrl"] != 3.5e6 {
+		t.Errorf("ctrl deadline = %v (names must lower-case)", d.m["ctrl"])
+	}
+	if d.m["volmain"] != 50.5 {
+		t.Errorf("volmain deadline = %v", d.m["volmain"])
+	}
+	if err := d.Set("missing-equals"); err == nil {
+		t.Error("malformed deadline accepted")
+	}
+	if err := d.Set("x=notanumber"); err == nil {
+		t.Error("non-numeric deadline accepted")
+	}
+	if d.String() == "" {
+		t.Error("String() empty")
+	}
+}

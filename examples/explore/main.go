@@ -1,0 +1,93 @@
+// Allocation exploration: the first system-design task of §1 — choosing
+// *which components to buy* before deciding what runs where. Several
+// candidate architectures for the Ethernet coprocessor are each
+// partitioned automatically and ranked by constraint-violation cost; SLIF
+// estimation speed is what makes trying every candidate practical.
+//
+// Run from the repository root:
+//
+//	go run ./examples/explore
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"specsyn/internal/alloc"
+	"specsyn/internal/builder"
+	"specsyn/internal/core"
+	"specsyn/internal/partition"
+	"specsyn/internal/profile"
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+func testdata(name string) string {
+	for _, dir := range []string{"testdata", filepath.Join("..", "..", "testdata")} {
+		p := filepath.Join(dir, name)
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+	}
+	log.Fatalf("cannot locate testdata/%s; run from the repository root", name)
+	return ""
+}
+
+func main() {
+	src, err := os.ReadFile(testdata("ether.vhd"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := profile.Load(testdata("ether.prob"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	df, err := vhdl.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := alloc.Std()
+	g, err := builder.Build(d, builder.Options{Profile: prof, Techs: lib.Techs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ethernet coprocessor: %d nodes, %d channels\n\n", g.Stats().BV, g.Stats().Channels)
+
+	bus := &core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4}
+	smallCPU := &core.Processor{Name: "cpu", TypeName: "proc10", SizeCon: 4096, PinCon: 48}
+	bigCPU := &core.Processor{Name: "cpu", TypeName: "proc20", SizeCon: 65536, PinCon: 64}
+	asic := &core.Processor{Name: "asic", TypeName: "asic50", Custom: true, SizeCon: 300000, PinCon: 120}
+	ram := &core.Memory{Name: "ram", TypeName: "sram8", SizeCon: 65536}
+
+	// Candidate architectures, cheapest first. The frame buffers alone are
+	// ~3 KB of storage and the byte loops need hardware speed, so the
+	// single small processor should lose and the richer architectures win.
+	cands := []alloc.Candidate{
+		{Name: "small-cpu-only", Procs: []*core.Processor{smallCPU}, Buses: []*core.Bus{bus}},
+		{Name: "big-cpu-only", Procs: []*core.Processor{bigCPU}, Buses: []*core.Bus{bus}},
+		{Name: "small-cpu+ram", Procs: []*core.Processor{smallCPU}, Mems: []*core.Memory{ram}, Buses: []*core.Bus{bus}},
+		{Name: "cpu+asic+ram", Procs: []*core.Processor{bigCPU, asic}, Mems: []*core.Memory{ram}, Buses: []*core.Bus{bus}},
+	}
+
+	// A maximum frame occupies the wire for ~1.2 ms at 10 Mb/s, so the
+	// serial loops must finish one frame in 1.5 ms; all-software needs
+	// ~3 ms per frame, so processor-only architectures must lose.
+	cons := partition.Constraints{Deadline: map[string]float64{"txmain": 1500, "rxmain": 1500}}
+	outcomes := alloc.Explore(g, cands, cons, partition.DefaultWeights())
+
+	fmt.Printf("%-18s %12s %10s\n", "architecture", "cost", "evals")
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Printf("%-18s %12s %10s  (%v)\n", o.Candidate.Name, "-", "-", o.Err)
+			continue
+		}
+		fmt.Printf("%-18s %12.4f %10d\n", o.Candidate.Name, o.Cost, o.Evals)
+	}
+	fmt.Printf("\nbest architecture: %s\n", outcomes[0].Candidate.Name)
+}

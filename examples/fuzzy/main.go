@@ -1,0 +1,117 @@
+// The paper's running example (Figures 1–3): build the SLIF access graph
+// of the fuzzy-logic controller, show the annotated channels of Figure 3,
+// and estimate the two implementations of Convolve the paper contrasts
+// (80 µs on the processor type vs 10 µs on the ASIC type).
+//
+// Run from the repository root:
+//
+//	go run ./examples/fuzzy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"specsyn/internal/estimate"
+	"specsyn/internal/specsyn"
+)
+
+func testdata(name string) string {
+	for _, dir := range []string{"testdata", filepath.Join("..", "..", "testdata")} {
+		p := filepath.Join(dir, name)
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+	}
+	log.Fatalf("cannot locate testdata/%s; run from the repository root", name)
+	return ""
+}
+
+func main() {
+	env := specsyn.New()
+	for _, step := range []error{
+		env.LoadVHDLFile(testdata("fuzzy.vhd")),
+		env.LoadProfileFile(testdata("fuzzy.prob")),
+		env.LoadLibraryFile(testdata("std.lib")),
+		env.LoadOverridesFile(testdata("fuzzy.ov")),
+	} {
+		if step != nil {
+			log.Fatal(step)
+		}
+	}
+	if err := env.Build(); err != nil {
+		log.Fatal(err)
+	}
+	g := env.Graph
+
+	st := g.Stats()
+	fmt.Printf("fuzzy-logic controller: %d BV nodes, %d channels (paper: 35, 56)\n\n", st.BV, st.Channels)
+
+	// Figure 3's annotated edges. The full specification's rule arrays
+	// have 384 entries (9 address bits + 8 data = 17 bits per access);
+	// the paper's Figure 3 fragment uses 128-entry arrays (15 bits), and
+	// those exact values are asserted in the internal/builder tests.
+	fmt.Println("Figure 3 annotations (full spec):")
+	for _, key := range [][2]string{{"evaluaterule", "in1val"}, {"evaluaterule", "mr1"}} {
+		c := g.FindChannel(key[0], key[1])
+		fmt.Printf("  %-24s accfreq %-6.4g bits %d\n", c.Key(), c.AccFreq, c.Bits)
+	}
+	conv := g.NodeByName("convolve")
+	fmt.Printf("  convolve ict_list: %g us on proc10, %g us on asic50\n\n",
+		conv.ICT["proc10"], conv.ICT["asic50"])
+
+	// Contrast the two Convolve implementations: everything on the cpu,
+	// vs Convolve (and the arrays it chews through) on the ASIC.
+	sw, err := env.DefaultPartition()
+	if err != nil {
+		log.Fatal(err)
+	}
+	swRep, _, err := env.Estimate(sw, estimate.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Move the whole fuzzification datapath — the inner-loop behaviors
+	// and every array they chew through — so the cut stays small.
+	hw := sw.Clone()
+	asic := g.ProcByName("asic")
+	for _, name := range []string{
+		"evaluaterule", "convolve", "computecentroid", "min", "max",
+		"mr1", "mr2", "tmr1", "tmr2", "conv", "trunc", "sum", "wsum",
+	} {
+		if err := hw.Assign(g.NodeByName(name), asic); err != nil {
+			log.Fatal(err)
+		}
+	}
+	hwRep, _, err := env.Estimate(hw, estimate.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var swT, hwT float64
+	for _, p := range swRep.Processes {
+		if p.Name == "fuzzymain" {
+			swT = p.Exectime
+		}
+	}
+	for _, p := range hwRep.Processes {
+		if p.Name == "fuzzymain" {
+			hwT = p.Exectime
+		}
+	}
+	fmt.Printf("FuzzyMain execution time per control step:\n")
+	fmt.Printf("  Convolve in software:   %8.1f us\n", swT)
+	fmt.Printf("  Convolve on the ASIC:   %8.1f us   (%.2fx)\n\n", hwT, swT/hwT)
+
+	fmt.Println("all-software report:")
+	fmt.Print(swRep)
+
+	// Where does FuzzyMain's time go? The breakdown answers the
+	// designer's next question directly.
+	rows, err := estimate.New(g, sw, estimate.Options{}).Breakdown(g.NodeByName("fuzzymain"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfuzzymain breakdown (all-software):\n%s", estimate.FormatBreakdown(rows))
+}

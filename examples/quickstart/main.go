@@ -1,0 +1,102 @@
+// Quickstart: build a SLIF access graph from an inline VHDL fragment,
+// allocate the standard processor+ASIC architecture, and print the §3
+// design-metric estimates for the all-software mapping and for a
+// hardware/software split.
+//
+// Run from the repository root:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specsyn/internal/estimate"
+	"specsyn/internal/specsyn"
+)
+
+// A small producer/filter system: one process samples an input, calls a
+// filtering procedure over a window, and drives an output.
+const spec = `
+entity FilterE is
+    port ( sample : in integer range 0 to 1023;
+           result : out integer range 0 to 1023 );
+end;
+
+architecture behav of FilterE is
+begin
+    Main: process
+        subtype word10 is integer range 0 to 1023;
+        type win_array is array (0 to 31) of word10;
+        variable window : win_array;
+        variable widx   : integer range 0 to 31;
+        variable acc    : integer;
+
+        procedure Push is
+        begin
+            window(widx) := sample;
+            if widx = 31 then
+                widx := 0;
+            else
+                widx := widx + 1;
+            end if;
+        end;
+
+        function Filtered return integer is
+            variable sum : integer;
+        begin
+            sum := 0;
+            for i in 0 to 31 loop
+                sum := sum + window(i);
+            end loop;
+            return sum / 32;
+        end;
+
+    begin
+        Push;
+        acc := Filtered;
+        result <= acc;
+        wait on sample;
+    end process;
+end;
+`
+
+func main() {
+	env := specsyn.New() // standard library: cpu (10 MHz), asic (50 MHz), ram, 16-bit bus
+	env.LoadVHDL(spec)
+	if err := env.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := env.Graph.Stats()
+	fmt.Printf("SLIF built in %v: %d nodes, %d channels\n\n", env.BuildTime, st.BV, st.Channels)
+	for _, c := range env.Graph.Channels {
+		fmt.Printf("  %-22s accfreq %-8.4g bits %d\n", c.Key(), c.AccFreq, c.Bits)
+	}
+
+	// All-software estimate.
+	sw, err := env.DefaultPartition()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, dur, err := env.Estimate(sw, estimate.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nall-software (estimated in %v):\n%s", dur, rep)
+
+	// Move the filter function and the window to the ASIC.
+	hw := sw.Clone()
+	asic := env.Graph.ProcByName("asic")
+	for _, name := range []string{"filtered", "window"} {
+		if err := hw.Assign(env.Graph.NodeByName(name), asic); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep2, _, err := env.Estimate(hw, estimate.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfilter on the ASIC:\n%s", rep2)
+}

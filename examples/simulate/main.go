@@ -1,0 +1,133 @@
+// Simulation-driven profiling: run the fuzzy controller in the behavioral
+// interpreter under a stimulus, extract the measured branch-probability
+// profile (§2.4.1: "obtained manually or through profiling"), rebuild the
+// SLIF with it, and compare the resulting channel frequencies and process
+// execution-time estimates against the hand-written profile.
+//
+// Run from the repository root:
+//
+//	go run ./examples/simulate
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"specsyn/internal/alloc"
+	"specsyn/internal/builder"
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+	"specsyn/internal/interp"
+	"specsyn/internal/profile"
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+func testdata(name string) string {
+	for _, dir := range []string{"testdata", filepath.Join("..", "..", "testdata")} {
+		p := filepath.Join(dir, name)
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+	}
+	log.Fatalf("cannot locate testdata/%s; run from the repository root", name)
+	return ""
+}
+
+func main() {
+	src, err := os.ReadFile(testdata("fuzzy.vhd"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	df, err := vhdl.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Simulate: one calibration pulse, then wiggling sensor inputs.
+	m, err := interp.New(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stim := func(step int, m *interp.Machine) {
+		switch {
+		case step == 0:
+			_ = m.SetPort("cal", 1)
+		case step == 1:
+			_ = m.SetPort("cal", 0)
+		default:
+			_ = m.SetPort("in1", int64(10+(step*37)%200))
+			_ = m.SetPort("in2", int64(20+(step*53)%200))
+		}
+	}
+	const steps = 300
+	if err := m.Run(steps, stim); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d steps; fuzzymain executed %d control passes\n\n",
+		steps, activations(m, d, "fuzzymain"))
+
+	// 2. Build SLIF twice: hand-written profile vs measured profile.
+	hand, err := profile.Load(testdata("fuzzy.prob"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured := m.Profile()
+
+	lib := alloc.Std()
+	build := func(p *profile.Profile) *core.Graph {
+		g, err := builder.Build(d, builder.Options{Profile: p, Techs: lib.Techs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lib2 := alloc.Std()
+		if err := lib2.Apply(g); err != nil {
+			log.Fatal(err)
+		}
+		return g
+	}
+	gHand, gMeas := build(hand), build(measured)
+
+	fmt.Printf("%-28s %14s %14s\n", "channel", "hand accfreq", "measured")
+	for _, key := range [][2]string{
+		{"evaluaterule", "mr1"},
+		{"evaluaterule", "in1val"},
+		{"fuzzymain", "evaluaterule"},
+		{"computecentroid", "conv"},
+		{"clip", "lastout"},
+	} {
+		h := gHand.FindChannel(key[0], key[1])
+		ms := gMeas.FindChannel(key[0], key[1])
+		fmt.Printf("%-28s %14.3f %14.3f\n", h.Key(), h.AccFreq, ms.AccFreq)
+	}
+
+	// 3. Compare the resulting execution-time estimates.
+	fmt.Printf("\n%-28s %14s %14s\n", "process exectime (us)", "hand", "measured")
+	et := func(g *core.Graph, name string) float64 {
+		pt := core.AllToProcessor(g, g.ProcByName("cpu"), g.Buses[0])
+		v, err := estimate.New(g, pt, estimate.Options{}).Exectime(g.NodeByName(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
+	for _, p := range []string{"fuzzymain", "calmain"} {
+		fmt.Printf("%-28s %14.1f %14.1f\n", p, et(gHand, p), et(gMeas, p))
+	}
+}
+
+func activations(m *interp.Machine, d *sem.Design, name string) int64 {
+	for b, n := range m.Activations {
+		if b.UniqueID == name {
+			return n
+		}
+	}
+	_ = d
+	return 0
+}

@@ -1,0 +1,3 @@
+module specsyn
+
+go 1.22

@@ -1,0 +1,171 @@
+package alloc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specsyn/internal/builder"
+	"specsyn/internal/core"
+	"specsyn/internal/partition"
+	"specsyn/internal/profile"
+	"specsyn/internal/sem"
+	"specsyn/internal/synth"
+	"specsyn/internal/vhdl"
+)
+
+func TestParseLibrary(t *testing.T) {
+	src := `
+# a library
+proctype p1 clock 10
+asictype a1 clock 50
+memtype  m1 word 16 access 0.2
+proc cpu p1 sizecon 4096 pincon 40
+proc hw a1
+mem ram m1 sizecon 2048
+bus b width 16 ts 0.05 td 0.4
+`
+	lib, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Techs) != 3 || len(lib.Procs) != 2 || len(lib.Mems) != 1 || len(lib.Buses) != 1 {
+		t.Fatalf("library shape: %+v", lib)
+	}
+	if lib.TechByName("a1").Class != synth.CustomHW {
+		t.Error("asictype not custom")
+	}
+	if !lib.Procs[1].Custom {
+		t.Error("processor of custom type not marked custom")
+	}
+	if lib.Procs[0].SizeCon != 4096 || lib.Procs[0].PinCon != 40 {
+		t.Errorf("constraints: %+v", lib.Procs[0])
+	}
+	if lib.Buses[0].TD != 0.4 {
+		t.Errorf("bus: %+v", lib.Buses[0])
+	}
+}
+
+func TestParseLibraryErrors(t *testing.T) {
+	bad := []string{
+		"proctype p1 mhz 10",
+		"memtype m word x access 1",
+		"proc cpu",
+		"proc cpu t1 weird 3",
+		"bus b width 16",
+		"nonsense 1 2",
+	}
+	for _, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestStdLibraryMatchesFile(t *testing.T) {
+	// The checked-in std.lib must agree with the built-in Std() on shape.
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "std.lib"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileLib, err := Parse(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := Std()
+	if len(fileLib.Procs) != len(std.Procs) || len(fileLib.Buses) != len(std.Buses) {
+		t.Errorf("std.lib diverged from alloc.Std(): %d/%d procs, %d/%d buses",
+			len(fileLib.Procs), len(std.Procs), len(fileLib.Buses), len(std.Buses))
+	}
+}
+
+func TestApply(t *testing.T) {
+	g := core.NewGraph("g")
+	lib := Std()
+	if err := lib.Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Procs) != 2 || len(g.Mems) != 1 || len(g.Buses) != 1 {
+		t.Errorf("apply result: %+v", g.Stats())
+	}
+	// Double apply is rejected.
+	if err := lib.Apply(g); err == nil {
+		t.Error("second apply accepted")
+	}
+	// Undeclared type rejected.
+	g2 := core.NewGraph("g2")
+	bad := &Library{Procs: []*core.Processor{{Name: "x", TypeName: "ghost"}}}
+	if err := bad.Apply(g2); err == nil {
+		t.Error("undeclared type accepted")
+	}
+}
+
+// buildFuzzy builds the fuzzy example's bare graph for the explorer.
+func buildFuzzy(t *testing.T) *core.Graph {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "fuzzy.vhd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := vhdl.Parse(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := builder.Build(d, builder.Options{Profile: profile.Empty(), Techs: Std().Techs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExploreRanksAllocations(t *testing.T) {
+	g := buildFuzzy(t)
+	bus := &core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4}
+	cands := []Candidate{
+		{
+			Name:  "sw-only-tiny",
+			Procs: []*core.Processor{{Name: "cpu", TypeName: "proc10", SizeCon: 64}},
+			Buses: []*core.Bus{bus},
+		},
+		{
+			Name: "cpu+asic",
+			Procs: []*core.Processor{
+				{Name: "cpu", TypeName: "proc10", SizeCon: 65536},
+				{Name: "asic", TypeName: "asic50", Custom: true, SizeCon: 1e7},
+			},
+			Mems:  []*core.Memory{{Name: "ram", TypeName: "sram8", SizeCon: 65536}},
+			Buses: []*core.Bus{bus},
+		},
+	}
+	outs := Explore(g, cands, partition.Constraints{}, partition.DefaultWeights())
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	// Sorted by cost: the unconstrained two-component allocation must win
+	// over the absurdly tiny single processor.
+	if outs[0].Candidate.Name != "cpu+asic" {
+		t.Errorf("ranking: %s first (cost %v), then %s (cost %v)",
+			outs[0].Candidate.Name, outs[0].Cost, outs[1].Candidate.Name, outs[1].Cost)
+	}
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Errorf("%s: %v", o.Candidate.Name, o.Err)
+		}
+		if o.Evals == 0 {
+			t.Errorf("%s: no evaluations recorded", o.Candidate.Name)
+		}
+	}
+}
+
+func TestExploreNoBus(t *testing.T) {
+	g := buildFuzzy(t)
+	outs := Explore(g, []Candidate{{Name: "nobus"}}, partition.Constraints{}, partition.DefaultWeights())
+	if outs[0].Err == nil {
+		t.Error("allocation without a bus accepted")
+	}
+}

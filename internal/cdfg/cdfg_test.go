@@ -1,0 +1,138 @@
+package cdfg
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readTestdata(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatalf("testdata: %v", err)
+	}
+	return string(data)
+}
+
+const smallSrc = `
+entity E is port (a : in integer; o : out integer); end;
+architecture x of E is begin
+P: process
+    variable v : integer;
+begin
+    v := a + 1;
+    if v > 3 then
+        o <= v;
+    end if;
+    wait on a;
+end process; end;
+`
+
+func TestBuildSmall(t *testing.T) {
+	g, err := BuildVHDL(smallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v := a+1 → read a, const 1, op +, check, write v (5 nodes)
+	// if → read v, const 3, op >, branch, merge (5)
+	// o <= v → read v, check, write o (3)
+	// wait → read a, wait (2)
+	if got := g.Stats().Nodes; got != 15 {
+		t.Errorf("nodes = %d, want 15", got)
+	}
+	if g.CountKind(NOp) != 2 || g.CountKind(NConst) != 2 {
+		t.Errorf("op/const counts: %d/%d", g.CountKind(NOp), g.CountKind(NConst))
+	}
+	if g.CountKind(NBranch) != 1 || g.CountKind(NMerge) != 1 {
+		t.Error("branch/merge missing")
+	}
+	if g.CountKind(NCheck) != 2 {
+		t.Errorf("range checks = %d, want 2", g.CountKind(NCheck))
+	}
+	if g.CountKind(NWait) != 1 {
+		t.Error("wait node missing")
+	}
+}
+
+func TestEdgesWellFormed(t *testing.T) {
+	g, err := BuildVHDL(readTestdata(t, "fuzzy.vhd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges {
+		if e.From < 0 || e.From >= len(g.Nodes) || e.To < 0 || e.To >= len(g.Nodes) {
+			t.Fatalf("edge %v out of range", e)
+		}
+	}
+}
+
+func TestForLoopMachinery(t *testing.T) {
+	g, err := BuildVHDL(`
+entity E is end;
+architecture x of E is begin
+P: process
+    variable s : integer;
+begin
+    for i in 1 to 4 loop
+        s := s + 1;
+    end loop;
+    wait;
+end process; end;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CountKind(NLoop) != 1 || g.CountKind(NLoopEnd) != 1 {
+		t.Error("loop head/latch missing")
+	}
+	// Index init, increment: two writes of i plus the body's write of s
+	// plus the check node's write... writes: i(init), i(incr), s = 3.
+	if got := g.CountKind(NWrite); got != 3 {
+		t.Errorf("writes = %d, want 3 (index init, index incr, body)", got)
+	}
+	// A back edge exists (to the loop head).
+	back := false
+	for _, e := range g.Edges {
+		if g.Nodes[e.To].Kind == NLoop && g.Nodes[e.From].Kind == NLoopEnd {
+			back = true
+		}
+	}
+	if !back {
+		t.Error("loop back edge missing")
+	}
+}
+
+// TestOrderOfMagnitude pins the §5 relationship on the real fuzzy spec:
+// the CDFG must be an order of magnitude larger than the SLIF-AG (35/56).
+func TestOrderOfMagnitude(t *testing.T) {
+	g, err := BuildVHDL(readTestdata(t, "fuzzy.vhd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Nodes < 350 { // ≥10× the 35 SLIF nodes
+		t.Errorf("CDFG nodes = %d, want >= 350 (10x SLIF)", st.Nodes)
+	}
+	if st.Edges < 300 {
+		t.Errorf("CDFG edges = %d, want >= 300", st.Edges)
+	}
+}
+
+func TestAllExamplesBuild(t *testing.T) {
+	for _, name := range []string{"ans", "ether", "fuzzy", "vol"} {
+		g, err := BuildVHDL(readTestdata(t, name+".vhd"))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if g.Stats().Nodes == 0 {
+			t.Errorf("%s: empty CDFG", name)
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if NOp.String() != "op" || NCheck.String() != "check" {
+		t.Error("node kind names broken")
+	}
+}

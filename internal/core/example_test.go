@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+
+	"specsyn/internal/core"
+)
+
+// ExampleGraph builds the smallest meaningful SLIF by hand — one process
+// reading a sensor and logging into a buffer — maps it onto a processor,
+// and prints the serialized form.
+func Example() {
+	g := core.NewGraph("logger")
+
+	main := &core.Node{Name: "main", Kind: core.BehaviorNode, IsProcess: true}
+	main.SetICT("cpu9", 25)
+	main.SetSize("cpu9", 120)
+	buf := &core.Node{Name: "buf", Kind: core.VariableNode, StorageBits: 2048}
+	buf.SetICT("cpu9", 0.2)
+	buf.SetSize("cpu9", 256)
+	if err := g.AddNode(main); err != nil {
+		panic(err)
+	}
+	if err := g.AddNode(buf); err != nil {
+		panic(err)
+	}
+	sensor := &core.Port{Name: "sensor", Dir: core.In, Bits: 12}
+	if err := g.AddPort(sensor); err != nil {
+		panic(err)
+	}
+	for _, c := range []*core.Channel{
+		{Src: main, Dst: sensor, AccFreq: 1, AccMin: 1, AccMax: 1, Bits: 12, Tag: core.NoTag},
+		{Src: main, Dst: buf, AccFreq: 1, AccMin: 1, AccMax: 1, Bits: 19, Tag: core.NoTag},
+	} {
+		if err := g.AddChannel(c); err != nil {
+			panic(err)
+		}
+	}
+	cpu := &core.Processor{Name: "cpu", TypeName: "cpu9"}
+	g.AddProcessor(cpu)
+	g.AddBus(&core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4})
+
+	pt := core.AllToProcessor(g, cpu, g.Buses[0])
+	if err := pt.Validate(); err != nil {
+		panic(err)
+	}
+	if err := core.Write(os.Stdout, g, pt); err != nil {
+		panic(err)
+	}
+	fmt.Println("channels:", g.Stats().Channels)
+	// Output:
+	// slif logger
+	// port sensor in 12
+	// node main process
+	// ict main cpu9 25
+	// size main cpu9 120
+	// node buf variable storage 2048
+	// ict buf cpu9 0.2
+	// size buf cpu9 256
+	// chan main sensor freq 1 min 1 max 1 bits 12 tag -1
+	// chan main buf freq 1 min 1 max 1 bits 19 tag -1
+	// proc cpu cpu9 std sizecon 0 pincon 0
+	// bus bus width 16 ts 0.05 td 0.4
+	// map main cpu
+	// map buf cpu
+	// chanmap main sensor bus
+	// chanmap main buf bus
+	// channels: 2
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the .slif reader with arbitrary text. Invariants: no
+// panic; on success the graph revalidates... (Validate may legitimately
+// reject semantic issues the line parser cannot see, so only panics and
+// write-read disagreement are failures).
+func FuzzRead(f *testing.F) {
+	var golden bytes.Buffer
+	g := NewGraph("seed")
+	n := &Node{Name: "b", Kind: BehaviorNode, IsProcess: true}
+	_ = g.AddNode(n)
+	_ = g.AddPort(&Port{Name: "p", Dir: In, Bits: 8})
+	_ = g.AddChannel(&Channel{Src: n, Dst: g.PortByName("p"), AccFreq: 1, Bits: 8, Tag: NoTag})
+	g.AddProcessor(&Processor{Name: "cpu", TypeName: "t"})
+	g.AddBus(&Bus{Name: "bus", BitWidth: 16, TS: 1, TD: 2})
+	_ = Write(&golden, g, nil)
+
+	f.Add(golden.String())
+	f.Add("")
+	f.Add("slif x\n")
+	f.Add("slif x\nnode a process\nchan a a freq 1 min 0 max 2 bits 8 tag -1\n")
+	f.Add("slif x\nbogus record\n")
+	f.Add("# comment\nslif x\nnode \x00 variable\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, pt, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must serialize and reparse identically.
+		var buf bytes.Buffer
+		if err := Write(&buf, g, pt); err != nil {
+			t.Fatalf("reserialize failed: %v", err)
+		}
+		if _, _, err := Read(&buf); err != nil {
+			t.Fatalf("round trip of accepted input failed: %v\ninput: %q", err, src)
+		}
+	})
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the textual .slif exchange format. The format is
+// line-based: one record per line, whitespace-separated fields, '#'
+// comments. A Write followed by Read reproduces the graph (and optional
+// partition) exactly; the encoding is deterministic so .slif files diff
+// cleanly.
+//
+//	slif <name>
+//	node <name> behavior|process|variable [storage <bits>]
+//	ict <node> <comptype> <val>
+//	size <node> <comptype> <val>
+//	port <name> in|out|inout <bits>
+//	chan <src> <dst> freq <f> min <f> max <f> bits <n> tag <t>
+//	proc <name> <comptype> std|custom sizecon <f> pincon <n>
+//	mem <name> <comptype> sizecon <f>
+//	bus <name> width <n> ts <f> td <f>
+//	map <node> <comp>
+//	chanmap <src> <dst> <bus>
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Write serializes the graph to w. If pt is non-nil its mappings are
+// included as map/chanmap records.
+func Write(w io.Writer, g *Graph, pt *Partition) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "slif %s\n", g.Name)
+
+	for _, p := range g.Ports {
+		fmt.Fprintf(bw, "port %s %s %d\n", p.Name, p.Dir, p.Bits)
+	}
+	for _, n := range g.Nodes {
+		kind := "variable"
+		if n.IsBehavior() {
+			kind = "behavior"
+			if n.IsProcess {
+				kind = "process"
+			}
+		}
+		fmt.Fprintf(bw, "node %s %s", n.Name, kind)
+		if n.StorageBits != 0 {
+			fmt.Fprintf(bw, " storage %d", n.StorageBits)
+		}
+		fmt.Fprintln(bw)
+		for _, t := range sortedKeys(n.ICT) {
+			fmt.Fprintf(bw, "ict %s %s %s\n", n.Name, t, fmtF(n.ICT[t]))
+		}
+		for _, t := range sortedKeys(n.Size) {
+			fmt.Fprintf(bw, "size %s %s %s\n", n.Name, t, fmtF(n.Size[t]))
+		}
+	}
+	for _, c := range g.Channels {
+		fmt.Fprintf(bw, "chan %s %s freq %s min %s max %s bits %d tag %d\n",
+			c.Src.Name, c.Dst.EndpointName(), fmtF(c.AccFreq), fmtF(c.AccMin), fmtF(c.AccMax), c.Bits, c.Tag)
+	}
+	for _, p := range g.Procs {
+		kind := "std"
+		if p.Custom {
+			kind = "custom"
+		}
+		fmt.Fprintf(bw, "proc %s %s %s sizecon %s pincon %d\n", p.Name, p.TypeName, kind, fmtF(p.SizeCon), p.PinCon)
+	}
+	for _, m := range g.Mems {
+		fmt.Fprintf(bw, "mem %s %s sizecon %s\n", m.Name, m.TypeName, fmtF(m.SizeCon))
+	}
+	for _, b := range g.Buses {
+		fmt.Fprintf(bw, "bus %s width %d ts %s td %s\n", b.Name, b.BitWidth, fmtF(b.TS), fmtF(b.TD))
+	}
+	if pt != nil {
+		for _, n := range g.Nodes {
+			if c := pt.BvComp(n); c != nil {
+				fmt.Fprintf(bw, "map %s %s\n", n.Name, c.CompName())
+			}
+		}
+		for _, c := range g.Channels {
+			if b := pt.ChanBus(c); b != nil {
+				fmt.Fprintf(bw, "chanmap %s %s %s\n", c.Src.Name, c.Dst.EndpointName(), b.Name)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// readState accumulates parse state for Read.
+type readState struct {
+	g    *Graph
+	pt   *Partition
+	line int
+}
+
+func (rs *readState) errf(format string, args ...any) error {
+	return fmt.Errorf("slif: line %d: %s", rs.line, fmt.Sprintf(format, args...))
+}
+
+// Read parses a .slif stream written by Write. The returned partition is
+// non-nil only if the stream contained map/chanmap records.
+func Read(r io.Reader) (*Graph, *Partition, error) {
+	rs := &readState{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		rs.line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if err := rs.record(f); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if rs.g == nil {
+		return nil, nil, fmt.Errorf("slif: stream has no 'slif' header")
+	}
+	return rs.g, rs.pt, nil
+}
+
+func (rs *readState) record(f []string) error {
+	if rs.g == nil && f[0] != "slif" {
+		return rs.errf("expected 'slif <name>' header, got %q", f[0])
+	}
+	switch f[0] {
+	case "slif":
+		if len(f) != 2 {
+			return rs.errf("malformed slif header")
+		}
+		rs.g = NewGraph(f[1])
+	case "port":
+		if len(f) != 4 {
+			return rs.errf("malformed port record")
+		}
+		dir, err := parseDir(f[2])
+		if err != nil {
+			return rs.errf("%v", err)
+		}
+		bits, err := strconv.Atoi(f[3])
+		if err != nil {
+			return rs.errf("bad port bits %q", f[3])
+		}
+		if err := rs.g.AddPort(&Port{Name: f[1], Dir: dir, Bits: bits}); err != nil {
+			return rs.errf("%v", err)
+		}
+	case "node":
+		if len(f) < 3 {
+			return rs.errf("malformed node record")
+		}
+		n := &Node{Name: f[1]}
+		switch f[2] {
+		case "behavior":
+			n.Kind = BehaviorNode
+		case "process":
+			n.Kind = BehaviorNode
+			n.IsProcess = true
+		case "variable":
+			n.Kind = VariableNode
+		default:
+			return rs.errf("bad node kind %q", f[2])
+		}
+		if len(f) >= 5 && f[3] == "storage" {
+			v, err := strconv.ParseInt(f[4], 10, 64)
+			if err != nil {
+				return rs.errf("bad storage %q", f[4])
+			}
+			n.StorageBits = v
+		}
+		if err := rs.g.AddNode(n); err != nil {
+			return rs.errf("%v", err)
+		}
+	case "ict", "size":
+		if len(f) != 4 {
+			return rs.errf("malformed %s record", f[0])
+		}
+		n := rs.g.NodeByName(f[1])
+		if n == nil {
+			return rs.errf("%s for unknown node %q", f[0], f[1])
+		}
+		v, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return rs.errf("bad %s value %q", f[0], f[3])
+		}
+		if f[0] == "ict" {
+			n.SetICT(f[2], v)
+		} else {
+			n.SetSize(f[2], v)
+		}
+	case "chan":
+		// chan src dst freq F min F max F bits N tag T
+		if len(f) != 13 {
+			return rs.errf("malformed chan record")
+		}
+		src := rs.g.NodeByName(f[1])
+		if src == nil {
+			return rs.errf("chan with unknown source %q", f[1])
+		}
+		var dst Endpoint
+		if n := rs.g.NodeByName(f[2]); n != nil {
+			dst = n
+		} else if p := rs.g.PortByName(f[2]); p != nil {
+			dst = p
+		} else {
+			return rs.errf("chan with unknown destination %q", f[2])
+		}
+		freq, err1 := strconv.ParseFloat(f[4], 64)
+		mn, err2 := strconv.ParseFloat(f[6], 64)
+		mx, err3 := strconv.ParseFloat(f[8], 64)
+		bits, err4 := strconv.Atoi(f[10])
+		tag, err5 := strconv.Atoi(f[12])
+		for _, err := range []error{err1, err2, err3, err4, err5} {
+			if err != nil {
+				return rs.errf("bad chan numbers: %v", err)
+			}
+		}
+		c := &Channel{Src: src, Dst: dst, AccFreq: freq, AccMin: mn, AccMax: mx, Bits: bits, Tag: tag}
+		if err := rs.g.AddChannel(c); err != nil {
+			return rs.errf("%v", err)
+		}
+	case "proc":
+		// proc name type std|custom sizecon F pincon N
+		if len(f) != 8 {
+			return rs.errf("malformed proc record")
+		}
+		sc, err1 := strconv.ParseFloat(f[5], 64)
+		pc, err2 := strconv.Atoi(f[7])
+		if err1 != nil || err2 != nil {
+			return rs.errf("bad proc constraints")
+		}
+		rs.g.AddProcessor(&Processor{Name: f[1], TypeName: f[2], Custom: f[3] == "custom", SizeCon: sc, PinCon: pc})
+	case "mem":
+		if len(f) != 5 {
+			return rs.errf("malformed mem record")
+		}
+		sc, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return rs.errf("bad mem sizecon %q", f[4])
+		}
+		rs.g.AddMemory(&Memory{Name: f[1], TypeName: f[2], SizeCon: sc})
+	case "bus":
+		// bus name width N ts F td F
+		if len(f) != 8 {
+			return rs.errf("malformed bus record")
+		}
+		w, err1 := strconv.Atoi(f[3])
+		ts, err2 := strconv.ParseFloat(f[5], 64)
+		td, err3 := strconv.ParseFloat(f[7], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return rs.errf("bad bus numbers")
+		}
+		rs.g.AddBus(&Bus{Name: f[1], BitWidth: w, TS: ts, TD: td})
+	case "map":
+		if len(f) != 3 {
+			return rs.errf("malformed map record")
+		}
+		if rs.pt == nil {
+			rs.pt = NewPartition(rs.g)
+		}
+		n := rs.g.NodeByName(f[1])
+		if n == nil {
+			return rs.errf("map for unknown node %q", f[1])
+		}
+		var c Component
+		if p := rs.g.ProcByName(f[2]); p != nil {
+			c = p
+		} else if m := rs.g.MemByName(f[2]); m != nil {
+			c = m
+		} else {
+			return rs.errf("map to unknown component %q", f[2])
+		}
+		if err := rs.pt.Assign(n, c); err != nil {
+			return rs.errf("%v", err)
+		}
+	case "chanmap":
+		if len(f) != 4 {
+			return rs.errf("malformed chanmap record")
+		}
+		if rs.pt == nil {
+			rs.pt = NewPartition(rs.g)
+		}
+		ch := rs.g.FindChannel(f[1], f[2])
+		if ch == nil {
+			return rs.errf("chanmap for unknown channel %s->%s", f[1], f[2])
+		}
+		b := rs.g.BusByName(f[3])
+		if b == nil {
+			return rs.errf("chanmap to unknown bus %q", f[3])
+		}
+		rs.pt.AssignChan(ch, b)
+	default:
+		return rs.errf("unknown record %q", f[0])
+	}
+	return nil
+}
+
+func parseDir(s string) (PortDir, error) {
+	switch s {
+	case "in":
+		return In, nil
+	case "out":
+		return Out, nil
+	case "inout":
+		return InOut, nil
+	}
+	return In, fmt.Errorf("bad port direction %q", s)
+}
+
+// WriteDOT emits the access graph in Graphviz DOT form. Process nodes are
+// drawn bold (as in the paper's Figure 2), variables as boxes, ports as
+// diamonds; edges are labeled freq/bits.
+func WriteDOT(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=TB;\n", g.Name)
+	for _, n := range g.Nodes {
+		switch {
+		case n.IsProcess:
+			fmt.Fprintf(bw, "  %q [shape=ellipse, style=bold];\n", n.Name)
+		case n.IsBehavior():
+			fmt.Fprintf(bw, "  %q [shape=ellipse];\n", n.Name)
+		default:
+			fmt.Fprintf(bw, "  %q [shape=box];\n", n.Name)
+		}
+	}
+	for _, p := range g.Ports {
+		fmt.Fprintf(bw, "  %q [shape=diamond];\n", p.Name)
+	}
+	for _, c := range g.Channels {
+		fmt.Fprintf(bw, "  %q -> %q [label=\"%s/%d\"];\n",
+			c.Src.Name, c.Dst.EndpointName(), fmtF(c.AccFreq), c.Bits)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteDOTPartition renders the access graph with nodes clustered by the
+// component the partition maps them to — the picture a designer wants
+// after a partitioning step. Ports appear outside every cluster.
+func WriteDOTPartition(w io.Writer, g *Graph, pt *Partition) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n  compound=true;\n", g.Name)
+	for ci, comp := range g.Components() {
+		fmt.Fprintf(bw, "  subgraph cluster_%d {\n    label=%q;\n", ci, comp.CompName())
+		for _, n := range pt.NodesOn(comp) {
+			shape := "box"
+			style := ""
+			if n.IsBehavior() {
+				shape = "ellipse"
+			}
+			if n.IsProcess {
+				style = ", style=bold"
+			}
+			fmt.Fprintf(bw, "    %q [shape=%s%s];\n", n.Name, shape, style)
+		}
+		fmt.Fprintln(bw, "  }")
+	}
+	// Unmapped nodes (partial partitions) go outside any cluster.
+	for _, n := range g.Nodes {
+		if pt.BvComp(n) == nil {
+			fmt.Fprintf(bw, "  %q [shape=box, style=dashed];\n", n.Name)
+		}
+	}
+	for _, p := range g.Ports {
+		fmt.Fprintf(bw, "  %q [shape=diamond];\n", p.Name)
+	}
+	for _, c := range g.Channels {
+		attr := ""
+		if src, dst := pt.BvComp(c.Src), pt.DstComp(c); dst == nil || src != dst {
+			attr = " [color=red]" // crossing edges cost bus transfers and pins
+		}
+		fmt.Fprintf(bw, "  %q -> %q%s;\n", c.Src.Name, c.Dst.EndpointName(), attr)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

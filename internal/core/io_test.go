@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := tinyGraph(t)
+	pt := split(t, g)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g, pt); err != nil {
+		t.Fatal(err)
+	}
+	g2, pt2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+	if pt2 == nil {
+		t.Fatal("partition lost")
+	}
+	for _, n := range g.Nodes {
+		want := pt.BvComp(n).CompName()
+		got := pt2.BvComp(g2.NodeByName(n.Name))
+		if got == nil || got.CompName() != want {
+			t.Errorf("node %s mapping: got %v, want %s", n.Name, got, want)
+		}
+	}
+	for _, c := range g.Channels {
+		c2 := g2.FindChannel(c.Src.Name, c.Dst.EndpointName())
+		if pt2.ChanBus(c2) == nil || pt2.ChanBus(c2).Name != pt.ChanBus(c).Name {
+			t.Errorf("channel %s bus mapping lost", c.Key())
+		}
+	}
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.Name != b.Name {
+		t.Errorf("names %q vs %q", a.Name, b.Name)
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats %+v vs %+v", a.Stats(), b.Stats())
+	}
+	for i, n := range a.Nodes {
+		m := b.Nodes[i]
+		if n.Name != m.Name || n.Kind != m.Kind || n.IsProcess != m.IsProcess || n.StorageBits != m.StorageBits {
+			t.Errorf("node %d differs: %+v vs %+v", i, n, m)
+		}
+		if !reflect.DeepEqual(n.ICT, m.ICT) || !reflect.DeepEqual(n.Size, m.Size) {
+			t.Errorf("node %s annotations differ", n.Name)
+		}
+	}
+	for i, c := range a.Channels {
+		d := b.Channels[i]
+		if c.Key() != d.Key() || c.AccFreq != d.AccFreq || c.AccMin != d.AccMin ||
+			c.AccMax != d.AccMax || c.Bits != d.Bits || c.Tag != d.Tag {
+			t.Errorf("channel %d differs: %+v vs %+v", i, c, d)
+		}
+	}
+	for i, p := range a.Procs {
+		if *p != *b.Procs[i] {
+			t.Errorf("proc %d differs", i)
+		}
+	}
+	for i, m := range a.Mems {
+		if *m != *b.Mems[i] {
+			t.Errorf("mem %d differs", i)
+		}
+	}
+	for i, bus := range a.Buses {
+		if *bus != *b.Buses[i] {
+			t.Errorf("bus %d differs", i)
+		}
+	}
+	for i, p := range a.Ports {
+		if *p != *b.Ports[i] {
+			t.Errorf("port %d differs", i)
+		}
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	g := tinyGraph(t)
+	var b1, b2 bytes.Buffer
+	if err := Write(&b1, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b2, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("two writes of the same graph differ")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                        // no header
+		"node x variable\n",       // record before header
+		"slif g\nnode x bogus\n",  // bad node kind
+		"slif g\nchan a b\n",      // malformed chan
+		"slif g\nict ghost t 1\n", // unknown node
+		"slif g\nwhat is this\n",  // unknown record
+		"slif g\nport p sideways 8\n",
+	}
+	for _, src := range cases {
+		if _, _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	src := "# header comment\n\nslif g\n# another\nnode a process\n"
+	g, _, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeByName("a") == nil {
+		t.Error("node lost")
+	}
+}
+
+// randomGraph builds a structurally valid random SLIF for the round-trip
+// property test.
+func randomGraph(rng *rand.Rand) *Graph {
+	g := NewGraph(fmt.Sprintf("g%d", rng.Intn(1000)))
+	nBeh := 1 + rng.Intn(5)
+	nVar := rng.Intn(5)
+	nPort := rng.Intn(3)
+	var behs []*Node
+	for i := 0; i < nBeh; i++ {
+		n := &Node{Name: fmt.Sprintf("b%d", i), Kind: BehaviorNode, IsProcess: rng.Intn(2) == 0}
+		n.SetICT("t1", float64(rng.Intn(100)))
+		n.SetSize("t1", float64(rng.Intn(1000)))
+		_ = g.AddNode(n)
+		behs = append(behs, n)
+	}
+	var ends []Endpoint
+	for _, b := range behs {
+		ends = append(ends, b)
+	}
+	for i := 0; i < nVar; i++ {
+		n := &Node{Name: fmt.Sprintf("v%d", i), Kind: VariableNode, StorageBits: int64(rng.Intn(4096))}
+		n.SetICT("t1", rng.Float64())
+		n.SetSize("t1", float64(rng.Intn(100)))
+		_ = g.AddNode(n)
+		ends = append(ends, n)
+	}
+	for i := 0; i < nPort; i++ {
+		p := &Port{Name: fmt.Sprintf("p%d", i), Dir: PortDir(rng.Intn(3)), Bits: 1 + rng.Intn(32)}
+		_ = g.AddPort(p)
+		ends = append(ends, p)
+	}
+	for tries := 0; tries < 10; tries++ {
+		src := behs[rng.Intn(len(behs))]
+		dst := ends[rng.Intn(len(ends))]
+		mn := float64(rng.Intn(3))
+		c := &Channel{
+			Src: src, Dst: dst,
+			AccFreq: mn + rng.Float64()*10, AccMin: mn, AccMax: mn + 100,
+			Bits: rng.Intn(64), Tag: rng.Intn(4) - 1,
+		}
+		_ = g.AddChannel(c) // duplicates rejected, fine
+	}
+	g.AddProcessor(&Processor{Name: "P", TypeName: "t1", Custom: rng.Intn(2) == 0, SizeCon: float64(rng.Intn(10000)), PinCon: rng.Intn(100)})
+	g.AddBus(&Bus{Name: "B", BitWidth: 1 + rng.Intn(64), TS: rng.Float64(), TD: rng.Float64() * 3})
+	return g
+}
+
+// Property: Read(Write(g)) == g for arbitrary valid graphs.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		var buf bytes.Buffer
+		if err := Write(&buf, g, nil); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		g2, _, err := Read(&buf)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		if g.Stats() != g2.Stats() || g.Name != g2.Name {
+			return false
+		}
+		for i, c := range g.Channels {
+			d := g2.Channels[i]
+			if c.Key() != d.Key() || c.AccFreq != d.AccFreq || c.Bits != d.Bits || c.Tag != d.Tag {
+				return false
+			}
+		}
+		for _, n := range g.Nodes {
+			m := g2.NodeByName(n.Name)
+			if m == nil || !reflect.DeepEqual(n.ICT, m.ICT) || !reflect.DeepEqual(n.Size, m.Size) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := tinyGraph(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"digraph", `"main"`, "style=bold", `"main" -> "sub"`, "shape=diamond"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT output missing %q", frag)
+		}
+	}
+}
+
+func TestWriteDOTPartition(t *testing.T) {
+	g := tinyGraph(t)
+	pt := split(t, g)
+	var buf bytes.Buffer
+	if err := WriteDOTPartition(&buf, g, pt); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"subgraph cluster_0", `label="cpu"`, `label="asic"`,
+		`"main" -> "sub" [color=red]`, // crossing edge marked
+		`"sub" -> "arr";`,             // internal edge unmarked
+		`"out1" [shape=diamond]`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("partition DOT missing %q:\n%s", frag, out)
+		}
+	}
+	// Partial partitions render unmapped nodes dashed.
+	pt2 := NewPartition(g)
+	_ = pt2.Assign(g.NodeByName("main"), g.ProcByName("cpu"))
+	buf.Reset()
+	if err := WriteDOTPartition(&buf, g, pt2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "style=dashed") {
+		t.Error("unmapped nodes not marked")
+	}
+}

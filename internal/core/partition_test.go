@@ -1,0 +1,159 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// split maps main+v to the cpu, sub+arr to the asic, all channels to the bus.
+func split(t testing.TB, g *Graph) *Partition {
+	t.Helper()
+	pt := NewPartition(g)
+	cpu, asic := g.ProcByName("cpu"), g.ProcByName("asic")
+	assign := func(name string, c Component) {
+		if err := pt.Assign(g.NodeByName(name), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assign("main", cpu)
+	assign("v", cpu)
+	assign("sub", asic)
+	assign("arr", asic)
+	for _, c := range g.Channels {
+		pt.AssignChan(c, g.Buses[0])
+	}
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+func TestPartitionQueries(t *testing.T) {
+	g := tinyGraph(t)
+	pt := split(t, g)
+	cpu, asic := g.ProcByName("cpu"), g.ProcByName("asic")
+
+	if pt.BvComp(g.NodeByName("main")) != cpu {
+		t.Error("BvComp(main) wrong")
+	}
+	if got := pt.NodesOn(asic); len(got) != 2 {
+		t.Errorf("NodesOn(asic) = %d", len(got))
+	}
+	if got := pt.ChansOn(g.Buses[0]); len(got) != 4 {
+		t.Errorf("ChansOn = %d", len(got))
+	}
+	if ict, ok := pt.BvIct(g.NodeByName("main"), cpu); !ok || ict != 10 {
+		t.Errorf("BvIct = %v,%v", ict, ok)
+	}
+	if sz, ok := pt.BvSize(g.NodeByName("arr"), asic); !ok || sz != 8192 {
+		t.Errorf("BvSize = %v,%v", sz, ok)
+	}
+	// DstComp of a port channel is nil.
+	if pt.DstComp(g.FindChannel("main", "out1")) != nil {
+		t.Error("port destination should have nil component")
+	}
+}
+
+func TestBehaviorOnlyToProcessor(t *testing.T) {
+	g := tinyGraph(t)
+	pt := NewPartition(g)
+	if err := pt.Assign(g.NodeByName("main"), g.MemByName("ram")); err == nil {
+		t.Error("behavior assigned to memory")
+	}
+	if err := pt.Assign(g.NodeByName("arr"), g.MemByName("ram")); err != nil {
+		t.Errorf("variable to memory rejected: %v", err)
+	}
+}
+
+func TestCutChansAndBuses(t *testing.T) {
+	g := tinyGraph(t)
+	pt := split(t, g)
+	cpu, asic := g.ProcByName("cpu"), g.ProcByName("asic")
+
+	// main(cpu)→sub(asic) cut; main→v internal; main→out1 cut (port);
+	// sub(asic)→arr(asic) internal.
+	cut := pt.CutChans(cpu)
+	if len(cut) != 2 {
+		t.Fatalf("CutChans(cpu) = %d, want 2", len(cut))
+	}
+	keys := map[string]bool{}
+	for _, c := range cut {
+		keys[c.Key()] = true
+	}
+	if !keys["main->sub"] || !keys["main->out1"] {
+		t.Errorf("cut set: %v", keys)
+	}
+	// For the asic, only the call channel crosses (arr is internal,
+	// out1 is not on the asic side at all).
+	if got := pt.CutChans(asic); len(got) != 1 || got[0].Key() != "main->sub" {
+		t.Errorf("CutChans(asic): %v", got)
+	}
+	// Both cut channels ride one bus: it must be reported once.
+	if got := pt.CutBuses(cpu); len(got) != 1 {
+		t.Errorf("CutBuses(cpu) = %d, want 1", len(got))
+	}
+}
+
+func TestValidateReportsAllProblems(t *testing.T) {
+	g := tinyGraph(t)
+	pt := NewPartition(g)
+	// Nothing mapped: every node and channel should be named.
+	err := pt.Validate()
+	if err == nil {
+		t.Fatal("empty partition validated")
+	}
+	for _, frag := range []string{"main", "sub", "arr", `"v"`, "main->sub"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error does not mention %s: %v", frag, err)
+		}
+	}
+}
+
+func TestValidateForeignMappings(t *testing.T) {
+	g := tinyGraph(t)
+	pt := split(t, g)
+	other := tinyGraph(t)
+	// Smuggle a mapping for a node of a different graph.
+	pt.bvComp[other.NodeByName("main")] = g.ProcByName("cpu")
+	if err := pt.Validate(); err == nil || !strings.Contains(err.Error(), "foreign") {
+		t.Errorf("foreign mapping not caught: %v", err)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := tinyGraph(t)
+	pt := split(t, g)
+	cl := pt.Clone()
+	if err := cl.Assign(g.NodeByName("v"), g.MemByName("ram")); err != nil {
+		t.Fatal(err)
+	}
+	if pt.BvComp(g.NodeByName("v")) == Component(g.MemByName("ram")) {
+		t.Error("clone shares mapping state")
+	}
+}
+
+func TestAllToProcessor(t *testing.T) {
+	g := tinyGraph(t)
+	pt := AllToProcessor(g, g.ProcByName("cpu"), g.Buses[0])
+	if err := pt.Validate(); err != nil {
+		t.Fatalf("all-software partition invalid: %v", err)
+	}
+	if len(pt.NodesOn(g.ProcByName("cpu"))) != 4 {
+		t.Error("not everything on the cpu")
+	}
+	// Nothing crosses except port traffic.
+	if got := pt.CutChans(g.ProcByName("cpu")); len(got) != 1 {
+		t.Errorf("cut channels = %d, want 1 (the port write)", len(got))
+	}
+}
+
+func TestPartitionString(t *testing.T) {
+	g := tinyGraph(t)
+	pt := split(t, g)
+	s := pt.String()
+	for _, frag := range []string{"cpu:", "asic:", "ram:", "bus:", "main", "arr"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}

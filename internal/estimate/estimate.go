@@ -1,0 +1,374 @@
+// Package estimate computes the §3 design metrics of the SLIF paper from a
+// (Graph, Partition) pair: execution time (eq. 1), channel and bus bitrate
+// (eqs. 2–3), software/hardware/memory size (eqs. 4–5) and component I/O
+// (eq. 6). Everything is table lookups, sums and one memoized traversal —
+// no re-analysis of the specification — which is the point of SLIF's
+// preprocessed annotations.
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"specsyn/internal/core"
+)
+
+// Mode selects which access-count annotation drives the estimate (§2.4.1
+// defines average, minimum and maximum access frequencies).
+type Mode int
+
+// Estimation modes.
+const (
+	Avg Mode = iota
+	Min
+	Max
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return "avg"
+	}
+}
+
+// Options tune the estimator beyond the paper's baseline equations. The
+// zero value reproduces the paper exactly.
+type Options struct {
+	// Mode selects average (default), minimum or maximum access counts.
+	Mode Mode
+
+	// UseTags enables the concurrency extension: same-source channels that
+	// share a concurrency tag (§2.3) are assumed to overlap, so the group
+	// contributes its maximum rather than its sum to communication time.
+	// The paper's baseline ("the simplest method") assumes all accesses
+	// are sequential; leave false to reproduce it.
+	UseTags bool
+
+	// SharingFactor, in [0,1), discounts summed size on *custom* processors
+	// to approximate hardware sharing (the paper's ref [1] problem). 0
+	// reproduces the paper's stated sum-of-weights assumption.
+	SharingFactor float64
+
+	// ClampBusBitrate caps each bus's reported bitrate at its physical
+	// capacity (bitwidth / td), the simple form of the paper's ref [2]
+	// extension. False reproduces eqs. 2–3 exactly.
+	ClampBusBitrate bool
+
+	// IgnoreRecursion makes a recursive access-graph cycle contribute zero
+	// execution time for the back edge instead of failing; the paper notes
+	// cycles denote recursion but gives no equation for them.
+	IgnoreRecursion bool
+}
+
+// Estimator evaluates the §3 metric equations. It memoizes Exectime per
+// behavior, so estimating every metric for a partition costs O(|BV| + |C|).
+// An Estimator is bound to one partition state: create a new one (or call
+// Reset) after changing the partition.
+type Estimator struct {
+	g    *core.Graph
+	pt   *core.Partition
+	opt  Options
+	memo map[*core.Node]float64
+	path map[*core.Node]bool // cycle detection stack
+}
+
+// New returns an estimator over g with partition pt.
+func New(g *core.Graph, pt *core.Partition, opt Options) *Estimator {
+	return &Estimator{
+		g: g, pt: pt, opt: opt,
+		memo: make(map[*core.Node]float64),
+		path: make(map[*core.Node]bool),
+	}
+}
+
+// Reset discards memoized results; call after mutating the partition.
+func (e *Estimator) Reset() {
+	e.memo = make(map[*core.Node]float64)
+	e.path = make(map[*core.Node]bool)
+}
+
+// freq returns the access count for the selected mode. Channels whose
+// min/max annotations were never set fall back to the average.
+func (e *Estimator) freq(c *core.Channel) float64 {
+	switch e.opt.Mode {
+	case Min:
+		if c.AccMin != 0 || c.AccMax != 0 {
+			return c.AccMin
+		}
+	case Max:
+		if c.AccMax != 0 {
+			return c.AccMax
+		}
+	}
+	return c.AccFreq
+}
+
+// TransferTime implements TransferTime(c, p) of eq. 1: the bus data
+// transfer time (ts within one component, td across components) times the
+// number of physical transfers, ceil(bits / bitwidth).
+func (e *Estimator) TransferTime(c *core.Channel) (float64, error) {
+	bus := e.pt.ChanBus(c)
+	if bus == nil {
+		return 0, fmt.Errorf("estimate: channel %s is not mapped to a bus", c.Key())
+	}
+	if c.Bits == 0 {
+		return 0, nil // control-only access (e.g. parameterless call)
+	}
+	transfers := (c.Bits + bus.BitWidth - 1) / bus.BitWidth
+	bdt := bus.TD
+	if src, dst := e.pt.BvComp(c.Src), e.pt.DstComp(c); dst != nil && src == dst {
+		bdt = bus.TS
+	}
+	return bdt * float64(transfers), nil
+}
+
+// Exectime implements eq. 1 for a behavior node, and for a variable node
+// returns its storage access time on its mapped component. The access
+// graph must be acyclic unless Options.IgnoreRecursion is set.
+func (e *Estimator) Exectime(n *core.Node) (float64, error) {
+	if v, ok := e.memo[n]; ok {
+		return v, nil
+	}
+	if e.path[n] {
+		if e.opt.IgnoreRecursion {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("estimate: access graph cycle (recursion) through %q", n.Name)
+	}
+	comp := e.pt.BvComp(n)
+	if comp == nil {
+		return 0, fmt.Errorf("estimate: node %q is not mapped to a component", n.Name)
+	}
+	ict, ok := e.pt.BvIct(n, comp)
+	if !ok {
+		return 0, fmt.Errorf("estimate: node %q has no ict weight for component type %q", n.Name, comp.TypeKey())
+	}
+	if !n.IsBehavior() {
+		e.memo[n] = ict
+		return ict, nil
+	}
+
+	e.path[n] = true
+	defer delete(e.path, n)
+
+	comm, err := e.commTime(n)
+	if err != nil {
+		return 0, err
+	}
+	total := ict + comm
+	e.memo[n] = total
+	return total, nil
+}
+
+// commTime implements Commtime(b) of eq. 1: Σ over accessed channels of
+// freq × (TransferTime + Exectime(dst)). With UseTags, same-tag channel
+// groups contribute their max instead of their sum.
+func (e *Estimator) commTime(b *core.Node) (float64, error) {
+	var total float64
+	tagged := map[int]float64{} // tag → max cost within the concurrent group
+	for _, c := range e.g.BehChans(b) {
+		tt, err := e.TransferTime(c)
+		if err != nil {
+			return 0, err
+		}
+		var dstTime float64
+		if d, ok := c.Dst.(*core.Node); ok {
+			// External ports respond within the transfer itself; nodes
+			// contribute their own execution (or storage-access) time.
+			dstTime, err = e.Exectime(d)
+			if err != nil {
+				return 0, err
+			}
+		}
+		cost := e.freq(c) * (tt + dstTime)
+		if e.opt.UseTags && c.Tag != core.NoTag {
+			tagged[c.Tag] = math.Max(tagged[c.Tag], cost)
+		} else {
+			total += cost
+		}
+	}
+	for _, v := range tagged {
+		total += v
+	}
+	return total, nil
+}
+
+// ChanBitrate implements eq. 2: bits transferred per unit time over the
+// channel during one start-to-finish execution of its source behavior. The
+// result is in bits/µs (= Mbit/s) given µs ict weights.
+func (e *Estimator) ChanBitrate(c *core.Channel) (float64, error) {
+	et, err := e.Exectime(c.Src)
+	if err != nil {
+		return 0, err
+	}
+	volume := e.freq(c) * float64(c.Bits)
+	if volume == 0 {
+		return 0, nil
+	}
+	if et == 0 {
+		return 0, fmt.Errorf("estimate: channel %s source %q has zero execution time but non-zero traffic", c.Key(), c.Src.Name)
+	}
+	return volume / et, nil
+}
+
+// BusBitrate implements eq. 3: the sum of the bitrates of the channels
+// mapped to the bus, optionally clamped at physical capacity.
+func (e *Estimator) BusBitrate(b *core.Bus) (float64, error) {
+	var sum float64
+	for _, c := range e.g.Channels {
+		if e.pt.ChanBus(c) != b {
+			continue
+		}
+		br, err := e.ChanBitrate(c)
+		if err != nil {
+			return 0, err
+		}
+		sum += br
+	}
+	if e.opt.ClampBusBitrate {
+		t := b.TD
+		if b.TS > 0 && b.TS < t {
+			t = b.TS
+		}
+		if t > 0 {
+			if capacity := float64(b.BitWidth) / t; sum > capacity {
+				sum = capacity
+			}
+		}
+	}
+	return sum, nil
+}
+
+// Size implements eqs. 4–5: the sum of the size weights, on the component's
+// type, of every node mapped to the component. For custom processors a
+// non-zero SharingFactor discounts the sum (hardware-sharing ablation).
+func (e *Estimator) Size(comp core.Component) (float64, error) {
+	var sum float64
+	for _, n := range e.pt.NodesOn(comp) {
+		w, ok := e.pt.BvSize(n, comp)
+		if !ok {
+			return 0, fmt.Errorf("estimate: node %q has no size weight for component type %q", n.Name, comp.TypeKey())
+		}
+		sum += w
+	}
+	if p, ok := comp.(*core.Processor); ok && p.Custom && e.opt.SharingFactor > 0 {
+		sum *= 1 - e.opt.SharingFactor
+	}
+	return sum, nil
+}
+
+// IO implements eq. 6: the total bitwidth of the buses that carry at least
+// one channel crossing the component's boundary.
+func (e *Estimator) IO(comp core.Component) int {
+	total := 0
+	for _, b := range e.pt.CutBuses(comp) {
+		total += b.BitWidth
+	}
+	return total
+}
+
+// CompReport is the estimate for one processor or memory.
+type CompReport struct {
+	Name    string
+	Type    string
+	Custom  bool
+	IsMem   bool
+	Size    float64
+	SizeCon float64
+	IO      int
+	PinCon  int
+	Nodes   int
+}
+
+// SizeViolated reports whether the size constraint is exceeded.
+func (r *CompReport) SizeViolated() bool { return r.SizeCon > 0 && r.Size > r.SizeCon }
+
+// PinViolated reports whether the pin constraint is exceeded.
+func (r *CompReport) PinViolated() bool { return r.PinCon > 0 && r.IO > r.PinCon }
+
+// BusReport is the estimate for one bus.
+type BusReport struct {
+	Name     string
+	Bitrate  float64 // bits/µs
+	Channels int
+}
+
+// ProcessReport is the execution-time estimate for one process behavior.
+type ProcessReport struct {
+	Name     string
+	Exectime float64 // µs per start-to-finish execution
+}
+
+// Report bundles every §3 metric for a partition: what SpecSyn shows the
+// designer after each allocation/partitioning step.
+type Report struct {
+	Comps     []CompReport
+	Buses     []BusReport
+	Processes []ProcessReport
+}
+
+// Report computes all metrics for the current partition.
+func (e *Estimator) Report() (*Report, error) {
+	rep := &Report{}
+	for _, comp := range e.g.Components() {
+		sz, err := e.Size(comp)
+		if err != nil {
+			return nil, err
+		}
+		cr := CompReport{
+			Name: comp.CompName(), Type: comp.TypeKey(),
+			Size: sz, IO: e.IO(comp), Nodes: len(e.pt.NodesOn(comp)),
+		}
+		switch c := comp.(type) {
+		case *core.Processor:
+			cr.Custom, cr.SizeCon, cr.PinCon = c.Custom, c.SizeCon, c.PinCon
+		case *core.Memory:
+			cr.IsMem, cr.SizeCon = true, c.SizeCon
+		}
+		rep.Comps = append(rep.Comps, cr)
+	}
+	for _, b := range e.g.Buses {
+		br, err := e.BusBitrate(b)
+		if err != nil {
+			return nil, err
+		}
+		rep.Buses = append(rep.Buses, BusReport{Name: b.Name, Bitrate: br, Channels: len(e.pt.ChansOn(b))})
+	}
+	for _, p := range e.g.Processes() {
+		et, err := e.Exectime(p)
+		if err != nil {
+			return nil, err
+		}
+		rep.Processes = append(rep.Processes, ProcessReport{Name: p.Name, Exectime: et})
+	}
+	return rep, nil
+}
+
+// String renders the report as an aligned table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-10s %10s %10s %6s %6s %6s\n", "component", "type", "size", "sizecon", "io", "pins", "nodes")
+	for _, c := range r.Comps {
+		mark := ""
+		if c.SizeViolated() || c.PinViolated() {
+			mark = "  VIOLATED"
+		}
+		fmt.Fprintf(&sb, "%-12s %-10s %10.1f %10.1f %6d %6d %6d%s\n",
+			c.Name, c.Type, c.Size, c.SizeCon, c.IO, c.PinCon, c.Nodes, mark)
+	}
+	for _, b := range r.Buses {
+		fmt.Fprintf(&sb, "bus %-8s bitrate %.3f bits/us over %d channels\n", b.Name, b.Bitrate, b.Channels)
+	}
+	procs := append([]ProcessReport(nil), r.Processes...)
+	sort.Slice(procs, func(i, j int) bool { return procs[i].Name < procs[j].Name })
+	for _, p := range procs {
+		fmt.Fprintf(&sb, "process %-12s exectime %.3f us\n", p.Name, p.Exectime)
+	}
+	return sb.String()
+}

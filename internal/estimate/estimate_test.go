@@ -1,0 +1,514 @@
+package estimate
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"specsyn/internal/core"
+)
+
+// buildGraph constructs the reference graph used throughout:
+//
+//	main (process): ict 10 (proc10), 1 (asic50)
+//	  ── freq 2, bits 32 ──▶ sub: ict 10/1
+//	  ── freq 1, bits 8  ──▶ v (variable): ict .2/.02/.1
+//	  ── freq 1, bits 8  ──▶ out1 (port)
+//	sub
+//	  ── freq 10, bits 15 ──▶ arr (variable)
+//
+// bus: 16 wires, ts=0.05, td=0.4
+func buildGraph(t testing.TB) *core.Graph {
+	t.Helper()
+	g := core.NewGraph("est")
+	main := &core.Node{Name: "main", Kind: core.BehaviorNode, IsProcess: true}
+	sub := &core.Node{Name: "sub", Kind: core.BehaviorNode}
+	v := &core.Node{Name: "v", Kind: core.VariableNode, StorageBits: 8}
+	arr := &core.Node{Name: "arr", Kind: core.VariableNode, StorageBits: 1024}
+	for _, n := range []*core.Node{main, sub, v, arr} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out1 := &core.Port{Name: "out1", Dir: core.Out, Bits: 8}
+	if err := g.AddPort(out1); err != nil {
+		t.Fatal(err)
+	}
+	add := func(c *core.Channel) {
+		if err := g.AddChannel(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&core.Channel{Src: main, Dst: sub, AccFreq: 2, AccMax: 2, Bits: 32, Tag: core.NoTag})
+	add(&core.Channel{Src: main, Dst: v, AccFreq: 1, AccMin: 1, AccMax: 1, Bits: 8, Tag: core.NoTag})
+	add(&core.Channel{Src: main, Dst: out1, AccFreq: 1, AccMin: 1, AccMax: 1, Bits: 8, Tag: core.NoTag})
+	add(&core.Channel{Src: sub, Dst: arr, AccFreq: 10, AccMax: 20, Bits: 15, Tag: core.NoTag})
+
+	for _, n := range []*core.Node{main, sub} {
+		n.SetICT("proc10", 10)
+		n.SetICT("asic50", 1)
+		n.SetSize("proc10", 100)
+		n.SetSize("asic50", 800)
+	}
+	for _, n := range []*core.Node{v, arr} {
+		n.SetICT("proc10", 0.2)
+		n.SetICT("asic50", 0.02)
+		n.SetICT("sram8", 0.1)
+		n.SetSize("proc10", float64(n.StorageBits/8))
+		n.SetSize("asic50", float64(n.StorageBits*8))
+		n.SetSize("sram8", float64(n.StorageBits/8))
+	}
+	g.AddProcessor(&core.Processor{Name: "cpu", TypeName: "proc10", SizeCon: 4096, PinCon: 40})
+	g.AddProcessor(&core.Processor{Name: "asic", TypeName: "asic50", Custom: true, SizeCon: 100000, PinCon: 64})
+	g.AddMemory(&core.Memory{Name: "ram", TypeName: "sram8", SizeCon: 2048})
+	g.AddBus(&core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4})
+	return g
+}
+
+// allCPU maps everything to the cpu.
+func allCPU(t testing.TB, g *core.Graph) *core.Partition {
+	t.Helper()
+	pt := core.AllToProcessor(g, g.ProcByName("cpu"), g.Buses[0])
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+// hwSplit maps sub+arr to the asic, rest to the cpu.
+func hwSplit(t testing.TB, g *core.Graph) *core.Partition {
+	t.Helper()
+	pt := allCPU(t, g)
+	asic := g.ProcByName("asic")
+	if err := pt.Assign(g.NodeByName("sub"), asic); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Assign(g.NodeByName("arr"), asic); err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestExectimeAllSoftware hand-computes eq. 1 for the all-cpu mapping.
+//
+//	TransferTime(main→sub)  = ceil(32/16)=2 transfers × ts .05 = .1
+//	TransferTime(main→v)    = 1 × .05 = .05
+//	TransferTime(main→out1) = 1 × td .4 = .4  (ports are off-component)
+//	TransferTime(sub→arr)   = 1 × .05 = .05
+//	Exectime(arr) = .2 (storage ict on proc10)
+//	Exectime(sub) = 10 + 10×(.05+.2) = 12.5
+//	Exectime(v)   = .2
+//	Exectime(main)= 10 + 2×(.1+12.5) + 1×(.05+.2) + 1×(.4+0) = 35.85
+func TestExectimeAllSoftware(t *testing.T) {
+	g := buildGraph(t)
+	est := New(g, allCPU(t, g), Options{})
+	sub, err := est.Exectime(g.NodeByName("sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sub, 12.5) {
+		t.Errorf("Exectime(sub) = %v, want 12.5", sub)
+	}
+	main, err := est.Exectime(g.NodeByName("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(main, 35.85) {
+		t.Errorf("Exectime(main) = %v, want 35.85", main)
+	}
+}
+
+// TestExectimeSplit repeats the computation for the hardware split:
+//
+//	sub on asic: ict 1; sub→arr internal on asic: 1×.05 per access, arr ict .02
+//	Exectime(sub) = 1 + 10×(.05+.02) = 1.7
+//	main→sub now crosses: 2 transfers × td .4 = .8
+//	Exectime(main) = 10 + 2×(.8+1.7) + 1×(.05+.2) + 1×.4 = 15.65
+func TestExectimeSplit(t *testing.T) {
+	g := buildGraph(t)
+	est := New(g, hwSplit(t, g), Options{})
+	sub, err := est.Exectime(g.NodeByName("sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sub, 1.7) {
+		t.Errorf("Exectime(sub) = %v, want 1.7", sub)
+	}
+	main, err := est.Exectime(g.NodeByName("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(main, 15.65) {
+		t.Errorf("Exectime(main) = %v, want 15.65", main)
+	}
+}
+
+// TestTransferTime checks the ceil(bits/width) × ts|td structure directly.
+func TestTransferTime(t *testing.T) {
+	g := buildGraph(t)
+	est := New(g, allCPU(t, g), Options{})
+	cases := []struct {
+		src, dst string
+		want     float64
+	}{
+		{"main", "sub", 0.1},  // 32 bits / 16 wires = 2 × ts
+		{"main", "v", 0.05},   // 8/16 → 1 × ts
+		{"main", "out1", 0.4}, // port → td
+		{"sub", "arr", 0.05},  // 15/16 → 1 × ts
+	}
+	for _, c := range cases {
+		tt, err := est.TransferTime(g.FindChannel(c.src, c.dst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(tt, c.want) {
+			t.Errorf("TransferTime(%s->%s) = %v, want %v", c.src, c.dst, tt, c.want)
+		}
+	}
+}
+
+// TestChanBitrate checks eq. 2: freq×bits / Exectime(src).
+func TestChanBitrate(t *testing.T) {
+	g := buildGraph(t)
+	est := New(g, allCPU(t, g), Options{})
+	// sub→arr: 10×15 bits over 12.5 µs = 12 bits/µs.
+	br, err := est.ChanBitrate(g.FindChannel("sub", "arr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(br, 12) {
+		t.Errorf("ChanBitrate(sub->arr) = %v, want 12", br)
+	}
+}
+
+// TestBusBitrate checks eq. 3: the bus carries the sum of its channels.
+func TestBusBitrate(t *testing.T) {
+	g := buildGraph(t)
+	est := New(g, allCPU(t, g), Options{})
+	var want float64
+	for _, c := range g.Channels {
+		br, err := est.ChanBitrate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += br
+	}
+	got, err := est.BusBitrate(g.Buses[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, want) {
+		t.Errorf("BusBitrate = %v, want sum of channels %v", got, want)
+	}
+	if want <= 0 {
+		t.Error("bus carries no traffic?")
+	}
+}
+
+// TestSize checks eqs. 4–5 for both components and the memory.
+func TestSize(t *testing.T) {
+	g := buildGraph(t)
+	pt := hwSplit(t, g)
+	// Move v to the memory to exercise eq. 5.
+	if err := pt.Assign(g.NodeByName("v"), g.MemByName("ram")); err != nil {
+		t.Fatal(err)
+	}
+	est := New(g, pt, Options{})
+	cpu, err := est.Size(g.ProcByName("cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(cpu, 100) { // main only
+		t.Errorf("Size(cpu) = %v, want 100", cpu)
+	}
+	asic, err := est.Size(g.ProcByName("asic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(asic, 800+8192) { // sub + arr registers
+		t.Errorf("Size(asic) = %v, want 8992", asic)
+	}
+	ram, err := est.Size(g.MemByName("ram"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(ram, 1) { // v: 8 bits / 8-bit words
+		t.Errorf("Size(ram) = %v, want 1", ram)
+	}
+}
+
+// TestIO checks eq. 6: cut buses' width summed once per bus.
+func TestIO(t *testing.T) {
+	g := buildGraph(t)
+	est := New(g, hwSplit(t, g), Options{})
+	// cpu boundary is crossed by main→sub and main→out1, both on the one
+	// 16-bit bus: IO = 16, counted once.
+	if got := est.IO(g.ProcByName("cpu")); got != 16 {
+		t.Errorf("IO(cpu) = %d, want 16", got)
+	}
+	if got := est.IO(g.ProcByName("asic")); got != 16 {
+		t.Errorf("IO(asic) = %d, want 16", got)
+	}
+	// All-software: only the port write crosses.
+	est2 := New(g, allCPU(t, g), Options{})
+	if got := est2.IO(g.ProcByName("cpu")); got != 16 {
+		t.Errorf("IO(cpu, all-sw) = %d, want 16", got)
+	}
+}
+
+func TestModes(t *testing.T) {
+	g := buildGraph(t)
+	for _, mode := range []Mode{Min, Avg, Max} {
+		est := New(g, allCPU(t, g), Options{Mode: mode})
+		et, err := est.Exectime(g.NodeByName("main"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if et < 10 {
+			t.Errorf("mode %v exectime %v below ict", mode, et)
+		}
+	}
+	// min <= avg <= max
+	var ets [3]float64
+	for i, mode := range []Mode{Min, Avg, Max} {
+		est := New(g, allCPU(t, g), Options{Mode: mode})
+		ets[i], _ = est.Exectime(g.NodeByName("main"))
+	}
+	if !(ets[0] <= ets[1] && ets[1] <= ets[2]) {
+		t.Errorf("min/avg/max ordering violated: %v", ets)
+	}
+}
+
+func TestRecursionDetected(t *testing.T) {
+	g := buildGraph(t)
+	// Add a back edge sub→main: a recursion cycle.
+	if err := g.AddChannel(&core.Channel{
+		Src: g.NodeByName("sub"), Dst: g.NodeByName("main"),
+		AccFreq: 1, Bits: 8, Tag: core.NoTag,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pt := core.AllToProcessor(g, g.ProcByName("cpu"), g.Buses[0])
+	est := New(g, pt, Options{})
+	if _, err := est.Exectime(g.NodeByName("main")); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("recursion not detected: %v", err)
+	}
+	// With IgnoreRecursion the estimate completes.
+	est2 := New(g, pt, Options{IgnoreRecursion: true})
+	if _, err := est2.Exectime(g.NodeByName("main")); err != nil {
+		t.Errorf("IgnoreRecursion failed: %v", err)
+	}
+}
+
+func TestErrorsOnIncompletePartition(t *testing.T) {
+	g := buildGraph(t)
+	pt := core.NewPartition(g)
+	est := New(g, pt, Options{})
+	if _, err := est.Exectime(g.NodeByName("main")); err == nil {
+		t.Error("unmapped node estimated")
+	}
+	// Mapped node but unmapped channel.
+	for _, n := range g.Nodes {
+		if err := pt.Assign(n, g.ProcByName("cpu")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est.Reset()
+	if _, err := est.Exectime(g.NodeByName("main")); err == nil {
+		t.Error("unmapped channel estimated")
+	}
+}
+
+func TestMissingWeightReported(t *testing.T) {
+	g := buildGraph(t)
+	delete(g.NodeByName("sub").ICT, "asic50")
+	est := New(g, hwSplit(t, g), Options{})
+	_, err := est.Exectime(g.NodeByName("main"))
+	if err == nil || !strings.Contains(err.Error(), "no ict weight") {
+		t.Errorf("missing weight not reported: %v", err)
+	}
+}
+
+func TestConcurrencyTagsReduceCommTime(t *testing.T) {
+	g := buildGraph(t)
+	// Tag main's two variable/port accesses as concurrent.
+	g.FindChannel("main", "v").Tag = 1
+	g.FindChannel("main", "out1").Tag = 1
+	pt := allCPU(t, g)
+	seq, err := New(g, pt, Options{}).Exectime(g.NodeByName("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(g, pt, Options{UseTags: true}).Exectime(g.NodeByName("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par >= seq {
+		t.Errorf("tags did not reduce exectime: %v >= %v", par, seq)
+	}
+	// Overlap means the group costs its max: .4 instead of .25+.4.
+	if !almost(seq-par, 0.25) {
+		t.Errorf("overlap saving = %v, want 0.25", seq-par)
+	}
+}
+
+func TestSharingFactor(t *testing.T) {
+	g := buildGraph(t)
+	pt := hwSplit(t, g)
+	base, err := New(g, pt, Options{}).Size(g.ProcByName("asic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := New(g, pt, Options{SharingFactor: 0.25}).Size(g.ProcByName("asic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(shared, base*0.75) {
+		t.Errorf("sharing factor: %v, want %v", shared, base*0.75)
+	}
+	// Standard processors are not discounted.
+	cpuBase, _ := New(g, pt, Options{}).Size(g.ProcByName("cpu"))
+	cpuShared, _ := New(g, pt, Options{SharingFactor: 0.25}).Size(g.ProcByName("cpu"))
+	if !almost(cpuBase, cpuShared) {
+		t.Error("sharing factor applied to a standard processor")
+	}
+}
+
+func TestClampBusBitrate(t *testing.T) {
+	g := buildGraph(t)
+	pt := allCPU(t, g)
+	raw, err := New(g, pt, Options{}).BusBitrate(g.Buses[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	clamped, err := New(g, pt, Options{ClampBusBitrate: true}).BusBitrate(g.Buses[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := float64(g.Buses[0].BitWidth) / g.Buses[0].TS
+	if clamped > capacity+1e-9 {
+		t.Errorf("clamped bitrate %v exceeds capacity %v", clamped, capacity)
+	}
+	if raw <= capacity && !almost(raw, clamped) {
+		t.Errorf("clamp changed an under-capacity bus: %v vs %v", raw, clamped)
+	}
+}
+
+func TestReport(t *testing.T) {
+	g := buildGraph(t)
+	rep, err := New(g, hwSplit(t, g), Options{}).Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Comps) != 3 || len(rep.Buses) != 1 || len(rep.Processes) != 1 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	s := rep.String()
+	for _, frag := range []string{"cpu", "asic", "ram", "bitrate", "process main"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestReportConstraintViolation(t *testing.T) {
+	g := buildGraph(t)
+	g.ProcByName("asic").SizeCon = 10 // impossible
+	rep, err := New(g, hwSplit(t, g), Options{}).Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asicRep *CompReport
+	for i := range rep.Comps {
+		if rep.Comps[i].Name == "asic" {
+			asicRep = &rep.Comps[i]
+		}
+	}
+	if asicRep == nil || !asicRep.SizeViolated() {
+		t.Error("size violation not flagged")
+	}
+	if !strings.Contains(rep.String(), "VIOLATED") {
+		t.Error("violation not rendered")
+	}
+}
+
+// Property: execution time is monotone in ict — raising any node's ict
+// never lowers any process's exectime.
+func TestExectimeMonotoneQuick(t *testing.T) {
+	g := buildGraph(t)
+	pt := allCPU(t, g)
+	base, err := New(g, pt, Options{}).Exectime(g.NodeByName("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(which uint8, delta uint16) bool {
+		n := g.Nodes[int(which)%len(g.Nodes)]
+		old := n.ICT["proc10"]
+		n.ICT["proc10"] = old + float64(delta)
+		defer func() { n.ICT["proc10"] = old }()
+		et, err := New(g, pt, Options{}).Exectime(g.NodeByName("main"))
+		return err == nil && et >= base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TransferTime uses ceiling division — bits in (k·width, (k+1)·width]
+// all cost the same, and one more bit costs one more transfer.
+func TestTransferCeilingQuick(t *testing.T) {
+	g := buildGraph(t)
+	pt := allCPU(t, g)
+	c := g.FindChannel("main", "v")
+	f := func(k uint8) bool {
+		width := g.Buses[0].BitWidth
+		kk := int(k%8) + 1
+		c.Bits = kk * width // exactly k transfers
+		est := New(g, pt, Options{})
+		atEdge, err1 := est.TransferTime(c)
+		c.Bits = kk*width + 1 // one bit over: k+1 transfers
+		est.Reset()
+		overEdge, err2 := est.TransferTime(c)
+		c.Bits = 8
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almost(atEdge, float64(kk)*g.Buses[0].TS) &&
+			almost(overEdge, float64(kk+1)*g.Buses[0].TS)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Size is additive — moving a node from one processor to another
+// moves exactly its weight.
+func TestSizeAdditiveQuick(t *testing.T) {
+	g := buildGraph(t)
+	f := func(which uint8) bool {
+		pt := allCPU(t, g)
+		n := g.Nodes[int(which)%len(g.Nodes)]
+		cpu, asic := g.ProcByName("cpu"), g.ProcByName("asic")
+		before, err := New(g, pt, Options{}).Size(cpu)
+		if err != nil {
+			return false
+		}
+		if err := pt.Assign(n, asic); err != nil {
+			return false
+		}
+		est := New(g, pt, Options{})
+		afterCPU, err1 := est.Size(cpu)
+		afterASIC, err2 := est.Size(asic)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almost(before-afterCPU, n.Size["proc10"]) &&
+			almost(afterASIC, n.Size["asic50"])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package estimate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specsyn/internal/core"
+)
+
+// Contribution is one term of a behavior's execution time under eq. 1:
+// either the behavior's own internal computation time, or one accessed
+// channel's freq × (transfer + destination) cost.
+type Contribution struct {
+	Label    string  // "ict" or the accessed object's name
+	Freq     float64 // access count (1 for ict)
+	Transfer float64 // per-access bus transfer time (µs)
+	DstTime  float64 // per-access destination execution/storage time (µs)
+	Total    float64 // contribution to the behavior's exectime (µs)
+}
+
+// Breakdown explains where a behavior's execution time goes, sorted by
+// descending contribution. The sum of the contributions equals
+// Exectime(b). This is the answer to the designer's first question after
+// an estimate — "what do I move to make this faster?"
+func (e *Estimator) Breakdown(b *core.Node) ([]Contribution, error) {
+	comp := e.pt.BvComp(b)
+	if comp == nil {
+		return nil, fmt.Errorf("estimate: node %q is not mapped to a component", b.Name)
+	}
+	ict, ok := e.pt.BvIct(b, comp)
+	if !ok {
+		return nil, fmt.Errorf("estimate: node %q has no ict weight for component type %q", b.Name, comp.TypeKey())
+	}
+	out := []Contribution{{Label: "ict", Freq: 1, Total: ict}}
+	if !b.IsBehavior() {
+		return out, nil
+	}
+	for _, c := range e.g.BehChans(b) {
+		tt, err := e.TransferTime(c)
+		if err != nil {
+			return nil, err
+		}
+		var dstTime float64
+		if d, ok := c.Dst.(*core.Node); ok {
+			dstTime, err = e.Exectime(d)
+			if err != nil {
+				return nil, err
+			}
+		}
+		f := e.freq(c)
+		out = append(out, Contribution{
+			Label:    c.Dst.EndpointName(),
+			Freq:     f,
+			Transfer: tt,
+			DstTime:  dstTime,
+			Total:    f * (tt + dstTime),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out, nil
+}
+
+// FormatBreakdown renders a breakdown as an aligned table with a total row.
+func FormatBreakdown(rows []Contribution) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %10s %12s %12s %12s\n", "contribution", "freq", "transfer", "dst time", "total (us)")
+	var sum float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-24s %10.4g %12.4f %12.4f %12.3f\n",
+			r.Label, r.Freq, r.Transfer, r.DstTime, r.Total)
+		sum += r.Total
+	}
+	fmt.Fprintf(&sb, "%-24s %10s %12s %12s %12.3f\n", "= exectime", "", "", "", sum)
+	return sb.String()
+}

@@ -1,0 +1,91 @@
+package estimate
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file emits reports in machine-readable forms: CSV for spreadsheets
+// and pipelines, Markdown for documents. Both carry exactly the fields of
+// Report; String() remains the aligned-text form for terminals.
+
+// WriteCSV emits three record groups — components, buses, processes — each
+// with a leading header row whose first column names the group.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	if err := cw.Write([]string{"component", "type", "custom", "size", "sizecon", "io", "pincon", "nodes", "violated"}); err != nil {
+		return err
+	}
+	for _, c := range r.Comps {
+		if err := cw.Write([]string{
+			c.Name, c.Type, strconv.FormatBool(c.Custom),
+			fmtF(c.Size), fmtF(c.SizeCon),
+			strconv.Itoa(c.IO), strconv.Itoa(c.PinCon), strconv.Itoa(c.Nodes),
+			strconv.FormatBool(c.SizeViolated() || c.PinViolated()),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{"bus", "bitrate_bits_per_us", "channels"}); err != nil {
+		return err
+	}
+	for _, b := range r.Buses {
+		if err := cw.Write([]string{b.Name, fmtF(b.Bitrate), strconv.Itoa(b.Channels)}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{"process", "exectime_us"}); err != nil {
+		return err
+	}
+	for _, p := range r.Processes {
+		if err := cw.Write([]string{p.Name, fmtF(p.Exectime)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarkdown emits the report as GitHub-flavored Markdown tables.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	write := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := write("| component | type | size | sizecon | io | pins | nodes |\n|---|---|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, c := range r.Comps {
+		mark := ""
+		if c.SizeViolated() || c.PinViolated() {
+			mark = " ⚠"
+		}
+		if err := write("| %s%s | %s | %.1f | %.1f | %d | %d | %d |\n",
+			c.Name, mark, c.Type, c.Size, c.SizeCon, c.IO, c.PinCon, c.Nodes); err != nil {
+			return err
+		}
+	}
+	if err := write("\n| bus | bitrate (bits/µs) | channels |\n|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, b := range r.Buses {
+		if err := write("| %s | %.3f | %d |\n", b.Name, b.Bitrate, b.Channels); err != nil {
+			return err
+		}
+	}
+	if err := write("\n| process | exectime (µs) |\n|---|---|\n"); err != nil {
+		return err
+	}
+	for _, p := range r.Processes {
+		if err := write("| %s | %.3f |\n", p.Name, p.Exectime); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,121 @@
+package estimate
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"specsyn/internal/core"
+	"strings"
+	"testing"
+)
+
+func TestBreakdownSumsToExectime(t *testing.T) {
+	g := buildGraph(t)
+	est := New(g, hwSplit(t, g), Options{})
+	main := g.NodeByName("main")
+	want, err := est.Exectime(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := est.Breakdown(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.Total
+	}
+	if math.Abs(sum-want) > 1e-9 {
+		t.Errorf("breakdown sums to %v, exectime is %v", sum, want)
+	}
+	// Sorted descending, and the ict row is present.
+	foundICT := false
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Total > rows[i-1].Total+1e-12 {
+			t.Errorf("rows not sorted: %v after %v", rows[i].Total, rows[i-1].Total)
+		}
+	}
+	for _, r := range rows {
+		if r.Label == "ict" {
+			foundICT = true
+		}
+	}
+	if !foundICT {
+		t.Error("ict row missing")
+	}
+	// The heavy contributor must be the sub call (2 × (0.8 + 1.7) = 5 >
+	// ict 10? no: ict 10 is the largest). Top row is ict here.
+	if rows[0].Label != "ict" {
+		t.Errorf("top contributor = %q, want ict", rows[0].Label)
+	}
+	out := FormatBreakdown(rows)
+	for _, frag := range []string{"contribution", "= exectime", "ict"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("formatted breakdown missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestBreakdownVariable(t *testing.T) {
+	g := buildGraph(t)
+	est := New(g, allCPU(t, g), Options{})
+	rows, err := est.Breakdown(g.NodeByName("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Label != "ict" {
+		t.Errorf("variable breakdown: %+v", rows)
+	}
+}
+
+func TestBreakdownUnmapped(t *testing.T) {
+	g := buildGraph(t)
+	est := New(g, core.NewPartition(g), Options{})
+	if _, err := est.Breakdown(g.NodeByName("main")); err == nil {
+		t.Error("unmapped breakdown accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	g := buildGraph(t)
+	rep, err := New(g, hwSplit(t, g), Options{}).Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cr := csv.NewReader(bytes.NewReader(buf.Bytes()))
+	cr.FieldsPerRecord = -1 // the three groups have different widths
+	records, err := cr.ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, buf.String())
+	}
+	// 3 headers + 3 components + 1 bus + 1 process = 8 rows.
+	if len(records) != 8 {
+		t.Errorf("rows = %d:\n%s", len(records), buf.String())
+	}
+	if records[0][0] != "component" || records[4][0] != "bus" || records[6][0] != "process" {
+		t.Errorf("group headers misplaced:\n%s", buf.String())
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	g := buildGraph(t)
+	g.ProcByName("asic").SizeCon = 1 // force a violation marker
+	rep, err := New(g, hwSplit(t, g), Options{}).Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"| component |", "| cpu |", "| asic ⚠ |", "| bus |", "| process |", "| main |"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, out)
+		}
+	}
+}

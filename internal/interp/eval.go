@@ -1,0 +1,638 @@
+package interp
+
+import (
+	"fmt"
+
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+// frame is one activation record: subprogram locals/params plus the loop
+// variable stack. Process activations use a frame too (for loop vars);
+// process variables live in the machine's global cells.
+type frame struct {
+	beh      *sem.Behavior
+	parent   *frame // static link: frame of the lexically enclosing behavior
+	locals   map[*sem.Object]*cell
+	loopVars []loopVar
+}
+
+type loopVar struct {
+	name string
+	val  int64
+}
+
+func newFrame(b *sem.Behavior) *frame {
+	return &frame{beh: b, locals: map[*sem.Object]*cell{}}
+}
+
+func (fr *frame) loopVal(name string) (int64, bool) {
+	for i := len(fr.loopVars) - 1; i >= 0; i-- {
+		if fr.loopVars[i].name == name {
+			return fr.loopVars[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// control-flow result of statement execution.
+type ctlKind int
+
+const (
+	ctlNone ctlKind = iota
+	ctlReturn
+	ctlExit
+	ctlWait
+)
+
+type ctl struct {
+	kind      ctlKind
+	ret       int64
+	exitLabel string
+	waitOn    []*cell
+	waitUntil vhdl.Expr
+	waitPlain bool
+}
+
+var ctlPass = ctl{kind: ctlNone}
+
+// cellFor locates the storage of an object: the current frame, then the
+// static-link chain (for nested subprograms reading enclosing locals and
+// parameters), then the machine's persistent cells.
+func (m *Machine) cellFor(fr *frame, o *sem.Object) *cell {
+	for f := fr; f != nil; f = f.parent {
+		if c, ok := f.locals[o]; ok {
+			return c
+		}
+	}
+	if c, ok := m.cells[o]; ok {
+		return c
+	}
+	// Subprogram local accessed outside a registered frame (should not
+	// happen in well-scoped specs); allocate on demand so simulation can
+	// proceed deterministically.
+	c := newCell(o.Type)
+	m.cells[o] = c
+	return c
+}
+
+// lvalue describes an assignable location.
+type lvalue struct {
+	c    *cell
+	idx  int64
+	typ  *sem.Type // target's type, for optional range checking
+	name string
+}
+
+// resolveLV resolves an assignment target.
+func (m *Machine) resolveLV(b *sem.Behavior, fr *frame, target vhdl.Expr) (*lvalue, error) {
+	switch t := target.(type) {
+	case *vhdl.NameExpr:
+		return m.lvByName(b, fr, t.Name, 0)
+	case *vhdl.CallExpr:
+		if len(t.Args) != 1 {
+			return nil, fmt.Errorf("array target %q needs exactly one index", t.Name)
+		}
+		idx, err := m.eval(b, fr, t.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return m.lvByName(b, fr, t.Name, idx)
+	}
+	return nil, fmt.Errorf("unassignable target %T", target)
+}
+
+func (m *Machine) lvByName(b *sem.Behavior, fr *frame, name string, idx int64) (*lvalue, error) {
+	sym := m.d.Lookup(b, name)
+	if sym == nil {
+		return nil, fmt.Errorf("unknown name %q", name)
+	}
+	switch sym.Kind {
+	case sem.SymObject:
+		return &lvalue{c: m.cellFor(fr, sym.Object), idx: idx, typ: sym.Object.Type, name: name}, nil
+	case sem.SymPort:
+		return &lvalue{c: m.ports[sym.Port.Name], idx: idx, typ: sym.Port.Type, name: name}, nil
+	}
+	return nil, fmt.Errorf("%q is not assignable", name)
+}
+
+// eval evaluates an expression to an int64.
+func (m *Machine) eval(b *sem.Behavior, fr *frame, e vhdl.Expr) (int64, error) {
+	switch x := e.(type) {
+	case *vhdl.IntExpr:
+		return x.Val, nil
+	case *vhdl.CharExpr:
+		return int64(x.Val), nil
+	case *vhdl.StrExpr:
+		return 0, fmt.Errorf("string value in integer context")
+	case *vhdl.NameExpr:
+		if v, ok := fr.loopVal(x.Name); ok {
+			return v, nil
+		}
+		sym := m.d.Lookup(b, x.Name)
+		if sym == nil {
+			return 0, fmt.Errorf("unknown name %q", x.Name)
+		}
+		switch sym.Kind {
+		case sem.SymEnumLit:
+			return sym.ConstVal, nil
+		case sem.SymObject:
+			return m.cellFor(fr, sym.Object).get(0)
+		case sem.SymPort:
+			return m.ports[sym.Port.Name].get(0)
+		case sem.SymBehavior:
+			// Parameterless function used as a value.
+			return m.call(b, fr, sym.Behavior, nil)
+		}
+		return 0, fmt.Errorf("name %q has no value", x.Name)
+	case *vhdl.AttrExpr:
+		return m.evalAttr(b, x)
+	case *vhdl.UnaryExpr:
+		v, err := m.eval(b, fr, x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case vhdl.MINUS:
+			return -v, nil
+		case vhdl.PLUS:
+			return v, nil
+		case vhdl.KwABS:
+			if v < 0 {
+				return -v, nil
+			}
+			return v, nil
+		case vhdl.KwNOT:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("unsupported unary operator %v", x.Op)
+	case *vhdl.BinExpr:
+		return m.evalBin(b, fr, x)
+	case *vhdl.CallExpr:
+		sym := m.d.Lookup(b, x.Name)
+		if sym == nil {
+			return 0, fmt.Errorf("unknown name %q", x.Name)
+		}
+		switch sym.Kind {
+		case sem.SymBehavior:
+			return m.call(b, fr, sym.Behavior, x.Args)
+		case sem.SymObject, sem.SymPort:
+			if len(x.Args) != 1 {
+				return 0, fmt.Errorf("array %q needs exactly one index", x.Name)
+			}
+			idx, err := m.eval(b, fr, x.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			if sym.Kind == sem.SymObject {
+				return m.cellFor(fr, sym.Object).get(idx)
+			}
+			return m.ports[sym.Port.Name].get(idx)
+		}
+		return 0, fmt.Errorf("%q is not callable or indexable", x.Name)
+	case *vhdl.AggregateExpr:
+		return 0, fmt.Errorf("aggregate in scalar context")
+	}
+	return 0, fmt.Errorf("unsupported expression %T", e)
+}
+
+func (m *Machine) evalAttr(b *sem.Behavior, x *vhdl.AttrExpr) (int64, error) {
+	sym := m.d.Lookup(b, x.Prefix)
+	if sym == nil || sym.Type == nil {
+		return 0, fmt.Errorf("attribute prefix %q has no type", x.Prefix)
+	}
+	t := sym.Type
+	switch x.Attr {
+	case "length":
+		if t.IsArray() {
+			return t.Len, nil
+		}
+		return 1, nil
+	case "low", "left":
+		if t.IsArray() {
+			return t.IdxLow, nil
+		}
+		return t.Low, nil
+	case "high", "right":
+		if t.IsArray() {
+			return t.IdxLow + t.Len - 1, nil
+		}
+		return t.High, nil
+	}
+	return 0, fmt.Errorf("unsupported attribute %q", x.Attr)
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func (m *Machine) evalBin(b *sem.Behavior, fr *frame, x *vhdl.BinExpr) (int64, error) {
+	// Short-circuit logical operators.
+	if x.Op == vhdl.KwAND || x.Op == vhdl.KwOR {
+		l, err := m.eval(b, fr, x.L)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == vhdl.KwAND && l == 0 {
+			return 0, nil
+		}
+		if x.Op == vhdl.KwOR && l != 0 {
+			return 1, nil
+		}
+		r, err := m.eval(b, fr, x.R)
+		if err != nil {
+			return 0, err
+		}
+		return b2i(r != 0), nil
+	}
+	l, err := m.eval(b, fr, x.L)
+	if err != nil {
+		return 0, err
+	}
+	r, err := m.eval(b, fr, x.R)
+	if err != nil {
+		return 0, err
+	}
+	switch x.Op {
+	case vhdl.PLUS:
+		return l + r, nil
+	case vhdl.MINUS:
+		return l - r, nil
+	case vhdl.STAR:
+		return l * r, nil
+	case vhdl.SLASH:
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return l / r, nil
+	case vhdl.KwMOD:
+		if r == 0 {
+			return 0, fmt.Errorf("mod by zero")
+		}
+		return ((l % r) + r) % r, nil
+	case vhdl.KwREM:
+		if r == 0 {
+			return 0, fmt.Errorf("rem by zero")
+		}
+		return l % r, nil
+	case vhdl.EQ:
+		return b2i(l == r), nil
+	case vhdl.NEQ:
+		return b2i(l != r), nil
+	case vhdl.LT:
+		return b2i(l < r), nil
+	case vhdl.SIGASSIGN: // <= in expression position
+		return b2i(l <= r), nil
+	case vhdl.GT:
+		return b2i(l > r), nil
+	case vhdl.GE:
+		return b2i(l >= r), nil
+	case vhdl.KwXOR:
+		return b2i((l != 0) != (r != 0)), nil
+	case vhdl.KwNAND:
+		return b2i(!(l != 0 && r != 0)), nil
+	case vhdl.KwNOR:
+		return b2i(!(l != 0 || r != 0)), nil
+	case vhdl.AMP:
+		return 0, fmt.Errorf("concatenation unsupported in integer simulation")
+	}
+	return 0, fmt.Errorf("unsupported operator %v", x.Op)
+}
+
+// call invokes a subprogram and returns its value (0 for procedures).
+func (m *Machine) call(caller *sem.Behavior, callerFr *frame, callee *sem.Behavior, args []vhdl.Expr) (int64, error) {
+	if callee.Implicit {
+		return 0, nil // external stub: no body to run
+	}
+	if len(args) != len(callee.Params) {
+		return 0, fmt.Errorf("call to %q with %d args, want %d", callee.Name, len(args), len(callee.Params))
+	}
+	m.Activations[callee]++
+	fr := newFrame(callee)
+	// Static link: the nearest frame on the caller's chain belonging to
+	// the callee's lexically enclosing behavior, so nested subprograms
+	// (including outlined basic blocks) see enclosing locals and params.
+	if callee.Parent != nil {
+		for f := callerFr; f != nil; f = f.parent {
+			if f.beh == callee.Parent {
+				fr.parent = f
+				break
+			}
+		}
+	}
+
+	// Bind parameters; remember out/inout copy-back targets.
+	type copyBack struct {
+		param *sem.Param
+		lv    *lvalue
+	}
+	var backs []copyBack
+	for i, p := range callee.Params {
+		sym := m.d.Lookup(callee, p.Name)
+		if sym == nil || sym.Kind != sem.SymObject {
+			return 0, fmt.Errorf("parameter %q of %q unresolvable", p.Name, callee.Name)
+		}
+		c := newCell(p.Type)
+		fr.locals[sym.Object] = c
+		if p.Dir != vhdl.DirOut {
+			v, err := m.eval(caller, callerFr, args[i])
+			if err != nil {
+				return 0, err
+			}
+			if err := c.set(0, v); err != nil {
+				return 0, err
+			}
+		}
+		if p.Dir != vhdl.DirIn {
+			lv, err := m.resolveLV(caller, callerFr, args[i])
+			if err != nil {
+				return 0, fmt.Errorf("out parameter %q needs an assignable argument: %w", p.Name, err)
+			}
+			backs = append(backs, copyBack{param: p, lv: lv})
+		}
+	}
+	// Fresh locals per call (VHDL subprogram variables are re-elaborated).
+	for _, o := range callee.Decls {
+		c := newCell(o.Type)
+		fr.locals[o] = c
+		if o.Init != nil && !o.Type.IsArray() {
+			v, err := m.eval(callee, fr, o.Init)
+			if err != nil {
+				return 0, err
+			}
+			if err := c.set(0, v); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	res, err := m.execStmts(callee, fr, callee.Body)
+	if err != nil {
+		return 0, fmt.Errorf("in %s: %w", callee.Name, err)
+	}
+	if res.kind == ctlWait {
+		return 0, fmt.Errorf("wait inside subprogram %q", callee.Name)
+	}
+	var ret int64
+	if res.kind == ctlReturn {
+		ret = res.ret
+	} else if callee.IsFunction {
+		return 0, fmt.Errorf("function %q ended without return", callee.Name)
+	}
+	// Copy out/inout parameters back.
+	for _, cb := range backs {
+		sym := m.d.Lookup(callee, cb.param.Name)
+		v, err := fr.locals[sym.Object].get(0)
+		if err != nil {
+			return 0, err
+		}
+		if err := cb.lv.c.set(cb.lv.idx, v); err != nil {
+			return 0, err
+		}
+	}
+	return ret, nil
+}
+
+func (m *Machine) maxIters() int {
+	if m.MaxLoopIters > 0 {
+		return m.MaxLoopIters
+	}
+	return 1 << 20
+}
+
+func (m *Machine) execStmts(b *sem.Behavior, fr *frame, stmts []vhdl.Stmt) (ctl, error) {
+	for _, s := range stmts {
+		res, err := m.exec(b, fr, s)
+		if err != nil {
+			return ctlPass, err
+		}
+		if res.kind != ctlNone {
+			return res, nil
+		}
+	}
+	return ctlPass, nil
+}
+
+func (m *Machine) exec(b *sem.Behavior, fr *frame, s vhdl.Stmt) (ctl, error) {
+	ts := m.trace[b]
+	switch st := s.(type) {
+	case *vhdl.AssignStmt:
+		v, err := m.eval(b, fr, st.Value)
+		if err != nil {
+			return ctlPass, err
+		}
+		lv, err := m.resolveLV(b, fr, st.Target)
+		if err != nil {
+			return ctlPass, err
+		}
+		if m.CheckRanges && lv.typ != nil {
+			t := lv.typ
+			if t.IsArray() {
+				t = t.Elem
+			}
+			if t.Kind == sem.KindInteger && (v < t.Low || v > t.High) {
+				return ctlPass, fmt.Errorf("range check: %d assigned to %q (range %d to %d)",
+					v, lv.name, t.Low, t.High)
+			}
+		}
+		return ctlPass, lv.c.set(lv.idx, v)
+
+	case *vhdl.NullStmt:
+		return ctlPass, nil
+
+	case *vhdl.IfStmt:
+		cond, err := m.eval(b, fr, st.Cond)
+		if err != nil {
+			return ctlPass, err
+		}
+		if cond != 0 {
+			ts.branch(s, 0)
+			return m.execStmts(b, fr, st.Then)
+		}
+		for i, el := range st.Elifs {
+			v, err := m.eval(b, fr, el.Cond)
+			if err != nil {
+				return ctlPass, err
+			}
+			if v != 0 {
+				ts.branch(s, 1+i)
+				return m.execStmts(b, fr, el.Body)
+			}
+		}
+		ts.branch(s, 1+len(st.Elifs)) // the (possibly empty) else arm
+		return m.execStmts(b, fr, st.Else)
+
+	case *vhdl.CaseStmt:
+		v, err := m.eval(b, fr, st.Expr)
+		if err != nil {
+			return ctlPass, err
+		}
+		othersArm := -1
+		for i, w := range st.Whens {
+			if w.Choices == nil {
+				othersArm = i
+				continue
+			}
+			for _, choice := range w.Choices {
+				cv, err := m.eval(b, fr, choice)
+				if err != nil {
+					return ctlPass, err
+				}
+				if cv == v {
+					ts.branch(s, i)
+					return m.execStmts(b, fr, w.Body)
+				}
+			}
+		}
+		if othersArm >= 0 {
+			ts.branch(s, othersArm)
+			return m.execStmts(b, fr, st.Whens[othersArm].Body)
+		}
+		return ctlPass, fmt.Errorf("case value %d matches no alternative", v)
+
+	case *vhdl.ForStmt:
+		lo, err := m.eval(b, fr, st.Low)
+		if err != nil {
+			return ctlPass, err
+		}
+		hi, err := m.eval(b, fr, st.High)
+		if err != nil {
+			return ctlPass, err
+		}
+		fr.loopVars = append(fr.loopVars, loopVar{name: st.Var})
+		slot := len(fr.loopVars) - 1
+		defer func() { fr.loopVars = fr.loopVars[:slot] }()
+		step := int64(1)
+		if st.Downto {
+			step = -1
+		}
+		iters := int64(0)
+		for i := lo; (step > 0 && i <= hi) || (step < 0 && i >= hi); i += step {
+			fr.loopVars[slot].val = i
+			iters++
+			res, err := m.execStmts(b, fr, st.Body)
+			if err != nil {
+				return ctlPass, err
+			}
+			if res.kind == ctlExit && (res.exitLabel == "" || res.exitLabel == st.Label) {
+				break
+			}
+			if res.kind != ctlNone {
+				return res, nil
+			}
+		}
+		ts.loop(s, iters)
+		return ctlPass, nil
+
+	case *vhdl.WhileStmt:
+		iters := int64(0)
+		for {
+			v, err := m.eval(b, fr, st.Cond)
+			if err != nil {
+				return ctlPass, err
+			}
+			if v == 0 {
+				break
+			}
+			if iters++; iters > int64(m.maxIters()) {
+				return ctlPass, fmt.Errorf("while loop exceeded %d iterations", m.maxIters())
+			}
+			res, err := m.execStmts(b, fr, st.Body)
+			if err != nil {
+				return ctlPass, err
+			}
+			if res.kind == ctlExit && (res.exitLabel == "" || res.exitLabel == st.Label) {
+				break
+			}
+			if res.kind != ctlNone {
+				return res, nil
+			}
+		}
+		ts.loop(s, iters)
+		return ctlPass, nil
+
+	case *vhdl.LoopStmt:
+		iters := int64(0)
+		for {
+			if iters++; iters > int64(m.maxIters()) {
+				return ctlPass, fmt.Errorf("loop exceeded %d iterations", m.maxIters())
+			}
+			res, err := m.execStmts(b, fr, st.Body)
+			if err != nil {
+				return ctlPass, err
+			}
+			if res.kind == ctlExit && (res.exitLabel == "" || res.exitLabel == st.Label) {
+				break
+			}
+			if res.kind != ctlNone {
+				ts.loop(s, iters)
+				return res, nil
+			}
+		}
+		ts.loop(s, iters)
+		return ctlPass, nil
+
+	case *vhdl.ExitStmt:
+		if st.Cond != nil {
+			v, err := m.eval(b, fr, st.Cond)
+			if err != nil {
+				return ctlPass, err
+			}
+			if v == 0 {
+				return ctlPass, nil
+			}
+		}
+		return ctl{kind: ctlExit, exitLabel: st.Label}, nil
+
+	case *vhdl.CallStmt:
+		sym := m.d.Lookup(b, st.Name)
+		if sym == nil || sym.Kind != sem.SymBehavior {
+			return ctlPass, fmt.Errorf("%q is not a procedure", st.Name)
+		}
+		_, err := m.call(b, fr, sym.Behavior, st.Args)
+		return ctlPass, err
+
+	case *vhdl.ReturnStmt:
+		res := ctl{kind: ctlReturn}
+		if st.Value != nil {
+			v, err := m.eval(b, fr, st.Value)
+			if err != nil {
+				return ctlPass, err
+			}
+			res.ret = v
+		}
+		return res, nil
+
+	case *vhdl.WaitStmt:
+		res := ctl{kind: ctlWait}
+		switch {
+		case len(st.OnSignals) > 0:
+			for _, name := range st.OnSignals {
+				sym := m.d.Lookup(b, name)
+				if sym == nil {
+					return ctlPass, fmt.Errorf("wait on unknown name %q", name)
+				}
+				switch sym.Kind {
+				case sem.SymObject:
+					res.waitOn = append(res.waitOn, m.cellFor(fr, sym.Object))
+				case sem.SymPort:
+					res.waitOn = append(res.waitOn, m.ports[sym.Port.Name])
+				default:
+					return ctlPass, fmt.Errorf("wait on non-object %q", name)
+				}
+			}
+		case st.Until != nil:
+			res.waitUntil = st.Until
+		default:
+			res.waitPlain = true
+		}
+		return res, nil
+	}
+	return ctlPass, fmt.Errorf("unsupported statement %T", s)
+}

@@ -1,0 +1,351 @@
+// Package interp is a behavioral simulator for the elaborated VHDL subset.
+//
+// The paper's methodology starts from "a simulatable functional
+// specification"; this interpreter makes the repository's specifications
+// actually simulatable, and — more importantly for SLIF — it implements
+// the paper's profiling path: §2.4.1's branch probability file "may be
+// obtained manually or through profiling". Machine.Profile() converts the
+// execution trace of a stimulated run into a profile.Profile whose site
+// numbering matches the estimator's, closing the loop from simulation to
+// annotation.
+//
+// Simulation model (simplifications documented):
+//
+//   - Discrete steps: each step, the stimulus updates the input ports,
+//     then every runnable process executes its body from the top until
+//     its next wait statement. Processes in the subset use trailing
+//     waits, so one activation is one start-to-finish body execution —
+//     exactly the unit SLIF's accfreq weights are defined over.
+//   - Signal assignment takes effect immediately (no delta cycles).
+//     The four example systems use signals as single-writer mailboxes,
+//     for which immediate semantics coincide with VHDL's.
+//   - "wait on S" resumes when any listed object's value differs from
+//     its value at the start of the last activation — so a process that
+//     writes a signal it also waits on re-runs, matching VHDL's
+//     post-suspension signal update semantics. "wait until E" resumes
+//     when E becomes true; plain "wait" never resumes.
+//   - Integer arithmetic is Go int64 with division truncating toward
+//     zero (matching VHDL's integer division for positive operands).
+package interp
+
+import (
+	"fmt"
+
+	"specsyn/internal/profile"
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+// cell is one storage location: a scalar or an array.
+type cell struct {
+	scalar int64
+	arr    []int64
+	isArr  bool
+	idxLow int64
+}
+
+func newCell(t *sem.Type) *cell {
+	if t.IsArray() {
+		return &cell{isArr: true, arr: make([]int64, t.Len), idxLow: t.IdxLow}
+	}
+	return &cell{}
+}
+
+func (c *cell) get(idx int64) (int64, error) {
+	if !c.isArr {
+		return c.scalar, nil
+	}
+	i := idx - c.idxLow
+	if i < 0 || i >= int64(len(c.arr)) {
+		return 0, fmt.Errorf("interp: index %d out of range [%d,%d]", idx, c.idxLow, c.idxLow+int64(len(c.arr))-1)
+	}
+	return c.arr[i], nil
+}
+
+func (c *cell) set(idx, v int64) error {
+	if !c.isArr {
+		c.scalar = v
+		return nil
+	}
+	i := idx - c.idxLow
+	if i < 0 || i >= int64(len(c.arr)) {
+		return fmt.Errorf("interp: index %d out of range [%d,%d]", idx, c.idxLow, c.idxLow+int64(len(c.arr))-1)
+	}
+	c.arr[i] = v
+	return nil
+}
+
+// snapshot returns a change-detection fingerprint of the cell.
+func (c *cell) snapshot() int64 {
+	if !c.isArr {
+		return c.scalar
+	}
+	var h int64 = 1469598103934665603
+	for _, v := range c.arr {
+		h = h*1099511628211 + v
+	}
+	return h
+}
+
+// procState tracks one process between activations.
+type procState struct {
+	beh       *sem.Behavior
+	waitOn    []*cell // resume when any changes
+	waitSnap  []int64 // snapshots at activation start (see below)
+	waitUntil vhdl.Expr
+	waitPlain bool // plain wait: never resume
+	started   bool
+
+	// watch holds every cell any of the process's wait statements can
+	// name, resolved once. Snapshots are taken against activation-start
+	// values: in VHDL a signal assignment takes effect after the process
+	// suspends, so a process that writes a signal it also waits on wakes
+	// itself up — with immediate assignment semantics, comparing against
+	// the activation-start snapshot reproduces that behavior.
+	watch   []*cell
+	preSnap map[*cell]int64
+}
+
+// Stimulus drives the input ports before each step. It may read outputs
+// through the machine.
+type Stimulus func(step int, m *Machine)
+
+// Machine is one elaborated design under simulation.
+type Machine struct {
+	d     *sem.Design
+	cells map[*sem.Object]*cell
+	ports map[string]*cell
+	procs []*procState
+
+	// trace collectors, per behavior
+	trace map[*sem.Behavior]*traceState
+
+	// MaxLoopIters bounds any single loop's iterations per activation to
+	// catch runaway specifications; 0 means the default of 1<<20.
+	MaxLoopIters int
+
+	// CheckRanges enables VHDL's runtime range checks: assigning a value
+	// outside a constrained scalar subtype's range is an error, as it
+	// would be in a real simulator. Off by default — the estimation flow
+	// never needs it, and some specifications rely on benign wraparound.
+	CheckRanges bool
+
+	// Activations counts start-to-finish executions per behavior.
+	Activations map[*sem.Behavior]int64
+
+	step int
+}
+
+// New prepares a machine for the design: allocates storage, evaluates
+// initializers, and parks every process at its start.
+func New(d *sem.Design) (*Machine, error) {
+	m := &Machine{
+		d:           d,
+		cells:       make(map[*sem.Object]*cell),
+		ports:       make(map[string]*cell),
+		trace:       make(map[*sem.Behavior]*traceState),
+		Activations: make(map[*sem.Behavior]int64),
+	}
+	for _, o := range d.Objects {
+		m.cells[o] = newCell(o.Type)
+	}
+	for _, p := range d.Ports {
+		m.ports[p.Name] = newCell(p.Type)
+	}
+	for _, b := range d.Behaviors {
+		if b.IsProcess {
+			ps := &procState{beh: b, preSnap: map[*cell]int64{}}
+			// Resolve every waitable name in the body once.
+			seen := map[*cell]bool{}
+			vhdl.WalkStmts(b.Body, func(st vhdl.Stmt) {
+				w, ok := st.(*vhdl.WaitStmt)
+				if !ok {
+					return
+				}
+				for _, name := range w.OnSignals {
+					sym := d.Lookup(b, name)
+					var c *cell
+					switch {
+					case sym == nil:
+						return
+					case sym.Kind == sem.SymObject:
+						c = m.cells[sym.Object]
+					case sym.Kind == sem.SymPort:
+						c = m.ports[sym.Port.Name]
+					}
+					if c != nil && !seen[c] {
+						seen[c] = true
+						ps.watch = append(ps.watch, c)
+					}
+				}
+			})
+			m.procs = append(m.procs, ps)
+		}
+		m.trace[b] = newTraceState(d, b)
+	}
+	// Evaluate initializers of persistent objects (process-owned and
+	// architecture-level); subprogram locals are initialized per call.
+	for _, o := range d.Objects {
+		if o.Owner != nil && !o.Owner.IsProcess {
+			continue
+		}
+		if err := m.initObject(o); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// initObject applies a declaration initializer, if any. Scalar
+// initializers are evaluated in the declaring behavior's scope (in
+// declaration order, so earlier constants are visible); array aggregate
+// initializers are skipped — arrays start zeroed.
+func (m *Machine) initObject(o *sem.Object) error {
+	if o.Init == nil || o.Type.IsArray() {
+		return nil
+	}
+	v, err := m.eval(o.Owner, newFrame(o.Owner), o.Init)
+	if err != nil {
+		return fmt.Errorf("interp: initializer of %q: %w", o.UniqueID, err)
+	}
+	return m.cells[o].set(0, v)
+}
+
+// SetPort writes an input port's scalar value.
+func (m *Machine) SetPort(name string, v int64) error {
+	c, ok := m.ports[name]
+	if !ok {
+		return fmt.Errorf("interp: unknown port %q", name)
+	}
+	return c.set(0, v)
+}
+
+// Port reads a port's scalar value (for observing outputs).
+func (m *Machine) Port(name string) (int64, error) {
+	c, ok := m.ports[name]
+	if !ok {
+		return 0, fmt.Errorf("interp: unknown port %q", name)
+	}
+	return c.get(0)
+}
+
+// Var reads a variable or signal by its unique ID (for assertions).
+func (m *Machine) Var(uniqueID string) (int64, error) {
+	for o, c := range m.cells {
+		if o.UniqueID == uniqueID {
+			return c.get(0)
+		}
+	}
+	return 0, fmt.Errorf("interp: unknown object %q", uniqueID)
+}
+
+// Step advances the simulation by one step: stimulus, then every runnable
+// process executes one activation.
+func (m *Machine) Step(stim Stimulus) error {
+	if stim != nil {
+		stim(m.step, m)
+	}
+	for _, ps := range m.procs {
+		runnable, err := m.runnable(ps)
+		if err != nil {
+			return err
+		}
+		if !runnable {
+			continue
+		}
+		if err := m.activate(ps); err != nil {
+			return fmt.Errorf("interp: process %s: %w", ps.beh.Name, err)
+		}
+	}
+	m.step++
+	return nil
+}
+
+// Run executes n steps under the stimulus.
+func (m *Machine) Run(n int, stim Stimulus) error {
+	for i := 0; i < n; i++ {
+		if err := m.Step(stim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) runnable(ps *procState) (bool, error) {
+	if !ps.started {
+		return true, nil
+	}
+	if ps.waitPlain {
+		return false, nil
+	}
+	if ps.waitUntil != nil {
+		fr := newFrame(ps.beh)
+		v, err := m.eval(ps.beh, fr, ps.waitUntil)
+		if err != nil {
+			return false, err
+		}
+		return v != 0, nil
+	}
+	for i, c := range ps.waitOn {
+		if c.snapshot() != ps.waitSnap[i] {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// activate runs one start-to-finish execution of the process body.
+func (m *Machine) activate(ps *procState) error {
+	ps.started = true
+	m.Activations[ps.beh]++
+	// Activation-start snapshots of every waitable cell (see procState).
+	for _, c := range ps.watch {
+		ps.preSnap[c] = c.snapshot()
+	}
+	fr := newFrame(ps.beh)
+	// Re-initialize subprogram-owned nothing here; process locals persist.
+	ctl, err := m.execStmts(ps.beh, fr, ps.beh.Body)
+	if err != nil {
+		return err
+	}
+	switch ctl.kind {
+	case ctlWait:
+		ps.waitPlain = ctl.waitPlain
+		ps.waitUntil = ctl.waitUntil
+		ps.waitOn = ctl.waitOn
+		ps.waitSnap = ps.waitSnap[:0]
+		for _, c := range ctl.waitOn {
+			if snap, ok := ps.preSnap[c]; ok {
+				ps.waitSnap = append(ps.waitSnap, snap)
+			} else {
+				ps.waitSnap = append(ps.waitSnap, c.snapshot())
+			}
+		}
+	case ctlNone:
+		// Body ended without wait: VHDL would loop forever; treat as
+		// waiting on nothing until the next step (re-runnable).
+		ps.waitPlain = false
+		ps.waitUntil = nil
+		ps.waitOn = nil
+		ps.waitSnap = nil
+		ps.started = false
+	default:
+		return fmt.Errorf("control escaped process body (%d)", ctl.kind)
+	}
+	return nil
+}
+
+// Profile converts the recorded execution trace into a branch-probability
+// profile whose site numbering matches profile.WalkCounted. Behaviors that
+// never executed contribute no records (their sites fall back to the
+// profile defaults).
+func (m *Machine) Profile() *profile.Profile {
+	p := profile.Empty()
+	for b, ts := range m.trace {
+		ts.emit(b.UniqueID, p)
+	}
+	return p
+}
+
+// StepCount returns how many steps have run.
+func (m *Machine) StepCount() int { return m.step }

@@ -1,0 +1,573 @@
+package interp
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+func machine(t *testing.T, src string) (*Machine, *sem.Design) {
+	t.Helper()
+	df, err := vhdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func readTestdata(t testing.TB, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatalf("testdata: %v", err)
+	}
+	return string(data)
+}
+
+func TestAssignAndArithmetic(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (a : in integer; o : out integer); end;
+architecture x of E is begin
+P: process
+    variable v : integer;
+begin
+    v := a * 3 + 10 / 2 - 1;
+    o <= v mod 7;
+    wait on a;
+end process; end;`)
+	if err := m.Step(func(_ int, m *Machine) { _ = m.SetPort("a", 4) }); err != nil {
+		t.Fatal(err)
+	}
+	// v = 4*3 + 5 - 1 = 16; o = 16 mod 7 = 2
+	if v, _ := m.Var("v"); v != 16 {
+		t.Errorf("v = %d, want 16", v)
+	}
+	if o, _ := m.Port("o"); o != 2 {
+		t.Errorf("o = %d, want 2", o)
+	}
+}
+
+func TestIfElsifElse(t *testing.T) {
+	src := `
+entity E is port (a : in integer; o : out integer); end;
+architecture x of E is begin
+P: process
+begin
+    if a = 1 then
+        o <= 10;
+    elsif a = 2 then
+        o <= 20;
+    else
+        o <= 30;
+    end if;
+    wait on a;
+end process; end;`
+	for input, want := range map[int64]int64{1: 10, 2: 20, 9: 30} {
+		m, _ := machine(t, src)
+		if err := m.Step(func(_ int, m *Machine) { _ = m.SetPort("a", input) }); err != nil {
+			t.Fatal(err)
+		}
+		if o, _ := m.Port("o"); o != want {
+			t.Errorf("a=%d: o = %d, want %d", input, o, want)
+		}
+	}
+}
+
+func TestCaseStatement(t *testing.T) {
+	src := `
+entity E is port (a : in integer; o : out integer); end;
+architecture x of E is begin
+P: process
+begin
+    case a is
+        when 0 => o <= 1;
+        when 1 | 2 => o <= 2;
+        when others => o <= 99;
+    end case;
+    wait on a;
+end process; end;`
+	for input, want := range map[int64]int64{0: 1, 1: 2, 2: 2, 7: 99} {
+		m, _ := machine(t, src)
+		if err := m.Step(func(_ int, m *Machine) { _ = m.SetPort("a", input) }); err != nil {
+			t.Fatal(err)
+		}
+		if o, _ := m.Port("o"); o != want {
+			t.Errorf("a=%d: o = %d, want %d", input, o, want)
+		}
+	}
+}
+
+func TestLoopsAndArrays(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (o : out integer); end;
+architecture x of E is begin
+P: process
+    type arr is array (1 to 10) of integer;
+    variable a : arr;
+    variable s : integer;
+begin
+    for i in 1 to 10 loop
+        a(i) := i * i;
+    end loop;
+    s := 0;
+    for i in 1 to 10 loop
+        s := s + a(i);
+    end loop;
+    o <= s;
+    wait;
+end process; end;`)
+	if err := m.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := m.Port("o"); o != 385 { // Σ i² for 1..10
+		t.Errorf("o = %d, want 385", o)
+	}
+}
+
+func TestWhileAndExit(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (o : out integer); end;
+architecture x of E is begin
+P: process
+    variable n, steps : integer;
+begin
+    n := 27;
+    steps := 0;
+    while n > 1 loop
+        if n mod 2 = 0 then
+            n := n / 2;
+        else
+            n := 3 * n + 1;
+        end if;
+        steps := steps + 1;
+        exit when steps > 1000;
+    end loop;
+    o <= steps;
+    wait;
+end process; end;`)
+	if err := m.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := m.Port("o"); o != 111 { // Collatz(27) = 111 steps
+		t.Errorf("o = %d, want 111", o)
+	}
+}
+
+func TestFunctionsAndProcedures(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (o : out integer); end;
+architecture x of E is
+    function Square(v : in integer) return integer is
+    begin
+        return v * v;
+    end;
+    -- out parameter: result by reference
+    procedure AddTo(acc : inout integer; v : in integer) is
+    begin
+        acc := acc + Square(v);
+    end;
+begin
+P: process
+    variable total : integer;
+begin
+    total := 0;
+    AddTo(total, 3);
+    AddTo(total, 4);
+    o <= total;
+    wait;
+end process; end;`)
+	if err := m.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := m.Port("o"); o != 25 {
+		t.Errorf("o = %d, want 25 (3²+4²)", o)
+	}
+}
+
+func TestSubprogramLocalsFreshPerCall(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (o : out integer); end;
+architecture x of E is
+    function Count return integer is
+        variable c : integer := 0;
+    begin
+        c := c + 1;
+        return c;
+    end;
+begin
+P: process
+    variable a, b : integer;
+begin
+    a := Count;
+    b := Count;
+    o <= a + b;
+    wait;
+end process; end;`)
+	if err := m.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	// VHDL re-elaborates subprogram locals per call: both calls return 1.
+	if o, _ := m.Port("o"); o != 2 {
+		t.Errorf("o = %d, want 2 (locals must not persist)", o)
+	}
+}
+
+func TestProcessVariablesPersist(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (tick : in integer; o : out integer); end;
+architecture x of E is begin
+P: process
+    variable count : integer;
+begin
+    count := count + 1;
+    o <= count;
+    wait on tick;
+end process; end;`)
+	for i := int64(0); i < 5; i++ {
+		step := i
+		if err := m.Step(func(_ int, m *Machine) { _ = m.SetPort("tick", step) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First activation at step 0, then reactivated on each tick change.
+	if o, _ := m.Port("o"); o != 5 {
+		t.Errorf("count = %d, want 5", o)
+	}
+}
+
+func TestWaitOnBlocksUntilChange(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (a : in integer; o : out integer); end;
+architecture x of E is begin
+P: process
+    variable n : integer;
+begin
+    n := n + 1;
+    o <= n;
+    wait on a;
+end process; end;`)
+	// Step with constant input: activates once, then stays suspended.
+	for i := 0; i < 4; i++ {
+		if err := m.Step(func(_ int, m *Machine) { _ = m.SetPort("a", 7) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o, _ := m.Port("o"); o != 1 {
+		t.Errorf("activations = %d, want 1 (input never changed)", o)
+	}
+	// Now change the input: exactly one more activation.
+	if err := m.Step(func(_ int, m *Machine) { _ = m.SetPort("a", 8) }); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := m.Port("o"); o != 2 {
+		t.Errorf("activations = %d, want 2", o)
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (a : in integer; o : out integer); end;
+architecture x of E is begin
+P: process
+    variable n : integer;
+begin
+    n := n + 1;
+    o <= n;
+    wait until a = 3;
+end process; end;`)
+	inputs := []int64{0, 1, 3, 3, 0, 3}
+	for _, v := range inputs {
+		vv := v
+		if err := m.Step(func(_ int, m *Machine) { _ = m.SetPort("a", vv) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Activation at step 0 (fresh), then whenever a==3 at step start:
+	// steps with a=3 are 2,3,5 → 1+3 activations.
+	if o, _ := m.Port("o"); o != 4 {
+		t.Errorf("activations = %d, want 4", o)
+	}
+}
+
+func TestInterProcessSignal(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (a : in integer; o : out integer); end;
+architecture x of E is
+    signal mail : integer;
+begin
+Producer: process
+begin
+    mail <= a * 2;
+    wait on a;
+end process;
+Consumer: process
+begin
+    o <= mail + 1;
+    wait on mail;
+end process;
+end;`)
+	if err := m.Step(func(_ int, m *Machine) { _ = m.SetPort("a", 10) }); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := m.Port("o"); o != 21 {
+		t.Errorf("o = %d, want 21", o)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (a : in integer; o : out integer); end;
+architecture x of E is begin
+P: process
+begin
+    o <= 1 / a;
+    wait on a;
+end process; end;`)
+	if err := m.Step(nil); err == nil {
+		t.Error("division by zero not reported")
+	}
+
+	m2, _ := machine(t, `
+entity E is port (a : in integer; o : out integer); end;
+architecture x of E is begin
+P: process
+    type arr is array (1 to 4) of integer;
+    variable v : arr;
+begin
+    o <= v(a);
+    wait on a;
+end process; end;`)
+	if err := m2.Step(func(_ int, m *Machine) { _ = m.SetPort("a", 9) }); err == nil {
+		t.Error("index out of range not reported")
+	}
+}
+
+func TestRunawayLoopCaught(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (o : out integer); end;
+architecture x of E is begin
+P: process
+    variable n : integer;
+begin
+    while n = 0 loop
+        o <= 1;
+    end loop;
+    wait;
+end process; end;`)
+	m.MaxLoopIters = 1000
+	if err := m.Step(nil); err == nil {
+		t.Error("runaway while loop not caught")
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (o : out integer); end;
+architecture x of E is begin
+P: process
+    constant base : integer := 40;
+    variable v : integer := base + 2;
+begin
+    o <= v;
+    wait;
+end process; end;`)
+	if err := m.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := m.Port("o"); o != 42 {
+		t.Errorf("o = %d, want 42", o)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (o : out integer); end;
+architecture x of E is begin
+P: process
+    type arr is array (3 to 10) of integer;
+    variable v : arr;
+begin
+    o <= v'length + v'low + v'high;
+    wait;
+end process; end;`)
+	if err := m.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := m.Port("o"); o != 8+3+10 {
+		t.Errorf("o = %d, want 21", o)
+	}
+}
+
+// TestMachineVarUnknown covers the introspection error paths.
+func TestMachineIntrospection(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (a : in integer); end;
+architecture x of E is begin
+P: process begin wait on a; end process; end;`)
+	if _, err := m.Var("ghost"); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if _, err := m.Port("ghost"); err == nil {
+		t.Error("unknown port accepted")
+	}
+	if err := m.SetPort("ghost", 1); err == nil {
+		t.Error("unknown port set accepted")
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCheckRanges(t *testing.T) {
+	src := `
+entity E is port (a : in integer; o : out integer range 0 to 15); end;
+architecture x of E is begin
+P: process
+    variable v : integer range 0 to 7;
+begin
+    v := a;
+    o <= v;
+    wait on a;
+end process; end;`
+	// In range: fine either way.
+	m, _ := machine(t, src)
+	m.CheckRanges = true
+	if err := m.Step(func(_ int, m *Machine) { _ = m.SetPort("a", 5) }); err != nil {
+		t.Fatalf("in-range assignment rejected: %v", err)
+	}
+	// Out of range: caught only with checking on.
+	m2, _ := machine(t, src)
+	m2.CheckRanges = true
+	if err := m2.Step(func(_ int, m *Machine) { _ = m.SetPort("a", 99) }); err == nil {
+		t.Error("range violation not caught")
+	}
+	m3, _ := machine(t, src)
+	if err := m3.Step(func(_ int, m *Machine) { _ = m.SetPort("a", 99) }); err != nil {
+		t.Errorf("unchecked mode rejected the assignment: %v", err)
+	}
+}
+
+// TestExamplesRangeClean: the four specifications simulate without range
+// violations under their test stimuli — the simulator as a validation
+// tool for the testdata itself.
+func TestFuzzyRangeClean(t *testing.T) {
+	m, _ := loadExample(t, "fuzzy")
+	m.CheckRanges = true
+	if err := m.Run(30, fuzzyStimulus); err != nil {
+		t.Errorf("fuzzy violates its own declared ranges: %v", err)
+	}
+}
+
+func TestLogicalAndUnaryOperators(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (a, b : in integer; o : out integer); end;
+architecture x of E is begin
+P: process
+    variable r : integer;
+begin
+    r := 0;
+    if a > 0 and b > 0 then
+        r := r + 1;
+    end if;
+    if a > 0 or b > 0 then
+        r := r + 2;
+    end if;
+    if a > 0 xor b > 0 then
+        r := r + 4;
+    end if;
+    if not (a = b) then
+        r := r + 8;
+    end if;
+    if a > 0 nand b > 0 then
+        r := r + 16;
+    end if;
+    if a > 0 nor b > 0 then
+        r := r + 32;
+    end if;
+    r := r + abs (a - b);
+    o <= r;
+    wait on a, b;
+end process; end;`)
+	// a=3, b=0: and=0, or=2, xor=4, neq=8, nand=16, nor=0, abs=3 → 33
+	if err := m.Step(func(_ int, m *Machine) {
+		_ = m.SetPort("a", 3)
+		_ = m.SetPort("b", 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := m.Port("o"); o != 2+4+8+16+3 {
+		t.Errorf("o = %d, want 33", o)
+	}
+}
+
+func TestModRemSemantics(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (o : out integer); end;
+architecture x of E is begin
+P: process
+    variable a, b : integer;
+begin
+    a := 0 - 7;
+    b := 3;
+    o <= (a mod b) * 100 + (a rem b) + 50;
+    wait;
+end process; end;`)
+	if err := m.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	// VHDL: (-7) mod 3 = 2 (sign of divisor), (-7) rem 3 = -1 (sign of dividend)
+	if o, _ := m.Port("o"); o != 2*100+(-1)+50 {
+		t.Errorf("o = %d, want 249", o)
+	}
+}
+
+func TestEnumLiteralsInSimulation(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (go : in integer; o : out integer); end;
+architecture x of E is
+    type state is (idle, running, done);
+    signal st : state;
+begin
+P: process
+begin
+    case st is
+        when idle =>
+            if go = 1 then
+                st <= running;
+            end if;
+        when running =>
+            st <= done;
+        when others =>
+            o <= 1;
+    end case;
+    wait on go, st;
+end process; end;`)
+	if err := m.Run(4, func(step int, m *Machine) { _ = m.SetPort("go", 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := m.Port("o"); o != 1 {
+		t.Errorf("state machine never reached done (o=%d)", o)
+	}
+}
+
+func TestStepCount(t *testing.T) {
+	m, _ := machine(t, `
+entity E is port (a : in integer); end;
+architecture x of E is begin
+P: process begin wait on a; end process; end;`)
+	_ = m.Run(7, nil)
+	if m.StepCount() != 7 {
+		t.Errorf("StepCount = %d", m.StepCount())
+	}
+}

@@ -1,0 +1,85 @@
+package interp
+
+import (
+	"specsyn/internal/profile"
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+// traceState accumulates branch-arm and loop-iteration counts for one
+// behavior during simulation, keyed by the same pre-order site numbering
+// the profile format uses.
+type traceState struct {
+	sites *profile.Sites
+
+	armCounts map[int][]int64 // branch site → per-arm execution counts
+	loopRuns  map[int]int64   // loop site → times the loop was entered
+	loopIters map[int]int64   // loop site → total iterations
+	loopMax   map[int]int64   // loop site → max iterations in one run
+}
+
+func newTraceState(d *sem.Design, b *sem.Behavior) *traceState {
+	return &traceState{
+		sites:     profile.IndexSites(d, b),
+		armCounts: map[int][]int64{},
+		loopRuns:  map[int]int64{},
+		loopIters: map[int]int64{},
+		loopMax:   map[int]int64{},
+	}
+}
+
+// branch records that the given branch statement took arm `arm`.
+func (ts *traceState) branch(s vhdl.Stmt, arm int) {
+	site, ok := ts.sites.Branch[s]
+	if !ok {
+		return
+	}
+	counts := ts.armCounts[site]
+	if counts == nil {
+		counts = make([]int64, ts.sites.Arms[s])
+		ts.armCounts[site] = counts
+	}
+	if arm < len(counts) {
+		counts[arm]++
+	}
+}
+
+// loop records one complete run of a dynamic loop with n iterations.
+// Static for loops have no site and are ignored (their counts are exact
+// from the bounds).
+func (ts *traceState) loop(s vhdl.Stmt, n int64) {
+	site, ok := ts.sites.Loop[s]
+	if !ok {
+		return
+	}
+	ts.loopRuns[site]++
+	ts.loopIters[site] += n
+	if n > ts.loopMax[site] {
+		ts.loopMax[site] = n
+	}
+}
+
+// emit writes this behavior's measured statistics into a profile.
+func (ts *traceState) emit(behID string, p *profile.Profile) {
+	for site, counts := range ts.armCounts {
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		probs := make([]float64, len(counts))
+		for i, c := range counts {
+			probs[i] = float64(c) / float64(total)
+		}
+		p.SetBranch(behID, site, probs...)
+	}
+	for site, runs := range ts.loopRuns {
+		if runs == 0 {
+			continue
+		}
+		avg := float64(ts.loopIters[site]) / float64(runs)
+		p.SetLoop(behID, site, avg, float64(ts.loopMax[site]))
+	}
+}

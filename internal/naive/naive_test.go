@@ -1,0 +1,145 @@
+package naive
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specsyn/internal/builder"
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+	"specsyn/internal/profile"
+	"specsyn/internal/sem"
+	"specsyn/internal/synth"
+	"specsyn/internal/vhdl"
+)
+
+// load elaborates an example and builds both the SLIF graph and a naive
+// estimator over the same all-software mapping.
+func load(t testing.TB, name string) (*sem.Design, *core.Graph, *Estimator, *core.Partition) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name+".vhd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profile.Load(filepath.Join("..", "..", "testdata", name+".prob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := vhdl.Parse(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	techs := synth.StdTechs()
+	g, err := builder.Build(d, builder.Options{Profile: prof, Techs: techs, SkipTags: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := &core.Processor{Name: "cpu", TypeName: "proc10"}
+	g.AddProcessor(cpu)
+	bus := &core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4}
+	g.AddBus(bus)
+	pt := core.AllToProcessor(g, cpu, bus)
+
+	m := Mapping{
+		CompType: map[string]string{},
+		CompInst: map[string]string{},
+		BusWidth: 16, BusTS: 0.05, BusTD: 0.4,
+	}
+	for _, n := range g.Nodes {
+		m.CompType[n.Name] = "proc10"
+		m.CompInst[n.Name] = "cpu"
+	}
+	return d, g, New(d, prof, techs, m), pt
+}
+
+// TestAgreesWithSLIF: the naive estimator and the SLIF estimator implement
+// the same models, so their numbers must coincide — only the time to
+// produce them differs.
+func TestAgreesWithSLIF(t *testing.T) {
+	for _, name := range []string{"fuzzy", "vol"} {
+		_, g, nv, pt := load(t, name)
+		est := estimate.New(g, pt, estimate.Options{})
+		for _, p := range g.Processes() {
+			slifT, err := est.Exectime(p)
+			if err != nil {
+				t.Fatalf("%s/%s: slif: %v", name, p.Name, err)
+			}
+			naiveT, err := nv.Exectime(p.Name)
+			if err != nil {
+				t.Fatalf("%s/%s: naive: %v", name, p.Name, err)
+			}
+			if math.Abs(slifT-naiveT) > 1e-6*math.Max(1, slifT) {
+				t.Errorf("%s/%s: exectime disagrees: slif %v, naive %v", name, p.Name, slifT, naiveT)
+			}
+		}
+		slifSize, err := est.Size(g.ProcByName("cpu"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveSize, err := nv.Size("cpu")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(slifSize-naiveSize) > 1e-6 {
+			t.Errorf("%s: size disagrees: slif %v, naive %v", name, slifSize, naiveSize)
+		}
+	}
+}
+
+func TestUnmappedNodeFails(t *testing.T) {
+	d, _, _, _ := load(t, "vol")
+	nv := New(d, nil, synth.StdTechs(), Mapping{CompType: map[string]string{}, CompInst: map[string]string{}, BusWidth: 16})
+	if _, err := nv.Exectime("volmain"); err == nil {
+		t.Error("unmapped node estimated")
+	}
+}
+
+func TestUnknownTech(t *testing.T) {
+	d, _, _, _ := load(t, "vol")
+	m := Mapping{CompType: map[string]string{"volmain": "ghost"}, CompInst: map[string]string{"volmain": "x"}, BusWidth: 16}
+	nv := New(d, nil, synth.StdTechs(), m)
+	if _, err := nv.Exectime("volmain"); err == nil {
+		t.Error("unknown technology accepted")
+	}
+}
+
+// BenchmarkNaiveVsSLIF reproduces the abstract's headline claim: SLIF's
+// preprocessed annotations deliver estimates "in an order of magnitude
+// less time" than per-query re-analysis. Run with -bench to compare
+// naive/<x> against slif/<x>.
+func BenchmarkNaiveVsSLIF(b *testing.B) {
+	for _, name := range []string{"fuzzy", "ether"} {
+		_, g, nv, pt := load(b, name)
+		b.Run("slif/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				est := estimate.New(g, pt, estimate.Options{})
+				for _, p := range g.Processes() {
+					if _, err := est.Exectime(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := est.Size(g.ProcByName("cpu")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("naive/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range g.Processes() {
+					if _, err := nv.Exectime(p.Name); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := nv.Size("cpu"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

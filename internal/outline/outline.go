@@ -1,0 +1,240 @@
+// Package outline implements the paper's granularity knob (§2.2): "A
+// behavior is a process or procedure in the specification; finer
+// granularity can be obtained by treating basic blocks as procedures."
+//
+// Transform rewrites a parsed design so that every compound-statement
+// body (if/elsif/else arms, case alternatives, loop bodies) of at least
+// MinStmts statements becomes a procedure declared in the enclosing
+// behavior, with the original site replaced by a call. Loop variables
+// referenced inside an outlined block are passed as `in` parameters.
+// Blocks containing exit, return or wait statements are left inline —
+// those constructs are only legal in their original position.
+//
+// The result is a coarser-to-finer family of SLIF graphs from one source:
+// the same estimation machinery runs at every granularity, with more
+// behaviors, more call channels, and smaller per-behavior weights as the
+// knob tightens.
+package outline
+
+import (
+	"fmt"
+
+	"specsyn/internal/vhdl"
+)
+
+// Options controls the transformation.
+type Options struct {
+	// MinStmts is the smallest block worth outlining (default 2);
+	// single-statement arms stay inline.
+	MinStmts int
+}
+
+// Transform returns a new design file with basic blocks outlined. The
+// input is not modified.
+func Transform(df *vhdl.DesignFile, opt Options) *vhdl.DesignFile {
+	if opt.MinStmts <= 0 {
+		opt.MinStmts = 2
+	}
+	out := &vhdl.DesignFile{Entities: df.Entities}
+	for _, a := range df.Architectures {
+		na := &vhdl.Architecture{
+			Name: a.Name, EntityName: a.EntityName, Pos: a.Pos,
+		}
+		na.Decls = transformDecls(a.Decls, opt)
+		for _, ps := range a.Processes {
+			na.Processes = append(na.Processes, transformProcess(ps, opt))
+		}
+		out.Architectures = append(out.Architectures, na)
+	}
+	return out
+}
+
+func transformDecls(decls []vhdl.Decl, opt Options) []vhdl.Decl {
+	out := make([]vhdl.Decl, 0, len(decls))
+	for _, d := range decls {
+		if sp, ok := d.(*vhdl.SubprogramDecl); ok {
+			out = append(out, transformSubprogram(sp, opt))
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func transformProcess(ps *vhdl.ProcessStmt, opt Options) *vhdl.ProcessStmt {
+	o := &outliner{prefix: ps.Label, opt: opt}
+	body := o.stmts(ps.Body, nil)
+	np := &vhdl.ProcessStmt{
+		Label: ps.Label, Sensitivity: ps.Sensitivity, Pos: ps.Pos,
+		Decls: append(transformDecls(ps.Decls, opt), o.newDecls...),
+		Body:  body,
+	}
+	return np
+}
+
+func transformSubprogram(sp *vhdl.SubprogramDecl, opt Options) *vhdl.SubprogramDecl {
+	o := &outliner{prefix: sp.Name, opt: opt}
+	body := o.stmts(sp.Body, nil)
+	return &vhdl.SubprogramDecl{
+		Name: sp.Name, IsFunction: sp.IsFunction, Params: sp.Params,
+		Return: sp.Return, Pos: sp.Pos,
+		Decls: append(transformDecls(sp.Decls, opt), o.newDecls...),
+		Body:  body,
+	}
+}
+
+// outliner accumulates synthesized procedures for one behavior.
+type outliner struct {
+	prefix   string
+	opt      Options
+	counter  int
+	newDecls []vhdl.Decl
+}
+
+// stmts rewrites a statement list. loopVars are the for-loop variables in
+// scope, which outlined blocks receive as parameters.
+func (o *outliner) stmts(body []vhdl.Stmt, loopVars []string) []vhdl.Stmt {
+	out := make([]vhdl.Stmt, 0, len(body))
+	for _, s := range body {
+		out = append(out, o.stmt(s, loopVars))
+	}
+	return out
+}
+
+func (o *outliner) stmt(s vhdl.Stmt, loopVars []string) vhdl.Stmt {
+	switch st := s.(type) {
+	case *vhdl.IfStmt:
+		ns := &vhdl.IfStmt{Cond: st.Cond, Pos: st.Pos}
+		ns.Then = o.block(st.Then, loopVars)
+		for _, el := range st.Elifs {
+			ns.Elifs = append(ns.Elifs, vhdl.ElifClause{
+				Cond: el.Cond, Body: o.block(el.Body, loopVars), Pos: el.Pos,
+			})
+		}
+		ns.Else = o.block(st.Else, loopVars)
+		return ns
+	case *vhdl.CaseStmt:
+		ns := &vhdl.CaseStmt{Expr: st.Expr, Pos: st.Pos}
+		for _, w := range st.Whens {
+			ns.Whens = append(ns.Whens, vhdl.WhenClause{
+				Choices: w.Choices, Body: o.block(w.Body, loopVars), Pos: w.Pos,
+			})
+		}
+		return ns
+	case *vhdl.ForStmt:
+		inner := append(append([]string(nil), loopVars...), st.Var)
+		return &vhdl.ForStmt{
+			Var: st.Var, Low: st.Low, High: st.High, Downto: st.Downto,
+			Label: st.Label, Pos: st.Pos,
+			Body: o.block(st.Body, inner),
+		}
+	case *vhdl.WhileStmt:
+		return &vhdl.WhileStmt{
+			Cond: st.Cond, Label: st.Label, Pos: st.Pos,
+			Body: o.block(st.Body, loopVars),
+		}
+	case *vhdl.LoopStmt:
+		return &vhdl.LoopStmt{
+			Label: st.Label, Pos: st.Pos,
+			Body: o.block(st.Body, loopVars),
+		}
+	}
+	return s
+}
+
+// block outlines one compound-statement body into a procedure call when
+// eligible; otherwise it recurses into the body in place.
+func (o *outliner) block(body []vhdl.Stmt, loopVars []string) []vhdl.Stmt {
+	body = o.stmts(body, loopVars) // outline inner blocks first
+	if len(body) < o.opt.MinStmts || !outlinable(body) {
+		return body
+	}
+	used := usedNames(body)
+	var params []*vhdl.ParamDecl
+	var args []vhdl.Expr
+	for _, lv := range loopVars {
+		if used[lv] {
+			params = append(params, &vhdl.ParamDecl{
+				Names: []string{lv}, Dir: vhdl.DirIn,
+				Type: &vhdl.TypeRef{Name: "integer"},
+			})
+			args = append(args, &vhdl.NameExpr{Name: lv})
+		}
+	}
+	o.counter++
+	name := fmt.Sprintf("%s_bb%d", o.prefix, o.counter)
+	o.newDecls = append(o.newDecls, &vhdl.SubprogramDecl{
+		Name: name, Params: params, Body: body,
+	})
+	return []vhdl.Stmt{&vhdl.CallStmt{Name: name, Args: args}}
+}
+
+// outlinable reports whether a block may move into a procedure: no exit,
+// return or wait anywhere in it (those are position-dependent).
+func outlinable(body []vhdl.Stmt) bool {
+	ok := true
+	vhdl.WalkStmts(body, func(s vhdl.Stmt) {
+		switch s.(type) {
+		case *vhdl.ExitStmt, *vhdl.ReturnStmt, *vhdl.WaitStmt:
+			ok = false
+		}
+	})
+	return ok
+}
+
+// usedNames collects every name referenced in a block (reads, writes,
+// calls) so loop-variable parameters can be computed.
+func usedNames(body []vhdl.Stmt) map[string]bool {
+	used := map[string]bool{}
+	note := func(e vhdl.Expr) {
+		vhdl.WalkExpr(e, func(x vhdl.Expr) {
+			switch n := x.(type) {
+			case *vhdl.NameExpr:
+				used[n.Name] = true
+			case *vhdl.CallExpr:
+				used[n.Name] = true
+			case *vhdl.AttrExpr:
+				used[n.Prefix] = true
+			}
+		})
+	}
+	vhdl.WalkStmts(body, func(s vhdl.Stmt) {
+		switch st := s.(type) {
+		case *vhdl.AssignStmt:
+			note(st.Target)
+			note(st.Value)
+		case *vhdl.IfStmt:
+			note(st.Cond)
+			for _, el := range st.Elifs {
+				note(el.Cond)
+			}
+		case *vhdl.CaseStmt:
+			note(st.Expr)
+			for _, w := range st.Whens {
+				for _, c := range w.Choices {
+					note(c)
+				}
+			}
+		case *vhdl.ForStmt:
+			note(st.Low)
+			note(st.High)
+		case *vhdl.WhileStmt:
+			note(st.Cond)
+		case *vhdl.CallStmt:
+			used[st.Name] = true
+			for _, a := range st.Args {
+				note(a)
+			}
+		case *vhdl.ExitStmt:
+			note(st.Cond)
+		case *vhdl.ReturnStmt:
+			note(st.Value)
+		case *vhdl.WaitStmt:
+			for _, sig := range st.OnSignals {
+				used[sig] = true
+			}
+			note(st.Until)
+		}
+	})
+	return used
+}

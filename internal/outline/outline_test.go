@@ -1,0 +1,235 @@
+package outline
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specsyn/internal/builder"
+	"specsyn/internal/interp"
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+func readTestdata(t testing.TB, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatalf("testdata: %v", err)
+	}
+	return string(data)
+}
+
+func TestOutlineBasic(t *testing.T) {
+	src := `
+entity E is port (a : in integer; o : out integer); end;
+architecture x of E is begin
+P: process
+    variable v, w : integer;
+begin
+    if a > 0 then
+        v := a;
+        w := v * 2;
+    end if;
+    o <= w;
+    wait on a;
+end process; end;
+`
+	df := vhdl.MustParse(src)
+	out := Transform(df, Options{})
+	printed := vhdl.Format(out)
+	df2, err := vhdl.Parse(printed)
+	if err != nil {
+		t.Fatalf("outlined design does not reparse: %v\n%s", err, printed)
+	}
+	d, err := sem.Elaborate(df2)
+	if err != nil {
+		t.Fatalf("outlined design does not elaborate: %v\n%s", err, printed)
+	}
+	// One synthesized procedure p_bb1 should exist.
+	found := false
+	for _, b := range d.Behaviors {
+		if b.Name == "p_bb1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no outlined procedure:\n%s", printed)
+	}
+}
+
+func TestOutlineLoopVarParam(t *testing.T) {
+	src := `
+entity E is port (o : out integer); end;
+architecture x of E is begin
+P: process
+    type arr is array (0 to 7) of integer;
+    variable a : arr;
+    variable s : integer;
+begin
+    for i in 0 to 7 loop
+        a(i) := i;
+        s := s + a(i);
+    end loop;
+    o <= s;
+    wait;
+end process; end;
+`
+	df := Transform(vhdl.MustParse(src), Options{})
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		t.Fatalf("elaborate: %v\n%s", err, vhdl.Format(df))
+	}
+	var bb *sem.Behavior
+	for _, b := range d.Behaviors {
+		if b.Name == "p_bb1" {
+			bb = b
+		}
+	}
+	if bb == nil {
+		t.Fatalf("loop body not outlined:\n%s", vhdl.Format(df))
+	}
+	if len(bb.Params) != 1 || bb.Params[0].Name != "i" {
+		t.Errorf("loop variable not passed as parameter: %+v", bb.Params)
+	}
+	if len(d.Warnings) != 0 {
+		t.Errorf("unresolved names after outlining: %v", d.Warnings)
+	}
+}
+
+func TestOutlineLeavesControlTransfersInline(t *testing.T) {
+	src := `
+entity E is port (o : out integer); end;
+architecture x of E is begin
+P: process
+    variable v : integer;
+begin
+    while v < 10 loop
+        v := v + 1;
+        exit when v = 5;
+    end loop;
+    o <= v;
+    wait;
+end process; end;
+`
+	df := Transform(vhdl.MustParse(src), Options{})
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range d.Behaviors {
+		if b.Name == "p_bb1" {
+			t.Error("block containing exit was outlined")
+		}
+	}
+}
+
+// TestOutlineIncreasesGranularity: the paper's claim — treating basic
+// blocks as procedures yields a finer SLIF with more behaviors and more
+// call channels, from the same source.
+func TestOutlineIncreasesGranularity(t *testing.T) {
+	src := readTestdata(t, "fuzzy.vhd")
+	coarse, err := builder.BuildVHDL(src, builder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine := Transform(vhdl.MustParse(src), Options{})
+	d, err := sem.Elaborate(fine)
+	if err != nil {
+		t.Fatalf("elaborate outlined fuzzy: %v", err)
+	}
+	fg, err := builder.Build(d, builder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, fs := coarse.Stats(), fg.Stats()
+	if fs.BV <= cs.BV {
+		t.Errorf("outlining did not add behaviors: %d → %d", cs.BV, fs.BV)
+	}
+	if fs.Channels <= cs.Channels {
+		t.Errorf("outlining did not add channels: %d → %d", cs.Channels, fs.Channels)
+	}
+	t.Logf("granularity: coarse %d/%d → fine %d/%d (BV/C)", cs.BV, cs.Channels, fs.BV, fs.Channels)
+}
+
+// TestOutlinePreservesBehavior is the strongest check: the outlined fuzzy
+// controller must simulate identically to the original — same actuator
+// output at every step under the same stimulus.
+func TestOutlinePreservesBehavior(t *testing.T) {
+	src := readTestdata(t, "fuzzy.vhd")
+
+	run := func(df *vhdl.DesignFile) []int64 {
+		d, err := sem.Elaborate(df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := interp.New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outs []int64
+		err = m.Run(40, func(step int, m *interp.Machine) {
+			switch {
+			case step == 0:
+				_ = m.SetPort("cal", 1)
+			case step == 1:
+				_ = m.SetPort("cal", 0)
+			default:
+				_ = m.SetPort("in1", int64(10+(step*37)%200))
+				_ = m.SetPort("in2", int64(20+(step*53)%200))
+			}
+			v, _ := m.Port("out1")
+			outs = append(outs, v)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+
+	orig := run(vhdl.MustParse(src))
+	outl := run(Transform(vhdl.MustParse(src), Options{}))
+	if len(orig) != len(outl) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range orig {
+		if orig[i] != outl[i] {
+			t.Fatalf("step %d: original out1=%d, outlined out1=%d", i, orig[i], outl[i])
+		}
+	}
+}
+
+// TestOutlineAllExamples: every example survives the transformation and
+// rebuilds.
+func TestOutlineAllExamples(t *testing.T) {
+	for _, name := range []string{"ans", "ether", "fuzzy", "vol"} {
+		src := readTestdata(t, name+".vhd")
+		fine := Transform(vhdl.MustParse(src), Options{})
+		d, err := sem.Elaborate(fine)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(d.Warnings) != 0 {
+			t.Errorf("%s: warnings: %v", name, d.Warnings)
+		}
+		if _, err := builder.Build(d, builder.Options{}); err != nil {
+			t.Errorf("%s: build: %v", name, err)
+		}
+	}
+}
+
+func TestMinStmtsKnob(t *testing.T) {
+	src := readTestdata(t, "vol.vhd")
+	count := func(min int) int {
+		df := Transform(vhdl.MustParse(src), Options{MinStmts: min})
+		d, err := sem.Elaborate(df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(d.Behaviors)
+	}
+	if a, b := count(1), count(4); a <= b {
+		t.Errorf("lower MinStmts must outline at least as much: min=1 → %d behaviors, min=4 → %d", a, b)
+	}
+}

@@ -1,0 +1,349 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"specsyn/internal/core"
+)
+
+// Config parameterizes the search algorithms.
+type Config struct {
+	Eval     *Evaluator
+	Policy   BusPolicy
+	Seed     int64
+	MaxIters int // algorithm-specific iteration budget; 0 = default
+}
+
+// Result is the outcome of one search run.
+type Result struct {
+	Best  *core.Partition
+	Cost  float64
+	Evals int // partitions estimated during this run
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("cost %.4f after %d evaluations", r.Cost, r.Evals)
+}
+
+// evalWith applies the bus policy and costs the partition.
+func evalWith(cfg Config, pt *core.Partition) (float64, error) {
+	if err := ApplyBusPolicy(pt, cfg.Policy); err != nil {
+		return 0, err
+	}
+	return cfg.Eval.Cost(pt)
+}
+
+// Random samples MaxIters (default 1000) random legal partitions and
+// returns the best — the baseline every smarter algorithm must beat, and
+// the workload for the "thousands of possible designs" speed claim.
+func Random(g *core.Graph, cfg Config) (Result, error) {
+	iters := cfg.MaxIters
+	if iters <= 0 {
+		iters = 1000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := cfg.Eval.Evals
+
+	var best *core.Partition
+	bestCost := math.Inf(1)
+	for i := 0; i < iters; i++ {
+		pt := core.NewPartition(g)
+		ok := true
+		for _, n := range g.Nodes {
+			cands := Allowed(g, n)
+			if len(cands) == 0 {
+				ok = false
+				break
+			}
+			if err := pt.Assign(n, cands[rng.Intn(len(cands))]); err != nil {
+				return Result{}, err
+			}
+		}
+		if !ok {
+			return Result{}, fmt.Errorf("partition: some node has no candidate component")
+		}
+		cost, err := evalWith(cfg, pt)
+		if err != nil {
+			return Result{}, err
+		}
+		if cost < bestCost {
+			bestCost, best = cost, pt
+		}
+	}
+	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start}, nil
+}
+
+// Greedy builds a partition constructively: nodes in descending traffic
+// order, each placed on the candidate component that minimizes the cost of
+// the partial mapping (unplaced nodes temporarily ride on the first
+// candidate so the estimate is always defined).
+func Greedy(g *core.Graph, cfg Config) (Result, error) {
+	start := cfg.Eval.Evals
+
+	// Node order: heaviest communicators first.
+	traffic := map[*core.Node]float64{}
+	for _, c := range g.Channels {
+		v := c.AccFreq * float64(c.Bits)
+		traffic[c.Src] += v
+		if n, ok := c.Dst.(*core.Node); ok {
+			traffic[n] += v
+		}
+	}
+	nodes := append([]*core.Node(nil), g.Nodes...)
+	sort.SliceStable(nodes, func(i, j int) bool { return traffic[nodes[i]] > traffic[nodes[j]] })
+
+	// Seed: everything on its first candidate.
+	pt := core.NewPartition(g)
+	for _, n := range g.Nodes {
+		cands := Allowed(g, n)
+		if len(cands) == 0 {
+			return Result{}, fmt.Errorf("partition: node %q has no candidate component", n.Name)
+		}
+		if err := pt.Assign(n, cands[0]); err != nil {
+			return Result{}, err
+		}
+	}
+
+	for _, n := range nodes {
+		bestCost := math.Inf(1)
+		var bestComp core.Component
+		for _, comp := range Allowed(g, n) {
+			if err := pt.Assign(n, comp); err != nil {
+				return Result{}, err
+			}
+			cost, err := evalWith(cfg, pt)
+			if err != nil {
+				return Result{}, err
+			}
+			if cost < bestCost {
+				bestCost, bestComp = cost, comp
+			}
+		}
+		if err := pt.Assign(n, bestComp); err != nil {
+			return Result{}, err
+		}
+	}
+	cost, err := evalWith(cfg, pt)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Best: pt, Cost: cost, Evals: cfg.Eval.Evals - start}, nil
+}
+
+// GroupMigration is a Kernighan–Lin style improvement pass over an initial
+// partition: repeatedly, every node is trial-moved to every other candidate
+// component, the single best move is committed and the node locked; a pass
+// ends when all nodes are locked, the best prefix of moves is kept, and
+// passes repeat until one yields no improvement.
+func GroupMigration(init *core.Partition, cfg Config) (Result, error) {
+	g := init.Graph()
+	start := cfg.Eval.Evals
+	cur := init.Clone()
+	curCost, err := evalWith(cfg, cur)
+	if err != nil {
+		return Result{}, err
+	}
+
+	maxPasses := cfg.MaxIters
+	if maxPasses <= 0 {
+		maxPasses = 10
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		type move struct {
+			n    *core.Node
+			from core.Component
+			to   core.Component
+			cost float64 // cost after this move in the sequence
+		}
+		locked := map[*core.Node]bool{}
+		work := cur.Clone()
+		workCost := curCost
+		var seq []move
+
+		for len(locked) < len(g.Nodes) {
+			bestCost := math.Inf(1)
+			var bestMove *move
+			for _, n := range g.Nodes {
+				if locked[n] {
+					continue
+				}
+				from := work.BvComp(n)
+				for _, to := range Allowed(g, n) {
+					if to == from {
+						continue
+					}
+					if err := work.Assign(n, to); err != nil {
+						return Result{}, err
+					}
+					cost, err := evalWith(cfg, work)
+					if err != nil {
+						return Result{}, err
+					}
+					if cost < bestCost {
+						bestCost = cost
+						bestMove = &move{n: n, from: from, to: to, cost: cost}
+					}
+				}
+				if err := work.Assign(n, from); err != nil {
+					return Result{}, err
+				}
+			}
+			if bestMove == nil {
+				break // every unlocked node has a single candidate
+			}
+			if err := work.Assign(bestMove.n, bestMove.to); err != nil {
+				return Result{}, err
+			}
+			locked[bestMove.n] = true
+			seq = append(seq, *bestMove)
+			workCost = bestMove.cost
+		}
+		_ = workCost
+
+		// Keep the best prefix of the move sequence.
+		bestPrefix, bestPrefixCost := 0, curCost
+		for i, m := range seq {
+			if m.cost < bestPrefixCost {
+				bestPrefix, bestPrefixCost = i+1, m.cost
+			}
+		}
+		if bestPrefix == 0 {
+			break // no improving prefix: converged
+		}
+		for _, m := range seq[:bestPrefix] {
+			if err := cur.Assign(m.n, m.to); err != nil {
+				return Result{}, err
+			}
+		}
+		curCost = bestPrefixCost
+		if err := ApplyBusPolicy(cur, cfg.Policy); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Best: cur, Cost: curCost, Evals: cfg.Eval.Evals - start}, nil
+}
+
+// Anneal runs simulated annealing from an initial partition: random node
+// moves accepted when improving or with Boltzmann probability otherwise,
+// geometric cooling.
+func Anneal(init *core.Partition, cfg Config) (Result, error) {
+	g := init.Graph()
+	start := cfg.Eval.Evals
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	iters := cfg.MaxIters
+	if iters <= 0 {
+		iters = 2000
+	}
+	cur := init.Clone()
+	curCost, err := evalWith(cfg, cur)
+	if err != nil {
+		return Result{}, err
+	}
+	best := cur.Clone()
+	bestCost := curCost
+
+	temp := math.Max(curCost, 1.0)
+	cool := math.Pow(0.01/temp, 1/float64(iters)) // end near temp=0.01
+
+	movable := make([]*core.Node, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if len(Allowed(g, n)) > 1 {
+			movable = append(movable, n)
+		}
+	}
+	if len(movable) == 0 {
+		return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start}, nil
+	}
+
+	for i := 0; i < iters; i++ {
+		n := movable[rng.Intn(len(movable))]
+		from := cur.BvComp(n)
+		cands := Allowed(g, n)
+		to := cands[rng.Intn(len(cands))]
+		if to == from {
+			continue
+		}
+		if err := cur.Assign(n, to); err != nil {
+			return Result{}, err
+		}
+		cost, err := evalWith(cfg, cur)
+		if err != nil {
+			return Result{}, err
+		}
+		accept := cost <= curCost || rng.Float64() < math.Exp((curCost-cost)/temp)
+		if accept {
+			curCost = cost
+			if cost < bestCost {
+				bestCost = cost
+				best = cur.Clone()
+			}
+		} else {
+			if err := cur.Assign(n, from); err != nil {
+				return Result{}, err
+			}
+		}
+		temp *= cool
+	}
+	if err := ApplyBusPolicy(best, cfg.Policy); err != nil {
+		return Result{}, err
+	}
+	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start}, nil
+}
+
+// Exhaustive enumerates every legal partition — exponential, usable only
+// for small graphs; the oracle the heuristics are tested against.
+func Exhaustive(g *core.Graph, cfg Config) (Result, error) {
+	start := cfg.Eval.Evals
+	cands := make([][]core.Component, len(g.Nodes))
+	total := 1.0
+	for i, n := range g.Nodes {
+		cands[i] = Allowed(g, n)
+		if len(cands[i]) == 0 {
+			return Result{}, fmt.Errorf("partition: node %q has no candidate component", n.Name)
+		}
+		total *= float64(len(cands[i]))
+		if total > 1e7 {
+			return Result{}, fmt.Errorf("partition: search space too large for exhaustive enumeration (%g partitions)", total)
+		}
+	}
+
+	pt := core.NewPartition(g)
+	var best *core.Partition
+	bestCost := math.Inf(1)
+	var recurse func(i int) error
+	recurse = func(i int) error {
+		if i == len(g.Nodes) {
+			cost, err := evalWith(cfg, pt)
+			if err != nil {
+				return err
+			}
+			if cost < bestCost {
+				bestCost = cost
+				best = pt.Clone()
+			}
+			return nil
+		}
+		for _, comp := range cands[i] {
+			if err := pt.Assign(g.Nodes[i], comp); err != nil {
+				return err
+			}
+			if err := recurse(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := recurse(0); err != nil {
+		return Result{}, err
+	}
+	if best != nil {
+		if err := ApplyBusPolicy(best, cfg.Policy); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start}, nil
+}

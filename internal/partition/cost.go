@@ -1,0 +1,206 @@
+// Package partition implements the partitioning task of §1/§3: searching
+// for a mapping of SLIF functional objects onto an allocated set of system
+// components that satisfies size, pin, performance and bitrate constraints.
+//
+// The cost function is a SpecSyn-style normalized constraint-violation sum,
+// with an optional communication term so the search has a direction once
+// feasibility is reached. Every candidate partition is evaluated with the
+// §3 equations — fast enough, thanks to SLIF's preprocessing, that the
+// algorithms here really do "explore thousands of possible designs" (§5).
+package partition
+
+import (
+	"fmt"
+
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+)
+
+// Constraints carries design constraints beyond the per-component size/pin
+// constraints stored on the components themselves.
+type Constraints struct {
+	// Deadline is the maximum execution time (µs) per process node name.
+	Deadline map[string]float64
+	// MaxBusRate is the maximum bitrate (bits/µs) per bus name.
+	MaxBusRate map[string]float64
+}
+
+// Weights scales each violation class in the cost. A zero weight disables
+// the class.
+type Weights struct {
+	Size float64 // component size constraint excess
+	Pins float64 // component pin constraint excess
+	Time float64 // process deadline excess
+	Rate float64 // bus bitrate excess
+	Comm float64 // secondary objective: fraction of traffic crossing components
+}
+
+// DefaultWeights weight all violation classes equally, with a small
+// communication term to order feasible partitions.
+func DefaultWeights() Weights {
+	return Weights{Size: 1, Pins: 1, Time: 1, Rate: 1, Comm: 0.1}
+}
+
+// Evaluator computes the cost of partitions over one graph. It counts
+// evaluations, which the benchmarks report as "designs explored".
+type Evaluator struct {
+	G      *core.Graph
+	Cons   Constraints
+	W      Weights
+	EstOpt estimate.Options
+
+	Evals int
+
+	totalTraffic float64 // Σ freq×bits, for Comm normalization
+}
+
+// NewEvaluator returns an evaluator for g.
+func NewEvaluator(g *core.Graph, cons Constraints, w Weights, estOpt estimate.Options) *Evaluator {
+	ev := &Evaluator{G: g, Cons: cons, W: w, EstOpt: estOpt}
+	for _, c := range g.Channels {
+		ev.totalTraffic += c.AccFreq * float64(c.Bits)
+	}
+	return ev
+}
+
+// excess returns the normalized amount by which val exceeds limit; 0 when
+// within the limit or unconstrained (limit <= 0).
+func excess(val, limit float64) float64 {
+	if limit <= 0 || val <= limit {
+		return 0
+	}
+	return (val - limit) / limit
+}
+
+// Cost evaluates the partition. A cost of 0 means every constraint is met
+// and no weighted secondary objective applies; lower is better. Partitions
+// the estimator cannot evaluate (missing weights, unmapped objects) return
+// an error.
+func (ev *Evaluator) Cost(pt *core.Partition) (float64, error) {
+	ev.Evals++
+	est := estimate.New(ev.G, pt, ev.EstOpt)
+	var cost float64
+
+	for _, comp := range ev.G.Components() {
+		size, err := est.Size(comp)
+		if err != nil {
+			return 0, err
+		}
+		switch c := comp.(type) {
+		case *core.Processor:
+			cost += ev.W.Size * excess(size, c.SizeCon)
+			cost += ev.W.Pins * excess(float64(est.IO(comp)), float64(c.PinCon))
+		case *core.Memory:
+			cost += ev.W.Size * excess(size, c.SizeCon)
+		}
+	}
+
+	if ev.W.Time > 0 {
+		for _, p := range ev.G.Processes() {
+			limit, ok := ev.Cons.Deadline[p.Name]
+			if !ok {
+				continue
+			}
+			et, err := est.Exectime(p)
+			if err != nil {
+				return 0, err
+			}
+			cost += ev.W.Time * excess(et, limit)
+		}
+	}
+
+	if ev.W.Rate > 0 {
+		for _, b := range ev.G.Buses {
+			limit, ok := ev.Cons.MaxBusRate[b.Name]
+			if !ok {
+				continue
+			}
+			rate, err := est.BusBitrate(b)
+			if err != nil {
+				return 0, err
+			}
+			cost += ev.W.Rate * excess(rate, limit)
+		}
+	}
+
+	if ev.W.Comm > 0 && ev.totalTraffic > 0 {
+		var cut float64
+		for _, c := range ev.G.Channels {
+			if _, isPort := c.Dst.(*core.Port); isPort {
+				continue // external traffic is cut under every partition
+			}
+			if pt.BvComp(c.Src) != pt.DstComp(c) {
+				cut += c.AccFreq * float64(c.Bits)
+			}
+		}
+		cost += ev.W.Comm * cut / ev.totalTraffic
+	}
+
+	return cost, nil
+}
+
+// Feasible reports whether the partition meets every hard constraint
+// (i.e. cost with the communication term disabled is zero).
+func (ev *Evaluator) Feasible(pt *core.Partition) (bool, error) {
+	saved := ev.W.Comm
+	ev.W.Comm = 0
+	cost, err := ev.Cost(pt)
+	ev.W.Comm = saved
+	if err != nil {
+		return false, err
+	}
+	return cost == 0, nil
+}
+
+// Allowed returns the components a node may map to: processors for
+// behaviors; processors and memories for variables — restricted to
+// components whose type the node has weights for.
+func Allowed(g *core.Graph, n *core.Node) []core.Component {
+	var out []core.Component
+	for _, p := range g.Procs {
+		if _, ok := n.ICT[p.TypeName]; ok {
+			out = append(out, p)
+		}
+	}
+	if !n.IsBehavior() {
+		for _, m := range g.Mems {
+			if _, ok := n.ICT[m.TypeName]; ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// BusPolicy derives the channel→bus mapping from the node mapping. The
+// paper treats channel mapping as part of the partition; in practice tools
+// re-derive it after each node move, which is what the algorithms here do.
+type BusPolicy func(pt *core.Partition, c *core.Channel) *core.Bus
+
+// SingleBus maps every channel to one bus.
+func SingleBus(b *core.Bus) BusPolicy {
+	return func(*core.Partition, *core.Channel) *core.Bus { return b }
+}
+
+// InternalExternal maps component-internal channels to the internal bus and
+// component-crossing (or port) channels to the external bus.
+func InternalExternal(internal, external *core.Bus) BusPolicy {
+	return func(pt *core.Partition, c *core.Channel) *core.Bus {
+		if dst := pt.DstComp(c); dst != nil && dst == pt.BvComp(c.Src) {
+			return internal
+		}
+		return external
+	}
+}
+
+// ApplyBusPolicy rewrites the partition's channel mapping per the policy.
+func ApplyBusPolicy(pt *core.Partition, policy BusPolicy) error {
+	for _, c := range pt.Graph().Channels {
+		b := policy(pt, c)
+		if b == nil {
+			return fmt.Errorf("partition: bus policy returned nil for channel %s", c.Key())
+		}
+		pt.AssignChan(c, b)
+	}
+	return nil
+}

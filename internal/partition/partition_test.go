@@ -1,0 +1,438 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+)
+
+// benchGraph builds a synthetic SLIF with nBeh behaviors chained into a
+// pipeline plus nVar variables, suitable for exercising the search
+// algorithms. Behavior i accesses variable i%nVar heavily.
+func benchGraph(t testing.TB, nBeh, nVar int) *core.Graph {
+	t.Helper()
+	g := core.NewGraph("synown")
+	var behs []*core.Node
+	for i := 0; i < nBeh; i++ {
+		n := &core.Node{Name: fmt.Sprintf("b%d", i), Kind: core.BehaviorNode, IsProcess: i == 0}
+		n.SetICT("proc10", float64(10+i))
+		n.SetICT("asic50", float64(1+i)/2)
+		n.SetSize("proc10", float64(100+10*i))
+		n.SetSize("asic50", float64(500+50*i))
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+		behs = append(behs, n)
+	}
+	var vars []*core.Node
+	for i := 0; i < nVar; i++ {
+		n := &core.Node{Name: fmt.Sprintf("v%d", i), Kind: core.VariableNode, StorageBits: int64(64 << (i % 4))}
+		n.SetICT("proc10", 0.2)
+		n.SetICT("asic50", 0.02)
+		n.SetICT("sram8", 0.1)
+		n.SetSize("proc10", float64(n.StorageBits/8))
+		n.SetSize("asic50", float64(n.StorageBits*4))
+		n.SetSize("sram8", float64(n.StorageBits/8))
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+		vars = append(vars, n)
+	}
+	for i := 0; i < nBeh-1; i++ {
+		if err := g.AddChannel(&core.Channel{Src: behs[i], Dst: behs[i+1], AccFreq: 1, Bits: 16, Tag: core.NoTag}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, b := range behs {
+		if nVar == 0 {
+			break
+		}
+		v := vars[i%nVar]
+		if err := g.AddChannel(&core.Channel{Src: b, Dst: v, AccFreq: float64(5 + i), Bits: 8, Tag: core.NoTag}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.AddProcessor(&core.Processor{Name: "cpu", TypeName: "proc10", SizeCon: 100000})
+	g.AddProcessor(&core.Processor{Name: "asic", TypeName: "asic50", Custom: true, SizeCon: 1e7})
+	g.AddMemory(&core.Memory{Name: "ram", TypeName: "sram8", SizeCon: 100000})
+	g.AddBus(&core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4})
+	return g
+}
+
+func config(g *core.Graph, cons Constraints) Config {
+	ev := NewEvaluator(g, cons, DefaultWeights(), estimate.Options{})
+	return Config{Eval: ev, Policy: SingleBus(g.Buses[0]), Seed: 1}
+}
+
+func TestCostZeroWhenUnconstrained(t *testing.T) {
+	g := benchGraph(t, 4, 3)
+	ev := NewEvaluator(g, Constraints{}, Weights{Size: 1, Pins: 1, Time: 1, Rate: 1}, estimate.Options{})
+	pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	cost, err := ev.Cost(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("unconstrained all-software cost = %v, want 0", cost)
+	}
+	ok, err := ev.Feasible(pt)
+	if err != nil || !ok {
+		t.Errorf("Feasible = %v, %v", ok, err)
+	}
+}
+
+func TestCostDeadlineViolation(t *testing.T) {
+	g := benchGraph(t, 4, 3)
+	cons := Constraints{Deadline: map[string]float64{"b0": 0.001}}
+	ev := NewEvaluator(g, cons, Weights{Time: 1}, estimate.Options{})
+	pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	cost, err := ev.Cost(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Error("impossible deadline not penalized")
+	}
+	if ok, _ := ev.Feasible(pt); ok {
+		t.Error("infeasible partition reported feasible")
+	}
+}
+
+func TestCostSizeViolationScales(t *testing.T) {
+	g := benchGraph(t, 4, 3)
+	g.Procs[0].SizeCon = 1 // absurd
+	ev := NewEvaluator(g, Constraints{}, Weights{Size: 1}, estimate.Options{})
+	pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	c1, err := ev.Cost(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Procs[0].SizeCon = 2
+	c2, _ := ev.Cost(pt)
+	if !(c1 > c2 && c2 > 0) {
+		t.Errorf("violation not proportional: con=1→%v, con=2→%v", c1, c2)
+	}
+}
+
+func TestCommTermPrefersColocation(t *testing.T) {
+	g := benchGraph(t, 2, 1)
+	ev := NewEvaluator(g, Constraints{}, Weights{Comm: 1}, estimate.Options{})
+	together := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	apart := together.Clone()
+	if err := apart.Assign(g.NodeByName("b1"), g.Procs[1]); err != nil {
+		t.Fatal(err)
+	}
+	c1, err1 := ev.Cost(together)
+	c2, err2 := ev.Cost(apart)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if c1 >= c2 {
+		t.Errorf("communication term backwards: together %v, apart %v", c1, c2)
+	}
+}
+
+func TestAllowed(t *testing.T) {
+	g := benchGraph(t, 2, 2)
+	b := g.NodeByName("b0")
+	v := g.NodeByName("v0")
+	for _, c := range Allowed(g, b) {
+		if _, ok := c.(*core.Memory); ok {
+			t.Error("behavior allowed on memory")
+		}
+	}
+	foundMem := false
+	for _, c := range Allowed(g, v) {
+		if _, ok := c.(*core.Memory); ok {
+			foundMem = true
+		}
+	}
+	if !foundMem {
+		t.Error("variable not allowed on memory")
+	}
+	// A node without weights for a type is not allowed there.
+	delete(b.ICT, "asic50")
+	for _, c := range Allowed(g, b) {
+		if c.TypeKey() == "asic50" {
+			t.Error("node allowed on component type it has no weights for")
+		}
+	}
+}
+
+func TestBusPolicies(t *testing.T) {
+	g := benchGraph(t, 2, 1)
+	internal := &core.Bus{Name: "ibus", BitWidth: 32, TS: 0.01, TD: 0.01}
+	g.AddBus(internal)
+	pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	if err := pt.Assign(g.NodeByName("b1"), g.Procs[1]); err != nil {
+		t.Fatal(err)
+	}
+	pol := InternalExternal(internal, g.Buses[0])
+	if err := ApplyBusPolicy(pt, pol); err != nil {
+		t.Fatal(err)
+	}
+	// b0→b1 crosses → external; b0→v0 internal.
+	if pt.ChanBus(g.FindChannel("b0", "b1")) != g.Buses[0] {
+		t.Error("cross channel not on external bus")
+	}
+	if pt.ChanBus(g.FindChannel("b0", "v0")) != internal {
+		t.Error("internal channel not on internal bus")
+	}
+}
+
+func TestRandomSearch(t *testing.T) {
+	g := benchGraph(t, 6, 4)
+	cfg := config(g, Constraints{})
+	cfg.MaxIters = 200
+	res, err := Random(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Evals != 200 {
+		t.Fatalf("result: %+v", res)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Errorf("best partition invalid: %v", err)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	g := benchGraph(t, 6, 4)
+	run := func(seed int64) float64 {
+		cfg := config(g, Constraints{})
+		cfg.Seed = seed
+		cfg.MaxIters = 100
+		res, err := Random(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost
+	}
+	if run(7) != run(7) {
+		t.Error("same seed, different result")
+	}
+}
+
+func TestGreedyBeatsWorstRandom(t *testing.T) {
+	g := benchGraph(t, 8, 6)
+	// Constrain the cpu so greedy has real work to do.
+	g.Procs[0].SizeCon = 500
+	cons := Constraints{Deadline: map[string]float64{"b0": 200}}
+	cfg := config(g, cons)
+	greedy, err := Greedy(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := greedy.Best.Validate(); err != nil {
+		t.Fatalf("greedy partition invalid: %v", err)
+	}
+	cfg2 := config(g, cons)
+	cfg2.MaxIters = 1
+	oneRandom, err := Random(g, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Cost > oneRandom.Cost+1e-9 {
+		t.Errorf("greedy (%v) lost to a single random draw (%v)", greedy.Cost, oneRandom.Cost)
+	}
+}
+
+func TestGroupMigrationImproves(t *testing.T) {
+	g := benchGraph(t, 8, 6)
+	g.Procs[0].SizeCon = 500
+	cfg := config(g, Constraints{})
+	init := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	if err := ApplyBusPolicy(init, cfg.Policy); err != nil {
+		t.Fatal(err)
+	}
+	startCost, err := cfg.Eval.Cost(init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GroupMigration(init, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > startCost+1e-9 {
+		t.Errorf("group migration worsened: %v → %v", startCost, res.Cost)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Errorf("result invalid: %v", err)
+	}
+}
+
+func TestAnnealRuns(t *testing.T) {
+	g := benchGraph(t, 6, 4)
+	g.Procs[0].SizeCon = 500
+	cfg := config(g, Constraints{})
+	cfg.MaxIters = 500
+	init := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	if err := ApplyBusPolicy(init, cfg.Policy); err != nil {
+		t.Fatal(err)
+	}
+	startCost, err := cfg.Eval.Cost(init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anneal(init, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > startCost+1e-9 {
+		t.Errorf("annealing returned something worse than its start: %v → %v", startCost, res.Cost)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Errorf("result invalid: %v", err)
+	}
+}
+
+func TestExhaustiveIsOptimal(t *testing.T) {
+	g := benchGraph(t, 3, 2) // 5 nodes ≤ 3^5 = 243 partitions
+	g.Procs[0].SizeCon = 400
+	cfg := config(g, Constraints{})
+	opt, err := Exhaustive(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No heuristic may beat the exhaustive optimum.
+	for name, run := range map[string]func() (Result, error){
+		"greedy": func() (Result, error) { return Greedy(g, config(g, Constraints{})) },
+		"random": func() (Result, error) {
+			c := config(g, Constraints{})
+			c.MaxIters = 300
+			return Random(g, c)
+		},
+		"cluster": func() (Result, error) { return ClusterGreedy(g, config(g, Constraints{})) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Cost < opt.Cost-1e-9 {
+			t.Errorf("%s (%v) beat the exhaustive optimum (%v)", name, res.Cost, opt.Cost)
+		}
+	}
+}
+
+func TestExhaustiveRefusesHugeSpace(t *testing.T) {
+	g := benchGraph(t, 20, 20)
+	if _, err := Exhaustive(g, config(g, Constraints{})); err == nil {
+		t.Error("exhaustive accepted an enormous space")
+	}
+}
+
+func TestClosenessSymmetric(t *testing.T) {
+	g := benchGraph(t, 5, 3)
+	m, comp := Closeness(g)
+	if comp != len(g.Nodes)*len(g.Nodes) {
+		t.Errorf("computations = %d", comp)
+	}
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Errorf("self-closeness nonzero at %d", i)
+		}
+		for j := range m {
+			if m[i][j] != m[j][i] {
+				t.Errorf("asymmetry at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestHierarchicalClusters(t *testing.T) {
+	g := benchGraph(t, 6, 4)
+	for _, k := range []int{1, 2, 3, len(g.Nodes)} {
+		clusters, _, err := HierarchicalClusters(g, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(clusters) != k {
+			t.Errorf("k=%d: got %d clusters", k, len(clusters))
+		}
+		seen := map[*core.Node]bool{}
+		total := 0
+		for _, c := range clusters {
+			for _, n := range c.Nodes {
+				if seen[n] {
+					t.Error("node in two clusters")
+				}
+				seen[n] = true
+				total++
+			}
+		}
+		if total != len(g.Nodes) {
+			t.Errorf("k=%d: clusters cover %d of %d nodes", k, total, len(g.Nodes))
+		}
+	}
+	if _, _, err := HierarchicalClusters(g, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := HierarchicalClusters(g, len(g.Nodes)+1); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestClusterKeepsTalkers(t *testing.T) {
+	// Two pairs that talk heavily within themselves and not across must
+	// end up in separate clusters.
+	g := core.NewGraph("pairs")
+	mk := func(name string) *core.Node {
+		n := &core.Node{Name: name, Kind: core.BehaviorNode}
+		n.SetICT("proc10", 1)
+		n.SetSize("proc10", 1)
+		_ = g.AddNode(n)
+		return n
+	}
+	a1, a2, b1, b2 := mk("a1"), mk("a2"), mk("b1"), mk("b2")
+	_ = g.AddChannel(&core.Channel{Src: a1, Dst: a2, AccFreq: 100, Bits: 32, Tag: core.NoTag})
+	_ = g.AddChannel(&core.Channel{Src: b1, Dst: b2, AccFreq: 100, Bits: 32, Tag: core.NoTag})
+	_ = g.AddChannel(&core.Channel{Src: a1, Dst: b1, AccFreq: 1, Bits: 1, Tag: core.NoTag})
+	clusters, _, err := HierarchicalClusters(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(n *core.Node) int {
+		for i, c := range clusters {
+			for _, m := range c.Nodes {
+				if m == n {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	if find(a1) != find(a2) || find(b1) != find(b2) || find(a1) == find(b1) {
+		t.Errorf("clustering split the talking pairs: a1=%d a2=%d b1=%d b2=%d",
+			find(a1), find(a2), find(b1), find(b2))
+	}
+}
+
+// Property: for any seed, every algorithm returns a legal partition whose
+// cost is finite and non-negative.
+func TestAlgorithmsAlwaysLegalQuick(t *testing.T) {
+	g := benchGraph(t, 5, 3)
+	f := func(seed int64) bool {
+		cfg := config(g, Constraints{})
+		cfg.Seed = seed
+		cfg.MaxIters = 50
+		res, err := Random(g, cfg)
+		if err != nil || res.Best.Validate() != nil {
+			return false
+		}
+		if math.IsNaN(res.Cost) || res.Cost < 0 {
+			return false
+		}
+		gm, err := GroupMigration(res.Best, cfg)
+		if err != nil || gm.Best.Validate() != nil || gm.Cost > res.Cost+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+package profile
+
+import (
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+// Counts carries the expected, minimum and maximum number of times an
+// event occurs per start-to-finish execution of its behavior.
+type Counts struct {
+	Avg, Min, Max float64
+}
+
+// One is the count of an event that happens exactly once per execution.
+var One = Counts{Avg: 1, Min: 1, Max: 1}
+
+func (c Counts) scale(avg, min, max float64) Counts {
+	return Counts{Avg: c.Avg * avg, Min: c.Min * min, Max: c.Max * max}
+}
+
+// Visitor receives counted traversal events from WalkCounted.
+//
+// OnStmt fires once per statement with the statement's execution counts.
+// OnExpr fires once per expression node (recursively) with the node's
+// evaluation counts. Assignment targets are not passed to OnExpr — the
+// write access they represent is the visitor's business via OnStmt — but
+// their index expressions are.
+type Visitor struct {
+	OnStmt func(s vhdl.Stmt, c Counts)
+	OnExpr func(e vhdl.Expr, c Counts)
+}
+
+// WalkCounted traverses behavior b's body firing the visitor's callbacks
+// with expected/min/max execution counts, combining static for-loop bounds
+// with the profile's branch probabilities and dynamic-loop counts. Branch
+// and loop sites are numbered in pre-order per behavior, so every consumer
+// of the same profile sees identical site ids.
+func WalkCounted(d *sem.Design, b *sem.Behavior, p *Profile, v Visitor) {
+	w := &walker{d: d, b: b, p: p, v: v}
+	w.stmts(b.Body, One)
+}
+
+type walker struct {
+	d       *sem.Design
+	b       *sem.Behavior
+	p       *Profile
+	v       Visitor
+	branchN int // branch sites seen so far (1-based ids)
+	loopN   int // dynamic loop sites seen so far
+}
+
+// expr visits every node of an expression tree.
+func (w *walker) expr(e vhdl.Expr, c Counts) {
+	if e == nil {
+		return
+	}
+	if w.v.OnExpr != nil {
+		w.v.OnExpr(e, c)
+	}
+	switch x := e.(type) {
+	case *vhdl.CallExpr:
+		for _, a := range x.Args {
+			w.expr(a, c)
+		}
+	case *vhdl.BinExpr:
+		w.expr(x.L, c)
+		w.expr(x.R, c)
+	case *vhdl.UnaryExpr:
+		w.expr(x.X, c)
+	case *vhdl.AggregateExpr:
+		for _, a := range x.Assocs {
+			if a.Choice != nil {
+				w.expr(a.Choice, c)
+			}
+			w.expr(a.Value, c)
+		}
+	}
+}
+
+func (w *walker) stmts(stmts []vhdl.Stmt, c Counts) {
+	for _, s := range stmts {
+		w.stmt(s, c)
+	}
+}
+
+func (w *walker) stmt(s vhdl.Stmt, c Counts) {
+	if w.v.OnStmt != nil {
+		w.v.OnStmt(s, c)
+	}
+	switch st := s.(type) {
+	case *vhdl.AssignStmt:
+		w.expr(st.Value, c)
+		// The target itself is a write access reported via OnStmt; only
+		// its index expressions are evaluated as reads.
+		if t, ok := st.Target.(*vhdl.CallExpr); ok {
+			for _, a := range t.Args {
+				w.expr(a, c)
+			}
+		}
+
+	case *vhdl.IfStmt:
+		w.expr(st.Cond, c)
+		w.branchN++
+		site := w.branchN
+		arms := 2 + len(st.Elifs) // then, elifs..., else (possibly empty)
+		beh := w.b.UniqueID
+		arm := 0
+		w.stmts(st.Then, c.scale(w.p.Branch(beh, site, arm, arms), 0, 1))
+		for _, el := range st.Elifs {
+			arm++
+			// elsif conditions run whenever preceding arms failed;
+			// approximated with the full count (cheap, conservative).
+			w.expr(el.Cond, c)
+			w.stmts(el.Body, c.scale(w.p.Branch(beh, site, arm, arms), 0, 1))
+		}
+		arm++
+		if len(st.Else) > 0 {
+			w.stmts(st.Else, c.scale(w.p.Branch(beh, site, arm, arms), 0, 1))
+		}
+
+	case *vhdl.CaseStmt:
+		w.expr(st.Expr, c)
+		w.branchN++
+		site := w.branchN
+		arms := len(st.Whens)
+		beh := w.b.UniqueID
+		for i, when := range st.Whens {
+			for _, choice := range when.Choices {
+				w.expr(choice, c)
+			}
+			w.stmts(when.Body, c.scale(w.p.Branch(beh, site, i, arms), 0, 1))
+		}
+
+	case *vhdl.ForStmt:
+		w.expr(st.Low, c)
+		w.expr(st.High, c)
+		n, static := w.staticTrip(st.Low, st.High, st.Downto)
+		if !static {
+			w.loopN++
+			avg, maxN := w.p.Loop(w.b.UniqueID, w.loopN)
+			w.stmts(st.Body, c.scale(avg, 0, maxN))
+			return
+		}
+		w.stmts(st.Body, c.scale(n, n, n))
+
+	case *vhdl.WhileStmt:
+		w.loopN++
+		avg, maxN := w.p.Loop(w.b.UniqueID, w.loopN)
+		// The condition is evaluated once more than the body runs.
+		w.expr(st.Cond, c.scale(avg+1, 1, maxN+1))
+		w.stmts(st.Body, c.scale(avg, 0, maxN))
+
+	case *vhdl.LoopStmt:
+		// A bare loop around a process body repeats forever; one
+		// start-to-finish execution is one trip, unless profiled otherwise.
+		w.loopN++
+		avg, maxN := w.p.Loop(w.b.UniqueID, w.loopN)
+		w.stmts(st.Body, c.scale(avg, 1, maxN))
+
+	case *vhdl.ExitStmt:
+		w.expr(st.Cond, c)
+
+	case *vhdl.CallStmt:
+		for _, a := range st.Args {
+			w.expr(a, c)
+		}
+
+	case *vhdl.WaitStmt:
+		w.expr(st.Until, c)
+
+	case *vhdl.ReturnStmt:
+		w.expr(st.Value, c)
+	}
+}
+
+// staticTrip returns the trip count of a for loop with static bounds.
+// The bounds arrive in source order, so a downto loop has low > high; a
+// genuinely empty range in either direction yields 0 only when the
+// statement is not a downto loop (the caller passes bounds as written).
+func (w *walker) staticTrip(low, high vhdl.Expr, downto bool) (float64, bool) {
+	lo, ok1 := w.d.EvalStatic(w.b, low)
+	hi, ok2 := w.d.EvalStatic(w.b, high)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	if downto {
+		lo, hi = hi, lo
+	}
+	if hi < lo {
+		return 0, true
+	}
+	return float64(hi - lo + 1), true
+}
+
+// Event is one access performed by a behavior: a read or write of a
+// variable, signal or port, or a subprogram call.
+type Event struct {
+	Target  *sem.Symbol // resolved target: SymObject, SymPort or SymBehavior
+	IsCall  bool
+	IsWrite bool
+	Counts  Counts
+}
+
+// Walk enumerates the access events of behavior b with their expected
+// counts (the §2.4.1 accfreq/accmin/accmax inputs). Events for subprogram
+// parameters, loop variables, enum literals and type names are not emitted
+// — they are not SLIF objects.
+func Walk(d *sem.Design, b *sem.Behavior, p *Profile, emit func(Event)) {
+	// Loop variables live in no scope, so they resolve to nil and are
+	// skipped here. A loop variable that shadows a declared object would
+	// be miscounted as an object access; the subset forbids such shadowing.
+	access := func(name string, isCall, isWrite bool, c Counts) {
+		sym := d.Lookup(b, name)
+		if sym == nil {
+			return
+		}
+		switch sym.Kind {
+		case sem.SymEnumLit, sem.SymType, sem.SymLoopVar:
+			return
+		case sem.SymObject:
+			if sym.Object != nil && sym.Object.IsParam {
+				return
+			}
+		}
+		emit(Event{Target: sym, IsCall: isCall, IsWrite: isWrite, Counts: c})
+	}
+	WalkCounted(d, b, p, Visitor{
+		OnStmt: func(s vhdl.Stmt, c Counts) {
+			switch st := s.(type) {
+			case *vhdl.AssignStmt:
+				switch t := st.Target.(type) {
+				case *vhdl.NameExpr:
+					access(t.Name, false, true, c)
+				case *vhdl.CallExpr:
+					access(t.Name, false, true, c)
+				}
+			case *vhdl.CallStmt:
+				access(st.Name, true, false, c)
+			case *vhdl.WaitStmt:
+				for _, sig := range st.OnSignals {
+					access(sig, false, false, c)
+				}
+			}
+		},
+		OnExpr: func(e vhdl.Expr, c Counts) {
+			switch x := e.(type) {
+			case *vhdl.NameExpr:
+				access(x.Name, false, false, c)
+			case *vhdl.CallExpr:
+				sym := d.Lookup(b, x.Name)
+				isCall := sym != nil && sym.Kind == sem.SymBehavior
+				access(x.Name, isCall, false, c)
+			}
+		},
+	})
+}

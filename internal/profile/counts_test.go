@@ -1,0 +1,323 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+// design elaborates a snippet and returns its one process behavior.
+func design(t *testing.T, src string) (*sem.Design, *sem.Behavior) {
+	t.Helper()
+	df, err := vhdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range d.Behaviors {
+		if b.IsProcess {
+			return d, b
+		}
+	}
+	t.Fatal("no process")
+	return nil, nil
+}
+
+// counts aggregates Walk events by target name.
+func counts(d *sem.Design, b *sem.Behavior, p *Profile) map[string]Counts {
+	out := map[string]Counts{}
+	Walk(d, b, p, func(ev Event) {
+		var name string
+		switch ev.Target.Kind {
+		case sem.SymObject:
+			name = ev.Target.Object.UniqueID
+		case sem.SymPort:
+			name = ev.Target.Port.Name
+		case sem.SymBehavior:
+			name = ev.Target.Behavior.UniqueID
+		}
+		c := out[name]
+		c.Avg += ev.Counts.Avg
+		c.Min += ev.Counts.Min
+		c.Max += ev.Counts.Max
+		out[name] = c
+	})
+	return out
+}
+
+func eq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestStraightLineCounts(t *testing.T) {
+	_, _ = design, counts
+	d, b := design(t, `
+entity E is port (a : in integer); end;
+architecture x of E is begin
+P: process
+    variable v, w : integer;
+begin
+    v := a;
+    w := v + v;
+    wait on a;
+end process; end;`)
+	got := counts(d, b, Empty())
+	if !eq(got["v"].Avg, 3) { // one write + two reads
+		t.Errorf("v = %v, want 3", got["v"])
+	}
+	if !eq(got["w"].Avg, 1) {
+		t.Errorf("w = %v", got["w"])
+	}
+	if !eq(got["a"].Avg, 2) { // read by assignment and by wait
+		t.Errorf("a = %v", got["a"])
+	}
+}
+
+func TestStaticForLoopCounts(t *testing.T) {
+	d, b := design(t, `
+entity E is end;
+architecture x of E is begin
+P: process
+    type arr is array (1 to 128) of integer;
+    variable a : arr;
+    variable s : integer;
+begin
+    for i in 1 to 128 loop
+        s := s + a(i);
+    end loop;
+    wait;
+end process; end;`)
+	got := counts(d, b, Empty())
+	if !eq(got["a"].Avg, 128) || !eq(got["a"].Min, 128) || !eq(got["a"].Max, 128) {
+		t.Errorf("a = %+v, want 128 exactly in all modes", got["a"])
+	}
+	if !eq(got["s"].Avg, 256) { // read + write per iteration
+		t.Errorf("s = %+v", got["s"])
+	}
+}
+
+func TestBranchProbabilities(t *testing.T) {
+	src := `
+entity E is end;
+architecture x of E is begin
+P: process
+    variable v, w : integer;
+begin
+    if v = 1 then
+        w := 1;
+    elsif v = 2 then
+        w := 2;
+        w := 3;
+    end if;
+    wait;
+end process; end;`
+	d, b := design(t, src)
+	p := Empty()
+	p.SetBranch("p", 1, 0.25, 0.5, 0.25) // then, elsif, else
+	got := counts(d, b, p)
+	// w: 0.25×1 + 0.5×2 = 1.25 expected writes.
+	if !eq(got["w"].Avg, 1.25) {
+		t.Errorf("w.Avg = %v, want 1.25", got["w"].Avg)
+	}
+	// Min: branches may be skipped entirely.
+	if !eq(got["w"].Min, 0) {
+		t.Errorf("w.Min = %v, want 0", got["w"].Min)
+	}
+	// Max: every arm taken (they are alternatives, but max is per-access).
+	if !eq(got["w"].Max, 3) {
+		t.Errorf("w.Max = %v, want 3", got["w"].Max)
+	}
+	// The condition reads happen regardless: v read by if and elsif.
+	if !eq(got["v"].Avg, 2) {
+		t.Errorf("v.Avg = %v, want 2", got["v"].Avg)
+	}
+}
+
+func TestCaseProbabilities(t *testing.T) {
+	d, b := design(t, `
+entity E is end;
+architecture x of E is begin
+P: process
+    variable v, w : integer;
+begin
+    case v is
+        when 0 => w := 1;
+        when 1 => w := 2;
+        when others => null;
+    end case;
+    wait;
+end process; end;`)
+	p := Empty()
+	p.SetBranch("p", 1, 0.6, 0.3, 0.1)
+	got := counts(d, b, p)
+	if !eq(got["w"].Avg, 0.9) {
+		t.Errorf("w.Avg = %v, want 0.9", got["w"].Avg)
+	}
+	// Unprofiled: uniform thirds.
+	got = counts(d, b, Empty())
+	if !eq(got["w"].Avg, 2.0/3.0) {
+		t.Errorf("uniform w.Avg = %v, want 2/3", got["w"].Avg)
+	}
+}
+
+func TestWhileLoopProfile(t *testing.T) {
+	d, b := design(t, `
+entity E is end;
+architecture x of E is begin
+P: process
+    variable v, n : integer;
+begin
+    while n > 0 loop
+        v := v + 1;
+    end loop;
+    wait;
+end process; end;`)
+	p := Empty()
+	p.SetLoop("p", 1, 10, 100)
+	got := counts(d, b, p)
+	if !eq(got["v"].Avg, 20) { // read+write × 10 iterations
+		t.Errorf("v.Avg = %v, want 20", got["v"].Avg)
+	}
+	if !eq(got["v"].Max, 200) {
+		t.Errorf("v.Max = %v, want 200", got["v"].Max)
+	}
+	if !eq(got["v"].Min, 0) {
+		t.Errorf("v.Min = %v, want 0", got["v"].Min)
+	}
+	// Condition: n read avg+1 = 11 times.
+	if !eq(got["n"].Avg, 11) {
+		t.Errorf("n.Avg = %v, want 11", got["n"].Avg)
+	}
+}
+
+func TestCallAndParamsInvisible(t *testing.T) {
+	d, b := design(t, `
+entity E is end;
+architecture x of E is
+    procedure Q(n : in integer) is
+        variable local : integer;
+    begin
+        local := n;
+    end;
+begin
+P: process
+begin
+    Q(1);
+    Q(2);
+    wait;
+end process; end;`)
+	got := counts(d, b, Empty())
+	if !eq(got["q"].Avg, 2) {
+		t.Errorf("call count = %v, want 2", got["q"].Avg)
+	}
+	if _, ok := got["n"]; ok {
+		t.Error("parameter emitted as an access")
+	}
+	// Q's own accesses: local write, no param event.
+	var q *sem.Behavior
+	for _, bb := range d.Behaviors {
+		if bb.Name == "q" {
+			q = bb
+		}
+	}
+	qc := counts(d, q, Empty())
+	if !eq(qc["local"].Avg, 1) {
+		t.Errorf("q's local = %v", qc["local"])
+	}
+	if len(qc) != 1 {
+		t.Errorf("q accesses: %v", qc)
+	}
+}
+
+func TestNestedScaling(t *testing.T) {
+	d, b := design(t, `
+entity E is end;
+architecture x of E is begin
+P: process
+    variable v, g : integer;
+begin
+    for i in 1 to 10 loop
+        if g = 1 then
+            v := 1;
+        end if;
+    end loop;
+    wait;
+end process; end;`)
+	p := Empty()
+	p.SetBranch("p", 1, 0.3, 0.7)
+	got := counts(d, b, p)
+	if !eq(got["v"].Avg, 3) { // 10 × 0.3
+		t.Errorf("v.Avg = %v, want 3", got["v"].Avg)
+	}
+	if !eq(got["v"].Max, 10) {
+		t.Errorf("v.Max = %v, want 10", got["v"].Max)
+	}
+}
+
+func TestLoopVarNotEmitted(t *testing.T) {
+	d, b := design(t, `
+entity E is end;
+architecture x of E is begin
+P: process
+    variable s : integer;
+begin
+    for i in 1 to 4 loop
+        s := s + i;
+    end loop;
+    wait;
+end process; end;`)
+	got := counts(d, b, Empty())
+	if _, ok := got["i"]; ok {
+		t.Error("loop variable emitted")
+	}
+}
+
+func TestIndexedWriteCountsIndexReads(t *testing.T) {
+	d, b := design(t, `
+entity E is end;
+architecture x of E is begin
+P: process
+    type arr is array (0 to 7) of integer;
+    variable a : arr;
+    variable idx : integer;
+begin
+    a(idx) := 1;
+    wait;
+end process; end;`)
+	got := counts(d, b, Empty())
+	if !eq(got["a"].Avg, 1) {
+		t.Errorf("a = %v", got["a"])
+	}
+	if !eq(got["idx"].Avg, 1) {
+		t.Errorf("idx = %v (index expression read lost)", got["idx"])
+	}
+}
+
+func TestSiteNumberingSharedWithOpCounts(t *testing.T) {
+	// Two visitors over the same behavior must see the same branch site
+	// ids; this guards the WalkCounted contract.
+	d, b := design(t, `
+entity E is end;
+architecture x of E is begin
+P: process
+    variable v, w : integer;
+begin
+    if v = 1 then
+        w := 1;
+    end if;
+    if v = 2 then
+        w := 2;
+    end if;
+    wait;
+end process; end;`)
+	p := Empty()
+	p.SetBranch("p", 1, 1, 0) // always take first if
+	p.SetBranch("p", 2, 0, 1) // never take second if
+	got := counts(d, b, p)
+	if !eq(got["w"].Avg, 1) {
+		t.Errorf("w.Avg = %v, want 1 (site numbering broken?)", got["w"].Avg)
+	}
+}

@@ -1,0 +1,29 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzProfileParse checks that arbitrary profile text never panics and
+// that accepted profiles survive Dump/Parse.
+func FuzzProfileParse(f *testing.F) {
+	f.Add("beh.br1 0.5 0.5\nbeh.loop1 10 20\ndefaultloop 2\n")
+	f.Add("")
+	f.Add("# only a comment")
+	f.Add("beh.br1 2.0")
+	f.Add("x.loop1 1 2 3")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := p.Dump(&sb); err != nil {
+			t.Fatalf("dump: %v", err)
+		}
+		if _, err := Parse(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("dumped profile does not reparse: %v\n%s", err, sb.String())
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package profile
+
+import (
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+// Sites maps a behavior's branch and dynamic-loop statements to the site
+// ids the profile records are keyed by. The numbering is the pre-order
+// numbering WalkCounted uses: every if/case is a branch site, every
+// while/bare loop and every for loop with non-static bounds is a loop
+// site, both numbered from 1 in statement pre-order.
+//
+// The simulator uses this to emit profile records whose ids agree with the
+// estimator's interpretation; TestSitesMatchWalkCounted guards the
+// equivalence.
+type Sites struct {
+	Branch map[vhdl.Stmt]int // if/case statement → branch site id
+	Arms   map[vhdl.Stmt]int // branch statement → number of arms
+	Loop   map[vhdl.Stmt]int // dynamic loop statement → loop site id
+}
+
+// IndexSites computes the site numbering of behavior b.
+func IndexSites(d *sem.Design, b *sem.Behavior) *Sites {
+	s := &Sites{
+		Branch: map[vhdl.Stmt]int{},
+		Arms:   map[vhdl.Stmt]int{},
+		Loop:   map[vhdl.Stmt]int{},
+	}
+	ix := &siteIndexer{d: d, b: b, s: s}
+	ix.stmts(b.Body)
+	return s
+}
+
+type siteIndexer struct {
+	d       *sem.Design
+	b       *sem.Behavior
+	s       *Sites
+	branchN int
+	loopN   int
+}
+
+func (ix *siteIndexer) stmts(stmts []vhdl.Stmt) {
+	for _, st := range stmts {
+		ix.stmt(st)
+	}
+}
+
+func (ix *siteIndexer) stmt(s vhdl.Stmt) {
+	switch st := s.(type) {
+	case *vhdl.IfStmt:
+		ix.branchN++
+		ix.s.Branch[s] = ix.branchN
+		ix.s.Arms[s] = 2 + len(st.Elifs)
+		ix.stmts(st.Then)
+		for _, el := range st.Elifs {
+			ix.stmts(el.Body)
+		}
+		ix.stmts(st.Else)
+	case *vhdl.CaseStmt:
+		ix.branchN++
+		ix.s.Branch[s] = ix.branchN
+		ix.s.Arms[s] = len(st.Whens)
+		for _, w := range st.Whens {
+			ix.stmts(w.Body)
+		}
+	case *vhdl.ForStmt:
+		lo, ok1 := ix.d.EvalStatic(ix.b, st.Low)
+		hi, ok2 := ix.d.EvalStatic(ix.b, st.High)
+		_ = lo
+		_ = hi
+		if !ok1 || !ok2 {
+			ix.loopN++
+			ix.s.Loop[s] = ix.loopN
+		}
+		ix.stmts(st.Body)
+	case *vhdl.WhileStmt:
+		ix.loopN++
+		ix.s.Loop[s] = ix.loopN
+		ix.stmts(st.Body)
+	case *vhdl.LoopStmt:
+		ix.loopN++
+		ix.s.Loop[s] = ix.loopN
+		ix.stmts(st.Body)
+	}
+}

@@ -1,0 +1,138 @@
+package profile
+
+import (
+	"testing"
+
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+// TestSitesMatchWalkCounted guards the contract that IndexSites and
+// WalkCounted number branch/loop sites identically: a profile built from
+// one numbering and consumed through the other must line up. The behavior
+// below interleaves ifs, a case, static and dynamic loops.
+func TestSitesMatchWalkCounted(t *testing.T) {
+	src := `
+entity E is end;
+architecture x of E is begin
+P: process
+    variable a, b, c, n : integer;
+begin
+    if a = 1 then          -- branch site 1
+        b := 1;
+    end if;
+    for i in 1 to 4 loop   -- static: no loop site
+        case b is          -- branch site 2
+            when 0 => c := 1;
+            when others => c := 2;
+        end case;
+    end loop;
+    while n > 0 loop       -- loop site 1
+        if c = 2 then      -- branch site 3
+            n := n - 1;
+        end if;
+    end loop;
+    wait;
+end process; end;`
+	df, err := vhdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p *sem.Behavior
+	for _, b := range d.Behaviors {
+		if b.IsProcess {
+			p = b
+		}
+	}
+	sites := IndexSites(d, p)
+
+	// Expected static structure.
+	branchIDs := map[int]bool{}
+	for _, id := range sites.Branch {
+		branchIDs[id] = true
+	}
+	if len(sites.Branch) != 3 || !branchIDs[1] || !branchIDs[2] || !branchIDs[3] {
+		t.Fatalf("branch sites: %v", sites.Branch)
+	}
+	if len(sites.Loop) != 1 {
+		t.Fatalf("loop sites: %v", sites.Loop)
+	}
+	for _, id := range sites.Loop {
+		if id != 1 {
+			t.Errorf("while loop got site %d, want 1", id)
+		}
+	}
+
+	// Cross-check against WalkCounted: craft a profile that zeroes branch
+	// site 3's then-arm. If the numbering agreed, accesses to n inside
+	// that arm count 0; if WalkCounted numbered the site differently the
+	// default 1/2 would leak through.
+	prof := Empty()
+	prof.SetBranch("p", 3, 0, 1) // never take the if inside the while
+	prof.SetLoop("p", 1, 10)
+	var nCount float64
+	Walk(d, p, prof, func(ev Event) {
+		if ev.Target.Kind == sem.SymObject && ev.Target.Object.Name == "n" && ev.IsWrite {
+			nCount += ev.Counts.Avg
+		}
+	})
+	if nCount != 0 {
+		t.Errorf("n written %v times; site numbering between IndexSites and WalkCounted disagrees", nCount)
+	}
+
+	// And the complement: full probability gives 10 writes (one per
+	// while iteration).
+	prof2 := Empty()
+	prof2.SetBranch("p", 3, 1, 0)
+	prof2.SetLoop("p", 1, 10)
+	nCount = 0
+	Walk(d, p, prof2, func(ev Event) {
+		if ev.Target.Kind == sem.SymObject && ev.Target.Object.Name == "n" && ev.IsWrite {
+			nCount += ev.Counts.Avg
+		}
+	})
+	if nCount != 10 {
+		t.Errorf("n written %v times, want 10", nCount)
+	}
+}
+
+func TestIndexSitesArms(t *testing.T) {
+	src := `
+entity E is end;
+architecture x of E is begin
+P: process
+    variable a, b : integer;
+begin
+    if a = 1 then
+        b := 1;
+    elsif a = 2 then
+        b := 2;
+    elsif a = 3 then
+        b := 3;
+    else
+        b := 0;
+    end if;
+    wait;
+end process; end;`
+	df, _ := vhdl.Parse(src)
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p *sem.Behavior
+	for _, b := range d.Behaviors {
+		if b.IsProcess {
+			p = b
+		}
+	}
+	sites := IndexSites(d, p)
+	for s, arms := range sites.Arms {
+		if _, isIf := s.(*vhdl.IfStmt); isIf && arms != 4 {
+			t.Errorf("if with 2 elsifs has %d arms, want 4", arms)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package sched derives the concurrency tags of §2.3/§2.4.1: SLIF marks
+// same-source channels that could be accessed concurrently with a shared
+// tag. The paper obtains this information "by scheduling the contents of
+// the behavior"; this package implements that scheduling as an ASAP
+// schedule of the behavior's top-level statements under data dependencies.
+//
+// Two top-level statements conflict when one writes an object the other
+// reads or writes (RAW/WAR/WAW), or when either transfers control
+// (call/wait/return), which serializes. Statements land in the earliest
+// step after all their dependencies; accesses performed in the same step
+// could overlap, so the channels they belong to share a tag. A channel
+// whose target is touched in several different steps is strictly
+// sequential and gets no tag, matching the paper's conservative baseline.
+package sched
+
+import (
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+// NoTag mirrors core.NoTag without importing core (sched is independent of
+// the graph representation).
+const NoTag = -1
+
+// stmtInfo is the read/write footprint of one top-level statement.
+type stmtInfo struct {
+	reads    map[string]bool // target unique IDs
+	writes   map[string]bool
+	serial   bool // transfers control: orders against everything
+	accessed []string
+}
+
+// Schedule assigns an ASAP control step (1-based) to each top-level
+// statement of behavior b. Exposed for tests and the transform engine.
+func Schedule(d *sem.Design, b *sem.Behavior) []int {
+	infos := analyze(d, b)
+	steps := make([]int, len(infos))
+	for i := range infos {
+		step := 1
+		for j := 0; j < i; j++ {
+			if conflicts(infos[j], infos[i]) && steps[j]+1 > step {
+				step = steps[j] + 1
+			}
+		}
+		steps[i] = step
+	}
+	return steps
+}
+
+// Tags returns the concurrency tag for each accessed target (by unique ID)
+// of behavior b: targets only touched within one control step share that
+// step's number as their tag; targets touched in several steps, and
+// singleton groups, get NoTag.
+func Tags(d *sem.Design, b *sem.Behavior) map[string]int {
+	infos := analyze(d, b)
+	steps := Schedule(d, b)
+
+	// Which steps touch each target?
+	targetSteps := map[string]map[int]bool{}
+	for i, info := range infos {
+		for _, t := range info.accessed {
+			if targetSteps[t] == nil {
+				targetSteps[t] = map[int]bool{}
+			}
+			targetSteps[t][steps[i]] = true
+		}
+	}
+
+	// Candidate tag = the single step of a single-step target.
+	tags := map[string]int{}
+	perStep := map[int]int{} // step → number of single-step targets in it
+	for t, ss := range targetSteps {
+		if len(ss) == 1 {
+			for s := range ss {
+				tags[t] = s
+				perStep[s]++
+			}
+		} else {
+			tags[t] = NoTag
+		}
+	}
+	// A "group" of one is not concurrency.
+	for t, tag := range tags {
+		if tag != NoTag && perStep[tag] < 2 {
+			tags[t] = NoTag
+		}
+	}
+	return tags
+}
+
+// analyze computes read/write footprints of b's top-level statements.
+func analyze(d *sem.Design, b *sem.Behavior) []stmtInfo {
+	infos := make([]stmtInfo, 0, len(b.Body))
+	for _, s := range b.Body {
+		info := stmtInfo{reads: map[string]bool{}, writes: map[string]bool{}}
+		collect(d, b, s, &info)
+		infos = append(infos, info)
+	}
+	return infos
+}
+
+func conflicts(a, bb stmtInfo) bool {
+	if a.serial || bb.serial {
+		return true
+	}
+	for w := range a.writes {
+		if bb.reads[w] || bb.writes[w] {
+			return true
+		}
+	}
+	for w := range bb.writes {
+		if a.reads[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// note records an access to a resolved name in the footprint.
+func note(d *sem.Design, b *sem.Behavior, name string, write bool, info *stmtInfo) {
+	sym := d.Lookup(b, name)
+	if sym == nil {
+		return
+	}
+	var id string
+	switch sym.Kind {
+	case sem.SymObject:
+		if sym.Object.IsParam {
+			return
+		}
+		id = sym.Object.UniqueID
+	case sem.SymPort:
+		id = sym.Port.Name
+	case sem.SymBehavior:
+		id = sym.Behavior.UniqueID
+		info.serial = true // calls serialize in the baseline schedule
+		info.reads[id] = true
+		info.accessed = append(info.accessed, id)
+		return
+	default:
+		return
+	}
+	if write {
+		info.writes[id] = true
+	} else {
+		info.reads[id] = true
+	}
+	info.accessed = append(info.accessed, id)
+}
+
+func collectExpr(d *sem.Design, b *sem.Behavior, e vhdl.Expr, info *stmtInfo) {
+	vhdl.WalkExpr(e, func(x vhdl.Expr) {
+		switch n := x.(type) {
+		case *vhdl.NameExpr:
+			note(d, b, n.Name, false, info)
+		case *vhdl.CallExpr:
+			note(d, b, n.Name, false, info)
+		case *vhdl.AttrExpr:
+			note(d, b, n.Prefix, false, info)
+		}
+	})
+}
+
+// collect accumulates the footprint of a statement subtree into info.
+func collect(d *sem.Design, b *sem.Behavior, s vhdl.Stmt, info *stmtInfo) {
+	switch st := s.(type) {
+	case *vhdl.AssignStmt:
+		collectExpr(d, b, st.Value, info)
+		switch t := st.Target.(type) {
+		case *vhdl.NameExpr:
+			note(d, b, t.Name, true, info)
+		case *vhdl.CallExpr:
+			note(d, b, t.Name, true, info)
+			for _, a := range t.Args {
+				collectExpr(d, b, a, info)
+			}
+		}
+	case *vhdl.IfStmt:
+		collectExpr(d, b, st.Cond, info)
+		for _, sub := range st.Then {
+			collect(d, b, sub, info)
+		}
+		for _, el := range st.Elifs {
+			collectExpr(d, b, el.Cond, info)
+			for _, sub := range el.Body {
+				collect(d, b, sub, info)
+			}
+		}
+		for _, sub := range st.Else {
+			collect(d, b, sub, info)
+		}
+	case *vhdl.CaseStmt:
+		collectExpr(d, b, st.Expr, info)
+		for _, w := range st.Whens {
+			for _, sub := range w.Body {
+				collect(d, b, sub, info)
+			}
+		}
+	case *vhdl.ForStmt:
+		for _, sub := range st.Body {
+			collect(d, b, sub, info)
+		}
+	case *vhdl.WhileStmt:
+		collectExpr(d, b, st.Cond, info)
+		for _, sub := range st.Body {
+			collect(d, b, sub, info)
+		}
+	case *vhdl.LoopStmt:
+		for _, sub := range st.Body {
+			collect(d, b, sub, info)
+		}
+	case *vhdl.ExitStmt:
+		collectExpr(d, b, st.Cond, info)
+	case *vhdl.CallStmt:
+		note(d, b, st.Name, false, info)
+		info.serial = true
+		for _, a := range st.Args {
+			collectExpr(d, b, a, info)
+		}
+	case *vhdl.WaitStmt:
+		info.serial = true
+		for _, sig := range st.OnSignals {
+			note(d, b, sig, false, info)
+		}
+		collectExpr(d, b, st.Until, info)
+	case *vhdl.ReturnStmt:
+		info.serial = true
+		collectExpr(d, b, st.Value, info)
+	}
+}

@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"testing"
+
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+func process(t *testing.T, src string) (*sem.Design, *sem.Behavior) {
+	t.Helper()
+	df, err := vhdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range d.Behaviors {
+		if b.IsProcess {
+			return d, b
+		}
+	}
+	t.Fatal("no process")
+	return nil, nil
+}
+
+func TestScheduleIndependentStatementsShareStep(t *testing.T) {
+	d, b := process(t, `
+entity E is port (a, bb : in integer); end;
+architecture x of E is begin
+P: process
+    variable v, w : integer;
+begin
+    v := a;
+    w := bb;
+end process; end;`)
+	steps := Schedule(d, b)
+	if len(steps) != 2 {
+		t.Fatalf("steps = %v", steps)
+	}
+	if steps[0] != 1 || steps[1] != 1 {
+		t.Errorf("independent statements scheduled %v, want both in step 1", steps)
+	}
+}
+
+func TestScheduleDataDependencySerializes(t *testing.T) {
+	d, b := process(t, `
+entity E is port (a : in integer); end;
+architecture x of E is begin
+P: process
+    variable v, w : integer;
+begin
+    v := a;
+    w := v;
+end process; end;`)
+	steps := Schedule(d, b)
+	if steps[0] != 1 || steps[1] != 2 {
+		t.Errorf("RAW dependency ignored: %v", steps)
+	}
+}
+
+func TestScheduleWARAndWAW(t *testing.T) {
+	d, b := process(t, `
+entity E is port (a : in integer); end;
+architecture x of E is begin
+P: process
+    variable v, w : integer;
+begin
+    w := v;
+    v := a;
+    v := a + 1;
+end process; end;`)
+	steps := Schedule(d, b)
+	if !(steps[0] < steps[1] && steps[1] < steps[2]) {
+		t.Errorf("WAR/WAW ordering violated: %v", steps)
+	}
+}
+
+func TestCallsSerialize(t *testing.T) {
+	d, b := process(t, `
+entity E is end;
+architecture x of E is
+    procedure Q is begin null; end;
+begin
+P: process
+    variable v, w : integer;
+begin
+    v := 1;
+    Q;
+    w := 2;
+end process; end;`)
+	steps := Schedule(d, b)
+	if !(steps[0] < steps[1] && steps[1] < steps[2]) {
+		t.Errorf("call did not serialize: %v", steps)
+	}
+}
+
+func TestTagsConcurrentGroup(t *testing.T) {
+	d, b := process(t, `
+entity E is port (a, bb : in integer); end;
+architecture x of E is begin
+P: process
+    variable v, w : integer;
+begin
+    v := a;
+    w := bb;
+end process; end;`)
+	tags := Tags(d, b)
+	// v, w, a, bb all touched only in step 1 → one shared tag.
+	if tags["v"] == NoTag || tags["v"] != tags["w"] {
+		t.Errorf("concurrent writes not tagged together: %v", tags)
+	}
+	if tags["a"] != tags["v"] {
+		t.Errorf("port reads not in the group: %v", tags)
+	}
+}
+
+func TestTagsSequentialGetsNoTag(t *testing.T) {
+	d, b := process(t, `
+entity E is port (a : in integer); end;
+architecture x of E is begin
+P: process
+    variable v, w : integer;
+begin
+    v := a;
+    w := v;
+end process; end;`)
+	tags := Tags(d, b)
+	// v is touched in steps 1 and 2 → strictly sequential.
+	if tags["v"] != NoTag {
+		t.Errorf("multi-step target tagged: %v", tags)
+	}
+}
+
+func TestTagsSingletonGroupDropped(t *testing.T) {
+	d, b := process(t, `
+entity E is port (a : in integer); end;
+architecture x of E is begin
+P: process
+    variable v : integer;
+begin
+    v := 1;
+end process; end;`)
+	tags := Tags(d, b)
+	if tags["v"] != NoTag {
+		t.Errorf("a group of one is not concurrency: %v", tags)
+	}
+}
+
+func TestCompoundStatementFootprint(t *testing.T) {
+	// The write inside the if body must conflict with the later read.
+	d, b := process(t, `
+entity E is port (a : in integer); end;
+architecture x of E is begin
+P: process
+    variable v, w : integer;
+begin
+    if a = 1 then
+        v := 1;
+    end if;
+    w := v;
+end process; end;`)
+	steps := Schedule(d, b)
+	if !(steps[0] < steps[1]) {
+		t.Errorf("nested write not in footprint: %v", steps)
+	}
+}
+
+func TestTagsOnTestdataFuzzy(t *testing.T) {
+	// Smoke: tags derive for every behavior of the real example without
+	// panic, and every tagged target shares its tag with at least one
+	// other target of the same behavior.
+	src := readTestdata(t, "fuzzy.vhd")
+	df, err := vhdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range d.Behaviors {
+		tags := Tags(d, b)
+		count := map[int]int{}
+		for _, tag := range tags {
+			if tag != NoTag {
+				count[tag]++
+			}
+		}
+		for tag, n := range count {
+			if n < 2 {
+				t.Errorf("%s: tag %d has a single member", b.Name, tag)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package sem elaborates a parsed VHDL design file into a resolved design
+// model: symbol tables, concrete types with bit widths, behaviors
+// (processes and subprograms) with resolvable name scopes, and the set of
+// variables that become SLIF nodes.
+//
+// The bit-width rules implement §2.4.1 of the paper: a scalar is encoded in
+// the minimum number of bits for its range; an access to an array of
+// scalars costs the element bits plus the address bits needed to select an
+// element; behaviors cost the sum of their parameter bits.
+package sem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// TypeKind classifies elaborated types.
+type TypeKind int
+
+// Type kinds.
+const (
+	KindInteger TypeKind = iota
+	KindEnum
+	KindArray
+)
+
+// Type is an elaborated (fully constrained) type.
+type Type struct {
+	Name string
+	Kind TypeKind
+
+	// Integer types.
+	Low, High int64
+
+	// Enumeration types (bit, boolean, character, user enums).
+	EnumLits []string
+
+	// Array types.
+	Elem   *Type
+	Len    int64
+	IdxLow int64
+}
+
+// intBits returns the number of bits of a two's-complement (or unsigned,
+// when low >= 0) encoding covering [low, high].
+func intBits(low, high int64) int {
+	if low > high {
+		low, high = high, low
+	}
+	if low >= 0 {
+		return max(1, bits.Len64(uint64(high)))
+	}
+	// Signed: need to cover both low and high.
+	n := bits.Len64(uint64(high)) + 1
+	if m := bits.Len64(uint64(-low-1)) + 1; m > n {
+		n = m
+	}
+	return max(1, n)
+}
+
+// addrBits returns the number of address bits needed to select one of n
+// elements: ceil(log2(n)), and at least 1 for a 1-element array.
+func addrBits(n int64) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len64(uint64(n - 1))
+}
+
+// Bits returns the encoding width of one value of the type: the data bits
+// for a scalar, or the element bits for an array (see AccessBits for the
+// per-access cost including addressing).
+func (t *Type) Bits() int {
+	switch t.Kind {
+	case KindInteger:
+		return intBits(t.Low, t.High)
+	case KindEnum:
+		n := len(t.EnumLits)
+		if n <= 2 {
+			return 1
+		}
+		return bits.Len64(uint64(n - 1))
+	case KindArray:
+		return t.Elem.Bits()
+	}
+	return 1
+}
+
+// AccessBits returns the number of bits transferred by one access to an
+// object of this type, per §2.4.1: scalars transfer their encoding; arrays
+// transfer one element plus the element address. Multidimensional data is
+// elaborated as arrays of scalars before this is called.
+func (t *Type) AccessBits() int {
+	if t.Kind == KindArray {
+		return t.Elem.Bits() + addrBits(t.Len)
+	}
+	return t.Bits()
+}
+
+// TotalBits returns the storage footprint in bits (array length × element
+// bits for arrays), used for memory sizing.
+func (t *Type) TotalBits() int64 {
+	if t.Kind == KindArray {
+		return t.Len * int64(t.Elem.Bits())
+	}
+	return int64(t.Bits())
+}
+
+// IsArray reports whether t is an array type.
+func (t *Type) IsArray() bool { return t.Kind == KindArray }
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case KindInteger:
+		return fmt.Sprintf("%s range %d to %d", t.Name, t.Low, t.High)
+	case KindArray:
+		return fmt.Sprintf("%s array(%d) of %s", t.Name, t.Len, t.Elem.Name)
+	default:
+		return t.Name
+	}
+}
+
+// Predefined types available in every design.
+func predefinedTypes() map[string]*Type {
+	const i32max = 1<<31 - 1
+	intT := &Type{Name: "integer", Kind: KindInteger, Low: -(1 << 31), High: i32max}
+	return map[string]*Type{
+		"integer":  intT,
+		"natural":  {Name: "natural", Kind: KindInteger, Low: 0, High: i32max},
+		"positive": {Name: "positive", Kind: KindInteger, Low: 1, High: i32max},
+		"bit":      {Name: "bit", Kind: KindEnum, EnumLits: []string{"'0'", "'1'"}},
+		"boolean":  {Name: "boolean", Kind: KindEnum, EnumLits: []string{"false", "true"}},
+		"character": {
+			Name: "character", Kind: KindInteger, Low: 0, High: 255,
+		},
+	}
+}

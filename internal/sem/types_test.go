@@ -1,0 +1,142 @@
+package sem
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func readTestdata(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatalf("testdata: %v", err)
+	}
+	return string(data)
+}
+
+func TestIntBits(t *testing.T) {
+	cases := []struct {
+		low, high int64
+		want      int
+	}{
+		{0, 0, 1},
+		{0, 1, 1},
+		{0, 255, 8}, // the paper's 8-bit integer (Figure 3)
+		{0, 256, 9},
+		{1, 384, 9},
+		{0, 1023, 10},
+		{-1, 0, 1},
+		{-128, 127, 8},
+		{-129, 127, 9},
+		{0, 1<<31 - 1, 31},
+		{-(1 << 31), 1<<31 - 1, 32}, // default integer
+	}
+	for _, c := range cases {
+		tp := &Type{Kind: KindInteger, Low: c.low, High: c.high}
+		if got := tp.Bits(); got != c.want {
+			t.Errorf("bits(%d..%d) = %d, want %d", c.low, c.high, got, c.want)
+		}
+	}
+}
+
+func TestAddrBits(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{1, 1}, {2, 1}, {3, 2}, {128, 7}, {129, 8}, {384, 9}, {512, 9}, {513, 10},
+	}
+	for _, c := range cases {
+		if got := addrBits(c.n); got != c.want {
+			t.Errorf("addrBits(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestArrayAccessBits(t *testing.T) {
+	byte8 := &Type{Kind: KindInteger, Low: 0, High: 255}
+	// The paper's Figure 3: a 128-element array of 8-bit scalars costs
+	// 7 address bits + 8 data bits = 15 per access.
+	arr := &Type{Kind: KindArray, Elem: byte8, Len: 128}
+	if got := arr.AccessBits(); got != 15 {
+		t.Errorf("AccessBits(arr128 of byte) = %d, want 15", got)
+	}
+	if got := arr.TotalBits(); got != 1024 {
+		t.Errorf("TotalBits = %d, want 1024", got)
+	}
+	// Scalars transfer their encoding only.
+	if got := byte8.AccessBits(); got != 8 {
+		t.Errorf("AccessBits(byte) = %d, want 8", got)
+	}
+}
+
+func TestEnumBits(t *testing.T) {
+	for n, want := range map[int]int{2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4} {
+		lits := make([]string, n)
+		tp := &Type{Kind: KindEnum, EnumLits: lits}
+		if got := tp.Bits(); got != want {
+			t.Errorf("enum(%d).Bits = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPredefinedTypes(t *testing.T) {
+	m := predefinedTypes()
+	if m["integer"].Bits() != 32 {
+		t.Errorf("integer bits = %d", m["integer"].Bits())
+	}
+	if m["bit"].Bits() != 1 || m["boolean"].Bits() != 1 {
+		t.Error("bit/boolean must be 1 bit")
+	}
+	if m["natural"].Low != 0 || m["positive"].Low != 1 {
+		t.Error("natural/positive bounds wrong")
+	}
+}
+
+// Property: widening a range never shrinks the bit count, and bit counts
+// are always at least 1.
+func TestIntBitsMonotoneQuick(t *testing.T) {
+	f := func(a, b int32, widen uint8) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		t1 := &Type{Kind: KindInteger, Low: lo, High: hi}
+		t2 := &Type{Kind: KindInteger, Low: lo, High: hi + int64(widen)}
+		return t1.Bits() >= 1 && t2.Bits() >= t1.Bits()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an array access always costs at least its element's bits and
+// at least one address bit more than a scalar of the element type.
+func TestArrayAccessBitsQuick(t *testing.T) {
+	f := func(rawLen uint16, rawHigh uint8) bool {
+		length := int64(rawLen%2048) + 1
+		elem := &Type{Kind: KindInteger, Low: 0, High: int64(rawHigh)}
+		arr := &Type{Kind: KindArray, Elem: elem, Len: length}
+		return arr.AccessBits() >= elem.Bits()+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	intT := &Type{Name: "byte", Kind: KindInteger, Low: 0, High: 255}
+	if got := intT.String(); got != "byte range 0 to 255" {
+		t.Errorf("String() = %q", got)
+	}
+	arr := &Type{Name: "arr", Kind: KindArray, Elem: intT, Len: 16}
+	if got := arr.String(); got != "arr array(16) of byte" {
+		t.Errorf("String() = %q", got)
+	}
+	enum := &Type{Name: "state", Kind: KindEnum, EnumLits: []string{"a", "b"}}
+	if got := enum.String(); got != "state" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,361 @@
+// Package shell is the interactive designer session the paper's abstract
+// promises SLIF enables ("truly practical designer interaction"): load a
+// specification once, then move objects between components, re-estimate,
+// search, and transform — with every estimate returning in microseconds,
+// so the edit/estimate loop feels instantaneous.
+//
+// The interpreter is line-driven over an io.Reader/io.Writer pair, so the
+// same engine backs `specsyn shell` and the package's tests.
+package shell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+	"specsyn/internal/partition"
+	"specsyn/internal/specsyn"
+	"specsyn/internal/xform"
+)
+
+// Session is one interactive design session.
+type Session struct {
+	Env *specsyn.Env
+	Pt  *core.Partition
+
+	history []*core.Partition // undo stack of partition snapshots
+	out     io.Writer
+}
+
+// New returns a session over an already built environment, starting from
+// the all-software partition.
+func New(env *specsyn.Env) (*Session, error) {
+	pt, err := env.DefaultPartition()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{Env: env, Pt: pt}, nil
+}
+
+// Run reads commands from r until EOF or "quit", writing responses to w.
+// Errors from individual commands are reported and the loop continues; only
+// I/O failures abort.
+func (s *Session) Run(r io.Reader, w io.Writer) error {
+	s.out = w
+	sc := bufio.NewScanner(r)
+	fmt.Fprintf(w, "specsyn shell — %s loaded (%d nodes, %d channels); 'help' lists commands\n",
+		s.Env.Graph.Name, s.Env.Graph.Stats().BV, s.Env.Graph.Stats().Channels)
+	s.prompt(w)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			s.prompt(w)
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := strings.ToLower(fields[0]), fields[1:]
+		if cmd == "quit" || cmd == "exit" {
+			fmt.Fprintln(w, "bye")
+			return nil
+		}
+		if err := s.dispatch(cmd, args); err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+		}
+		s.prompt(w)
+	}
+	return sc.Err()
+}
+
+func (s *Session) prompt(w io.Writer) { fmt.Fprint(w, "> ") }
+
+func (s *Session) dispatch(cmd string, args []string) error {
+	switch cmd {
+	case "help":
+		return s.cmdHelp()
+	case "show":
+		return s.cmdShow(args)
+	case "map":
+		return s.cmdMap(args)
+	case "mapall":
+		return s.cmdMapAll(args)
+	case "est", "estimate":
+		return s.cmdEstimate()
+	case "explain":
+		return s.cmdExplain(args)
+	case "search":
+		return s.cmdSearch(args)
+	case "inline":
+		return s.cmdInline(args)
+	case "merge":
+		return s.cmdMerge(args)
+	case "save":
+		return s.cmdSave(args)
+	case "dot":
+		return s.cmdDot(args)
+	case "undo":
+		return s.cmdUndo()
+	}
+	return fmt.Errorf("unknown command %q (try help)", cmd)
+}
+
+func (s *Session) cmdHelp() error {
+	fmt.Fprint(s.out, `commands:
+  show [nodes|comps|chans|part]   inspect the design
+  map <node> <component>          move one object (undoable)
+  mapall <component>              move everything to one processor
+  est                             full size/pin/bitrate/performance report
+  explain <behavior>              where that behavior's exec time goes
+  search <random|greedy|cluster|gm|anneal>
+                                  replace the partition with a searched one
+  inline <procedure>              inline a procedure into its single caller
+  merge <procA> <procB>           merge two processes
+  save <file.slif>                write the graph + partition
+  dot <file.dot>                  Graphviz view, clustered by component
+  undo                            revert the last map/mapall/search
+  quit
+`)
+	return nil
+}
+
+func (s *Session) cmdShow(args []string) error {
+	g := s.Env.Graph
+	what := "part"
+	if len(args) > 0 {
+		what = strings.ToLower(args[0])
+	}
+	switch what {
+	case "nodes":
+		for _, n := range g.Nodes {
+			kind := "var "
+			if n.IsProcess {
+				kind = "proc"
+			} else if n.IsBehavior() {
+				kind = "beh "
+			}
+			comp := "-"
+			if c := s.Pt.BvComp(n); c != nil {
+				comp = c.CompName()
+			}
+			fmt.Fprintf(s.out, "  %s %-24s on %s\n", kind, n.Name, comp)
+		}
+	case "comps":
+		for _, c := range g.Components() {
+			fmt.Fprintf(s.out, "  %-12s type %-10s %d nodes\n",
+				c.CompName(), c.TypeKey(), len(s.Pt.NodesOn(c)))
+		}
+		for _, b := range g.Buses {
+			fmt.Fprintf(s.out, "  %-12s bus, %d wires, ts %g td %g\n", b.Name, b.BitWidth, b.TS, b.TD)
+		}
+	case "chans":
+		for _, c := range g.Channels {
+			fmt.Fprintf(s.out, "  %-28s freq %-8.4g bits %d\n", c.Key(), c.AccFreq, c.Bits)
+		}
+	case "part":
+		fmt.Fprint(s.out, s.Pt.String())
+	default:
+		return fmt.Errorf("show what? (nodes, comps, chans, part)")
+	}
+	return nil
+}
+
+// snapshot pushes the current partition onto the undo stack.
+func (s *Session) snapshot() { s.history = append(s.history, s.Pt.Clone()) }
+
+func (s *Session) cmdUndo() error {
+	if len(s.history) == 0 {
+		return fmt.Errorf("nothing to undo")
+	}
+	s.Pt = s.history[len(s.history)-1]
+	s.history = s.history[:len(s.history)-1]
+	fmt.Fprintln(s.out, "reverted")
+	return nil
+}
+
+func (s *Session) component(name string) (core.Component, error) {
+	g := s.Env.Graph
+	if p := g.ProcByName(name); p != nil {
+		return p, nil
+	}
+	if m := g.MemByName(name); m != nil {
+		return m, nil
+	}
+	return nil, fmt.Errorf("unknown component %q", name)
+}
+
+func (s *Session) cmdMap(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: map <node> <component>")
+	}
+	g := s.Env.Graph
+	n := g.NodeByName(strings.ToLower(args[0]))
+	if n == nil {
+		return fmt.Errorf("unknown node %q", args[0])
+	}
+	comp, err := s.component(strings.ToLower(args[1]))
+	if err != nil {
+		return err
+	}
+	s.snapshot()
+	if err := s.Pt.Assign(n, comp); err != nil {
+		s.history = s.history[:len(s.history)-1]
+		return err
+	}
+	fmt.Fprintf(s.out, "%s → %s\n", n.Name, comp.CompName())
+	return nil
+}
+
+func (s *Session) cmdMapAll(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: mapall <processor>")
+	}
+	p := s.Env.Graph.ProcByName(strings.ToLower(args[0]))
+	if p == nil {
+		return fmt.Errorf("unknown processor %q", args[0])
+	}
+	s.snapshot()
+	for _, n := range s.Env.Graph.Nodes {
+		if err := s.Pt.Assign(n, p); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(s.out, "everything → %s\n", p.Name)
+	return nil
+}
+
+func (s *Session) cmdEstimate() error {
+	start := time.Now()
+	rep, err := estimate.New(s.Env.Graph, s.Pt, estimate.Options{}).Report()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "estimated in %v\n%s", time.Since(start), rep)
+	return nil
+}
+
+func (s *Session) cmdExplain(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: explain <behavior>")
+	}
+	n := s.Env.Graph.NodeByName(strings.ToLower(args[0]))
+	if n == nil {
+		return fmt.Errorf("unknown node %q", args[0])
+	}
+	rows, err := estimate.New(s.Env.Graph, s.Pt, estimate.Options{}).Breakdown(n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, estimate.FormatBreakdown(rows))
+	return nil
+}
+
+func (s *Session) cmdSearch(args []string) error {
+	algo := "gm"
+	if len(args) > 0 {
+		algo = strings.ToLower(args[0])
+	}
+	res, err := s.Env.PartitionSearch(algo, partition.Constraints{}, partition.DefaultWeights(), 1, 0)
+	if err != nil {
+		return err
+	}
+	s.snapshot()
+	s.Pt = res.Best
+	fmt.Fprintf(s.out, "%s: %s\n", algo, res)
+	return nil
+}
+
+func (s *Session) cmdInline(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: inline <procedure>")
+	}
+	g := s.Env.Graph
+	callee := g.NodeByName(strings.ToLower(args[0]))
+	if callee == nil {
+		return fmt.Errorf("unknown node %q", args[0])
+	}
+	callers := g.InChans(callee.Name)
+	if len(callers) != 1 {
+		return fmt.Errorf("%q has %d callers; inline needs exactly one", callee.Name, len(callers))
+	}
+	// Graph surgery invalidates node→component mappings for the removed
+	// node; rebuild the partition from scratch afterwards.
+	if err := xform.Inline(g, callers[0].Src, callee); err != nil {
+		return err
+	}
+	s.resetPartition()
+	fmt.Fprintf(s.out, "inlined %s; partition reset to all-software\n", args[0])
+	return nil
+}
+
+func (s *Session) cmdMerge(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: merge <procA> <procB>")
+	}
+	g := s.Env.Graph
+	a, b := g.NodeByName(strings.ToLower(args[0])), g.NodeByName(strings.ToLower(args[1]))
+	if a == nil || b == nil {
+		return fmt.Errorf("unknown process")
+	}
+	merged, err := xform.MergeProcesses(g, a, b, a.Name+"_"+b.Name)
+	if err != nil {
+		return err
+	}
+	s.resetPartition()
+	fmt.Fprintf(s.out, "merged into %s; partition reset to all-software\n", merged.Name)
+	return nil
+}
+
+// resetPartition rebuilds the all-software partition after graph surgery
+// and clears the undo stack (old snapshots reference removed nodes).
+func (s *Session) resetPartition() {
+	s.Pt = core.AllToProcessor(s.Env.Graph, s.Env.Graph.Procs[0], s.Env.Graph.Buses[0])
+	s.history = nil
+}
+
+func (s *Session) cmdSave(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: save <file.slif>")
+	}
+	f, err := os.Create(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := core.Write(f, s.Env.Graph, s.Pt); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "wrote %s\n", args[0])
+	return nil
+}
+
+func (s *Session) cmdDot(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: dot <file.dot>")
+	}
+	f, err := os.Create(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := core.WriteDOTPartition(f, s.Env.Graph, s.Pt); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "wrote %s\n", args[0])
+	return nil
+}
+
+// CompNames returns the component names, sorted — used by tab completion
+// hooks and tests.
+func (s *Session) CompNames() []string {
+	var names []string
+	for _, c := range s.Env.Graph.Components() {
+		names = append(names, c.CompName())
+	}
+	sort.Strings(names)
+	return names
+}

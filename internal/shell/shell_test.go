@@ -1,0 +1,199 @@
+package shell
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specsyn/internal/specsyn"
+)
+
+func session(t *testing.T) *Session {
+	t.Helper()
+	env := specsyn.New()
+	base := filepath.Join("..", "..", "testdata")
+	if err := env.LoadVHDLFile(filepath.Join(base, "fuzzy.vhd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.LoadProfileFile(filepath.Join(base, "fuzzy.prob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Build(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// run feeds a script to the shell and returns its full output.
+func run(t *testing.T, s *Session, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := s.Run(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestShellShowAndEstimate(t *testing.T) {
+	s := session(t)
+	out := run(t, s, "show comps\nshow nodes\nest\nquit\n")
+	for _, frag := range []string{"cpu", "asic", "ram", "proc fuzzymain", "estimated in", "bye"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestShellMapAndUndo(t *testing.T) {
+	s := session(t)
+	out := run(t, s, "map convolve asic\nquit\n")
+	if !strings.Contains(out, "convolve → asic") {
+		t.Fatalf("map failed:\n%s", out)
+	}
+	asic := s.Env.Graph.ProcByName("asic")
+	if s.Pt.BvComp(s.Env.Graph.NodeByName("convolve")) != asic {
+		t.Fatal("partition not updated")
+	}
+	out = run(t, s, "undo\nquit\n")
+	if !strings.Contains(out, "reverted") {
+		t.Fatalf("undo failed:\n%s", out)
+	}
+	if s.Pt.BvComp(s.Env.Graph.NodeByName("convolve")) == asic {
+		t.Error("undo did not restore the mapping")
+	}
+}
+
+func TestShellMapErrors(t *testing.T) {
+	s := session(t)
+	out := run(t, s, "map nosuch asic\nmap convolve nosuch\nmap fuzzymain ram\nundo\nquit\n")
+	for _, frag := range []string{
+		`unknown node "nosuch"`,
+		`unknown component "nosuch"`,
+		"may only map to a processor",
+		// None of the failed maps may leave a snapshot, so the trailing
+		// undo has nothing to revert.
+		"nothing to undo",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestShellSearch(t *testing.T) {
+	s := session(t)
+	out := run(t, s, "search gm\nest\nquit\n")
+	if !strings.Contains(out, "gm: cost") {
+		t.Fatalf("search failed:\n%s", out)
+	}
+	if err := s.Pt.Validate(); err != nil {
+		t.Errorf("searched partition invalid: %v", err)
+	}
+}
+
+func TestShellTransforms(t *testing.T) {
+	s := session(t)
+	// smooth was folded into the main body; recordhistory has one caller.
+	out := run(t, s, "inline recordhistory\nest\nquit\n")
+	if !strings.Contains(out, "inlined recordhistory") {
+		t.Fatalf("inline failed:\n%s", out)
+	}
+	if s.Env.Graph.NodeByName("recordhistory") != nil {
+		t.Error("node still present after inline")
+	}
+	out = run(t, s, "merge fuzzymain calmain\nest\nquit\n")
+	if !strings.Contains(out, "merged into fuzzymain_calmain") {
+		t.Fatalf("merge failed:\n%s", out)
+	}
+}
+
+func TestShellInlineRejectsShared(t *testing.T) {
+	s := session(t)
+	out := run(t, s, "inline min\nquit\n")
+	if !strings.Contains(out, "callers") {
+		t.Errorf("shared procedure inline not rejected:\n%s", out)
+	}
+}
+
+func TestShellSave(t *testing.T) {
+	s := session(t)
+	path := filepath.Join(t.TempDir(), "out.slif")
+	out := run(t, s, "save "+path+"\nquit\n")
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("save failed:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "slif fuzzycontrollere") {
+		t.Errorf("saved file malformed: %q", string(data[:40]))
+	}
+}
+
+func TestShellUnknownCommand(t *testing.T) {
+	s := session(t)
+	out := run(t, s, "frobnicate\nhelp\nquit\n")
+	if !strings.Contains(out, `unknown command "frobnicate"`) {
+		t.Errorf("unknown command not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "commands:") {
+		t.Errorf("help missing:\n%s", out)
+	}
+}
+
+func TestShellMapAll(t *testing.T) {
+	s := session(t)
+	run(t, s, "search gm\nmapall cpu\nquit\n")
+	cpu := s.Env.Graph.ProcByName("cpu")
+	for _, n := range s.Env.Graph.Nodes {
+		if s.Pt.BvComp(n) != cpu {
+			t.Fatalf("node %s not on cpu after mapall", n.Name)
+		}
+	}
+}
+
+func TestCompNames(t *testing.T) {
+	s := session(t)
+	names := s.CompNames()
+	want := []string{"asic", "cpu", "ram"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestShellDot(t *testing.T) {
+	s := session(t)
+	path := filepath.Join(t.TempDir(), "g.dot")
+	out := run(t, s, "map convolve asic\ndot "+path+"\nquit\n")
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("dot failed:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "subgraph cluster_") {
+		t.Error("dot output not clustered")
+	}
+}
+
+func TestShellExplain(t *testing.T) {
+	s := session(t)
+	out := run(t, s, "explain fuzzymain\nexplain nosuch\nquit\n")
+	for _, frag := range []string{"contribution", "= exectime", "evaluaterule", `unknown node "nosuch"`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("explain output missing %q:\n%s", frag, out)
+		}
+	}
+}

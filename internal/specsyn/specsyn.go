@@ -1,0 +1,183 @@
+// Package specsyn is the environment façade tying the pipeline together,
+// mirroring how the paper's SpecSyn tool is used: read a VHDL specification
+// (plus profile, component library and designer overrides), build the
+// annotated SLIF once, then interactively estimate, partition and transform
+// — each step fast because everything is precomputed in the graph.
+package specsyn
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"specsyn/internal/alloc"
+	"specsyn/internal/builder"
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+	"specsyn/internal/partition"
+	"specsyn/internal/profile"
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+// Env is one design session.
+type Env struct {
+	Source    string // VHDL text
+	Design    *sem.Design
+	Graph     *core.Graph
+	Lib       *alloc.Library
+	Prof      *profile.Profile
+	Overrides *builder.Overrides
+
+	// BuildTime is the wall-clock cost of the last Build — the paper's
+	// "T-slif" quantity.
+	BuildTime time.Duration
+}
+
+// New returns an empty session with the standard library and profile.
+func New() *Env {
+	return &Env{Lib: alloc.Std(), Prof: profile.Empty()}
+}
+
+// LoadVHDL sets the specification source.
+func (e *Env) LoadVHDL(src string) { e.Source = src }
+
+// LoadVHDLFile reads the specification from disk.
+func (e *Env) LoadVHDLFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	e.Source = string(data)
+	return nil
+}
+
+// LoadProfileFile reads a branch-probability file.
+func (e *Env) LoadProfileFile(path string) error {
+	p, err := profile.Load(path)
+	if err != nil {
+		return err
+	}
+	e.Prof = p
+	return nil
+}
+
+// LoadLibraryFile reads a component library / allocation file.
+func (e *Env) LoadLibraryFile(path string) error {
+	l, err := alloc.Load(path)
+	if err != nil {
+		return err
+	}
+	e.Lib = l
+	return nil
+}
+
+// LoadOverridesFile reads a designer weight-override file.
+func (e *Env) LoadOverridesFile(path string) error {
+	o, err := builder.LoadOverrides(path)
+	if err != nil {
+		return err
+	}
+	e.Overrides = o
+	return nil
+}
+
+// Build parses, elaborates and constructs the annotated SLIF graph, then
+// installs the library's allocation. It records BuildTime.
+func (e *Env) Build() error {
+	if e.Source == "" {
+		return fmt.Errorf("specsyn: no VHDL source loaded")
+	}
+	start := time.Now()
+	df, err := vhdl.Parse(e.Source)
+	if err != nil {
+		return fmt.Errorf("specsyn: %w", err)
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		return fmt.Errorf("specsyn: %w", err)
+	}
+	g, err := builder.Build(d, builder.Options{
+		Profile:   e.Prof,
+		Techs:     e.Lib.Techs,
+		Overrides: e.Overrides,
+	})
+	if err != nil {
+		return err
+	}
+	if err := e.Lib.Apply(g); err != nil {
+		return err
+	}
+	e.Design, e.Graph = d, g
+	e.BuildTime = time.Since(start)
+	return nil
+}
+
+// DefaultPartition maps everything onto the first processor and the first
+// bus — the all-software starting point.
+func (e *Env) DefaultPartition() (*core.Partition, error) {
+	if e.Graph == nil {
+		return nil, fmt.Errorf("specsyn: Build first")
+	}
+	if len(e.Graph.Procs) == 0 || len(e.Graph.Buses) == 0 {
+		return nil, fmt.Errorf("specsyn: allocation has no processor or no bus")
+	}
+	return core.AllToProcessor(e.Graph, e.Graph.Procs[0], e.Graph.Buses[0]), nil
+}
+
+// Estimate computes the full §3 metric report for a partition and returns
+// it with the wall-clock estimation time — the paper's "T-est" quantity.
+func (e *Env) Estimate(pt *core.Partition, opt estimate.Options) (*estimate.Report, time.Duration, error) {
+	start := time.Now()
+	rep, err := estimate.New(e.Graph, pt, opt).Report()
+	return rep, time.Since(start), err
+}
+
+// PartitionSearch runs the named algorithm ("random", "greedy", "gm",
+// "anneal", "cluster", "exhaustive"); "gm" and "anneal" start from the
+// greedy result.
+func (e *Env) PartitionSearch(algo string, cons partition.Constraints, w partition.Weights, seed int64, iters int) (partition.Result, error) {
+	if e.Graph == nil {
+		return partition.Result{}, fmt.Errorf("specsyn: Build first")
+	}
+	if len(e.Graph.Buses) == 0 {
+		return partition.Result{}, fmt.Errorf("specsyn: allocation has no bus")
+	}
+	ev := partition.NewEvaluator(e.Graph, cons, w, estimate.Options{})
+	// Single-bus allocations put everything on that bus; with two or more
+	// buses the first is the external (inter-component) bus and the second
+	// the internal one, re-derived after every move.
+	policy := partition.SingleBus(e.Graph.Buses[0])
+	if len(e.Graph.Buses) > 1 {
+		policy = partition.InternalExternal(e.Graph.Buses[1], e.Graph.Buses[0])
+	}
+	cfg := partition.Config{
+		Eval:     ev,
+		Policy:   policy,
+		Seed:     seed,
+		MaxIters: iters,
+	}
+	switch algo {
+	case "random":
+		return partition.Random(e.Graph, cfg)
+	case "greedy":
+		return partition.Greedy(e.Graph, cfg)
+	case "cluster":
+		return partition.ClusterGreedy(e.Graph, cfg)
+	case "exhaustive":
+		return partition.Exhaustive(e.Graph, cfg)
+	case "gm":
+		res, err := partition.Greedy(e.Graph, cfg)
+		if err != nil {
+			return res, err
+		}
+		return partition.GroupMigration(res.Best, cfg)
+	case "anneal":
+		res, err := partition.Greedy(e.Graph, cfg)
+		if err != nil {
+			return res, err
+		}
+		return partition.Anneal(res.Best, cfg)
+	}
+	return partition.Result{}, fmt.Errorf("specsyn: unknown algorithm %q (want random, greedy, cluster, gm, anneal or exhaustive)", algo)
+}

@@ -1,0 +1,401 @@
+package specsyn
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+	"specsyn/internal/partition"
+)
+
+var testdata = filepath.Join("..", "..", "testdata")
+
+// load builds one of the four paper examples end to end.
+func load(t testing.TB, name string) *Env {
+	t.Helper()
+	env := New()
+	if err := env.LoadVHDLFile(filepath.Join(testdata, name+".vhd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.LoadProfileFile(filepath.Join(testdata, name+".prob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.LoadLibraryFile(filepath.Join(testdata, "std.lib")); err != nil {
+		t.Fatal(err)
+	}
+	if name == "fuzzy" {
+		if err := env.LoadOverridesFile(filepath.Join(testdata, "fuzzy.ov")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestFigure4Counts pins the BV and C columns of the paper's Figure 4
+// exactly: the re-authored specifications were written to match them.
+func TestFigure4Counts(t *testing.T) {
+	want := map[string]struct{ bv, c int }{
+		"ans":   {45, 64},
+		"ether": {123, 112},
+		"fuzzy": {35, 56},
+		"vol":   {30, 41},
+	}
+	for name, w := range want {
+		env := load(t, name)
+		st := env.Graph.Stats()
+		if st.BV != w.bv || st.Channels != w.c {
+			t.Errorf("%s: BV=%d C=%d, want BV=%d C=%d", name, st.BV, st.Channels, w.bv, w.c)
+		}
+	}
+}
+
+// TestFigure3Override checks the designer override pinned the Convolve ict
+// to the paper's Figure 3 values.
+func TestFigure3Override(t *testing.T) {
+	env := load(t, "fuzzy")
+	n := env.Graph.NodeByName("convolve")
+	if n == nil {
+		t.Fatal("convolve node missing")
+	}
+	if n.ICT["proc10"] != 80 || n.ICT["asic50"] != 10 {
+		t.Errorf("convolve ict = %v, want 80 (proc10) / 10 (asic50)", n.ICT)
+	}
+}
+
+// TestEstimateAllExamples runs a complete §3 metric report for every
+// example under the default all-software partition and under a hardware
+// split, checking basic sanity relations.
+func TestEstimateAllExamples(t *testing.T) {
+	for _, name := range []string{"ans", "ether", "fuzzy", "vol"} {
+		env := load(t, name)
+		pt, err := env.DefaultPartition()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep, dur, err := env.Estimate(pt, estimate.Options{})
+		if err != nil {
+			t.Fatalf("%s: estimate: %v", name, err)
+		}
+		if dur.Seconds() > 0.01 {
+			t.Errorf("%s: T-est %v exceeds the paper's hundredth of a second", name, dur)
+		}
+		for _, p := range rep.Processes {
+			if p.Exectime <= 0 || math.IsNaN(p.Exectime) {
+				t.Errorf("%s: process %s exectime %v", name, p.Name, p.Exectime)
+			}
+		}
+		var cpuSize float64
+		for _, c := range rep.Comps {
+			if c.Name == "cpu" {
+				cpuSize = c.Size
+			}
+			if c.Size < 0 {
+				t.Errorf("%s: negative size on %s", name, c.Name)
+			}
+		}
+		if cpuSize <= 0 {
+			t.Errorf("%s: all-software cpu size %v", name, cpuSize)
+		}
+	}
+}
+
+// TestHardwareAccelerates: moving every behavior and array of the fuzzy
+// controller's datapath to the faster ASIC must not slow any process down.
+func TestHardwareAccelerates(t *testing.T) {
+	env := load(t, "fuzzy")
+	g := env.Graph
+	sw, err := env.DefaultPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	swRep, _, err := env.Estimate(sw, estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hw := sw.Clone()
+	asic := g.ProcByName("asic")
+	for _, n := range g.Nodes {
+		if _, ok := n.ICT[asic.TypeName]; ok {
+			if err := hw.Assign(n, asic); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hwRep, _, err := env.Estimate(hw, estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swTime := map[string]float64{}
+	for _, p := range swRep.Processes {
+		swTime[p.Name] = p.Exectime
+	}
+	for _, p := range hwRep.Processes {
+		if p.Exectime > swTime[p.Name] {
+			t.Errorf("process %s slower on the ASIC: %v > %v", p.Name, p.Exectime, swTime[p.Name])
+		}
+	}
+}
+
+// TestArrayPlacementMatters reproduces the partitioning insight the fuzzy
+// spec documents: keeping the rule arrays with EvaluateRule (same
+// component) must beat placing them across the bus.
+func TestArrayPlacementMatters(t *testing.T) {
+	env := load(t, "fuzzy")
+	g := env.Graph
+	asic := g.ProcByName("asic")
+
+	together, err := env.DefaultPartition() // everything on cpu
+	if err != nil {
+		t.Fatal(err)
+	}
+	apart := together.Clone()
+	for _, name := range []string{"mr1", "mr2"} {
+		if err := apart.Assign(g.NodeByName(name), asic); err != nil {
+			t.Fatal(err)
+		}
+	}
+	et := func(pt *core.Partition) float64 {
+		est := estimate.New(g, pt, estimate.Options{})
+		v, err := est.Exectime(g.NodeByName("fuzzymain"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if et(together) >= et(apart) {
+		t.Errorf("moving the rule arrays across the bus should cost time: together %v, apart %v",
+			et(together), et(apart))
+	}
+}
+
+// TestPartitionSearchAlgorithms runs every search algorithm on the vol
+// example with a tight software deadline and checks they find something
+// legal, with the informed ones not losing to random.
+func TestPartitionSearchAlgorithms(t *testing.T) {
+	env := load(t, "vol")
+	cons := partition.Constraints{Deadline: map[string]float64{"volmain": 50}}
+	w := partition.DefaultWeights()
+
+	random, err := env.PartitionSearch("random", cons, w, 1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"greedy", "gm", "anneal", "cluster"} {
+		res, err := env.PartitionSearch(algo, cons, w, 1, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := res.Best.Validate(); err != nil {
+			t.Errorf("%s: invalid result: %v", algo, err)
+		}
+		if algo == "gm" && res.Cost > random.Cost+1e-9 {
+			t.Errorf("group migration (%v) lost to random sampling (%v)", res.Cost, random.Cost)
+		}
+	}
+	if _, err := env.PartitionSearch("nonsense", cons, w, 1, 0); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestSlifRoundTripExamples serializes every example and reads it back.
+func TestSlifRoundTripExamples(t *testing.T) {
+	for _, name := range []string{"ans", "ether", "fuzzy", "vol"} {
+		env := load(t, name)
+		pt, err := env.DefaultPartition()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := core.Write(&buf, env.Graph, pt); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		g2, pt2, err := core.Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if g2.Stats() != env.Graph.Stats() {
+			t.Errorf("%s: round trip changed stats", name)
+		}
+		if pt2 == nil || pt2.Validate() != nil {
+			t.Errorf("%s: round trip lost the partition", name)
+		}
+		// The reread graph estimates identically.
+		e1 := estimate.New(env.Graph, pt, estimate.Options{})
+		e2 := estimate.New(g2, pt2, estimate.Options{})
+		for _, p := range env.Graph.Processes() {
+			v1, err1 := e1.Exectime(p)
+			v2, err2 := e2.Exectime(g2.NodeByName(p.Name))
+			if err1 != nil || err2 != nil || math.Abs(v1-v2) > 1e-9 {
+				t.Errorf("%s: exectime(%s) drifted: %v vs %v (%v, %v)", name, p.Name, v1, v2, err1, err2)
+			}
+		}
+	}
+}
+
+// TestBuildErrors covers the environment's failure paths.
+func TestBuildErrors(t *testing.T) {
+	env := New()
+	if err := env.Build(); err == nil {
+		t.Error("build without source accepted")
+	}
+	env.LoadVHDL("this is not vhdl")
+	if err := env.Build(); err == nil {
+		t.Error("garbage source accepted")
+	}
+	if _, err := env.DefaultPartition(); err == nil {
+		t.Error("partition before build accepted")
+	}
+	if err := env.LoadVHDLFile("/does/not/exist.vhd"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := env.LoadProfileFile("/does/not/exist.prob"); err == nil {
+		t.Error("missing profile accepted")
+	}
+	if err := env.LoadLibraryFile("/does/not/exist.lib"); err == nil {
+		t.Error("missing library accepted")
+	}
+	if err := env.LoadOverridesFile("/does/not/exist.ov"); err == nil {
+		t.Error("missing overrides accepted")
+	}
+}
+
+// TestBusWidthTradeoff pins the eq. 1 / eq. 6 interaction the bus-width
+// sweep exposes: widening the bus never slows a process down (ceil
+// division collapses) and always costs at least as many pins.
+func TestBusWidthTradeoff(t *testing.T) {
+	var lastET = math.Inf(1)
+	lastIO := 0
+	for _, width := range []int{4, 8, 16, 32, 64} {
+		env := load(t, "fuzzy")
+		g := env.Graph
+		g.BusByName("sysbus").BitWidth = width
+		pt, err := env.DefaultPartition()
+		if err != nil {
+			t.Fatal(err)
+		}
+		asic := g.ProcByName("asic")
+		for _, name := range []string{"evaluaterule", "convolve", "mr1", "mr2", "tmr1", "tmr2", "conv"} {
+			if err := pt.Assign(g.NodeByName(name), asic); err != nil {
+				t.Fatal(err)
+			}
+		}
+		est := estimate.New(g, pt, estimate.Options{})
+		et, err := est.Exectime(g.NodeByName("fuzzymain"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io := est.IO(asic)
+		if et > lastET+1e-9 {
+			t.Errorf("width %d: exectime rose to %v (was %v)", width, et, lastET)
+		}
+		if io < lastIO {
+			t.Errorf("width %d: IO fell to %d (was %d)", width, io, lastIO)
+		}
+		lastET, lastIO = et, io
+	}
+}
+
+// TestTwoBusAllocation: with an internal+external bus pair, the searched
+// partition routes internal channels onto the local bus, and the result
+// beats the same search over the single shared bus.
+func TestTwoBusAllocation(t *testing.T) {
+	// Single-bus baseline.
+	single := load(t, "fuzzy")
+	cons := partition.Constraints{Deadline: map[string]float64{"fuzzymain": 500}}
+	w := partition.DefaultWeights()
+	resSingle, err := single.PartitionSearch("gm", cons, w, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two-bus allocation.
+	env := New()
+	if err := env.LoadVHDLFile(filepath.Join(testdata, "fuzzy.vhd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.LoadProfileFile(filepath.Join(testdata, "fuzzy.prob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.LoadLibraryFile(filepath.Join(testdata, "twobus.lib")); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Build(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.PartitionSearch("gm", cons, w, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Internal channels must ride the local bus.
+	local := env.Graph.BusByName("localbus")
+	sys := env.Graph.BusByName("sysbus")
+	for _, c := range env.Graph.Channels {
+		internal := res.Best.DstComp(c) != nil && res.Best.DstComp(c) == res.Best.BvComp(c.Src)
+		bus := res.Best.ChanBus(c)
+		if internal && bus != local {
+			t.Errorf("internal channel %s on %s", c.Key(), bus.Name)
+		}
+		if !internal && bus != sys {
+			t.Errorf("crossing channel %s on %s", c.Key(), bus.Name)
+		}
+	}
+	// A fast local bus can only help.
+	if res.Cost > resSingle.Cost+1e-9 {
+		t.Errorf("two-bus result (%v) worse than single shared bus (%v)", res.Cost, resSingle.Cost)
+	}
+}
+
+// TestPinConstraintDrives: an ASIC with almost no pins must repel mappings
+// that cut heavy traffic across its boundary.
+func TestPinConstraintDrives(t *testing.T) {
+	env := load(t, "fuzzy")
+	g := env.Graph
+	g.ProcByName("asic").PinCon = 8 // the 16-bit bus alone violates this
+	cons := partition.Constraints{}
+	res, err := env.PartitionSearch("gm", cons, partition.DefaultWeights(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := estimate.New(g, res.Best, estimate.Options{})
+	asicIO := est.IO(g.ProcByName("asic"))
+	// Feasible only if the ASIC is unused (IO 0): any cut bus costs 16 pins.
+	if asicIO != 0 {
+		t.Errorf("search left %d pins of traffic on a pin-starved ASIC", asicIO)
+	}
+}
+
+// TestMemoryConstraintScenario: a tiny cpu data budget must push the big
+// arrays to the memory component.
+func TestMemoryConstraintScenario(t *testing.T) {
+	env := load(t, "ans")
+	g := env.Graph
+	g.ProcByName("cpu").SizeCon = 2000  // bytes: msgmem alone is 49k
+	g.ProcByName("asic").SizeCon = 4000 // gates: arrays cost bits×8 gates, far over
+	res, err := env.PartitionSearch("gm", partition.Constraints{}, partition.DefaultWeights(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := partition.NewEvaluator(g, partition.Constraints{}, partition.DefaultWeights(), estimate.Options{})
+	feasible, err := ev.Feasible(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feasible {
+		t.Fatal("no feasible mapping found despite the memory having room")
+	}
+	ram := g.MemByName("ram")
+	if res.Best.BvComp(g.NodeByName("msgmem")) != core.Component(ram) {
+		t.Errorf("msgmem (49k samples) not on the memory: %v",
+			res.Best.BvComp(g.NodeByName("msgmem")).CompName())
+	}
+}

@@ -1,0 +1,130 @@
+package syngen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"specsyn/internal/builder"
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+	"specsyn/internal/interp"
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 42})
+	b := Generate(Config{Seed: 42})
+	if a != b {
+		t.Error("same seed produced different specifications")
+	}
+	c := Generate(Config{Seed: 43})
+	if a == c {
+		t.Error("different seeds produced identical specifications")
+	}
+}
+
+func TestGeneratedSpecsParseCleanly(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		src := Generate(Config{Seed: seed})
+		df, err := vhdl.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		d, err := sem.Elaborate(df)
+		if err != nil {
+			t.Fatalf("seed %d: elaborate: %v", seed, err)
+		}
+		if len(d.Warnings) != 0 {
+			t.Errorf("seed %d: unresolved names: %v", seed, d.Warnings)
+		}
+	}
+}
+
+// TestGeneratedPipeline pushes generated specs through the whole stack:
+// build, estimate, serialize, reread, re-estimate identically.
+func TestGeneratedPipeline(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		src := Generate(Config{Seed: seed, Processes: 3})
+		g, err := builder.BuildVHDL(src, builder.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cpu := &core.Processor{Name: "cpu", TypeName: "proc10"}
+		g.AddProcessor(cpu)
+		g.AddBus(&core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4})
+		pt := core.AllToProcessor(g, cpu, g.Buses[0])
+		rep, err := estimate.New(g, pt, estimate.Options{}).Report()
+		if err != nil {
+			t.Fatalf("seed %d: estimate: %v", seed, err)
+		}
+		for _, p := range rep.Processes {
+			if p.Exectime <= 0 {
+				t.Errorf("seed %d: process %s has exectime %v", seed, p.Name, p.Exectime)
+			}
+		}
+
+		var buf strings.Builder
+		if err := core.Write(&buf, g, pt); err != nil {
+			t.Fatalf("seed %d: write: %v", seed, err)
+		}
+		g2, pt2, err := core.Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("seed %d: read: %v", seed, err)
+		}
+		rep2, err := estimate.New(g2, pt2, estimate.Options{}).Report()
+		if err != nil {
+			t.Fatalf("seed %d: re-estimate: %v", seed, err)
+		}
+		for i := range rep.Processes {
+			if rep.Processes[i] != rep2.Processes[i] {
+				t.Errorf("seed %d: estimate drifted across serialization", seed)
+			}
+		}
+	}
+}
+
+// TestGeneratedSpecsSimulate: every generated design must also run in the
+// interpreter without runtime errors.
+func TestGeneratedSpecsSimulate(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		src := Generate(Config{Seed: seed})
+		df, err := vhdl.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sem.Elaborate(df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := interp.New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = m.Run(20, func(step int, m *interp.Machine) {
+			_ = m.SetPort("din", int64((step*131)%1024))
+			_ = m.SetPort("sel", int64(step%16))
+		})
+		if err != nil {
+			t.Fatalf("seed %d: simulate: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// Property: generation is total and grows monotonically with the process
+// count.
+func TestGenerateSizeQuick(t *testing.T) {
+	f := func(seed int64, raw uint8) bool {
+		n := int(raw%6) + 1
+		small := Generate(Config{Seed: seed, Processes: n})
+		large := Generate(Config{Seed: seed, Processes: n + 2})
+		return len(large) > len(small)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

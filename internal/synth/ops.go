@@ -1,0 +1,136 @@
+// Package synth estimates the preprocessed SLIF node weights of §2.4: the
+// internal computation time (ict_list) and size (size_list) of every
+// behavior and variable on every candidate component type.
+//
+// The paper obtains these weights by compiling each behavior to a target
+// processor's instruction set or synthesizing it to a target technology
+// library before system design begins (§2.1), or by letting the designer
+// specify them directly. This package substitutes abstract retargetable
+// models — a generic instruction-count model for standard processors, an
+// operation/gate model for custom hardware, and a word model for memories —
+// which preserves the property SLIF needs: weights are computed once per
+// component type, then estimation is pure lookup-and-sum.
+package synth
+
+import (
+	"specsyn/internal/profile"
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+// OpClass classifies specification operations for the weight models.
+type OpClass int
+
+// Operation classes.
+const (
+	OpAdd    OpClass = iota // +, -, &, unary -, abs
+	OpMul                   // *
+	OpDiv                   // /, mod, rem
+	OpCmp                   // relational operators
+	OpLogic                 // and/or/xor/nand/nor/not
+	OpMove                  // assignment
+	OpIndex                 // array element address computation
+	OpBranch                // if/case/loop control
+	OpCall                  // subprogram call overhead
+	OpIO                    // wait / port synchronization
+	numOpClasses
+)
+
+var opClassNames = [...]string{
+	"add", "mul", "div", "cmp", "logic", "move", "index", "branch", "call", "io",
+}
+
+func (c OpClass) String() string {
+	if int(c) < len(opClassNames) {
+		return opClassNames[c]
+	}
+	return "op?"
+}
+
+// Ops holds per-class operation counts for one behavior. Static counts are
+// source occurrences (what hardware must exist / code must be emitted);
+// Dyn counts are expected executions per start-to-finish run (what time
+// costs), computed with the same branch/loop model as channel frequencies.
+type Ops struct {
+	Static [numOpClasses]float64
+	Dyn    [numOpClasses]float64
+	Stmts  int // static statement count, for controller sizing
+}
+
+// Total returns the summed static and dynamic counts.
+func (o *Ops) Total() (static, dyn float64) {
+	for c := 0; c < int(numOpClasses); c++ {
+		static += o.Static[c]
+		dyn += o.Dyn[c]
+	}
+	return static, dyn
+}
+
+func (o *Ops) add(c OpClass, dynCount float64) {
+	o.Static[c]++
+	o.Dyn[c] += dynCount
+}
+
+// CountOps analyzes behavior b, classifying every operation and weighting
+// dynamic counts by the profile.
+func CountOps(d *sem.Design, b *sem.Behavior, prof *profile.Profile) *Ops {
+	ops := &Ops{}
+	profile.WalkCounted(d, b, prof, profile.Visitor{
+		OnStmt: func(s vhdl.Stmt, c profile.Counts) {
+			ops.Stmts++
+			switch st := s.(type) {
+			case *vhdl.AssignStmt:
+				ops.add(OpMove, c.Avg)
+				if t, ok := st.Target.(*vhdl.CallExpr); ok {
+					if sym := d.Lookup(b, t.Name); sym != nil && sym.Kind == sem.SymObject {
+						ops.add(OpIndex, c.Avg)
+					}
+				}
+			case *vhdl.IfStmt, *vhdl.CaseStmt, *vhdl.ForStmt, *vhdl.WhileStmt, *vhdl.LoopStmt, *vhdl.ExitStmt:
+				ops.add(OpBranch, c.Avg)
+			case *vhdl.CallStmt:
+				ops.add(OpCall, c.Avg)
+			case *vhdl.WaitStmt:
+				ops.add(OpIO, c.Avg)
+			case *vhdl.ReturnStmt:
+				ops.add(OpBranch, c.Avg)
+			}
+		},
+		OnExpr: func(e vhdl.Expr, c profile.Counts) {
+			switch x := e.(type) {
+			case *vhdl.BinExpr:
+				switch x.Op {
+				case vhdl.PLUS, vhdl.MINUS, vhdl.AMP:
+					ops.add(OpAdd, c.Avg)
+				case vhdl.STAR:
+					ops.add(OpMul, c.Avg)
+				case vhdl.SLASH, vhdl.KwMOD, vhdl.KwREM:
+					ops.add(OpDiv, c.Avg)
+				case vhdl.EQ, vhdl.NEQ, vhdl.LT, vhdl.SIGASSIGN, vhdl.GT, vhdl.GE:
+					ops.add(OpCmp, c.Avg)
+				default:
+					ops.add(OpLogic, c.Avg)
+				}
+			case *vhdl.UnaryExpr:
+				switch x.Op {
+				case vhdl.MINUS, vhdl.PLUS, vhdl.KwABS:
+					ops.add(OpAdd, c.Avg)
+				default:
+					ops.add(OpLogic, c.Avg)
+				}
+			case *vhdl.CallExpr:
+				sym := d.Lookup(b, x.Name)
+				if sym == nil {
+					return
+				}
+				switch sym.Kind {
+				case sem.SymBehavior:
+					ops.add(OpCall, c.Avg)
+				case sem.SymObject, sem.SymPort:
+					ops.add(OpIndex, c.Avg)
+				}
+			}
+		},
+	})
+	return ops
+}

@@ -1,0 +1,236 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specsyn/internal/profile"
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+func behavior(t *testing.T, src, name string) (*sem.Design, *sem.Behavior) {
+	t.Helper()
+	df, err := vhdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range d.Behaviors {
+		if b.Name == name {
+			return d, b
+		}
+	}
+	t.Fatalf("behavior %q not found", name)
+	return nil, nil
+}
+
+const opsSrc = `
+entity E is end;
+architecture x of E is begin
+P: process
+    type arr is array (0 to 9) of integer;
+    variable a : arr;
+    variable v, w : integer;
+begin
+    v := v + w * 2;
+    if v > 0 then
+        a(v) := v / 3;
+    end if;
+    for i in 0 to 9 loop
+        w := w + a(i);
+    end loop;
+    wait;
+end process; end;
+`
+
+func TestCountOpsStaticVsDynamic(t *testing.T) {
+	d, b := behavior(t, opsSrc, "p")
+	ops := CountOps(d, b, profile.Empty())
+
+	// Static: operation sites in the source.
+	if ops.Static[OpMul] != 1 {
+		t.Errorf("static mul = %v", ops.Static[OpMul])
+	}
+	if ops.Static[OpDiv] != 1 {
+		t.Errorf("static div = %v", ops.Static[OpDiv])
+	}
+	// Adds: v+w*2 and w+a(i) = 2 sites.
+	if ops.Static[OpAdd] != 2 {
+		t.Errorf("static add = %v", ops.Static[OpAdd])
+	}
+	// Dynamic: loop body add runs 10 times, plus the top-level add once.
+	if ops.Dyn[OpAdd] != 11 {
+		t.Errorf("dyn add = %v, want 11", ops.Dyn[OpAdd])
+	}
+	// The if arm divides with default probability 1/2.
+	if ops.Dyn[OpDiv] != 0.5 {
+		t.Errorf("dyn div = %v, want 0.5", ops.Dyn[OpDiv])
+	}
+	// Moves: 3 assignment sites; loop assignment runs 10×, if-arm 0.5×.
+	if ops.Static[OpMove] != 3 {
+		t.Errorf("static moves = %v", ops.Static[OpMove])
+	}
+	if ops.Dyn[OpMove] != 11.5 {
+		t.Errorf("dyn moves = %v, want 11.5", ops.Dyn[OpMove])
+	}
+	if ops.Stmts == 0 {
+		t.Error("statement count missing")
+	}
+}
+
+func TestProcessorWeights(t *testing.T) {
+	d, b := behavior(t, opsSrc, "p")
+	ops := CountOps(d, b, profile.Empty())
+	tech := GenericProcessor("proc10", 10)
+	ict, size, ok := tech.BehaviorWeights(ops)
+	if !ok {
+		t.Fatal("processor rejected a behavior")
+	}
+	if ict <= 0 || size <= 0 {
+		t.Errorf("weights: ict %v size %v", ict, size)
+	}
+	// Twice the clock must halve the time, leave size unchanged.
+	fast := GenericProcessor("proc20", 20)
+	ict2, size2, _ := fast.BehaviorWeights(ops)
+	if diff := ict/ict2 - 2; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("clock scaling: %v vs %v", ict, ict2)
+	}
+	if size != size2 {
+		t.Errorf("size depends on clock: %v vs %v", size, size2)
+	}
+}
+
+func TestASICWeights(t *testing.T) {
+	d, b := behavior(t, opsSrc, "p")
+	ops := CountOps(d, b, profile.Empty())
+	asic := GenericASIC("asic50", 50)
+	ict, size, ok := asic.BehaviorWeights(ops)
+	if !ok || ict <= 0 || size <= 0 {
+		t.Fatalf("asic weights: %v %v %v", ict, size, ok)
+	}
+	// The ASIC at 50 MHz should beat the 10 MHz processor on time.
+	proc := GenericProcessor("proc10", 10)
+	pict, _, _ := proc.BehaviorWeights(ops)
+	if ict >= pict {
+		t.Errorf("asic (%v) not faster than processor (%v)", ict, pict)
+	}
+}
+
+func TestMemoryRejectsBehaviors(t *testing.T) {
+	d, b := behavior(t, opsSrc, "p")
+	ops := CountOps(d, b, profile.Empty())
+	mem := GenericMemory("sram8", 8, 0.1)
+	if _, _, ok := mem.BehaviorWeights(ops); ok {
+		t.Error("memory accepted a behavior")
+	}
+}
+
+func TestVariableWeights(t *testing.T) {
+	mem := GenericMemory("sram8", 8, 0.1)
+	ict, words, ok := mem.VariableWeights(1024)
+	if !ok || ict != 0.1 || words != 128 {
+		t.Errorf("memory variable: %v %v %v", ict, words, ok)
+	}
+	// Partial word rounds up.
+	_, words, _ = mem.VariableWeights(9)
+	if words != 2 {
+		t.Errorf("9 bits in 8-bit words = %v, want 2", words)
+	}
+	proc := GenericProcessor("p", 10)
+	_, bytes, _ := proc.VariableWeights(1024)
+	if bytes != 128 {
+		t.Errorf("processor bytes = %v", bytes)
+	}
+	asic := GenericASIC("a", 50)
+	_, gates, _ := asic.VariableWeights(8)
+	if gates != 8*asic.RegGatesBit {
+		t.Errorf("asic register gates = %v", gates)
+	}
+	// Zero storage still costs something.
+	if _, sz, _ := proc.VariableWeights(0); sz <= 0 {
+		t.Error("zero-bit variable got zero size")
+	}
+}
+
+func TestTechValidate(t *testing.T) {
+	good := StdTechs()
+	for _, tech := range good {
+		if err := tech.Validate(); err != nil {
+			t.Errorf("%s: %v", tech.Name, err)
+		}
+	}
+	bad := []*Tech{
+		{Name: "", Class: StdProc, ClockMHz: 1, BytesPerInstr: 1},
+		{Name: "p", Class: StdProc, ClockMHz: 0, BytesPerInstr: 1},
+		{Name: "p", Class: StdProc, ClockMHz: 1, BytesPerInstr: 0},
+		{Name: "m", Class: MemoryT, WordBits: 0},
+	}
+	for i, tech := range bad {
+		if err := tech.Validate(); err == nil {
+			t.Errorf("bad tech %d validated", i)
+		}
+	}
+}
+
+func TestTechByName(t *testing.T) {
+	techs := StdTechs()
+	if TechByName(techs, "proc10") == nil {
+		t.Error("proc10 missing from standard library")
+	}
+	if TechByName(techs, "nope") != nil {
+		t.Error("found a tech that does not exist")
+	}
+}
+
+// Property: more dynamic operations never decrease ict; more static
+// operations never decrease size.
+func TestWeightsMonotoneQuick(t *testing.T) {
+	d, b := behavior(t, opsSrc, "p")
+	base := CountOps(d, b, profile.Empty())
+	techs := []*Tech{GenericProcessor("p", 10), GenericASIC("a", 50)}
+	f := func(class uint8, extra uint16) bool {
+		c := OpClass(class) % numOpClasses
+		bigger := *base
+		bigger.Dyn[c] += float64(extra)
+		bigger.Static[c] += float64(extra)
+		for _, tech := range techs {
+			i0, s0, _ := tech.BehaviorWeights(base)
+			i1, s1, _ := tech.BehaviorWeights(&bigger)
+			if i1 < i0 || s1 < s0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpClassString(t *testing.T) {
+	if OpAdd.String() != "add" || OpIO.String() != "io" {
+		t.Error("op class names broken")
+	}
+}
+
+func TestOpsTotal(t *testing.T) {
+	d, b := behavior(t, opsSrc, "p")
+	ops := CountOps(d, b, profile.Empty())
+	static, dyn := ops.Total()
+	if static <= 0 || dyn <= 0 {
+		t.Errorf("totals: %v/%v", static, dyn)
+	}
+	if dyn <= static {
+		t.Errorf("loop-heavy behavior must have dyn (%v) > static (%v)", dyn, static)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if StdProc.String() != "processor" || CustomHW.String() != "custom" || MemoryT.String() != "memory" {
+		t.Error("Class names broken")
+	}
+}

@@ -1,0 +1,202 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+)
+
+// Class is the kind of component technology a Tech models.
+type Class int
+
+// Technology classes.
+const (
+	StdProc  Class = iota // standard (software) processor
+	CustomHW              // ASIC / FPGA custom hardware
+	MemoryT               // standard memory
+)
+
+func (c Class) String() string {
+	switch c {
+	case StdProc:
+		return "processor"
+	case CustomHW:
+		return "custom"
+	default:
+		return "memory"
+	}
+}
+
+// Tech is one component type: the key into every node's ict_list/size_list.
+// Only the fields of the matching Class are consulted.
+type Tech struct {
+	Name  string
+	Class Class
+
+	// Standard processors.
+	ClockMHz      float64               // instruction clock
+	CyclesPerOp   [numOpClasses]float64 // execution cycles per operation
+	InstrPerOp    [numOpClasses]float64 // emitted instructions per operation
+	BytesPerInstr float64               // code density
+	DataAccessUs  float64               // on-processor variable read/write time
+
+	// Custom hardware.
+	OpDelayUs   [numOpClasses]float64 // per-operation datapath delay
+	GatesPerOp  [numOpClasses]float64 // functional-unit cost
+	CtrlGates   float64               // controller gates per statement
+	RegGatesBit float64               // register gates per stored bit
+	RegAccessUs float64               // on-chip register read/write time
+
+	// Memories.
+	AccessUs float64 // word read/write time
+	WordBits int     // word width
+}
+
+// BehaviorWeights returns the ict (µs per execution) and size weight of a
+// behavior with the given operation counts on this technology. ok is false
+// when the technology cannot host behaviors (memories).
+func (t *Tech) BehaviorWeights(ops *Ops) (ict, size float64, ok bool) {
+	switch t.Class {
+	case StdProc:
+		var cycles, instrs float64
+		for c := 0; c < int(numOpClasses); c++ {
+			cycles += ops.Dyn[c] * t.CyclesPerOp[c]
+			instrs += ops.Static[c] * t.InstrPerOp[c]
+		}
+		ict = cycles / t.ClockMHz
+		size = math.Ceil(instrs * t.BytesPerInstr)
+		return ict, size, true
+	case CustomHW:
+		var delay, gates float64
+		for c := 0; c < int(numOpClasses); c++ {
+			delay += ops.Dyn[c] * t.OpDelayUs[c]
+			gates += ops.Static[c] * t.GatesPerOp[c]
+		}
+		gates += float64(ops.Stmts) * t.CtrlGates
+		return delay, math.Ceil(gates), true
+	}
+	return 0, 0, false
+}
+
+// VariableWeights returns the access time (ict) and size weight of a
+// variable with the given storage footprint on this technology.
+func (t *Tech) VariableWeights(storageBits int64) (ict, size float64, ok bool) {
+	if storageBits <= 0 {
+		storageBits = 1
+	}
+	switch t.Class {
+	case StdProc:
+		return t.DataAccessUs, math.Ceil(float64(storageBits) / 8), true
+	case CustomHW:
+		return t.RegAccessUs, math.Ceil(float64(storageBits) * t.RegGatesBit), true
+	case MemoryT:
+		wb := t.WordBits
+		if wb <= 0 {
+			wb = 8
+		}
+		return t.AccessUs, math.Ceil(float64(storageBits) / float64(wb)), true
+	}
+	return 0, 0, false
+}
+
+// Validate checks that the technology's parameters are usable.
+func (t *Tech) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("synth: technology with empty name")
+	}
+	switch t.Class {
+	case StdProc:
+		if t.ClockMHz <= 0 {
+			return fmt.Errorf("synth: processor %q has non-positive clock", t.Name)
+		}
+		if t.BytesPerInstr <= 0 {
+			return fmt.Errorf("synth: processor %q has non-positive code density", t.Name)
+		}
+	case MemoryT:
+		if t.WordBits <= 0 {
+			return fmt.Errorf("synth: memory %q has non-positive word width", t.Name)
+		}
+	}
+	return nil
+}
+
+// uniformOps builds a per-class table from a map, applying def elsewhere.
+func uniformOps(def float64, m map[OpClass]float64) [numOpClasses]float64 {
+	var out [numOpClasses]float64
+	for c := 0; c < int(numOpClasses); c++ {
+		out[c] = def
+	}
+	for c, v := range m {
+		out[c] = v
+	}
+	return out
+}
+
+// GenericProcessor returns a RISC-like standard processor model named name
+// running at clockMHz.
+func GenericProcessor(name string, clockMHz float64) *Tech {
+	return &Tech{
+		Name:     name,
+		Class:    StdProc,
+		ClockMHz: clockMHz,
+		CyclesPerOp: uniformOps(1, map[OpClass]float64{
+			OpMul: 4, OpDiv: 12, OpIndex: 2, OpBranch: 2, OpCall: 6, OpIO: 4,
+		}),
+		InstrPerOp: uniformOps(1, map[OpClass]float64{
+			OpDiv: 2, OpIndex: 2, OpBranch: 2, OpCall: 3, OpMove: 1, OpIO: 2,
+		}),
+		BytesPerInstr: 4,
+		DataAccessUs:  2 / clockMHz, // load/store
+	}
+}
+
+// GenericASIC returns a standard-cell custom-hardware model with the given
+// datapath clock.
+func GenericASIC(name string, clockMHz float64) *Tech {
+	cycle := 1 / clockMHz
+	return &Tech{
+		Name:  name,
+		Class: CustomHW,
+		OpDelayUs: uniformOps(cycle, map[OpClass]float64{
+			OpMul: 3 * cycle, OpDiv: 10 * cycle, OpIO: 2 * cycle,
+			OpBranch: cycle / 2, OpCall: cycle,
+		}),
+		GatesPerOp: uniformOps(50, map[OpClass]float64{
+			OpAdd: 150, OpMul: 1200, OpDiv: 2500, OpCmp: 80,
+			OpLogic: 20, OpMove: 10, OpIndex: 120, OpBranch: 30,
+			OpCall: 60, OpIO: 40,
+		}),
+		CtrlGates:   12,
+		RegGatesBit: 8,
+		RegAccessUs: cycle,
+	}
+}
+
+// GenericMemory returns a standard memory model with the given word width
+// and access time.
+func GenericMemory(name string, wordBits int, accessUs float64) *Tech {
+	return &Tech{Name: name, Class: MemoryT, WordBits: wordBits, AccessUs: accessUs}
+}
+
+// StdTechs returns the default technology library used by the examples and
+// benchmarks: a mid-1990s style 10 MHz embedded processor, a faster 20 MHz
+// processor, a 50 MHz standard-cell ASIC, and an 8-bit wide SRAM — the
+// "processor-asic architecture" of the paper's Figure 4 experiment plus a
+// memory.
+func StdTechs() []*Tech {
+	return []*Tech{
+		GenericProcessor("proc10", 10),
+		GenericProcessor("proc20", 20),
+		GenericASIC("asic50", 50),
+		GenericMemory("sram8", 8, 0.1),
+	}
+}
+
+// TechByName finds a technology in a slice, or nil.
+func TechByName(techs []*Tech, name string) *Tech {
+	for _, t := range techs {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}

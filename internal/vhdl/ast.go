@@ -1,0 +1,438 @@
+package vhdl
+
+// This file defines the abstract syntax tree produced by the parser.
+// Node names follow the VHDL LRM vocabulary where practical.
+
+// DesignFile is the root of a parsed source file. The subset allows any
+// number of entity/architecture pairs per file.
+type DesignFile struct {
+	Entities      []*Entity
+	Architectures []*Architecture
+}
+
+// Entity is an entity declaration: name plus port list.
+type Entity struct {
+	Name  string
+	Ports []*PortDecl
+	Pos   Pos
+}
+
+// PortDir is a port or parameter direction.
+type PortDir int
+
+// Port and parameter directions.
+const (
+	DirIn PortDir = iota
+	DirOut
+	DirInOut
+)
+
+func (d PortDir) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	default:
+		return "inout"
+	}
+}
+
+// PortDecl declares one or more ports of the same mode and type.
+type PortDecl struct {
+	Names []string
+	Dir   PortDir
+	Type  *TypeRef
+	Pos   Pos
+}
+
+// Architecture is an architecture body: declarations plus concurrent
+// statements (processes, in this subset).
+type Architecture struct {
+	Name       string
+	EntityName string
+	Decls      []Decl
+	Processes  []*ProcessStmt
+	Pos        Pos
+}
+
+// Decl is any declarative-part item.
+type Decl interface{ declNode() }
+
+// TypeDecl declares a named type ("type mr_array is array (1 to 384) of integer;").
+type TypeDecl struct {
+	Name string
+	Def  *TypeDef
+	Pos  Pos
+}
+
+// SubtypeDecl declares a constrained alias ("subtype byte is integer range 0 to 255;").
+type SubtypeDecl struct {
+	Name string
+	Base *TypeRef
+	Pos  Pos
+}
+
+// ObjectClass distinguishes variables, signals and constants.
+type ObjectClass int
+
+// Object classes.
+const (
+	ClassVariable ObjectClass = iota
+	ClassSignal
+	ClassConstant
+)
+
+func (c ObjectClass) String() string {
+	switch c {
+	case ClassVariable:
+		return "variable"
+	case ClassSignal:
+		return "signal"
+	default:
+		return "constant"
+	}
+}
+
+// ObjectDecl declares one or more variables/signals/constants.
+type ObjectDecl struct {
+	Class ObjectClass
+	Names []string
+	Type  *TypeRef
+	Init  Expr // optional
+	Pos   Pos
+}
+
+// ParamDecl is a subprogram parameter group.
+type ParamDecl struct {
+	Names []string
+	Dir   PortDir
+	Type  *TypeRef
+	Pos   Pos
+}
+
+// SubprogramDecl declares a procedure or function with its body.
+type SubprogramDecl struct {
+	Name       string
+	IsFunction bool
+	Params     []*ParamDecl
+	Return     *TypeRef // functions only
+	Decls      []Decl
+	Body       []Stmt
+	Pos        Pos
+}
+
+// ProcessStmt is a process with an optional label and sensitivity list.
+type ProcessStmt struct {
+	Label       string
+	Sensitivity []string
+	Decls       []Decl
+	Body        []Stmt
+	Pos         Pos
+}
+
+func (*TypeDecl) declNode()       {}
+func (*SubtypeDecl) declNode()    {}
+func (*ObjectDecl) declNode()     {}
+func (*SubprogramDecl) declNode() {}
+
+// TypeDef is the definition part of a type declaration.
+type TypeDef struct {
+	// Exactly one of Array / Range is set; a nil both means an enumeration,
+	// recorded via EnumLits.
+	Array    *ArrayDef
+	Range    *RangeDef
+	EnumLits []string
+}
+
+// ArrayDef is a constrained array definition.
+type ArrayDef struct {
+	Low, High Expr // index bounds (usually integer literals)
+	Downto    bool
+	Element   *TypeRef
+}
+
+// RangeDef is an integer range constraint.
+type RangeDef struct {
+	Low, High Expr
+	Downto    bool
+}
+
+// TypeRef names a type, optionally with an inline range constraint
+// ("integer range 0 to 255") or an index constraint ("bit_vector(7 downto 0)").
+type TypeRef struct {
+	Name  string
+	Range *RangeDef // optional
+	Index *RangeDef // optional, for array index constraints
+	Pos   Pos
+}
+
+// Stmt is any sequential statement.
+type Stmt interface{ stmtNode() }
+
+// AssignStmt is a variable (:=) or signal (<=) assignment.
+type AssignStmt struct {
+	Target   Expr // NameExpr or IndexExpr
+	Value    Expr
+	IsSignal bool
+	Pos      Pos
+}
+
+// IfStmt is if/elsif*/else.
+type IfStmt struct {
+	Cond  Expr
+	Then  []Stmt
+	Elifs []ElifClause
+	Else  []Stmt
+	Pos   Pos
+}
+
+// ElifClause is one elsif arm.
+type ElifClause struct {
+	Cond Expr
+	Body []Stmt
+	Pos  Pos
+}
+
+// CaseStmt is a case statement.
+type CaseStmt struct {
+	Expr  Expr
+	Whens []WhenClause
+	Pos   Pos
+}
+
+// WhenClause is one case alternative; a nil Choices slice means "when others".
+type WhenClause struct {
+	Choices []Expr
+	Body    []Stmt
+	Pos     Pos
+}
+
+// ForStmt is a for loop over a static range. Low and High are the left
+// and right bounds in source order: for a downto loop Low is the larger
+// bound. (RangeDef and ArrayDef, by contrast, are normalized Low <= High
+// at parse time.)
+type ForStmt struct {
+	Var    string
+	Low    Expr
+	High   Expr
+	Downto bool
+	Body   []Stmt
+	Label  string
+	Pos    Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond  Expr
+	Body  []Stmt
+	Label string
+	Pos   Pos
+}
+
+// LoopStmt is a bare (infinite) loop.
+type LoopStmt struct {
+	Body  []Stmt
+	Label string
+	Pos   Pos
+}
+
+// ExitStmt exits the innermost (or labeled) loop, optionally conditional.
+type ExitStmt struct {
+	Label string
+	Cond  Expr
+	Pos   Pos
+}
+
+// CallStmt is a procedure call statement.
+type CallStmt struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// WaitStmt is "wait", "wait on ...", "wait until ...", or "wait for ..." —
+// the subset records which form but not time expressions precisely.
+type WaitStmt struct {
+	OnSignals []string
+	Until     Expr
+	Pos       Pos
+}
+
+// ReturnStmt returns from a subprogram, with an optional value.
+type ReturnStmt struct {
+	Value Expr
+	Pos   Pos
+}
+
+// NullStmt is the VHDL null statement.
+type NullStmt struct{ Pos Pos }
+
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*CaseStmt) stmtNode()   {}
+func (*ForStmt) stmtNode()    {}
+func (*WhileStmt) stmtNode()  {}
+func (*LoopStmt) stmtNode()   {}
+func (*ExitStmt) stmtNode()   {}
+func (*CallStmt) stmtNode()   {}
+func (*WaitStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode() {}
+func (*NullStmt) stmtNode()   {}
+
+// Expr is any expression.
+type Expr interface{ exprNode() }
+
+// NameExpr is a simple name reference.
+type NameExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// IntExpr is an integer literal.
+type IntExpr struct {
+	Val int64
+	Pos Pos
+}
+
+// CharExpr is a character literal such as '0'.
+type CharExpr struct {
+	Val byte
+	Pos Pos
+}
+
+// StrExpr is a string literal.
+type StrExpr struct {
+	Val string
+	Pos Pos
+}
+
+// CallExpr is either an array index or a function call; VHDL syntax cannot
+// distinguish them, so the semantic pass resolves which.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// BinExpr is a binary operation. Op is the token kind of the operator
+// (PLUS, KwAND, EQ, ...).
+type BinExpr struct {
+	Op   Kind
+	L, R Expr
+	Pos  Pos
+}
+
+// UnaryExpr is a unary operation (MINUS, PLUS, KwNOT, KwABS).
+type UnaryExpr struct {
+	Op  Kind
+	X   Expr
+	Pos Pos
+}
+
+// AttrExpr is an attribute reference such as x'length or clk'event.
+type AttrExpr struct {
+	Prefix string
+	Attr   string
+	Pos    Pos
+}
+
+// AggregateExpr is a simple aggregate such as (others => 0).
+type AggregateExpr struct {
+	Assocs []AggrAssoc
+	Pos    Pos
+}
+
+// AggrAssoc is one association in an aggregate. IsOthers marks an
+// "others => value" association; otherwise a nil Choice is positional.
+type AggrAssoc struct {
+	Choice   Expr // nil for others/positional
+	Value    Expr
+	IsOthers bool
+}
+
+func (*NameExpr) exprNode()      {}
+func (*IntExpr) exprNode()       {}
+func (*CharExpr) exprNode()      {}
+func (*StrExpr) exprNode()       {}
+func (*CallExpr) exprNode()      {}
+func (*BinExpr) exprNode()       {}
+func (*UnaryExpr) exprNode()     {}
+func (*AttrExpr) exprNode()      {}
+func (*AggregateExpr) exprNode() {}
+
+// ExprPos returns the source position of an expression.
+func ExprPos(e Expr) Pos {
+	switch x := e.(type) {
+	case *NameExpr:
+		return x.Pos
+	case *IntExpr:
+		return x.Pos
+	case *CharExpr:
+		return x.Pos
+	case *StrExpr:
+		return x.Pos
+	case *CallExpr:
+		return x.Pos
+	case *BinExpr:
+		return x.Pos
+	case *UnaryExpr:
+		return x.Pos
+	case *AttrExpr:
+		return x.Pos
+	case *AggregateExpr:
+		return x.Pos
+	}
+	return Pos{}
+}
+
+// WalkStmts applies f to every statement in the list, recursing into
+// compound statements. It is the workhorse for access extraction, CDFG
+// construction and frequency analysis.
+func WalkStmts(stmts []Stmt, f func(Stmt)) {
+	for _, s := range stmts {
+		f(s)
+		switch st := s.(type) {
+		case *IfStmt:
+			WalkStmts(st.Then, f)
+			for _, e := range st.Elifs {
+				WalkStmts(e.Body, f)
+			}
+			WalkStmts(st.Else, f)
+		case *CaseStmt:
+			for _, w := range st.Whens {
+				WalkStmts(w.Body, f)
+			}
+		case *ForStmt:
+			WalkStmts(st.Body, f)
+		case *WhileStmt:
+			WalkStmts(st.Body, f)
+		case *LoopStmt:
+			WalkStmts(st.Body, f)
+		}
+	}
+}
+
+// WalkExpr applies f to e and every subexpression of e.
+func WalkExpr(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch x := e.(type) {
+	case *CallExpr:
+		for _, a := range x.Args {
+			WalkExpr(a, f)
+		}
+	case *BinExpr:
+		WalkExpr(x.L, f)
+		WalkExpr(x.R, f)
+	case *UnaryExpr:
+		WalkExpr(x.X, f)
+	case *AggregateExpr:
+		for _, a := range x.Assocs {
+			WalkExpr(a.Choice, f)
+			WalkExpr(a.Value, f)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package vhdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A LexError describes a lexical error with its position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer converts VHDL source text into a token stream. It is resilient:
+// on an invalid byte it records an error, skips the byte, and continues, so
+// a single bad character does not abort parsing of the rest of the file.
+type Lexer struct {
+	src    string
+	off    int // byte offset of the next unread byte
+	line   int
+	col    int
+	Errors []*LexError
+}
+
+// NewLexer returns a lexer over src. File is consumed as raw bytes; VHDL
+// source in the subset is ASCII.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) errorf(p Pos, format string, args ...any) {
+	l.Errors = append(l.Errors, &LexError{Pos: p, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool  { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) || c == '_' }
+
+// skipBlank consumes whitespace and "--" comments.
+func (l *Lexer) skipBlank() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '-' && l.peek2() == '-':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// pos returns the position of the next unread byte.
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// Next returns the next token. At end of input it returns an EOF token
+// (repeatedly, if called again).
+func (l *Lexer) Next() Token {
+	l.skipBlank()
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: p}
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		return l.ident(p)
+	case isDigit(c):
+		return l.number(p)
+	}
+	l.advance()
+	switch c {
+	case '(':
+		return Token{Kind: LPAREN, Pos: p}
+	case ')':
+		return Token{Kind: RPAREN, Pos: p}
+	case ';':
+		return Token{Kind: SEMI, Pos: p}
+	case ',':
+		return Token{Kind: COMMA, Pos: p}
+	case '.':
+		return Token{Kind: DOT, Pos: p}
+	case '+':
+		return Token{Kind: PLUS, Pos: p}
+	case '-':
+		return Token{Kind: MINUS, Pos: p}
+	case '*':
+		return Token{Kind: STAR, Pos: p}
+	case '&':
+		return Token{Kind: AMP, Pos: p}
+	case '|':
+		return Token{Kind: BAR, Pos: p}
+	case ':':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: ASSIGN, Pos: p}
+		}
+		return Token{Kind: COLON, Pos: p}
+	case '=':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: ARROW, Pos: p}
+		}
+		return Token{Kind: EQ, Pos: p}
+	case '/':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: NEQ, Pos: p}
+		}
+		return Token{Kind: SLASH, Pos: p}
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: SIGASSIGN, Pos: p}
+		}
+		return Token{Kind: LT, Pos: p}
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: GE, Pos: p}
+		}
+		return Token{Kind: GT, Pos: p}
+	case '\'':
+		return l.charlit(p)
+	case '"':
+		return l.strlit(p)
+	}
+	l.errorf(p, "invalid character %q", string(rune(c)))
+	return l.Next()
+}
+
+func (l *Lexer) ident(p Pos) Token {
+	start := l.off
+	for l.off < len(l.src) && isIdent(l.peek()) {
+		l.advance()
+	}
+	orig := l.src[start:l.off]
+	lower := strings.ToLower(orig)
+	return Token{Kind: Lookup(lower), Text: lower, Orig: orig, Pos: p}
+}
+
+func (l *Lexer) number(p Pos) Token {
+	start := l.off
+	for l.off < len(l.src) && (isDigit(l.peek()) || l.peek() == '_') {
+		l.advance()
+	}
+	// Based literals like 16#FF# are accepted for completeness.
+	if l.peek() == '#' {
+		l.advance()
+		for l.off < len(l.src) && l.peek() != '#' && !isSpace(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '#' {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.off]
+	val, err := parseIntLiteral(text)
+	if err != nil {
+		l.errorf(p, "invalid integer literal %q: %v", text, err)
+	}
+	return Token{Kind: INTLIT, Text: text, Orig: text, Val: val, Pos: p}
+}
+
+// parseIntLiteral handles plain decimal with optional underscores and VHDL
+// based literals of the form base#digits#.
+func parseIntLiteral(text string) (int64, error) {
+	clean := strings.ReplaceAll(text, "_", "")
+	if i := strings.IndexByte(clean, '#'); i >= 0 {
+		base, err := strconv.ParseInt(clean[:i], 10, 64)
+		if err != nil || base < 2 || base > 16 {
+			return 0, fmt.Errorf("bad base in %q", text)
+		}
+		body := strings.TrimSuffix(clean[i+1:], "#")
+		return strconv.ParseInt(strings.ToLower(body), int(base), 64)
+	}
+	return strconv.ParseInt(clean, 10, 64)
+}
+
+func (l *Lexer) charlit(p Pos) Token {
+	// The tick may be a character literal '0' or an attribute tick (x'range).
+	// A char literal is exactly '<c>'. Otherwise emit TICK.
+	if l.off+1 < len(l.src) && l.src[l.off+1] == '\'' {
+		c := l.advance()
+		l.advance() // closing quote
+		text := string(rune(c))
+		return Token{Kind: CHARLIT, Text: text, Orig: "'" + text + "'", Val: int64(c), Pos: p}
+	}
+	return Token{Kind: TICK, Pos: p}
+}
+
+func (l *Lexer) strlit(p Pos) Token {
+	start := l.off
+	for l.off < len(l.src) && l.peek() != '"' && l.peek() != '\n' {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	if l.peek() == '"' {
+		l.advance()
+	} else {
+		l.errorf(p, "unterminated string literal")
+	}
+	return Token{Kind: STRLIT, Text: text, Orig: `"` + text + `"`, Pos: p}
+}
+
+// LexAll tokenizes the whole input, returning the tokens (terminated by a
+// single EOF token) and any lexical errors.
+func LexAll(src string) ([]Token, []*LexError) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, l.Errors
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package vhdl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(src string) []Kind {
+	toks, _ := LexAll(src)
+	out := make([]Kind, 0, len(toks))
+	for _, t := range toks {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestLexSymbols(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []Kind
+	}{
+		{"( ) ; : , .", []Kind{LPAREN, RPAREN, SEMI, COLON, COMMA, DOT, EOF}},
+		{":= <= => = /=", []Kind{ASSIGN, SIGASSIGN, ARROW, EQ, NEQ, EOF}},
+		{"< > >= + - * / & |", []Kind{LT, GT, GE, PLUS, MINUS, STAR, SLASH, AMP, BAR, EOF}},
+	}
+	for _, c := range cases {
+		got := kinds(c.src)
+		if len(got) != len(c.want) {
+			t.Fatalf("%q: got %v, want %v", c.src, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%q token %d: got %v, want %v", c.src, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	for _, src := range []string{"entity", "ENTITY", "Entity", "eNtItY"} {
+		toks, errs := LexAll(src)
+		if len(errs) != 0 {
+			t.Fatalf("%q: unexpected errors %v", src, errs)
+		}
+		if toks[0].Kind != KwENTITY {
+			t.Errorf("%q lexed as %v, want entity keyword", src, toks[0].Kind)
+		}
+	}
+}
+
+func TestLexIdentifierNormalization(t *testing.T) {
+	toks, _ := LexAll("FuzzyMain")
+	if toks[0].Kind != IDENT {
+		t.Fatalf("got %v, want IDENT", toks[0].Kind)
+	}
+	if toks[0].Text != "fuzzymain" {
+		t.Errorf("normalized text = %q, want fuzzymain", toks[0].Text)
+	}
+	if toks[0].Orig != "FuzzyMain" {
+		t.Errorf("original text = %q, want FuzzyMain", toks[0].Orig)
+	}
+}
+
+func TestLexIntegers(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"0", 0},
+		{"384", 384},
+		{"1_000_000", 1000000},
+		{"16#ff#", 255},
+		{"2#1010#", 10},
+	}
+	for _, c := range cases {
+		toks, errs := LexAll(c.src)
+		if len(errs) != 0 {
+			t.Errorf("%q: errors %v", c.src, errs)
+			continue
+		}
+		if toks[0].Kind != INTLIT || toks[0].Val != c.want {
+			t.Errorf("%q = %d (kind %v), want %d", c.src, toks[0].Val, toks[0].Kind, c.want)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, errs := LexAll("a -- this is a comment\nb")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("comment not skipped: %v", toks)
+	}
+	if toks[1].Pos.Line != 2 {
+		t.Errorf("token after comment at line %d, want 2", toks[1].Pos.Line)
+	}
+}
+
+func TestLexCharLiteralVsAttributeTick(t *testing.T) {
+	toks, _ := LexAll("'0'")
+	if toks[0].Kind != CHARLIT || toks[0].Val != '0' {
+		t.Errorf("char literal: got %v", toks[0])
+	}
+	toks, _ = LexAll("x'length")
+	if toks[0].Kind != IDENT || toks[1].Kind != TICK || toks[2].Kind != IDENT {
+		t.Errorf("attribute tick: got %v %v %v", toks[0], toks[1], toks[2])
+	}
+}
+
+func TestLexStringLiteral(t *testing.T) {
+	toks, errs := LexAll(`"hello world"`)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Kind != STRLIT || toks[0].Text != "hello world" {
+		t.Errorf("got %v", toks[0])
+	}
+	_, errs = LexAll("\"unterminated\n")
+	if len(errs) == 0 {
+		t.Error("unterminated string should produce an error")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _ := LexAll("a\n  bb\n\tc")
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("bb at %v", toks[1].Pos)
+	}
+	if toks[2].Pos.Line != 3 {
+		t.Errorf("c at line %d", toks[2].Pos.Line)
+	}
+}
+
+func TestLexInvalidByteRecovers(t *testing.T) {
+	toks, errs := LexAll("a $ b")
+	if len(errs) != 1 {
+		t.Fatalf("want 1 error, got %v", errs)
+	}
+	if len(toks) != 3 { // a, b, EOF
+		t.Errorf("lexer did not recover: %v", toks)
+	}
+}
+
+func TestLexEOFIdempotent(t *testing.T) {
+	l := NewLexer("x")
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != EOF {
+			t.Fatalf("call %d after end: %v, want EOF", i, tok)
+		}
+	}
+}
+
+// Property: lexing never panics and always terminates with EOF, for any
+// input string.
+func TestLexTotalQuick(t *testing.T) {
+	f := func(s string) bool {
+		toks, _ := LexAll(s)
+		return len(toks) >= 1 && toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the lexer is insensitive to case for keyword recognition.
+func TestLexCaseInsensitiveQuick(t *testing.T) {
+	words := []string{"process", "begin", "end", "if", "then", "loop", "wait"}
+	for _, w := range words {
+		up := strings.ToUpper(w)
+		a, _ := LexAll(w)
+		b, _ := LexAll(up)
+		if a[0].Kind != b[0].Kind {
+			t.Errorf("%q and %q lex to different kinds", w, up)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if SIGASSIGN.String() != "<=" {
+		t.Errorf("SIGASSIGN.String() = %q", SIGASSIGN.String())
+	}
+	if KwPROCESS.String() != "'process'" {
+		t.Errorf("KwPROCESS.String() = %q", KwPROCESS.String())
+	}
+	if !KwPROCESS.IsKeyword() || IDENT.IsKeyword() {
+		t.Error("IsKeyword misclassifies")
+	}
+}

@@ -1,0 +1,397 @@
+package vhdl
+
+import (
+	"strings"
+	"testing"
+)
+
+const tinyEntity = `
+entity E is
+    port ( a : in integer; b : out integer );
+end;
+architecture behav of E is
+begin
+    P: process
+    begin
+        b <= a;
+        wait on a;
+    end process;
+end;
+`
+
+func TestParseEntityPorts(t *testing.T) {
+	df := MustParse(tinyEntity)
+	if len(df.Entities) != 1 {
+		t.Fatalf("entities = %d", len(df.Entities))
+	}
+	e := df.Entities[0]
+	if e.Name != "e" {
+		t.Errorf("entity name %q", e.Name)
+	}
+	if len(e.Ports) != 2 {
+		t.Fatalf("port groups = %d", len(e.Ports))
+	}
+	if e.Ports[0].Dir != DirIn || e.Ports[1].Dir != DirOut {
+		t.Errorf("port dirs: %v %v", e.Ports[0].Dir, e.Ports[1].Dir)
+	}
+}
+
+func TestParseGroupedPorts(t *testing.T) {
+	df := MustParse(`entity E is port ( a, b, c : in integer ); end;
+architecture x of E is begin end;`)
+	if got := df.Entities[0].Ports[0].Names; len(got) != 3 {
+		t.Fatalf("grouped names = %v", got)
+	}
+}
+
+func TestParseProcessStructure(t *testing.T) {
+	df := MustParse(tinyEntity)
+	a := df.Architectures[0]
+	if len(a.Processes) != 1 {
+		t.Fatalf("processes = %d", len(a.Processes))
+	}
+	p := a.Processes[0]
+	if p.Label != "p" {
+		t.Errorf("label %q", p.Label)
+	}
+	if len(p.Body) != 2 {
+		t.Fatalf("body statements = %d", len(p.Body))
+	}
+	if _, ok := p.Body[0].(*AssignStmt); !ok {
+		t.Errorf("first statement %T, want AssignStmt", p.Body[0])
+	}
+	if _, ok := p.Body[1].(*WaitStmt); !ok {
+		t.Errorf("second statement %T, want WaitStmt", p.Body[1])
+	}
+}
+
+func TestParseUnlabeledProcessGetsLabel(t *testing.T) {
+	df := MustParse(`entity E is end;
+architecture x of E is begin
+process begin wait; end process;
+end;`)
+	if lbl := df.Architectures[0].Processes[0].Label; !strings.HasPrefix(lbl, "process_l") {
+		t.Errorf("generated label %q", lbl)
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	src := `
+entity E is end;
+architecture x of E is
+    type mr_array is array (1 to 384) of integer;
+    subtype byte is integer range 0 to 255;
+    type state is (idle, run, stop);
+    signal s1, s2 : byte;
+    constant k : integer := 42;
+begin
+    P: process
+        variable v : mr_array;
+    begin
+        v(1) := k;
+        wait;
+    end process;
+end;
+`
+	df := MustParse(src)
+	decls := df.Architectures[0].Decls
+	if len(decls) != 5 {
+		t.Fatalf("architecture decls = %d", len(decls))
+	}
+	td, ok := decls[0].(*TypeDecl)
+	if !ok || td.Def.Array == nil {
+		t.Fatalf("decl 0: %#v", decls[0])
+	}
+	if lo, _ := td.Def.Array.Low.(*IntExpr); lo.Val != 1 {
+		t.Errorf("array low %v", td.Def.Array.Low)
+	}
+	if _, ok := decls[1].(*SubtypeDecl); !ok {
+		t.Errorf("decl 1: %T", decls[1])
+	}
+	en, ok := decls[2].(*TypeDecl)
+	if !ok || len(en.Def.EnumLits) != 3 {
+		t.Errorf("enum decl: %#v", decls[2])
+	}
+	od, ok := decls[3].(*ObjectDecl)
+	if !ok || od.Class != ClassSignal || len(od.Names) != 2 {
+		t.Errorf("signal decl: %#v", decls[3])
+	}
+	cd, ok := decls[4].(*ObjectDecl)
+	if !ok || cd.Class != ClassConstant || cd.Init == nil {
+		t.Errorf("constant decl: %#v", decls[4])
+	}
+}
+
+func TestParseDowntoNormalized(t *testing.T) {
+	df := MustParse(`entity E is end;
+architecture x of E is
+    type w is array (7 downto 0) of integer;
+begin end;`)
+	ad := df.Architectures[0].Decls[0].(*TypeDecl).Def.Array
+	if !ad.Downto {
+		t.Error("downto flag lost")
+	}
+	if lo := ad.Low.(*IntExpr).Val; lo != 0 {
+		t.Errorf("low bound %d after normalization, want 0", lo)
+	}
+	if hi := ad.High.(*IntExpr).Val; hi != 7 {
+		t.Errorf("high bound %d, want 7", hi)
+	}
+}
+
+func TestParseSubprograms(t *testing.T) {
+	src := `
+entity E is end;
+architecture x of E is
+    function Min(a : in integer; b : in integer) return integer is
+    begin
+        if a < b then
+            return a;
+        end if;
+        return b;
+    end;
+    procedure P2(n : in integer) is
+        variable t : integer;
+    begin
+        t := n;
+    end;
+begin end;
+`
+	df := MustParse(src)
+	fn := df.Architectures[0].Decls[0].(*SubprogramDecl)
+	if !fn.IsFunction || fn.Name != "min" || len(fn.Params) != 2 || fn.Return == nil {
+		t.Errorf("function decl: %+v", fn)
+	}
+	pr := df.Architectures[0].Decls[1].(*SubprogramDecl)
+	if pr.IsFunction || len(pr.Decls) != 1 || len(pr.Body) != 1 {
+		t.Errorf("procedure decl: %+v", pr)
+	}
+}
+
+func TestParseControlStatements(t *testing.T) {
+	src := `
+entity E is end;
+architecture x of E is begin
+P: process
+    variable v, i2 : integer;
+begin
+    if v = 1 then
+        v := 2;
+    elsif v = 2 then
+        v := 3;
+    else
+        v := 0;
+    end if;
+    case v is
+        when 0 => v := 1;
+        when 1 | 2 => v := 2;
+        when others => null;
+    end case;
+    for i in 1 to 10 loop
+        v := v + i;
+    end loop;
+    while v > 0 loop
+        v := v - 1;
+    end loop;
+    outer: loop
+        exit outer when v = 5;
+        v := v + 1;
+    end loop;
+    wait until v = 3;
+end process;
+end;
+`
+	df := MustParse(src)
+	body := df.Architectures[0].Processes[0].Body
+	if len(body) != 6 {
+		t.Fatalf("statements = %d", len(body))
+	}
+	ifs := body[0].(*IfStmt)
+	if len(ifs.Elifs) != 1 || len(ifs.Else) != 1 {
+		t.Errorf("if arms: %d elifs, %d else", len(ifs.Elifs), len(ifs.Else))
+	}
+	cs := body[1].(*CaseStmt)
+	if len(cs.Whens) != 3 {
+		t.Fatalf("case whens = %d", len(cs.Whens))
+	}
+	if cs.Whens[2].Choices != nil {
+		t.Error("when others should have nil choices")
+	}
+	if len(cs.Whens[1].Choices) != 2 {
+		t.Errorf("bar-separated choices = %d", len(cs.Whens[1].Choices))
+	}
+	fs := body[2].(*ForStmt)
+	if fs.Var != "i" {
+		t.Errorf("for var %q", fs.Var)
+	}
+	ls := body[4].(*LoopStmt)
+	if ls.Label != "outer" {
+		t.Errorf("loop label %q", ls.Label)
+	}
+	es := ls.Body[0].(*ExitStmt)
+	if es.Label != "outer" || es.Cond == nil {
+		t.Errorf("exit: %+v", es)
+	}
+	ws := body[5].(*WaitStmt)
+	if ws.Until == nil {
+		t.Error("wait until lost its condition")
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	// a + b * c must parse as a + (b*c).
+	df := MustParse(`entity E is end;
+architecture x of E is begin
+P: process variable a, b, c, r : integer; begin
+    r := a + b * c;
+    wait;
+end process; end;`)
+	asn := df.Architectures[0].Processes[0].Body[0].(*AssignStmt)
+	add := asn.Value.(*BinExpr)
+	if add.Op != PLUS {
+		t.Fatalf("top op %v", add.Op)
+	}
+	mul, ok := add.R.(*BinExpr)
+	if !ok || mul.Op != STAR {
+		t.Fatalf("right operand %#v, want multiplication", add.R)
+	}
+}
+
+func TestParseRelationalInCondition(t *testing.T) {
+	// <= in expression position is the less-equal operator.
+	df := MustParse(`entity E is end;
+architecture x of E is begin
+P: process variable a, b : integer; begin
+    if a <= b then
+        a := b;
+    end if;
+    wait;
+end process; end;`)
+	cond := df.Architectures[0].Processes[0].Body[0].(*IfStmt).Cond.(*BinExpr)
+	if cond.Op != SIGASSIGN {
+		t.Errorf("condition op %v", cond.Op)
+	}
+}
+
+func TestParseSignalVsVariableAssign(t *testing.T) {
+	df := MustParse(`entity E is port (o : out integer); end;
+architecture x of E is begin
+P: process variable v : integer; begin
+    v := 1;
+    o <= v;
+    wait;
+end process; end;`)
+	body := df.Architectures[0].Processes[0].Body
+	if body[0].(*AssignStmt).IsSignal {
+		t.Error(":= marked as signal assignment")
+	}
+	if !body[1].(*AssignStmt).IsSignal {
+		t.Error("<= not marked as signal assignment")
+	}
+}
+
+func TestParseIndexedAssignAndCall(t *testing.T) {
+	df := MustParse(`entity E is end;
+architecture x of E is
+    procedure Q(n : in integer) is begin null; end;
+begin
+P: process
+    type arr is array (0 to 3) of integer;
+    variable a : arr;
+begin
+    a(2) := 5;
+    Q(1);
+    Q;
+    wait;
+end process; end;`)
+	body := df.Architectures[0].Processes[0].Body
+	asn := body[0].(*AssignStmt)
+	tgt, ok := asn.Target.(*CallExpr)
+	if !ok || tgt.Name != "a" || len(tgt.Args) != 1 {
+		t.Errorf("indexed target: %#v", asn.Target)
+	}
+	call := body[1].(*CallStmt)
+	if call.Name != "q" || len(call.Args) != 1 {
+		t.Errorf("call: %+v", call)
+	}
+	bare := body[2].(*CallStmt)
+	if bare.Name != "q" || len(bare.Args) != 0 {
+		t.Errorf("parameterless call: %+v", bare)
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	df := MustParse(`entity E is end;
+architecture x of E is begin
+P: process
+    type arr is array (0 to 3) of integer;
+    variable a : arr;
+begin
+    a := (others => 0);
+    wait;
+end process; end;`)
+	v := df.Architectures[0].Processes[0].Body[0].(*AssignStmt).Value
+	agg, ok := v.(*AggregateExpr)
+	if !ok || len(agg.Assocs) != 1 || agg.Assocs[0].Choice != nil {
+		t.Errorf("aggregate: %#v", v)
+	}
+}
+
+func TestParseErrorsReported(t *testing.T) {
+	_, err := Parse("entity E is port ( : in integer ); end;")
+	if err == nil {
+		t.Error("missing port name should be an error")
+	}
+	_, err = Parse("process x;")
+	if err == nil {
+		t.Error("stray statement at design level should be an error")
+	}
+}
+
+func TestParseErrorRecovery(t *testing.T) {
+	// One broken statement must not hide the rest of the file.
+	src := `entity E is end;
+architecture x of E is begin
+P: process variable v : integer; begin
+    v := := 1;
+    v := 2;
+    wait;
+end process; end;`
+	df, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected a syntax error")
+	}
+	if df == nil || len(df.Architectures) != 1 {
+		t.Fatal("recovery lost the architecture")
+	}
+	if n := len(df.Architectures[0].Processes[0].Body); n < 2 {
+		t.Errorf("recovered %d statements, want at least 2", n)
+	}
+}
+
+func TestParseTestdataExamplesClean(t *testing.T) {
+	// The four paper examples must parse without diagnostics.
+	for _, name := range []string{"ans", "ether", "fuzzy", "vol"} {
+		src := readTestdata(t, name+".vhd")
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%s.vhd: %v", name, err)
+		}
+	}
+}
+
+func TestWalkStmtsVisitsNested(t *testing.T) {
+	df := MustParse(tinyEntity)
+	n := 0
+	WalkStmts(df.Architectures[0].Processes[0].Body, func(Stmt) { n++ })
+	if n != 2 {
+		t.Errorf("visited %d statements, want 2", n)
+	}
+}
+
+func TestExprPos(t *testing.T) {
+	df := MustParse(tinyEntity)
+	asn := df.Architectures[0].Processes[0].Body[0].(*AssignStmt)
+	if p := ExprPos(asn.Value); p.Line == 0 {
+		t.Error("ExprPos lost position")
+	}
+}

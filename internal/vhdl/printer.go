@@ -1,0 +1,371 @@
+package vhdl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements a pretty-printer (unparser) for the AST. Print is
+// the inverse of Parse up to formatting: parsing the printed text yields a
+// structurally identical tree, which TestPrintParseRoundTrip asserts for
+// the four example specifications. Tools use it to emit normalized
+// specifications after front-end processing.
+
+// Print writes the design file as formatted VHDL.
+func Print(w io.Writer, df *DesignFile) error {
+	p := &printer{w: w}
+	for i, e := range df.Entities {
+		if i > 0 {
+			p.line("")
+		}
+		p.entity(e)
+		// Print the matching architectures immediately after their entity.
+		for _, a := range df.Architectures {
+			if a.EntityName == e.Name {
+				p.line("")
+				p.architecture(a)
+			}
+		}
+	}
+	return p.err
+}
+
+// Format returns the design file as a string.
+func Format(df *DesignFile) string {
+	var sb strings.Builder
+	_ = Print(&sb, df)
+	return sb.String()
+}
+
+type printer struct {
+	w      io.Writer
+	indent int
+	err    error
+}
+
+func (p *printer) line(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	text := fmt.Sprintf(format, args...)
+	if text == "" {
+		_, p.err = fmt.Fprintln(p.w)
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s%s\n", strings.Repeat("    ", p.indent), text)
+}
+
+func (p *printer) entity(e *Entity) {
+	if len(e.Ports) == 0 {
+		p.line("entity %s is", e.Name)
+		p.line("end;")
+		return
+	}
+	p.line("entity %s is", e.Name)
+	p.indent++
+	for i, pd := range e.Ports {
+		prefix := "port ( "
+		if i > 0 {
+			prefix = "       "
+		}
+		suffix := ";"
+		if i == len(e.Ports)-1 {
+			suffix = " );"
+		}
+		p.line("%s%s : %s %s%s", prefix, strings.Join(pd.Names, ", "), pd.Dir, typeRef(pd.Type), suffix)
+	}
+	p.indent--
+	p.line("end;")
+}
+
+func (p *printer) architecture(a *Architecture) {
+	p.line("architecture %s of %s is", a.Name, a.EntityName)
+	p.indent++
+	p.decls(a.Decls)
+	p.indent--
+	p.line("begin")
+	p.indent++
+	for i, ps := range a.Processes {
+		if i > 0 {
+			p.line("")
+		}
+		p.process(ps)
+	}
+	p.indent--
+	p.line("end;")
+}
+
+func (p *printer) decls(decls []Decl) {
+	for _, d := range decls {
+		switch dd := d.(type) {
+		case *TypeDecl:
+			switch {
+			case dd.Def.Array != nil:
+				ad := dd.Def.Array
+				p.line("type %s is array (%s) of %s;", dd.Name, rangeStr(ad.Low, ad.High, ad.Downto), typeRef(ad.Element))
+			case dd.Def.Range != nil:
+				r := dd.Def.Range
+				p.line("type %s is range %s;", dd.Name, rangeStr(r.Low, r.High, r.Downto))
+			default:
+				p.line("type %s is (%s);", dd.Name, strings.Join(dd.Def.EnumLits, ", "))
+			}
+		case *SubtypeDecl:
+			p.line("subtype %s is %s;", dd.Name, typeRef(dd.Base))
+		case *ObjectDecl:
+			init := ""
+			if dd.Init != nil {
+				init = " := " + exprStr(dd.Init)
+			}
+			p.line("%s %s : %s%s;", dd.Class, strings.Join(dd.Names, ", "), typeRef(dd.Type), init)
+		case *SubprogramDecl:
+			p.subprogram(dd)
+		}
+	}
+}
+
+func (p *printer) subprogram(sp *SubprogramDecl) {
+	kind := "procedure"
+	if sp.IsFunction {
+		kind = "function"
+	}
+	sig := kind + " " + sp.Name
+	if len(sp.Params) > 0 {
+		var parts []string
+		for _, pd := range sp.Params {
+			parts = append(parts, fmt.Sprintf("%s : %s %s", strings.Join(pd.Names, ", "), pd.Dir, typeRef(pd.Type)))
+		}
+		sig += "(" + strings.Join(parts, "; ") + ")"
+	}
+	if sp.Return != nil {
+		sig += " return " + typeRef(sp.Return)
+	}
+	p.line("%s is", sig)
+	p.indent++
+	p.decls(sp.Decls)
+	p.indent--
+	p.line("begin")
+	p.indent++
+	p.stmts(sp.Body)
+	p.indent--
+	p.line("end;")
+}
+
+func (p *printer) process(ps *ProcessStmt) {
+	head := ps.Label + ": process"
+	if len(ps.Sensitivity) > 0 {
+		head += " (" + strings.Join(ps.Sensitivity, ", ") + ")"
+	}
+	p.line("%s", head)
+	p.indent++
+	p.decls(ps.Decls)
+	p.indent--
+	p.line("begin")
+	p.indent++
+	p.stmts(ps.Body)
+	p.indent--
+	p.line("end process;")
+}
+
+func (p *printer) stmts(stmts []Stmt) {
+	for _, s := range stmts {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *AssignStmt:
+		op := ":="
+		if st.IsSignal {
+			op = "<="
+		}
+		p.line("%s %s %s;", exprStr(st.Target), op, exprStr(st.Value))
+	case *IfStmt:
+		p.line("if %s then", exprStr(st.Cond))
+		p.indent++
+		p.stmts(st.Then)
+		p.indent--
+		for _, el := range st.Elifs {
+			p.line("elsif %s then", exprStr(el.Cond))
+			p.indent++
+			p.stmts(el.Body)
+			p.indent--
+		}
+		if len(st.Else) > 0 {
+			p.line("else")
+			p.indent++
+			p.stmts(st.Else)
+			p.indent--
+		}
+		p.line("end if;")
+	case *CaseStmt:
+		p.line("case %s is", exprStr(st.Expr))
+		p.indent++
+		for _, w := range st.Whens {
+			if w.Choices == nil {
+				p.line("when others =>")
+			} else {
+				var cs []string
+				for _, c := range w.Choices {
+					cs = append(cs, exprStr(c))
+				}
+				p.line("when %s =>", strings.Join(cs, " | "))
+			}
+			p.indent++
+			p.stmts(w.Body)
+			p.indent--
+		}
+		p.indent--
+		p.line("end case;")
+	case *ForStmt:
+		dir := "to"
+		if st.Downto {
+			dir = "downto"
+		}
+		p.line("%sfor %s in %s %s %s loop", label(st.Label), st.Var, exprStr(st.Low), dir, exprStr(st.High))
+		p.indent++
+		p.stmts(st.Body)
+		p.indent--
+		p.line("end loop;")
+	case *WhileStmt:
+		p.line("%swhile %s loop", label(st.Label), exprStr(st.Cond))
+		p.indent++
+		p.stmts(st.Body)
+		p.indent--
+		p.line("end loop;")
+	case *LoopStmt:
+		p.line("%sloop", label(st.Label))
+		p.indent++
+		p.stmts(st.Body)
+		p.indent--
+		p.line("end loop;")
+	case *ExitStmt:
+		text := "exit"
+		if st.Label != "" {
+			text += " " + st.Label
+		}
+		if st.Cond != nil {
+			text += " when " + exprStr(st.Cond)
+		}
+		p.line("%s;", text)
+	case *CallStmt:
+		if len(st.Args) == 0 {
+			p.line("%s;", st.Name)
+			return
+		}
+		var args []string
+		for _, a := range st.Args {
+			args = append(args, exprStr(a))
+		}
+		p.line("%s(%s);", st.Name, strings.Join(args, ", "))
+	case *WaitStmt:
+		switch {
+		case len(st.OnSignals) > 0:
+			p.line("wait on %s;", strings.Join(st.OnSignals, ", "))
+		case st.Until != nil:
+			p.line("wait until %s;", exprStr(st.Until))
+		default:
+			p.line("wait;")
+		}
+	case *ReturnStmt:
+		if st.Value != nil {
+			p.line("return %s;", exprStr(st.Value))
+		} else {
+			p.line("return;")
+		}
+	case *NullStmt:
+		p.line("null;")
+	}
+}
+
+func label(l string) string {
+	if l == "" {
+		return ""
+	}
+	return l + ": "
+}
+
+func typeRef(tr *TypeRef) string {
+	if tr == nil {
+		return "integer"
+	}
+	switch {
+	case tr.Range != nil:
+		return fmt.Sprintf("%s range %s", tr.Name, rangeStr(tr.Range.Low, tr.Range.High, tr.Range.Downto))
+	case tr.Index != nil:
+		return fmt.Sprintf("%s(%s)", tr.Name, rangeStr(tr.Index.Low, tr.Index.High, tr.Index.Downto))
+	}
+	return tr.Name
+}
+
+func rangeStr(low, high Expr, downto bool) string {
+	if downto {
+		return exprStr(high) + " downto " + exprStr(low)
+	}
+	return exprStr(low) + " to " + exprStr(high)
+}
+
+// opText maps operator token kinds to VHDL source text.
+var opText = map[Kind]string{
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", AMP: "&",
+	EQ: "=", NEQ: "/=", LT: "<", SIGASSIGN: "<=", GT: ">", GE: ">=",
+	KwAND: "and", KwOR: "or", KwXOR: "xor", KwNAND: "nand", KwNOR: "nor",
+	KwMOD: "mod", KwREM: "rem", KwNOT: "not", KwABS: "abs",
+}
+
+// exprStr renders an expression. Subexpressions are parenthesized
+// conservatively, which keeps precedence correct without tracking operator
+// binding strength; the round-trip test relies on structural equality, not
+// textual identity.
+func exprStr(e Expr) string {
+	switch x := e.(type) {
+	case *IntExpr:
+		return fmt.Sprintf("%d", x.Val)
+	case *CharExpr:
+		return "'" + string(rune(x.Val)) + "'"
+	case *StrExpr:
+		return `"` + x.Val + `"`
+	case *NameExpr:
+		return x.Name
+	case *AttrExpr:
+		return x.Prefix + "'" + x.Attr
+	case *UnaryExpr:
+		op := opText[x.Op]
+		if x.Op == KwNOT || x.Op == KwABS {
+			op += " "
+		}
+		return op + paren(x.X)
+	case *BinExpr:
+		return paren(x.L) + " " + opText[x.Op] + " " + paren(x.R)
+	case *CallExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, exprStr(a))
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *AggregateExpr:
+		var parts []string
+		for _, a := range x.Assocs {
+			switch {
+			case a.IsOthers:
+				parts = append(parts, "others => "+exprStr(a.Value))
+			case a.Choice != nil:
+				parts = append(parts, exprStr(a.Choice)+" => "+exprStr(a.Value))
+			default:
+				parts = append(parts, exprStr(a.Value))
+			}
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	}
+	return "0"
+}
+
+// paren wraps composite subexpressions.
+func paren(e Expr) string {
+	switch e.(type) {
+	case *BinExpr, *UnaryExpr:
+		return "(" + exprStr(e) + ")"
+	}
+	return exprStr(e)
+}

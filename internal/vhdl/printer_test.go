@@ -1,0 +1,209 @@
+package vhdl
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stripPos deep-copies structural identity by comparing printed forms: the
+// cheap way to compare two ASTs ignoring positions is to print both and
+// compare text, since Print is position-independent.
+func normalized(t *testing.T, src string) string {
+	t.Helper()
+	df, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Format(df)
+}
+
+// TestPrintParseRoundTrip: for each example spec, parse → print → parse →
+// print must be a fixed point, and the second parse must be error-free.
+func TestPrintParseRoundTrip(t *testing.T) {
+	for _, name := range []string{"ans", "ether", "fuzzy", "vol"} {
+		src := readTestdata(t, name+".vhd")
+		once := normalized(t, src)
+		df2, err := Parse(once)
+		if err != nil {
+			t.Fatalf("%s: reparse of printed form failed: %v", name, err)
+		}
+		twice := Format(df2)
+		if once != twice {
+			t.Errorf("%s: print is not a fixed point", name)
+		}
+	}
+}
+
+// TestPrintStructurePreserved compares structural features across the
+// round trip for the fuzzy example.
+func TestPrintStructurePreserved(t *testing.T) {
+	src := readTestdata(t, "fuzzy.vhd")
+	df1 := MustParse(src)
+	df2 := MustParse(Format(df1))
+
+	if len(df1.Entities) != len(df2.Entities) {
+		t.Fatal("entity count changed")
+	}
+	if !reflect.DeepEqual(portNames(df1), portNames(df2)) {
+		t.Errorf("ports changed: %v vs %v", portNames(df1), portNames(df2))
+	}
+	c1, c2 := countStmts(df1), countStmts(df2)
+	if c1 != c2 {
+		t.Errorf("statement count changed: %d vs %d", c1, c2)
+	}
+}
+
+func portNames(df *DesignFile) []string {
+	var out []string
+	for _, e := range df.Entities {
+		for _, pd := range e.Ports {
+			out = append(out, pd.Names...)
+		}
+	}
+	return out
+}
+
+func countStmts(df *DesignFile) int {
+	n := 0
+	count := func(stmts []Stmt) {
+		WalkStmts(stmts, func(Stmt) { n++ })
+	}
+	for _, a := range df.Architectures {
+		for _, p := range a.Processes {
+			count(p.Body)
+			for _, d := range p.Decls {
+				if sp, ok := d.(*SubprogramDecl); ok {
+					count(sp.Body)
+				}
+			}
+		}
+		for _, d := range a.Decls {
+			if sp, ok := d.(*SubprogramDecl); ok {
+				count(sp.Body)
+			}
+		}
+	}
+	return n
+}
+
+func TestPrintSpecifics(t *testing.T) {
+	src := `
+entity E is
+    port ( a, b : in integer range 0 to 255; o : out integer );
+end;
+architecture x of E is
+    type arr is array (7 downto 0) of integer;
+    signal s : arr;
+begin
+    P: process
+        variable v : integer := 3;
+    begin
+        v := (a + b) * 2;
+        s(0) <= v;
+        lab: for i in 10 downto 1 loop
+            exit lab when i = v;
+        end loop;
+        case v is
+            when 1 | 2 => null;
+            when others => v := 0;
+        end case;
+        wait on a, b;
+    end process;
+end;
+`
+	out := normalized(t, src)
+	for _, frag := range []string{
+		"a, b : in integer range 0 to 255",
+		"array (7 downto 0) of integer",
+		":= 3",
+		"(a + b) * 2",
+		"s(0) <= v",
+		"for i in 10 downto 1 loop",
+		"exit lab when",
+		"when 1 | 2 =>",
+		"when others =>",
+		"wait on a, b;",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("printed form missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPrintAggregates(t *testing.T) {
+	out := normalized(t, `
+entity E is end;
+architecture x of E is begin
+P: process
+    type arr is array (0 to 3) of integer;
+    variable v : arr;
+begin
+    v := (others => 0);
+    wait;
+end process; end;`)
+	if !strings.Contains(out, "(others => 0)") {
+		t.Errorf("aggregate lost:\n%s", out)
+	}
+}
+
+func TestFormatIsDeterministic(t *testing.T) {
+	src := readTestdata(t, "vol.vhd")
+	df := MustParse(src)
+	if Format(df) != Format(df) {
+		t.Error("Format not deterministic")
+	}
+}
+
+// Ensure the printer handles every statement kind without error output.
+func TestPrintAllStatementKinds(t *testing.T) {
+	df := MustParse(`
+entity E is end;
+architecture x of E is
+    function f return integer is
+    begin
+        return 1;
+    end;
+begin
+P: process
+    variable v : integer;
+begin
+    v := f;
+    null;
+    while v > 0 loop
+        v := v - 1;
+    end loop;
+    loop
+        exit;
+    end loop;
+    wait until v = 0;
+end process; end;`)
+	out := Format(df)
+	for _, frag := range []string{"return 1;", "null;", "while", "exit;", "wait until"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	// And it reparses cleanly.
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+}
+
+func ExampleFormat() {
+	df := MustParse("entity Tiny is port ( a : in integer ); end; architecture rtl of Tiny is begin P: process begin wait on a; end process; end;")
+	fmt.Print(Format(df))
+	// Output:
+	// entity tiny is
+	//     port ( a : in integer );
+	// end;
+	//
+	// architecture rtl of tiny is
+	// begin
+	//     p: process
+	//     begin
+	//         wait on a;
+	//     end process;
+	// end;
+}

@@ -1,0 +1,18 @@
+package vhdl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readTestdata loads a file from the repository's shared testdata
+// directory (two levels up from this package).
+func readTestdata(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatalf("testdata: %v", err)
+	}
+	return string(data)
+}

@@ -1,0 +1,190 @@
+// Package vhdl implements a lexer, parser and abstract syntax tree for the
+// behavioral VHDL subset used by the SpecSyn/SLIF reproduction.
+//
+// The subset covers what the paper's examples exercise: entities with ports,
+// architectures containing processes, procedures and functions, scalar and
+// array types (including integer range subtypes), variable and signal
+// assignment, if/elsif/else, case, for/while/plain loops, wait statements,
+// subprogram calls and returns. VHDL is case-insensitive; the lexer
+// normalizes identifiers to lower case but records the original spelling.
+package vhdl
+
+import "fmt"
+
+// Kind classifies a lexical token.
+type Kind int
+
+// Token kinds. Keyword kinds are contiguous so IsKeyword can test a range.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	CHARLIT
+	STRLIT
+
+	// Delimiters and operators.
+	LPAREN    // (
+	RPAREN    // )
+	SEMI      // ;
+	COLON     // :
+	COMMA     // ,
+	DOT       // .
+	ASSIGN    // :=
+	SIGASSIGN // <=  (also less-equal; parser disambiguates)
+	ARROW     // =>
+	EQ        // =
+	NEQ       // /=
+	LT        // <
+	GT        // >
+	GE        // >=
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	AMP       // &
+	BAR       // |
+	TICK      // '
+
+	// Keywords.
+	kwBegin
+	KwABS
+	KwAND
+	KwARCHITECTURE
+	KwARRAY
+	KwBEGIN
+	KwBODY
+	KwCASE
+	KwCONSTANT
+	KwDOWNTO
+	KwELSE
+	KwELSIF
+	KwEND
+	KwENTITY
+	KwEXIT
+	KwFOR
+	KwFUNCTION
+	KwIF
+	KwIN
+	KwINOUT
+	KwIS
+	KwLOOP
+	KwMOD
+	KwNAND
+	KwNOR
+	KwNOT
+	KwNULL
+	KwOF
+	KwON
+	KwOR
+	KwOTHERS
+	KwOUT
+	KwPACKAGE
+	KwPORT
+	KwPROCEDURE
+	KwPROCESS
+	KwRANGE
+	KwREM
+	KwRETURN
+	KwSIGNAL
+	KwSUBTYPE
+	KwTHEN
+	KwTO
+	KwTYPE
+	KwUNTIL
+	KwUSE
+	KwVARIABLE
+	KwWAIT
+	KwWHEN
+	KwWHILE
+	KwXOR
+	kwEnd
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INTLIT: "integer literal",
+	CHARLIT: "character literal", STRLIT: "string literal",
+	LPAREN: "(", RPAREN: ")", SEMI: ";", COLON: ":", COMMA: ",", DOT: ".",
+	ASSIGN: ":=", SIGASSIGN: "<=", ARROW: "=>", EQ: "=", NEQ: "/=",
+	LT: "<", GT: ">", GE: ">=", PLUS: "+", MINUS: "-", STAR: "*",
+	SLASH: "/", AMP: "&", BAR: "|", TICK: "'",
+}
+
+var keywords = map[string]Kind{
+	"abs": KwABS, "and": KwAND, "architecture": KwARCHITECTURE,
+	"array": KwARRAY, "begin": KwBEGIN, "body": KwBODY, "case": KwCASE,
+	"constant": KwCONSTANT, "downto": KwDOWNTO, "else": KwELSE,
+	"elsif": KwELSIF, "end": KwEND, "entity": KwENTITY, "exit": KwEXIT,
+	"for": KwFOR, "function": KwFUNCTION, "if": KwIF, "in": KwIN,
+	"inout": KwINOUT, "is": KwIS, "loop": KwLOOP, "mod": KwMOD,
+	"nand": KwNAND, "nor": KwNOR, "not": KwNOT, "null": KwNULL,
+	"of": KwOF, "on": KwON, "or": KwOR, "others": KwOTHERS, "out": KwOUT,
+	"package": KwPACKAGE, "port": KwPORT, "procedure": KwPROCEDURE,
+	"process": KwPROCESS, "range": KwRANGE, "rem": KwREM,
+	"return": KwRETURN, "signal": KwSIGNAL, "subtype": KwSUBTYPE,
+	"then": KwTHEN, "to": KwTO, "type": KwTYPE, "until": KwUNTIL,
+	"use": KwUSE, "variable": KwVARIABLE, "wait": KwWAIT, "when": KwWHEN,
+	"while": KwWHILE, "xor": KwXOR,
+}
+
+// keywordNames is the inverse of keywords, built once for diagnostics.
+var keywordNames = func() map[Kind]string {
+	m := make(map[Kind]string, len(keywords))
+	for s, k := range keywords {
+		m[k] = s
+	}
+	return m
+}()
+
+// String returns a human-readable description of the kind, suitable for
+// diagnostics ("expected ';'").
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	if s, ok := keywordNames[k]; ok {
+		return "'" + s + "'"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > kwBegin && k < kwEnd }
+
+// Pos is a position in a source file.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // normalized (lower-case) text for IDENT; literal text otherwise
+	Orig string // original spelling, for diagnostics and pretty-printing
+	Val  int64  // value for INTLIT
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Orig)
+	case INTLIT:
+		return fmt.Sprintf("integer %d", t.Val)
+	case CHARLIT, STRLIT:
+		return fmt.Sprintf("literal %s", t.Orig)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Lookup maps an identifier spelling (already lower-cased) to its keyword
+// kind, or IDENT if it is not reserved.
+func Lookup(lower string) Kind {
+	if k, ok := keywords[lower]; ok {
+		return k
+	}
+	return IDENT
+}

@@ -1,0 +1,160 @@
+package vt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specsyn/internal/cdfg"
+)
+
+func readTestdata(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatalf("testdata: %v", err)
+	}
+	return string(data)
+}
+
+const smallSrc = `
+entity E is port (a : in integer; o : out integer); end;
+architecture x of E is begin
+P: process
+    variable v : integer;
+begin
+    v := a + 1;
+    if v > 3 then
+        o <= v;
+    end if;
+    wait on a;
+end process; end;
+`
+
+func TestBuildSmall(t *testing.T) {
+	g, err := BuildVHDL(smallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v := a+1 → op(+){read a}, value v             (3 nodes)
+	// if        → decision{op(>){read v}}           (3)
+	// o <= v    → value o{read v}, guarded          (2)
+	// wait on a → sync{read a}                      (2)
+	if got := g.Stats().Nodes; got != 10 {
+		t.Errorf("nodes = %d, want 10", got)
+	}
+	// Guard edge: decision → value(o).
+	guarded := false
+	for _, e := range g.Edges {
+		if g.Nodes[e.From].Kind == NDecision && g.Nodes[e.To].Kind == NValue && g.Nodes[e.To].Label == "o" {
+			guarded = true
+		}
+	}
+	if !guarded {
+		t.Error("decision does not guard the conditional assignment")
+	}
+}
+
+func TestGuardNesting(t *testing.T) {
+	g, err := BuildVHDL(`
+entity E is end;
+architecture x of E is begin
+P: process
+    variable v, w : integer;
+begin
+    if v = 1 then
+        for i in 1 to 3 loop
+            w := 1;
+        end loop;
+    end if;
+    wait;
+end process; end;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The for decision must be guarded by the if decision, and the
+	// assignment by the for decision.
+	var ifID, forID, valID = -1, -1, -1
+	for _, n := range g.Nodes {
+		switch {
+		case n.Kind == NDecision && n.Label == "if":
+			ifID = n.ID
+		case n.Kind == NDecision && n.Label == "for i":
+			forID = n.ID
+		case n.Kind == NValue && n.Label == "w":
+			valID = n.ID
+		}
+	}
+	if ifID < 0 || forID < 0 || valID < 0 {
+		t.Fatalf("nodes missing: if=%d for=%d w=%d", ifID, forID, valID)
+	}
+	has := func(from, to int) bool {
+		for _, e := range g.Edges {
+			if e.From == from && e.To == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(ifID, forID) {
+		t.Error("for not guarded by if")
+	}
+	if !has(forID, valID) {
+		t.Error("assignment not guarded by for")
+	}
+	if has(ifID, valID) {
+		t.Error("assignment guarded by outer decision directly (should be innermost only)")
+	}
+}
+
+func TestEdgesWellFormed(t *testing.T) {
+	g, err := BuildVHDL(readTestdata(t, "fuzzy.vhd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges {
+		if e.From < 0 || e.From >= len(g.Nodes) || e.To < 0 || e.To >= len(g.Nodes) {
+			t.Fatalf("edge %v out of range", e)
+		}
+	}
+}
+
+// TestSitsBetweenSLIFAndCDFG pins the §5 ordering on the fuzzy example:
+// SLIF (35) << VT/ADD << CDFG.
+func TestSitsBetweenSLIFAndCDFG(t *testing.T) {
+	src := readTestdata(t, "fuzzy.vhd")
+	vg, err := BuildVHDL(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := cdfg.BuildVHDL(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vn, cn := vg.Stats().Nodes, cg.Stats().Nodes
+	if vn <= 35*4 {
+		t.Errorf("VT nodes = %d, want well above the 35-node SLIF-AG", vn)
+	}
+	if vn >= cn {
+		t.Errorf("VT (%d) not smaller than CDFG (%d)", vn, cn)
+	}
+}
+
+func TestAllExamplesBuild(t *testing.T) {
+	for _, name := range []string{"ans", "ether", "fuzzy", "vol"} {
+		g, err := BuildVHDL(readTestdata(t, name+".vhd"))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if g.Stats().Nodes == 0 {
+			t.Errorf("%s: empty graph", name)
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if NValue.String() != "value" || NOpVal.String() != "op" || NSync.String() != "sync" {
+		t.Error("kind names broken")
+	}
+}

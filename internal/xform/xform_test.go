@@ -1,0 +1,274 @@
+package xform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specsyn/internal/core"
+)
+
+// callGraph builds:
+//
+//	p1 (process) ──2──▶ helper ──5──▶ arr
+//	p1 ──1──▶ v
+//	p2 (process) ──3──▶ helper
+//	p2 ──1──▶ v
+func callGraph(t testing.TB) *core.Graph {
+	t.Helper()
+	g := core.NewGraph("xf")
+	p1 := &core.Node{Name: "p1", Kind: core.BehaviorNode, IsProcess: true}
+	p2 := &core.Node{Name: "p2", Kind: core.BehaviorNode, IsProcess: true}
+	helper := &core.Node{Name: "helper", Kind: core.BehaviorNode}
+	v := &core.Node{Name: "v", Kind: core.VariableNode, StorageBits: 8}
+	arr := &core.Node{Name: "arr", Kind: core.VariableNode, StorageBits: 512}
+	for _, n := range []*core.Node{p1, p2, helper, v, arr} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+		n.SetICT("proc10", 10)
+		n.SetSize("proc10", 100)
+	}
+	add := func(c *core.Channel) {
+		if err := g.AddChannel(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&core.Channel{Src: p1, Dst: helper, AccFreq: 2, AccMin: 1, AccMax: 4, Bits: 16, Tag: core.NoTag})
+	add(&core.Channel{Src: helper, Dst: arr, AccFreq: 5, AccMin: 2, AccMax: 10, Bits: 15, Tag: core.NoTag})
+	add(&core.Channel{Src: p1, Dst: v, AccFreq: 1, AccMin: 1, AccMax: 1, Bits: 8, Tag: core.NoTag})
+	add(&core.Channel{Src: p2, Dst: helper, AccFreq: 3, AccMin: 3, AccMax: 3, Bits: 16, Tag: core.NoTag})
+	add(&core.Channel{Src: p2, Dst: v, AccFreq: 1, AccMin: 1, AccMax: 1, Bits: 8, Tag: core.NoTag})
+	return g
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestInlineSharedCalleeKept(t *testing.T) {
+	g := callGraph(t)
+	before := Traffic(g)
+	if err := Inline(g, g.NodeByName("p1"), g.NodeByName("helper")); err != nil {
+		t.Fatal(err)
+	}
+	// p1 absorbed helper's accesses: p1→arr freq 2×5 = 10.
+	c := g.FindChannel("p1", "arr")
+	if c == nil || !almost(c.AccFreq, 10) {
+		t.Fatalf("p1->arr = %+v, want freq 10", c)
+	}
+	if !almost(c.AccMin, 2) || !almost(c.AccMax, 40) {
+		t.Errorf("min/max scaling: %v/%v, want 2/40", c.AccMin, c.AccMax)
+	}
+	// The call edge is gone; helper stays (p2 still calls it).
+	if g.FindChannel("p1", "helper") != nil {
+		t.Error("call channel survived inlining")
+	}
+	if g.NodeByName("helper") == nil {
+		t.Error("shared callee removed while p2 still calls it")
+	}
+	// Caller's weights grew: ict by 2×10, size by one body.
+	p1 := g.NodeByName("p1")
+	if !almost(p1.ICT["proc10"], 30) {
+		t.Errorf("p1 ict = %v, want 30", p1.ICT["proc10"])
+	}
+	if !almost(p1.Size["proc10"], 200) {
+		t.Errorf("p1 size = %v, want 200", p1.Size["proc10"])
+	}
+	if !almost(Traffic(g), before) {
+		t.Errorf("traffic changed: %v → %v", before, Traffic(g))
+	}
+}
+
+func TestInlineLastCallerRemovesCallee(t *testing.T) {
+	g := callGraph(t)
+	if err := Inline(g, g.NodeByName("p1"), g.NodeByName("helper")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inline(g, g.NodeByName("p2"), g.NodeByName("helper")); err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeByName("helper") != nil {
+		t.Error("orphaned callee not removed")
+	}
+	// p2→arr freq 3×5 = 15.
+	if c := g.FindChannel("p2", "arr"); c == nil || !almost(c.AccFreq, 15) {
+		t.Errorf("p2->arr: %+v", c)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("graph invalid after inlining: %v", err)
+	}
+}
+
+func TestInlineMergesWithExistingChannel(t *testing.T) {
+	g := callGraph(t)
+	// Give p1 a pre-existing direct access to arr.
+	if err := g.AddChannel(&core.Channel{
+		Src: g.NodeByName("p1"), Dst: g.NodeByName("arr"),
+		AccFreq: 1, AccMin: 1, AccMax: 1, Bits: 15, Tag: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inline(g, g.NodeByName("p1"), g.NodeByName("helper")); err != nil {
+		t.Fatal(err)
+	}
+	c := g.FindChannel("p1", "arr")
+	if !almost(c.AccFreq, 11) { // 1 + 2×5
+		t.Errorf("merged freq = %v, want 11", c.AccFreq)
+	}
+	if c.Tag != core.NoTag {
+		t.Error("inlined accesses must drop their concurrency tag")
+	}
+}
+
+func TestInlineRejections(t *testing.T) {
+	g := callGraph(t)
+	p1 := g.NodeByName("p1")
+	if err := Inline(g, p1, p1); err == nil {
+		t.Error("self-inline accepted")
+	}
+	if err := Inline(g, p1, g.NodeByName("p2")); err == nil {
+		t.Error("inlining a process accepted")
+	}
+	if err := Inline(g, p1, g.NodeByName("v")); err == nil {
+		t.Error("inlining a variable accepted")
+	}
+	if err := Inline(g, g.NodeByName("p2"), g.NodeByName("arr")); err == nil {
+		t.Error("inline without a call channel accepted")
+	}
+}
+
+func TestInlineAll(t *testing.T) {
+	// helper2 called only by helper, helper called by p1 and p2: only
+	// helper2 inlines.
+	g := callGraph(t)
+	h2 := &core.Node{Name: "helper2", Kind: core.BehaviorNode}
+	h2.SetICT("proc10", 1)
+	h2.SetSize("proc10", 10)
+	if err := g.AddNode(h2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddChannel(&core.Channel{Src: g.NodeByName("helper"), Dst: h2, AccFreq: 4, Bits: 0, Tag: core.NoTag}); err != nil {
+		t.Fatal(err)
+	}
+	before := Traffic(g)
+	inlined, err := InlineAll(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inlined) != 1 || inlined[0] != "helper2" {
+		t.Errorf("inlined %v, want [helper2]", inlined)
+	}
+	if g.NodeByName("helper2") != nil {
+		t.Error("helper2 not removed")
+	}
+	if g.NodeByName("helper") == nil {
+		t.Error("helper (two callers) should remain")
+	}
+	if !almost(Traffic(g), before) {
+		t.Errorf("traffic changed: %v → %v", before, Traffic(g))
+	}
+}
+
+func TestMergeProcesses(t *testing.T) {
+	g := callGraph(t)
+	before := Traffic(g)
+	merged, err := MergeProcesses(g, g.NodeByName("p1"), g.NodeByName("p2"), "p12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.IsProcess {
+		t.Error("merged node lost process flag")
+	}
+	// Channels union with frequencies summed.
+	if c := g.FindChannel("p12", "helper"); c == nil || !almost(c.AccFreq, 5) {
+		t.Errorf("p12->helper: %+v, want freq 5", c)
+	}
+	if c := g.FindChannel("p12", "v"); c == nil || !almost(c.AccFreq, 2) {
+		t.Errorf("p12->v: %+v, want freq 2", c)
+	}
+	// Weights summed.
+	if !almost(merged.ICT["proc10"], 20) || !almost(merged.Size["proc10"], 200) {
+		t.Errorf("merged weights: ict %v size %v", merged.ICT["proc10"], merged.Size["proc10"])
+	}
+	// Old nodes gone; traffic preserved.
+	if g.NodeByName("p1") != nil || g.NodeByName("p2") != nil {
+		t.Error("original processes still present")
+	}
+	if !almost(Traffic(g), before) {
+		t.Errorf("traffic changed: %v → %v", before, Traffic(g))
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("graph invalid after merge: %v", err)
+	}
+}
+
+func TestMergeCrossAccessBecomesInternal(t *testing.T) {
+	g := callGraph(t)
+	// p1 sends messages to p2.
+	if err := g.AddChannel(&core.Channel{
+		Src: g.NodeByName("p1"), Dst: g.NodeByName("p2"),
+		AccFreq: 7, Bits: 32, Tag: core.NoTag,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeProcesses(g, g.NodeByName("p1"), g.NodeByName("p2"), "p12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FindChannel("p12", "p12") != nil {
+		t.Error("self-channel created from cross access")
+	}
+	_ = merged
+}
+
+func TestMergeIncomingRedirected(t *testing.T) {
+	g := callGraph(t)
+	// A third process calls p2 (p2 doubles as a server behavior is not
+	// modelled; use a non-process caller to keep merge legal).
+	caller := &core.Node{Name: "caller", Kind: core.BehaviorNode, IsProcess: true}
+	caller.SetICT("proc10", 1)
+	caller.SetSize("proc10", 1)
+	if err := g.AddNode(caller); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddChannel(&core.Channel{Src: caller, Dst: g.NodeByName("p2"), AccFreq: 2, Bits: 8, Tag: core.NoTag}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeProcesses(g, g.NodeByName("p1"), g.NodeByName("p2"), "p12"); err != nil {
+		t.Fatal(err)
+	}
+	if c := g.FindChannel("caller", "p12"); c == nil || !almost(c.AccFreq, 2) {
+		t.Errorf("incoming channel not redirected: %+v", c)
+	}
+}
+
+func TestMergeRejections(t *testing.T) {
+	g := callGraph(t)
+	p1 := g.NodeByName("p1")
+	if _, err := MergeProcesses(g, p1, p1, "x"); err == nil {
+		t.Error("self-merge accepted")
+	}
+	if _, err := MergeProcesses(g, p1, g.NodeByName("helper"), "x"); err == nil {
+		t.Error("merging a procedure accepted")
+	}
+	if _, err := MergeProcesses(g, p1, g.NodeByName("p2"), "v"); err == nil {
+		t.Error("name collision accepted")
+	}
+}
+
+// Property: for random call frequencies, inlining preserves Traffic and
+// never creates an invalid graph.
+func TestInlineTrafficInvariantQuick(t *testing.T) {
+	f := func(callF, accF uint8) bool {
+		g := callGraph(t)
+		g.FindChannel("p1", "helper").AccFreq = float64(callF%20) + 1
+		g.FindChannel("helper", "arr").AccFreq = float64(accF%20) + 1
+		before := Traffic(g)
+		if err := Inline(g, g.NodeByName("p1"), g.NodeByName("helper")); err != nil {
+			return false
+		}
+		return almost(Traffic(g), before) && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,632 @@
+-- ans.vhd: telephone answering machine
+--
+-- Specification status
+--
+--   This is the behavioral (pre-partitioning) specification: one
+--   entity, three concurrent processes, no structural detail. It is
+--   the input to system design -- allocation of processors, ASICs,
+--   memories and buses, and partitioning of the objects below among
+--   them -- not to logic synthesis directly.
+--
+--   Everything is expressed at the granularity system design works
+--   with: processes, procedures, functions and variables. Statement-
+--   level detail inside each behavior matters here only insofar as it
+--   determines each behavior's computation time, size and access
+--   pattern.
+--
+-- Revision history
+--
+--   r1  ring detection, auto-answer, greeting playback
+--   r2  message recording with silence-stop and memory-full handling
+--   r3  local playback/erase controls, message counter display
+--   r4  remote-access code entry during greeting
+--   r5  uLaw storage codec, confirmation beep
+--   r6  greeting re-record via held erase button
+--   r7  silence-trim on stored messages, inter-message pause
+--   r8  regulatory silence-timeout review, documentation pass
+--
+-- Contact: line-products group, consumer systems division.
+--
+-- An answering machine built around a single sampled telephone line
+-- interface. The line monitor process watches the ring indicator and
+-- counts ring bursts; after the configured number of rings the control
+-- process takes the line off-hook, plays the outgoing greeting, records
+-- the caller until silence or memory exhaustion, and hangs up. Local
+-- buttons start playback and erase; a remote caller can enter a 3-digit
+-- access code during the greeting to trigger playback over the line.
+--
+-- Ports:
+--
+--   ring     ring indicator from the line interface, 1 = ringing
+--   linein   8-bit audio samples from the line
+--   hook     line control, 1 = off-hook (answered)
+--   lineout  8-bit audio samples to the line
+--   playbtn  local playback button, 1 = pressed
+--   erasebtn local erase button, 1 = pressed
+--   msgdisp  message-count display, two digits
+--
+-- Memory budget
+--
+--   greeting buffer    8192 bytes   (one 8 s greeting at 8 kHz uLaw)
+--   message memory    49152 bytes   (~6 s x 8 typical messages)
+--   directory            16 words
+--   scalar state        ~24 bytes
+--
+-- The two sample memories dominate: together they are 98% of the
+-- design's storage and the reason a dedicated DRAM (or the processor's
+-- own memory) appears in every sensible allocation. Everything else
+-- fits in on-chip registers.
+--
+-- Timing budget (per 125 us sample tick, worst case)
+--
+--   line monitor        ~10 ops     always
+--   record path         ~25 ops     while recording
+--   playback path       ~20 ops     while playing
+--   tone detector       ~15 ops     during greeting
+--
+-- All paths fit a modest processor at 8 kHz; the system-level question
+-- is I/O: every sample moves across whatever bus separates the codec,
+-- the memory and the compute element, so the estimates that matter are
+-- bus bitrate and pin counts, not raw MIPS.
+--
+-- Implementation notes
+--
+-- Audio is stored as 8-bit uLaw samples at 8 kHz in a single message
+-- memory of 48 K samples (~6 s x 8 messages). The greeting lives in its
+-- own 8 K buffer. Message boundaries are kept in a 16-entry directory.
+-- The tone detector is a simple energy accumulator over a sliding
+-- window -- adequate for DTMF presence, not for digit classification;
+-- digit values are taken from the low nibble of the detector output in
+-- this specification.
+--
+-- The heavy data objects are the two sample memories; every recorded or
+-- played sample crosses from the line interface to the memory, so the
+-- partitioning question is whether the sample loops and the memories
+-- share a component. The control state machine itself is small.
+--
+-- Theory of operation
+--
+-- 1. Idle. The line monitor debounces the ring indicator. A ring burst
+--    is a debounced assertion followed by an inter-burst gap; bursts
+--    are counted into the rings signal. A gap long enough to mean the
+--    caller hung up clears the count, so half-finished call attempts
+--    do not accumulate across hours.
+--
+-- 2. Answer. When the burst count reaches the configured threshold the
+--    controller raises hook, which seizes the line, and marks itself
+--    busy so the monitor stops counting (the ring indicator chatters
+--    while the line reverses polarity on some exchanges).
+--
+-- 3. Greeting. The outgoing greeting is streamed to the line. During
+--    playback the tone detector watches for DTMF energy; up to three
+--    digits are accumulated as a remote-access code. This lets the
+--    owner call in and hear messages without interrupting the greeting
+--    for ordinary callers.
+--
+-- 4. Record or remote playback. If the full access code matched, all
+--    stored messages are played to the line; otherwise a confirmation
+--    beep is sent and recording begins. Recording stops on sustained
+--    near-silence (the caller hung up -- exchanges in this market do
+--    not give reliable loop-drop), on memory exhaustion, or on the
+--    16th message, whichever is first.
+--
+-- 5. Hangup. hook is dropped, the message-counter display is updated,
+--    and the machine returns to idle.
+--
+-- Local operation: a press of the playback button plays all messages
+-- through the speaker path (same lineout codec); the erase button
+-- clears the directory; holding erase records a new greeting from the
+-- microphone, which shares the line codec input.
+
+entity AnsMachineE is
+    port ( ring     : in integer range 0 to 1;
+           linein   : in integer range 0 to 255;
+           hook     : out integer range 0 to 1;
+           lineout  : out integer range 0 to 255;
+           playbtn  : in integer range 0 to 1;
+           erasebtn : in integer range 0 to 1;
+           msgdisp  : out integer range 0 to 99 );
+end;
+
+architecture behav of AnsMachineE is
+
+    subtype sample is integer range 0 to 255;
+
+    -- ring-burst count published by the line monitor, cleared by the
+    -- controller when it answers
+    signal rings : integer range 0 to 15;
+
+    -- controller state visible to the line monitor (0 = idle, 1 = busy)
+    signal busy : integer range 0 to 1;
+
+    -- outgoing greeting storage, shared between the controller (played
+    -- to the line) and the greeting recorder (rewritten by the owner)
+    type greet_array is array (0 to 8191) of sample;
+    signal greeting : greet_array;
+    signal greetlen : integer range 0 to 8191;
+
+begin
+
+    -- Line monitor: debounce the ring indicator and count ring bursts.
+    -- A burst is a ring assertion followed by at least 32 samples of
+    -- silence; the burst count resets if the caller gives up.
+    --
+    -- Cadence assumptions (8 kHz sample ticks):
+    --
+    --   ring burst length   0.4 s .. 2.0 s   (3200 .. 16000 ticks)
+    --   intra-burst dropout < 4 ms           (< 32 ticks)
+    --   inter-burst gap     2 s .. 4 s       (16000 .. 32000 ticks)
+    --   abandoned call      > 6 s quiet      (> 48000 ticks)
+    --
+    -- The integrator thresholds below are scaled-down equivalents; the
+    -- monitor samples the ring indicator once per audio sample, so the
+    -- debounce only has to reject relay bounce and polarity-reversal
+    -- chatter, both far shorter than a true burst.
+    LineMon: process
+        variable ringlevel : integer range 0 to 63;
+        variable quiet     : integer range 0 to 4095;
+        variable burst     : integer range 0 to 15;
+
+    begin
+        if busy = 0 then
+            if ring = 1 then
+                -- charge the debounce integrator; two points per sample
+                -- so a 50% duty chatter still reaches the threshold
+                if ringlevel < 62 then
+                    ringlevel := ringlevel + 2;
+                end if;
+                quiet := 0;
+            else
+                -- discharge slowly: brief dropouts inside one burst must
+                -- not split it in two
+                if ringlevel > 0 then
+                    ringlevel := ringlevel - 1;
+                end if;
+                if quiet < 4095 then
+                    quiet := quiet + 1;
+                end if;
+            end if;
+
+            -- end of one burst: debounced ring followed by silence
+            if ringlevel > 16 and quiet > 32 then
+                burst := burst + 1;
+                ringlevel := 0;
+                rings <= burst;
+            end if;
+
+            -- caller gave up: a long quiet gap clears the burst count
+            if quiet > 2048 then
+                burst := 0;
+                rings <= 0;
+            end if;
+        else
+            burst := 0;
+            ringlevel := 0;
+        end if;
+        wait on ring, linein;
+    end process;
+
+    -- Controller: the main answering machine state machine.
+    --
+    -- One pass of the process body handles at most one call or one
+    -- local-button action, then blocks in the trailing wait statement.
+    -- The body is written as straight-line phases rather than an
+    -- explicit state register: each phase completes before the next
+    -- begins, and the wait provides the single idle point. Process
+    -- merging (e.g. folding LineMon into Ctrl for a single-controller
+    -- implementation) is a transformation the system-design tool can
+    -- evaluate on this structure.
+    Ctrl: process
+        -- message memory and directory
+        type msg_array is array (0 to 49151) of sample;
+        variable msgmem : msg_array;
+        type dir_array is array (0 to 15) of integer;
+        variable msgstart : dir_array;
+        variable msgcount : integer range 0 to 15;
+        variable writeptr : integer range 0 to 49151;
+
+        -- Recording state. cursample is a register, not a wire, so the
+        -- silence classifier sees the stored (companded) value -- the
+        -- same value a later playback will produce.
+        variable cursample : sample;
+        variable silence   : integer range 0 to 65535;  -- hangup timer
+
+        -- tone detector state
+        variable tonesum  : integer;
+        variable toneval  : integer range 0 to 15;
+
+        -- Remote access code entry. The code is compared only when
+        -- exactly three digits arrived -- a two-digit prefix of the
+        -- right code must not unlock playback.
+        constant accesscode : integer := 739;
+        variable codebuf    : integer range 0 to 999;
+        variable codedigits : integer range 0 to 3;
+
+        -- configuration
+        constant answerrings : integer := 2;
+        constant maxsilence  : integer := 16000;
+
+        -- Service and identification registers.
+        --
+        -- These are read and written over the two-wire factory-test
+        -- interface, which this behavioral specification does not model;
+        -- they are declared here so the storage is allocated and sized
+        -- during system design. None of them is touched by the normal
+        -- call-handling paths below.
+        variable serialno     : integer := 550137;     -- unit serial
+        variable fwrev        : integer := 31;         -- firmware revision
+        variable ringsetting  : integer range 2 to 9 := 2;  -- user rings
+        variable greetmax     : integer := 8191;       -- greeting limit
+        variable factoryflags : integer := 0;          -- burn-in status
+
+        -- Diagnostic helpers for the factory-test interface (unused by
+        -- the call paths; kept with the registers they report on).
+        function LineLevelDb(level : in integer) return integer is
+        begin
+            if level > 192 then
+                return 3;
+            elsif level > 160 then
+                return 2;
+            elsif level > 136 then
+                return 1;
+            end if;
+            return 0;
+        end;
+
+        function MemFreePct(used : in integer) return integer is
+        begin
+            return 100 - (used * 100) / 49152;
+        end;
+
+        -- Storage codec.
+        --
+        -- Messages are stored companded so that 48 K samples of memory
+        -- give usable dynamic range on quiet callers. The reference
+        -- uLaw encoder uses 8 chord segments; measurements on this
+        -- product family showed the top 5 chords are indistinguishable
+        -- through the line hybrid, so the pair below folds them into a
+        -- 3-segment approximation:
+        --
+        --   |x| <= 32         stored as-is       (slope 1)
+        --   32 < |x| <= 96    slope 1/2
+        --   |x| > 96          slope 1/4
+        --
+        -- The decoder below is the exact inverse on segment boundaries,
+        -- so encode/decode is idempotent after the first pass and
+        -- repeated remote playback does not degrade stored audio.
+        function ULawEncode(lin : in integer) return integer is
+            variable mag : integer;
+        begin
+            if lin >= 128 then
+                mag := lin - 128;
+            else
+                mag := 128 - lin;
+            end if;
+            if mag > 96 then
+                mag := 96 + (mag - 96) / 4;
+            elsif mag > 32 then
+                mag := 32 + (mag - 32) / 2;
+            end if;
+            if lin >= 128 then
+                return 128 + mag;
+            end if;
+            return 128 - mag;
+        end;
+
+        -- uLaw expand one stored sample for playback; inverse of the
+        -- 3-segment approximation above.
+        function ULawDecode(cod : in integer) return integer is
+            variable mag : integer;
+        begin
+            if cod >= 128 then
+                mag := cod - 128;
+            else
+                mag := 128 - cod;
+            end if;
+            if mag > 96 then
+                mag := 96 + (mag - 96) * 4;
+            elsif mag > 32 then
+                mag := 32 + (mag - 32) * 2;
+            end if;
+            if cod >= 128 then
+                return 128 + mag;
+            end if;
+            return 128 - mag;
+        end;
+
+        -- beep oscillator state
+        variable beepphase : integer range 0 to 15;
+
+        -- Emit a short confirmation beep to the line: a square wave of
+        -- 400 samples at 1 kHz. International variants replace this
+        -- with the locally mandated record-warning tone by changing the
+        -- phase table length; the loop structure is shared.
+        procedure Beep is
+        begin
+            for i in 0 to 399 loop
+                if beepphase < 8 then
+                    lineout <= 160;
+                else
+                    lineout <= 96;
+                end if;
+                if beepphase = 15 then
+                    beepphase := 0;
+                else
+                    beepphase := beepphase + 1;
+                end if;
+            end loop;
+        end;
+
+        -- Energy-accumulating tone detector.
+        --
+        -- A true DTMF decoder needs two Goertzel banks; for access-code
+        -- entry we only need presence and rough strength of in-band
+        -- energy between greeting samples. The accumulator charges on
+        -- samples away from the idle level and leaks a fixed amount per
+        -- quiet sample, giving:
+        --
+        --   sustained tone      accumulator climbs to saturation
+        --   speech              climbs and collapses repeatedly
+        --   idle line           stays at zero
+        --
+        -- The caller-visible contract is only the nonzero nibble while
+        -- a tone is held, which the code-entry logic in PlayGreeting
+        -- latches at most once per digit slot.
+        function DetectTone return integer is
+            variable energy : integer;
+        begin
+            energy := tonesum;
+            if linein > 140 then
+                energy := energy + (linein - 128);
+            elsif linein < 116 then
+                energy := energy + (128 - linein);
+            else
+                energy := energy - 16;
+            end if;
+            if energy < 0 then
+                energy := 0;
+            end if;
+            if energy > 65535 then
+                energy := 65535;
+            end if;
+            return energy / 4096;
+        end;
+
+        -- Play the outgoing greeting to the line, watching for remote
+        -- access digits between samples.
+        --
+        -- Digit capture is deliberately lossy: one digit per detector
+        -- charge cycle, at most three per greeting. An owner who dials
+        -- too fast simply fails the compare and the machine records as
+        -- usual -- safe failure, no lockout state to manage.
+        procedure PlayGreeting is
+        begin
+            for i in 0 to 8191 loop
+                if i < greetlen then
+                    lineout <= greeting(i);
+                    tonesum := DetectTone;
+                    toneval := tonesum mod 16;
+                    if toneval > 0 and codedigits < 3 then
+                        codebuf := codebuf * 10 + toneval;
+                        codedigits := codedigits + 1;
+                    end if;
+                end if;
+            end loop;
+        end;
+
+        -- Record one message from the line until the caller hangs up
+        -- (sustained silence) or the memory fills. The message directory
+        -- records where each message starts.
+        --
+        -- The 16th directory slot is reserved as an end sentinel, hence
+        -- the msgcount < 15 guard: the playback path computes message m's
+        -- end as message m+1's start, or the write pointer for the last.
+        procedure RecordMessage is
+        begin
+            if msgcount < 15 then
+                msgstart(msgcount) := writeptr;
+                silence := 0;
+                while silence < maxsilence and writeptr < 49151 loop
+                    cursample := ULawEncode(linein);
+                    msgmem(writeptr) := cursample;
+                    writeptr := writeptr + 1;
+
+                    -- silence tracking: samples inside the idle band
+                    -- count toward the hangup timeout; loud samples
+                    -- recharge it immediately, and moderately loud ones
+                    -- (line hum, distant speech) recharge it halfway so
+                    -- a humming line still times out eventually
+                    if cursample > 120 and cursample < 136 then
+                        silence := silence + 1;
+                    elsif cursample > 104 and cursample < 152 then
+                        if silence > maxsilence / 2 then
+                            silence := maxsilence / 2;
+                        end if;
+                    else
+                        silence := 0;
+                    end if;
+                end loop;
+
+                -- trim the trailing silence from the stored message so
+                -- playback does not replay the hangup gap
+                if writeptr > msgstart(msgcount) + silence then
+                    writeptr := writeptr - silence;
+                end if;
+
+                msgcount := msgcount + 1;
+            end if;
+        end;
+
+        -- Play every stored message to the line (remote access) .
+        procedure PlayMessages is
+            variable stop : integer;
+        begin
+            for m in 0 to 14 loop
+                if m < msgcount then
+                    if m = msgcount - 1 then
+                        stop := writeptr;
+                    else
+                        stop := msgstart(m + 1);
+                    end if;
+                    for i in 0 to 49151 loop
+                        if i >= msgstart(m) and i < stop then
+                            lineout <= ULawDecode(msgmem(i));
+                        end if;
+                    end loop;
+
+                    -- half a second of idle level between messages so
+                    -- the listener can separate them
+                    for i in 0 to 3999 loop
+                        lineout <= 128;
+                    end loop;
+                end if;
+            end loop;
+        end;
+
+        -- Erase all messages: reset the directory and write pointer.
+        --
+        -- Sample memory is not cleared -- only the directory. This is
+        -- the traditional trade: erase is instant, and recover-after-
+        -- accidental-erase remains possible at the service bench until
+        -- the next message overwrites the region.
+        procedure EraseMessages is
+        begin
+            msgcount := 0;
+            writeptr := 0;
+            for m in 0 to 15 loop
+                msgstart(m) := 0;
+            end loop;
+        end;
+
+        -- Update the two-digit message counter display. The display
+        -- latch holds the value; no refresh loop is needed here.
+        procedure ShowCount is
+        begin
+            msgdisp <= msgcount;
+        end;
+
+    begin
+        busy <= 0;
+        ShowCount;
+
+        -- answer after the configured number of ring bursts
+        if rings >= answerrings then
+            busy <= 1;
+            hook <= 1;
+
+            -- settle: the hybrid needs a few samples after off-hook
+            -- before the codec path is clean; re-assert hook through
+            -- the settling window (some line interfaces sample it)
+            hook <= 1;
+
+            codebuf := 0;
+            codedigits := 0;
+            PlayGreeting;
+
+            if codedigits = 3 and codebuf = accesscode then
+                -- remote access: play back, then mark messages heard
+                PlayMessages;
+            else
+                Beep;
+                RecordMessage;
+            end if;
+
+            hook <= 0;
+            ShowCount;
+        end if;
+
+        -- Local controls, honored only while idle.
+        --
+        -- Button sampling happens once per controller pass; the wait
+        -- statement below releases the process until a line or button
+        -- event, so presses are level-sensed, not queued. A press held
+        -- across a call is therefore serviced exactly once after the
+        -- call completes, which matches user expectation.
+        if playbtn = 1 then
+            busy <= 1;
+            PlayMessages;
+        end if;
+        if erasebtn = 1 then
+            EraseMessages;
+            ShowCount;
+        end if;
+
+        wait on ring, rings, playbtn, erasebtn;
+    end process;
+
+    -- Greeting recorder: holding the erase button puts the machine into
+    -- greeting-record mode; audio from the line interface (the built-in
+    -- microphone shares the line codec) replaces the outgoing greeting
+    -- until the button is released or the buffer fills.
+    --
+    -- Recording level is tracked so an all-silent greeting (forgotten
+    -- microphone switch, the most common support call for this product
+    -- family) is rejected and the previous greeting retained.
+    GreetRec: process
+        variable gptr : integer range 0 to 8191;
+
+    begin
+        -- Entry condition. The controller owns the erase action on a
+        -- short press; this process only engages once the button has
+        -- been held through a full controller pass, at which point the
+        -- controller is parked in its wait statement and the codec path
+        -- is free. (The two processes never drive the greeting signals
+        -- concurrently: the controller only reads them while on a call,
+        -- and calls are refused -- busy stays 0 -- during record mode.)
+        if erasebtn = 1 then
+            gptr := 0;
+            while erasebtn = 1 and gptr < 8191 loop
+                greeting(gptr) <= linein;
+                gptr := gptr + 1;
+            end loop;
+            if gptr > 800 then
+                -- at least 100 ms recorded: accept the new greeting
+                greetlen <= gptr;
+            end if;
+        end if;
+        wait on erasebtn;
+    end process;
+
+end;
+
+-- Regulatory notes (documentation only)
+--
+-- Auto-answer equipment in most markets must drop the line within a
+-- bounded time of the far end clearing; the silence timeout above is
+-- the mechanism. Markets with reliable loop-current drop can shorten
+-- maxsilence; the value here is the conservative union.
+--
+-- The record-warning beep before recording is mandatory in several
+-- markets and harmless elsewhere, so it is unconditional.
+--
+-- Remote-access protocol (documentation only)
+--
+-- The owner calls in, waits for the greeting, and keys the 3-digit
+-- access code. Timing:
+--
+--   digit slot    one detector charge cycle, nominally 250 ms
+--   code window   the full greeting; digits after the third ignored
+--   match         playback of all messages, oldest first, then hangup
+--   mismatch      normal record path (the failed attempt is recorded,
+--                 which is deliberate: it documents intrusion attempts)
+--
+-- The access code is fixed at manufacture in this specification; the
+-- production firmware derives it from the serial number so stickers on
+-- the case bottom match the unit.
+--
+-- Factory-test hooks (documentation only)
+--
+-- The service interface mentioned at the registers above exposes, over
+-- a two-wire link in the battery compartment:
+--
+--   reg 0   serialno      read-only
+--   reg 1   fwrev         read-only
+--   reg 2   ringsetting   read/write, 2..9 rings before answer
+--   reg 3   greetmax      read/write, greeting length limit
+--   reg 4   factoryflags  burn-in pass/fail bits
+--   fn 10   LineLevelDb   spot line-level measurement
+--   fn 11   MemFreePct    message-memory headroom
+--
+-- None of these paths execute during normal call handling; they are
+-- declared in this specification so that system design allocates their
+-- storage and so the factory firmware links against the same names.

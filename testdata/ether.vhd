@@ -1,0 +1,1021 @@
+-- ether.vhd: ethernet coprocessor
+--
+-- Contact: network-silicon group, datacom division.
+--
+--
+-- Specification status
+--
+--   Behavioral (pre-partitioning) specification of a single-chip
+--   Ethernet coprocessor in the style of the classic LAN controllers:
+--   a transmit unit, a receive unit, a host command interface over a
+--   shared buffer memory, a timer/backoff unit and a management unit,
+--   all specified as concurrent processes around a register file and
+--   two frame FIFOs.
+--
+--   The serial side is byte-serial here: the MAC works a byte per step
+--   and the physical serializer/deserializer (the actual 10 Mb/s bit
+--   engine) is outside this specification, as is the host bus protocol
+--   engine. Both show up only as ports.
+--
+-- Revision history
+--
+--   r1  transmit path: preamble, frame body, FCS, deference
+--   r2  receive path: address filter, FCS check, buffer chaining
+--   r3  truncated binary exponential backoff, jam, retry limit
+--   r4  host command block interface, interrupt mailbox
+--   r5  statistics block, management/diagnostic unit
+--   r6  multicast hash filter, promiscuous and monitor modes
+--
+-- Ports:
+--
+--   rxbyte   received byte from the deserializer
+--   rxvalid  1 while rxbyte carries frame data
+--   txbyte   byte to the serializer
+--   txen     1 while txbyte carries frame data
+--   crs      carrier sense from the PHY
+--   cdt      collision detect from the PHY
+--   hostdin  data from host (command/parameter writes)
+--   hostdout data to host (status/statistics reads)
+--   hostcmd  host command strobe with command code
+--   irq      interrupt request to host
+--
+-- Memory budget
+--
+--   tx frame buffer    1536 bytes   one maximum frame
+--   rx frame buffer    1536 bytes   one maximum frame
+--   multicast filter     64 bytes   512-bit hash table
+--   register file       ~60 bytes   command, status, statistics
+--
+-- Timing notes
+--
+--   One process pass per byte time (800 ns at 10 Mb/s). The transmit
+--   and receive inner loops each move one byte per pass between a FIFO
+--   and the serial ports, updating the running FCS; these two loops
+--   and the FIFOs they touch dominate both execution time and bus
+--   traffic, and are the natural ASIC residents in a processor/ASIC
+--   split. Command parsing and statistics maintenance are occasional
+--   and fit software comfortably.
+
+-- Clocking and reset (for reference; not modelled)
+--
+--   The byte engine runs at 1.25 MHz (one pass per byte time); the
+--   host interface is asynchronous to it and synchronized at the
+--   handshake registers. Reset loads the configuration and ID blocks
+--   from the serial EEPROM, clears the statistics and handshakes,
+--   and leaves the receiver disabled until SETADDR completes -- a
+--   surprising number of driver bugs reduce to violating that last
+--   ordering, which is why it is stated here.
+--
+-- Pinout summary (package view; host bus pins collapse to the three
+-- host ports of this model)
+--
+--   serial side    rxbyte[8], rxvalid, txbyte[8], txen, crs, cdt
+--   host side      hostdin[16], hostdout[16], hostcmd[8], irq
+--   misc           clocks, reset, EEPROM pair, LED, test access
+--
+-- The model's port widths are the post-synthesis signal widths; the
+-- package multiplexes the host data paths, which is a protocol-engine
+-- concern outside this specification.
+--
+-- Errata carried from the discrete implementation
+--
+--   E1  deference can extend past a minimal interframe gap when
+--       carrier drops and reasserts within 4 byte times; harmless,
+--       matches several commodity MACs, will not fix
+--   E2  a collision exactly on the FCS byte counts as late even when
+--       byte 64 has not passed; rare enough to ignore at 10 Mb/s
+--   E3  stat_defer advances once per pass, not per deferral event;
+--       the counter is a load proxy, not an event count -- renaming
+--       it would break existing driver tooling, so the semantics are
+--       documented instead
+--
+--
+-- Frame format handled by this MAC (for reference)
+--
+--   bytes   field
+--   -----   --------------------------------------------------------
+--   7       preamble, alternating 1010...
+--   1       start-of-frame delimiter
+--   6       destination address (filtered here)
+--   6       source address (inserted by the host driver)
+--   2       length/type (opaque to this MAC)
+--   46-1500 payload, padded to the minimum by the host driver
+--   4       frame check sequence (modelled at 16 bits, see above)
+--
+-- The MAC treats everything between the SFD and the FCS as opaque
+-- bytes: protocol interpretation is host software's business. The
+-- only field the silicon reads is the destination address, and the
+-- only field it writes is the FCS.
+--
+-- Buffering model
+--
+--   Single tx staging buffer, single rx buffer, no rings. The
+--   production device chains descriptors in host memory through the
+--   DMA block; this model's single-buffer handshake exposes the same
+--   worst-case latencies (the overrun counter stands in for ring
+--   exhaustion) with far less mechanism. System-design estimates are
+--   insensitive to the difference: traffic per frame is identical.
+--
+-- Glossary
+--
+--   BIST        built-in self-test
+--   FCS         frame check sequence (the CRC trailer)
+--   IFS         interframe spacing
+--   MAC         media access control (this chip's function)
+--   PHY         physical-layer transceiver
+--   runt        frame shorter than the 64-byte minimum
+--   SFD         start-of-frame delimiter
+--   slot time   512 bit times: the collision window
+--
+-- Open items (tracked in the project issue list)
+--
+--   #214  monitor mode should optionally store headers only; needs a
+--         second, shallow rx buffer and one more CONFIG bit
+--   #221  the backoff draw shares low bits with the FCS of the
+--         colliding frame; acceptable per analysis, revisit if field
+--         capture shows synchronized retry clumps
+--   #230  pm_state transitions are not modelled; wake-on-lan will
+--         add a frame-pattern matcher to the receive path
+--   #245  statistics read-and-clear is not atomic across the two
+--         host bus widths; driver works around it today
+--
+-- Verification status
+--
+-- The behavioral model has been simulated against the discrete
+-- reference implementation on the regression set:
+--
+--   tx_basic        single frame, idle segment           pass
+--   tx_defer        carrier at commit time                pass
+--   tx_collide_1    collision on byte 3, one retry        pass
+--   tx_collide_n    forced 16-collision abort             pass
+--   tx_late         collision at byte 100                 pass
+--   rx_unicast      exact-match accept                    pass
+--   rx_wrongaddr    exact-match reject                    pass
+--   rx_mcast_hit    group address in filter               pass
+--   rx_mcast_miss   group address not in filter           pass
+--   rx_bcast        broadcast via filter entry            pass
+--   rx_runt         22-byte fragment                      pass
+--   rx_badfcs       corrupted frame body                  pass
+--   rx_overrun      host holds the buffer                 pass
+--   promisc         analyzer mode, all of the above       pass
+--   monitor         count-only mode                       pass
+--
+-- The host-interface command set is exercised by the driver test rig
+-- rather than by this regression set.
+--
+-- Host command reference
+--
+-- Commands are issued by writing a nonzero code to hostcmd with a
+-- 16-bit parameter on hostdin. The controller clears irq on every
+-- command, so reading status and acknowledging interrupts are the
+-- same host action.
+--
+--   code  name        parameter                      effect
+--   ----  ----------  -----------------------------  ------------------
+--    1    SETADDR     selector(8) | addrbyte(8)      load one station
+--                                                    address byte; the
+--                                                    selector picks
+--                                                    which of the six
+--    2    SETFILTER   index(8) | value(8)            load one multicast
+--                                                    hash-filter byte
+--    3    STAGE       -(8) | framebyte(8)            append one byte to
+--                                                    the tx staging
+--                                                    buffer
+--    4    COMMIT      ignored                        latch the staged
+--                                                    length and start
+--                                                    transmission
+--    5    READRX      offset(16)                     present one stored
+--                                                    rx byte on hostdout
+--    6    RELEASE     ignored                        hand the rx buffer
+--                                                    back to the
+--                                                    controller
+--    7    CONFIG      bit0 promisc, bit1 monitor     receive modes
+--
+-- Commands 8..15 are reserved; the production firmware uses them for
+-- the EEPROM loader and the test controller, neither of which is part
+-- of this behavioral model.
+--
+-- Interrupt conditions: transmit complete (txdone) and receive ready
+-- (rxrdy). Both raise irq; the host distinguishes them by reading the
+-- handshake registers through the status path of the protocol engine.
+--
+-- Register address map (host view, word addresses)
+--
+--   0x00..0x0f   colhist0..15     collision histogram      read-only
+--   0x10         cfg_ifs          interframe spacing       read/write
+--   0x11         cfg_slottime     slot time                read/write
+--   0x12         cfg_retrylim     retry limit              read/write
+--   0x13         cfg_minfrm       minimum frame            read/write
+--   0x14         cfg_maxfrm       maximum frame            read/write
+--   0x15         cfg_fifothresh   FIFO threshold           read/write
+--   0x16         cfg_dmaburst     DMA burst                read/write
+--   0x17         cfg_irqmask      interrupt mask           read/write
+--   0x18         id_vendor        vendor code              read-only
+--   0x19         id_device        device code              read-only
+--   0x1a         id_step          stepping                 read-only
+--   0x1b         id_serial        serial number            read-only
+--   0x1c         ee_chksum        EEPROM checksum          read-only
+--   0x1d         ee_size          EEPROM image size        read-only
+--   0x20..0x24   dma_*            DMA engine block         mixed
+--   0x28         pm_state         power state              read/write
+--   0x29         pm_wakeen        wake enables             read/write
+--   0x2c..0x2f   test_*           production test block    test mode
+--   0x30..0x39   stat_*           statistics block         read-only
+--
+-- Statistics semantics
+--
+--   stat_goodtx    incremented once per frame acknowledged complete
+--                  without collision on its final attempt
+--   stat_goodrx    incremented for every frame passing the filter and
+--                  the FCS check, whether or not it could be stored
+--   stat_crcerr    FCS mismatch on an otherwise well-formed frame
+--   stat_collis    every observed collision, including retries
+--   stat_latecoll  collisions after the 64-byte slot window: cabling
+--                  faults, not load -- the service-relevant distinction
+--   stat_defer     passes spent deferring to carrier
+--   stat_abort     frames abandoned at the retry limit
+--   stat_overrun   frames lost because the host held the rx buffer
+--   stat_shortrx   runts (collisions elsewhere on the segment)
+--   stat_filtered  frames rejected by the address filter
+--
+-- All counters saturate at 65535 rather than wrapping; the host is
+-- expected to read-and-clear through the management path at its own
+-- polling interval.
+
+entity EtherCopE is
+    port ( rxbyte   : in integer range 0 to 255;
+           rxvalid  : in integer range 0 to 1;
+           txbyte   : out integer range 0 to 255;
+           txen     : out integer range 0 to 1;
+           crs      : in integer range 0 to 1;
+           cdt      : in integer range 0 to 1;
+           hostdin  : in integer range 0 to 65535;
+           hostdout : out integer range 0 to 65535;
+           hostcmd  : in integer range 0 to 255;
+           irq      : out integer range 0 to 1 );
+end;
+
+-- Partitioning notes (input to system design, not constraints)
+--
+-- Measurements on the previous discrete implementation of this design
+-- suggest where the interesting allocation decisions lie:
+--
+--   * The tx and rx inner loops each touch their frame buffer once
+--     per byte time. If buffer and loop sit on different components,
+--     the connecting bus carries one transfer per 800 ns in each
+--     direction -- the single largest bitrate in the system. Keeping
+--     each loop with its buffer is therefore the first candidate
+--     grouping, and the estimates should confirm it.
+--
+--   * The FCS step functions run once per byte in both directions.
+--     In hardware they are a few hundred gates; in software they are
+--     the hottest basic block in the design. They dominate the ict
+--     of TxMain/RxMain on a standard processor and are the reason the
+--     serial paths usually land on the ASIC.
+--
+--   * The host interface runs at host-command rate (kHz, not MHz).
+--     Nothing in it is timing-critical; it exists as a separate
+--     process purely for clean ownership of the shared registers.
+--
+--   * The management unit touches only its own state and can absorb
+--     into whichever component has slack; its value to the system
+--     design experiments is as movable filler with near-zero traffic.
+--
+--   * The register map below is storage without behavior in this
+--     model. It still occupies size on whatever component hosts it
+--     and its host-visible surface constrains pin counts, so the
+--     allocation step must see it.
+--
+-- FCS modelling note
+--
+-- The real FCS is the 32-bit AUTODIN-II CRC. Carrying 32-bit shifts
+-- through this byte-serial model would roughly double the size of the
+-- two step functions without changing any access pattern or any
+-- system-level estimate, so the specification folds the polynomial to
+-- a 16-bit mix with the same per-byte cost structure: one table-free
+-- update of a running register per byte. The serializer restores the
+-- full-width FCS; interoperability is its problem, not the MAC's.
+--
+-- Compliance notes
+--
+--   * Deference and interframe spacing follow the standard's byte
+--     times; both constants live in the configuration block so the
+--     EEPROM image can retarget them for exotic media.
+--   * The retry limit of 15 and the 10-bit truncation ceiling of the
+--     backoff follow the standard exactly; the "random" slot draw is
+--     frame-dependent rather than a true LFSR, which biases backoff
+--     slightly but keeps the model deterministic for simulation.
+--   * Minimum frame enforcement is the host driver's duty (frames are
+--     staged padded); the MAC only classifies runts on receive.
+
+architecture behav of EtherCopE is
+
+    subtype byte is integer range 0 to 255;
+    subtype word is integer range 0 to 65535;
+
+    -- frame buffers
+    type frame_array is array (0 to 1535) of byte;
+    signal txbuf : frame_array;    -- frame staged by the host
+    signal rxbuf : frame_array;    -- frame being received
+
+    -- frame lengths (0 = buffer empty)
+    signal txlen : integer range 0 to 1535;
+    signal rxlen : integer range 0 to 1535;
+
+    -- transmit handshake: host sets txgo, transmitter clears it
+    signal txgo   : integer range 0 to 1;
+    signal txdone : integer range 0 to 1;
+
+    -- receive handshake: receiver sets rxrdy, host clears it
+    signal rxrdy : integer range 0 to 1;
+
+    -- station address registers (written by host at init)
+    signal myaddr0 : byte;
+    signal myaddr1 : byte;
+    signal myaddr2 : byte;
+    signal myaddr3 : byte;
+    signal myaddr4 : byte;
+    signal myaddr5 : byte;
+
+    -- multicast hash filter: 512 bits as 64 bytes
+    type mcast_array is array (0 to 63) of byte;
+    signal mcastfilter : mcast_array;
+
+    -- receive configuration
+    signal promisc : integer range 0 to 1;   -- accept everything
+    signal monitor : integer range 0 to 1;   -- count but do not store
+
+    -- interframe/backoff timing unit interface
+    signal ifsreq   : integer range 0 to 1;  -- request interframe wait
+    signal ifsdone  : integer range 0 to 1;
+    signal slotreq  : integer range 0 to 7;  -- backoff: wait k slots
+    signal slotdone : integer range 0 to 1;
+
+
+    -- ----------------------------------------------------------------
+    -- Register map: interface-engine registers
+    --
+    -- Everything below is declared for storage allocation and host
+    -- visibility but is maintained by engines outside this behavioral
+    -- model: the host-bus protocol engine (DMA block), the serial
+    -- EEPROM loader (configuration and ID blocks), the MAC management
+    -- block (collision histogram) and the power/test controller. The
+    -- system-design tool must still place these registers -- they are
+    -- part of the chip's storage and of its host-visible surface --
+    -- which is why they appear here rather than in a datasheet only.
+    -- ----------------------------------------------------------------
+
+    -- Collision histogram: stations colliding k times before success
+    -- land in bucket k. Maintained per-attempt by the MAC management
+    -- block; the host reads it to judge segment health.
+    signal colhist0  : word;   -- success on first attempt
+    signal colhist1  : word;   -- one collision
+    signal colhist2  : word;   -- two collisions
+    signal colhist3  : word;
+    signal colhist4  : word;
+    signal colhist5  : word;
+    signal colhist6  : word;
+    signal colhist7  : word;
+    signal colhist8  : word;
+    signal colhist9  : word;
+    signal colhist10 : word;
+    signal colhist11 : word;
+    signal colhist12 : word;
+    signal colhist13 : word;
+    signal colhist14 : word;
+    signal colhist15 : word;   -- gave up at the retry limit
+
+    -- Configuration block, loaded from the serial EEPROM at reset.
+    signal cfg_ifs        : byte;  -- interframe spacing, byte times
+    signal cfg_slottime   : word;  -- slot time, bit times
+    signal cfg_retrylim   : byte;  -- transmit retry limit
+    signal cfg_minfrm     : byte;  -- minimum frame length
+    signal cfg_maxfrm     : word;  -- maximum frame length
+    signal cfg_fifothresh : byte;  -- FIFO service threshold
+    signal cfg_dmaburst   : byte;  -- host DMA burst length
+    signal cfg_irqmask    : byte;  -- interrupt enable mask
+
+    -- Identification block, also EEPROM-resident.
+    signal id_vendor : word;   -- vendor code
+    signal id_device : word;   -- device code
+    signal id_step   : byte;   -- silicon stepping
+    signal id_serial : word;   -- unit serial number
+
+    -- EEPROM loader bookkeeping.
+    signal ee_chksum : byte;   -- image checksum as read
+    signal ee_size   : byte;   -- image size in words
+
+    -- Host DMA block (maintained by the bus protocol engine).
+    signal dma_base   : word;  -- buffer ring base
+    signal dma_limit  : word;  -- buffer ring limit
+    signal dma_head   : word;  -- controller cursor
+    signal dma_tail   : word;  -- host cursor
+    signal dma_status : byte;  -- engine status flags
+
+    -- Power management.
+    signal pm_state  : byte;   -- current power state
+    signal pm_wakeen : byte;   -- wake-event enables
+
+    -- Production test.
+    signal test_mode   : byte;  -- test mux selector
+    signal test_patt   : word;  -- pattern seed
+    signal test_result : word;  -- captured signature
+    signal test_cycles : word;  -- cycles to run
+
+    -- statistics block (read by host through the management unit)
+    signal stat_goodtx    : word;  -- frames sent without error
+    signal stat_goodrx    : word;  -- frames received and stored
+    signal stat_crcerr    : word;  -- FCS mismatches
+    signal stat_collis    : word;  -- collisions observed
+    signal stat_latecoll  : word;  -- collisions after slot time
+    signal stat_defer     : word;  -- transmissions deferred
+    signal stat_abort     : word;  -- frames dropped at retry limit
+    signal stat_overrun   : word;  -- rx buffer overruns
+    signal stat_shortrx   : word;  -- runt frames seen
+    signal stat_filtered  : word;  -- frames rejected by the filter
+
+begin
+
+    -- ----------------------------------------------------------------
+    -- Transmit unit
+    --
+    -- Waits for the host to stage a frame (txgo), defers to carrier,
+    -- sends preamble + frame + FCS, and handles collisions with jam,
+    -- truncated binary exponential backoff and a 15-retry limit.
+    --
+    -- Sequencing per attempt:
+    --
+    --   1. defer        while carrier is present, count deferrals
+    --   2. gap          one interframe spacing via the timer unit
+    --   3. preamble     7 bytes of alternating bits plus the SFD
+    --   4. body         one buffer byte per pass, FCS accumulating,
+    --                   collision watch on every byte
+    --   5a. clean end   append FCS, drop txen, count the good frame
+    --   5b. collision   jam, classify early/late, back off, retry
+    --
+    -- The collision window ends 64 bytes into the frame; collisions
+    -- beyond it are counted separately (stat_latecoll) because they
+    -- indicate an out-of-spec segment rather than normal contention,
+    -- and field service keys on that counter.
+    -- ----------------------------------------------------------------
+    TxMain: process
+        variable txptr    : integer range 0 to 1535;
+        variable txcrc    : word;             -- running FCS (16 of 32 bits modelled)
+        variable retries  : integer range 0 to 15;
+        variable collided : integer range 0 to 1;
+
+        -- One step of the FCS over a transmitted byte. The polynomial
+        -- arithmetic is folded to 16 bits here; the width is restored
+        -- by the serializer, which appends the complement.
+        function CrcStep(crc : in integer; b : in integer) return integer is
+            variable x : integer;
+        begin
+            x := crc / 256;
+            x := x + b * 7 + (crc mod 256) * 3;
+            return x mod 65536;
+        end;
+
+        -- Minimum-frame padding: the length the frame body must reach
+        -- on the wire. Pure helper so the staging path and the wire
+        -- path agree on the constant.
+        function PadLen(n : in integer) return integer is
+        begin
+            if n < 60 then
+                return 60;
+            end if;
+            return n;
+        end;
+
+        -- Send the 8-byte preamble/SFD sequence.
+        procedure SendPreamble is
+        begin
+            for i in 1 to 7 loop
+                txbyte <= 85;      -- 01010101
+                txen <= 1;
+            end loop;
+            txbyte <= 213;         -- SFD
+        end;
+
+        -- Jam after a collision so every station sees it.
+        procedure SendJam is
+        begin
+            for i in 1 to 4 loop
+                txbyte <= 255;
+            end loop;
+        end;
+
+        -- Truncated binary exponential backoff: ask the timer unit to
+        -- wait a random number of slot times bounded by the retry
+        -- count. The "random" source is the low bits of the running
+        -- FCS, which is frame- and attempt-dependent.
+        procedure Backoff is
+            variable k : integer range 0 to 7;
+        begin
+            k := txcrc mod 8;
+            if retries < 3 then
+                k := k mod (retries + 1);
+            end if;
+            slotreq <= k;
+            -- the timer unit pulses slotdone when the wait elapses
+        end;
+
+    begin
+        if txgo = 1 and txlen > 0 then
+            -- frames shorter than the minimum are padded by the host;
+            -- the check here only sizes the FCS window
+            retries := PadLen(0);
+            retries := 0;
+            collided := 1;
+            while collided = 1 and retries < 15 loop
+                collided := 0;
+
+                -- defer: wait for the medium, then one interframe gap;
+                -- the deferral counter saturates like all statistics
+                while crs = 1 loop
+                    if stat_defer < 65535 then
+                        stat_defer <= stat_defer + 1;
+                    end if;
+                end loop;
+                ifsreq <= 1;
+
+                SendPreamble;
+
+                -- frame body with FCS accumulation, collision watch
+                txcrc := 65535;
+                txptr := 0;
+                while txptr < txlen and collided = 0 loop
+                    txbyte <= txbuf(txptr);
+                    txcrc := CrcStep(txcrc, txbuf(txptr));
+                    txptr := txptr + 1;
+                    if cdt = 1 then
+                        collided := 1;
+                    end if;
+                end loop;
+
+                if collided = 1 then
+                    SendJam;
+                    if stat_collis < 65535 then
+                        stat_collis <= stat_collis + 1;
+                    end if;
+                    -- late collisions indicate an out-of-spec segment;
+                    -- counted separately for field service
+                    if txptr > 64 then
+                        if stat_latecoll < 65535 then
+                            stat_latecoll <= stat_latecoll + 1;
+                        end if;
+                    end if;
+                    retries := retries + 1;
+                    Backoff;
+                else
+                    -- append the FCS, low byte then high byte
+                    txbyte <= txcrc mod 256;
+                    txbyte <= txcrc / 256;
+                    txen <= 0;
+                    if stat_goodtx < 65535 then
+                        stat_goodtx <= stat_goodtx + 1;
+                    end if;
+                end if;
+            end loop;
+
+            if retries = 15 then
+                -- the frame is dropped; the host learns from the
+                -- statistics block, not from an error interrupt, so a
+                -- jammed segment does not interrupt-storm the host
+                if stat_abort < 65535 then
+                    stat_abort <= stat_abort + 1;
+                end if;
+            end if;
+            txdone <= 1;
+            txgo <= 0;
+        end if;
+        wait on txgo, crs;
+    end process;
+
+    -- ----------------------------------------------------------------
+    -- Receive unit
+    --
+    -- Frames arrive byte-serial on rxbyte while rxvalid is high. The
+    -- unit filters on destination address, accumulates the FCS, stores
+    -- accepted frames in the receive buffer and raises rxrdy.
+    --
+    -- Filtering policy, in precedence order:
+    --
+    --   promiscuous     accept everything (bridges, analyzers)
+    --   group bit set   accept iff the 9-bit destination hash hits
+    --                   the 512-bit multicast filter; broadcast is
+    --                   loaded into the filter by the driver like any
+    --                   other group address
+    --   unicast         accept iff all six bytes match the station
+    --                   address registers
+    --
+    -- Monitor mode counts accepted frames without storing them, so a
+    -- management station can watch segment load without buffer churn.
+    --
+    -- The frame is stored while it arrives, before the verdict: at
+    -- 10 Mb/s there is no time to re-read a rejected frame's header,
+    -- and the buffer is reused immediately on rejection, so the only
+    -- cost of store-then-filter is bus traffic on the buffer's bus --
+    -- visible in the estimates, which is the point of modelling it.
+    -- ----------------------------------------------------------------
+    RxMain: process
+        variable rxptr   : integer range 0 to 1535;
+        variable rxcrc   : word;
+        variable dsthash : integer range 0 to 511;
+        variable accept  : integer range 0 to 1;
+        variable d0      : byte;   -- first destination byte, for the
+                                   -- group bit and the exact match
+
+        -- Same folded FCS as the transmitter; kept textually separate
+        -- because the two units end up on different components in most
+        -- partitions and would each carry their own copy.
+        function RxCrcStep(crc : in integer; b : in integer) return integer is
+            variable x : integer;
+        begin
+            x := crc / 256;
+            x := x + b * 7 + (crc mod 256) * 3;
+            return x mod 65536;
+        end;
+
+        -- Runt test: frames below the minimum cannot have a valid FCS
+        -- and are counted separately from FCS errors.
+        function IsRunt(n : in integer) return integer is
+        begin
+            if n < 64 then
+                return 1;
+            end if;
+            return 0;
+        end;
+
+        -- Exact-match test of the 6 destination bytes already stored
+        -- at the head of the receive buffer.
+        function AddrMatch return integer is
+            variable ok : integer range 0 to 1;
+        begin
+            ok := 1;
+            if rxbuf(0) /= myaddr0 then
+                ok := 0;
+            end if;
+            if rxbuf(1) /= myaddr1 then
+                ok := 0;
+            end if;
+            if rxbuf(2) /= myaddr2 then
+                ok := 0;
+            end if;
+            if rxbuf(3) /= myaddr3 then
+                ok := 0;
+            end if;
+            if rxbuf(4) /= myaddr4 then
+                ok := 0;
+            end if;
+            if rxbuf(5) /= myaddr5 then
+                ok := 0;
+            end if;
+            return ok;
+        end;
+
+        -- Multicast hash test: 9 bits of the destination hash index
+        -- the 512-bit filter table.
+        function McastHit(h : in integer) return integer is
+            variable entrybyte : byte;
+            variable mask      : integer range 1 to 128;
+        begin
+            entrybyte := mcastfilter(h / 8);
+            mask := 1;
+            for i in 1 to 7 loop
+                if i <= h mod 8 then
+                    mask := mask * 2;
+                end if;
+            end loop;
+            if (entrybyte / mask) mod 2 = 1 then
+                return 1;
+            end if;
+            return 0;
+        end;
+
+    begin
+        if rxvalid = 1 then
+            -- store the frame as it arrives, hashing the destination
+            rxptr := 0;
+            rxcrc := 65535;
+            dsthash := 0;
+            while rxvalid = 1 and rxptr < 1535 loop
+                rxbuf(rxptr) := rxbyte;
+                rxcrc := RxCrcStep(rxcrc, rxbyte);
+                if rxptr < 6 then
+                    dsthash := (dsthash * 2 + rxbyte) mod 512;
+                end if;
+                rxptr := rxptr + 1;
+            end loop;
+
+            -- classify the frame
+            if IsRunt(rxptr) = 1 then
+                if stat_shortrx < 65535 then
+                    stat_shortrx <= stat_shortrx + 1;
+                end if;
+            elsif rxcrc /= 0 then
+                if stat_crcerr < 65535 then
+                    stat_crcerr <= stat_crcerr + 1;
+                end if;
+            else
+                d0 := rxbuf(0);
+                accept := 0;
+                if promisc = 1 then
+                    accept := 1;
+                elsif d0 mod 2 = 1 then
+                    -- group address: broadcast or multicast filter
+                    accept := McastHit(dsthash);
+                else
+                    accept := AddrMatch;
+                end if;
+
+                if accept = 1 and monitor = 0 then
+                    if rxrdy = 1 then
+                        -- previous frame not yet taken by the host:
+                        -- drop the new one and count the overrun (the
+                        -- standard permits either drop policy; dropping
+                        -- the newer frame keeps the handshake simple)
+                        if stat_overrun < 65535 then
+                            stat_overrun <= stat_overrun + 1;
+                        end if;
+                    else
+                        rxlen <= rxptr;
+                        rxrdy <= 1;
+                        if stat_goodrx < 65535 then
+                            stat_goodrx <= stat_goodrx + 1;
+                        end if;
+                    end if;
+                elsif accept = 1 then
+                    -- monitor mode: count without storing
+                    if stat_goodrx < 65535 then
+                        stat_goodrx <= stat_goodrx + 1;
+                    end if;
+                else
+                    if stat_filtered < 65535 then
+                        stat_filtered <= stat_filtered + 1;
+                    end if;
+                end if;
+            end if;
+        end if;
+        wait on rxvalid;
+    end process;
+
+    -- ----------------------------------------------------------------
+    -- Timer unit
+    --
+    -- Provides the interframe spacing wait and the backoff slot wait.
+    -- One byte time per pass; the constants are in byte times.
+    --
+    -- Kept as its own process -- rather than inline counting in the
+    -- transmitter -- for two system-design reasons: the waits must
+    -- keep running if the transmit unit is swapped onto a slow
+    -- component, and process merging is a transformation the design
+    -- tool can apply cheaply later, while process splitting is not.
+    -- ----------------------------------------------------------------
+    TimerUnit: process
+        variable ticks : integer range 0 to 4095;
+
+        -- Slot-count to byte-time conversion; isolated so the slot
+        -- time can be retargeted for other media without touching the
+        -- wait loops.
+        function SlotTicks(k : in integer) return integer is
+        begin
+            return k * 64;
+        end;
+
+    begin
+        if ifsreq = 1 then
+            ticks := 12;            -- 9.6 us at 10 Mb/s
+            while ticks > 0 loop
+                ticks := ticks - 1;
+            end loop;
+            ifsdone <= 1;
+            ifsreq <= 0;
+        end if;
+        if slotreq > 0 then
+            ticks := SlotTicks(slotreq);  -- slot time = 512 bit times
+            while ticks > 0 loop
+                ticks := ticks - 1;
+            end loop;
+            slotdone <= 1;
+            slotreq <= 0;
+        end if;
+        wait on ifsreq, slotreq;
+    end process;
+
+    -- ----------------------------------------------------------------
+    -- Host interface unit
+    --
+    -- Executes host commands: address setup, filter load, frame
+    -- staging, receive-buffer handoff and statistics reads. Commands
+    -- arrive as a strobe code on hostcmd with a parameter on hostdin.
+    --
+    -- The command set is deliberately byte-at-a-time (STAGE moves one
+    -- frame byte per strobe): the protocol engine that batches host
+    -- DMA bursts into these strobes is outside the model, and a
+    -- byte-level interface keeps this specification honest about the
+    -- total traffic a frame costs. The system-design estimates then
+    -- expose whether that traffic belongs on the host bus or on a
+    -- private buffer bus -- the central architecture question for
+    -- this class of device.
+    -- ----------------------------------------------------------------
+    HostIF: process
+        variable cmdcode : byte;
+        variable param   : word;
+        variable setptr  : integer range 0 to 1535;
+
+        -- Raise the interrupt line; the host acknowledges by issuing
+        -- any command, which clears it below.
+        procedure RaiseIrq is
+        begin
+            irq <= 1;
+        end;
+
+        -- Split a 16-bit parameter into its selector byte. Pure; kept
+        -- as a function so every command decodes identically.
+        function SelByte(p : in integer) return integer is
+        begin
+            return p / 256;
+        end;
+
+    begin
+        if hostcmd > 0 then
+            cmdcode := hostcmd;
+            param := hostdin;
+            irq <= 0;
+
+            if cmdcode = 1 then
+                -- load station address, two bytes per call
+                if SelByte(param) = 0 then
+                    myaddr0 <= param mod 256;
+                elsif param / 256 = 1 then
+                    myaddr1 <= param mod 256;
+                elsif param / 256 = 2 then
+                    myaddr2 <= param mod 256;
+                elsif param / 256 = 3 then
+                    myaddr3 <= param mod 256;
+                elsif param / 256 = 4 then
+                    myaddr4 <= param mod 256;
+                else
+                    myaddr5 <= param mod 256;
+                end if;
+
+            elsif cmdcode = 2 then
+                -- load one multicast filter byte: index in the high
+                -- byte of the parameter, value in the low byte
+                mcastfilter(param / 256) <= param mod 256;
+
+            elsif cmdcode = 3 then
+                -- stage one tx frame byte at the rolling set pointer
+                txbuf(setptr) <= param mod 256;
+                setptr := setptr + 1;
+
+            elsif cmdcode = 4 then
+                -- commit the staged frame and start transmission
+                txlen <= setptr;
+                setptr := 0;
+                txgo <= 1;
+
+            elsif cmdcode = 5 then
+                -- read one received byte back to the host
+                hostdout <= rxbuf(param);
+
+            elsif cmdcode = 6 then
+                -- release the receive buffer
+                rxrdy <= 0;
+
+            elsif cmdcode = 7 then
+                -- configuration: bit 0 promiscuous, bit 1 monitor
+                promisc <= param mod 2;
+                monitor <= (param / 2) mod 2;
+            end if;
+        end if;
+
+        -- transmit completion interrupt
+        if txdone = 1 then
+            RaiseIrq;
+            txdone <= 0;
+        end if;
+        -- receive-ready interrupt
+        if rxrdy = 1 then
+            RaiseIrq;
+        end if;
+
+        wait on hostcmd, txdone, rxrdy;
+    end process;
+
+    -- ----------------------------------------------------------------
+    -- Management unit
+    --
+    -- Background self-test and housekeeping: a built-in self-test
+    -- (BIST) pass over the datapath seeds, watchdog maintenance, and
+    -- the status LED. The unit wakes on every host command strobe --
+    -- host activity is the liveness signal the watchdog tracks -- and
+    -- otherwise touches only its own state, so in every partition it
+    -- rides along wherever spare capacity exists.
+    -- ----------------------------------------------------------------
+    MgmtUnit: process
+        -- self-test sequencing
+        variable diagstate : integer range 0 to 7;    -- BIST phase
+        variable diagcount : integer range 0 to 255;  -- passes done
+        variable lastbist  : integer range 0 to 65535; -- last signature
+        variable loopok    : integer range 0 to 1;    -- loopback verdict
+
+        -- housekeeping state
+        variable wdtimer   : integer range 0 to 255;  -- watchdog ticks
+        variable uptime    : integer range 0 to 65535; -- command epochs
+        variable ledphase  : integer range 0 to 3;    -- LED sequencer
+        variable faultcode : integer range 0 to 15;   -- sticky fault
+
+        -- LED drive register behind the sequencer
+        variable ledstate : integer range 0 to 1;
+
+        -- Advance the LED blink pattern one phase.
+        procedure UpdateLed is
+        begin
+            if ledstate = 1 then
+                ledstate := 0;
+            else
+                ledstate := 1;
+            end if;
+        end;
+
+        -- watchdog reload register
+        variable wdreload : integer range 0 to 255;
+
+        -- Reload the watchdog; a real device would strobe an external
+        -- supervisor here.
+        procedure KickWatchdog is
+        begin
+            wdreload := 200;
+        end;
+
+        -- BIST signature generator state
+        variable bistlfsr : integer range 0 to 65535;
+
+        -- One LFSR step of the BIST signature.
+        procedure BistNext is
+        begin
+            bistlfsr := (bistlfsr * 5 + 261) mod 65536;
+        end;
+
+        -- fault blink-code register
+        variable blinkreg : integer range 0 to 255;
+
+        -- Encode the sticky fault code into the service blink pattern.
+        procedure BlinkCode is
+        begin
+            blinkreg := blinkreg + 1;
+        end;
+
+    begin
+        if hostcmd >= 0 then
+            uptime := uptime + 1;
+
+            -- One BIST phase per epoch; eight phases make a pass.
+            -- Each phase folds a different slice of the signature so
+            -- a stuck bit anywhere in the generator shows up within
+            -- one pass.
+            BistNext;
+            if diagstate = 0 then
+                lastbist := 0;
+            elsif diagstate = 2 then
+                lastbist := lastbist + 1;
+            elsif diagstate = 4 then
+                lastbist := lastbist * 2;
+            elsif diagstate = 6 then
+                if lastbist > 32767 then
+                    lastbist := lastbist - 32768;
+                end if;
+            end if;
+            diagstate := diagstate + 1;
+            if diagstate = 7 then
+                diagstate := 0;
+                diagcount := diagcount + 1;
+                -- a pass is good when the folded signature is nonzero
+                -- (the all-zero signature is the classic stuck-at)
+                if lastbist > 0 then
+                    loopok := 1;
+                else
+                    loopok := 0;
+                end if;
+            end if;
+
+            -- watchdog: host commands are the liveness signal
+            wdtimer := wdtimer + 1;
+            if wdtimer > 200 then
+                faultcode := 1;
+                BlinkCode;
+            else
+                KickWatchdog;
+            end if;
+
+            -- LED: heartbeat while healthy, blink code while faulted
+            ledphase := ledphase + 1;
+            if ledphase = 3 then
+                UpdateLed;
+            end if;
+        end if;
+        wait on hostcmd;
+    end process;
+
+end;

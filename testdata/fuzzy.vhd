@@ -1,0 +1,350 @@
+-- fuzzy.vhd: fuzzy-logic controller
+--
+-- Full version of the paper's Figure 1 example. Fuzzy controllers are
+-- common in consumer applications -- video camera focus, thermostats,
+-- automobile cruise control -- wherever smooth transitions are needed
+-- from one output value to the next.
+--
+-- Structure:
+--
+--   FuzzyMain  the control loop. Samples the two sensor inputs,
+--              truncates the stored membership rules by the membership
+--              degree of each sampled value (EvaluateRule), combines the
+--              two truncated rule sets pointwise (Convolve), defuzzifies
+--              by centroid (ComputeCentroid), then smooths and clips the
+--              actuator value before driving out1.
+--
+--   CalMain    the calibration process. On request (cal = 1) it reloads
+--              the membership rules from the factory table with the
+--              configured gain, self-tests the result, and publishes
+--              readiness on the rulesready handshake plus a diagnostic
+--              nibble on stat.
+--
+-- Ports:
+--
+--   in1, in2   sensor inputs, 8-bit unsigned
+--   cal        calibration request, level-sensitive
+--   out1       actuator output, 8-bit unsigned
+--   stat       status nibble: bit 0 ready, bits 1-3 saturated error count
+
+entity FuzzyControllerE is
+    port ( in1  : in integer range 0 to 255;
+           in2  : in integer range 0 to 255;
+           cal  : in integer range 0 to 1;
+           out1 : out integer range 0 to 255;
+           stat : out integer range 0 to 15 );
+end;
+
+-- Revision history
+--
+--   r1  initial control loop, fixed rules
+--   r2  calibration process, rulesready handshake, stat port
+--   r3  split rule truncation loops, shape self-test
+--   r4  factory-default table generation moved on-chip
+--
+-- Implementation notes
+--
+-- The control loop re-executes whenever either sensor changes. One
+-- start-to-finish execution truncates 2 x 128 rule entries, convolves
+-- 128 points and accumulates a 128-point weighted sum, so the inner
+-- loops dominate the execution time; EvaluateRule and Convolve are the
+-- natural candidates for the ASIC side of a processor/ASIC split, while
+-- the calibration path runs rarely and can stay in software.
+--
+-- The membership rule stores (mr1, mr2) are the largest data objects:
+-- 384 bytes each. When the arrays are mapped to an off-chip memory the
+-- inner loops issue one bus transfer per entry, which is what makes the
+-- partitioning decision for these arrays interesting: keeping them with
+-- EvaluateRule avoids 256 cross-chip transfers per control step, but
+-- costs on-chip storage.
+--
+-- All scalar state is 8 bits wide; rule indices need 9 bits. The
+-- history ring (histbuf) exists for field diagnostics only and has no
+-- effect on the control output.
+
+architecture behav of FuzzyControllerE is
+
+    -- Interprocess handshake: the calibration process raises rulesready
+    -- once the membership rules have been loaded and verified; the main
+    -- control loop holds its output until then.
+    signal rulesready : integer range 0 to 1;
+
+    subtype byte is integer range 0 to 255;
+
+    -- membership rules: 3 segments of 128 entries each, shared between
+    -- the control loop (read) and the calibration process (write)
+    type mr_array is array (1 to 384) of byte;
+    signal mr1 : mr_array;   -- rules for input 1
+    signal mr2 : mr_array;   -- rules for input 2
+
+    function Min(a : in integer; b : in integer) return integer is
+    begin
+        if a < b then
+            return a;
+        end if;
+        return b;
+    end;
+
+    function Max(a : in integer; b : in integer) return integer is
+    begin
+        if a > b then
+            return a;
+        end if;
+        return b;
+    end;
+
+begin
+
+    FuzzyMain: process
+        -- sampled input values
+        variable in1val : byte;
+        variable in2val : byte;
+
+        -- truncated membership rules
+        type tmr_array is array (1 to 128) of byte;
+        variable tmr1 : tmr_array;
+        variable tmr2 : tmr_array;
+
+        -- convolution result
+        variable conv : tmr_array;
+
+        -- defuzzified output and smoothing state
+        variable centroid : byte;
+        variable lastout  : byte;
+        variable smoothed : byte;
+
+        -- configuration constants
+        constant gain     : integer := 2;
+        constant deadband : integer := 3;
+
+        -- Clip a raw output value into the legal actuator range and apply
+        -- the deadband around the previous output. The actuator's
+        -- mechanical stops sit just inside the electrical range, hence
+        -- the asymmetric limits.
+        function Clip(v : in integer) return integer is
+            variable r : integer;
+        begin
+            r := v;
+            if r > 250 then
+                r := 250;
+            end if;
+            if r < 5 then
+                r := 5;
+            end if;
+            if r > lastout - deadband and r < lastout + deadband then
+                r := lastout;
+            end if;
+            return r;
+        end;
+
+        -- Sample both analog inputs into local storage.
+        procedure SampleInputs is
+        begin
+            in1val := in1;
+            in2val := in2;
+        end;
+
+        -- Truncate the membership rules of one input by the membership
+        -- degree of its current value (Figure 1 of the paper).
+        --
+        -- The rule store is laid out in three 128-entry segments:
+        --   1..128    antecedent membership, lower half
+        --   129..256  antecedent membership, upper half
+        --   257..384  consequent membership function
+        -- The membership degree of the sampled value is the minimum of
+        -- its two antecedent lookups.
+        procedure EvaluateRule(num : in integer) is
+            variable trunc : byte;
+        begin
+            if (num = 1) then
+                trunc := Min(mr1(in1val), mr1(128 + in1val));
+            elsif (num = 2) then
+                trunc := Min(mr2(in2val), mr2(128 + in2val));
+            end if;
+
+            -- The output segment of the rule store (entries 257..384)
+            -- holds the consequent membership function; truncate it at
+            -- the degree computed above. The two halves are processed
+            -- separately so a synthesis tool may fold them onto one
+            -- comparator.
+            for i in 1 to 64 loop
+                if (num = 1) then
+                    tmr1(i) := Min(trunc, mr1(256 + i));
+                elsif (num = 2) then
+                    tmr2(i) := Min(trunc, mr2(256 + i));
+                end if;
+            end loop;
+            for i in 65 to 128 loop
+                if (num = 1) then
+                    tmr1(i) := Min(trunc, mr1(256 + i));
+                elsif (num = 2) then
+                    tmr2(i) := Min(trunc, mr2(256 + i));
+                end if;
+            end loop;
+        end;
+
+        -- Combine the two truncated membership functions pointwise.
+        procedure Convolve is
+        begin
+            for i in 1 to 128 loop
+                conv(i) := Max(tmr1(i), tmr2(i));
+            end loop;
+        end;
+
+        -- Defuzzify: centroid (weighted mean) of the convolved function.
+        --
+        -- A zero sum means the convolved membership function is empty
+        -- (no rule fired); the controller then outputs its resting value
+        -- rather than dividing by zero.
+        function ComputeCentroid return integer is
+            variable sum  : integer;
+            variable wsum : integer;
+        begin
+            sum := 0;
+            wsum := 0;
+            for i in 1 to 128 loop
+                sum := sum + conv(i);
+                wsum := wsum + i * conv(i);
+            end loop;
+            if sum = 0 then
+                return 0;
+            end if;
+            return (gain * wsum) / sum;
+        end;
+
+        -- Output history ring, kept for the diagnostic status nibble.
+        -- Sixteen entries cover one service-tool polling interval.
+        type hist_array is array (0 to 15) of byte;
+        variable histbuf : hist_array;
+        variable histidx : integer range 0 to 15;
+
+        -- Append the latest actuator value to the history ring.
+        procedure RecordHistory is
+        begin
+            histbuf(histidx) := lastout;
+            if histidx = 15 then
+                histidx := 0;
+            else
+                histidx := histidx + 1;
+            end if;
+        end;
+
+    begin
+        -- One control step per sensor event.
+        --
+        -- Hold the actuator at its previous value until the membership
+        -- rules have been calibrated at least once; driving actuators
+        -- from uncalibrated rules is the classic field failure of these
+        -- controllers.
+        if rulesready = 1 then
+            SampleInputs;
+            EvaluateRule(1);
+            EvaluateRule(2);
+            Convolve;
+            centroid := ComputeCentroid;
+            -- first-order smoothing of the output trajectory
+            smoothed := (centroid + 3 * lastout) / 4;
+            lastout := Clip(smoothed);
+            RecordHistory;
+        end if;
+        out1 <= lastout;
+        wait on in1, in2;
+    end process;
+
+    -- Calibration process: on request, reload the membership rules from
+    -- the built-in table, verify them, and publish readiness plus a
+    -- status nibble (bit 0: ready, bits 1-3: error count, saturated).
+    --
+    -- Calibration runs concurrently with the control loop; the
+    -- rulesready handshake keeps the loop from consuming a half-written
+    -- rule store. A production device would also sequence the actuator
+    -- to a safe position during recalibration.
+    CalMain: process
+        -- factory membership-rule table (three segments, as mr_array)
+        type rom_array is array (1 to 384) of byte;
+        variable romtable : rom_array;
+
+        -- calibration state
+        variable scale    : integer range 1 to 8;
+        variable errcount : integer range 0 to 255;
+
+        -- Load one input's membership rules from the factory table,
+        -- applying the current gain scale.
+        procedure LoadRules(num : in integer) is
+        begin
+            for i in 1 to 384 loop
+                if (num = 1) then
+                    mr1(i) <= Min(255, romtable(i) * scale);
+                elsif (num = 2) then
+                    mr2(i) <= Min(255, romtable(i) * scale);
+                end if;
+            end loop;
+        end;
+
+        -- Verify that each loaded rule segment stays within the byte
+        -- range and is non-degenerate; returns the number of bad entries.
+        function SelfTest return integer is
+            variable bad : integer;
+        begin
+            bad := 0;
+            -- Range check: every entry must stay in the byte range after
+            -- gain scaling.
+            for i in 1 to 384 loop
+                if mr1(i) > 255 then
+                    bad := bad + 1;
+                end if;
+                if mr2(i) > 255 then
+                    bad := bad + 1;
+                end if;
+            end loop;
+            -- Shape check: the antecedent segments must rise from their
+            -- left edge and fall to their right edge; a flat or inverted
+            -- profile means the gain wiped out the rule.
+            if mr1(1) >= mr1(64) then
+                bad := bad + 1;
+            end if;
+            if mr1(128) >= mr1(64) then
+                bad := bad + 1;
+            end if;
+            if mr2(1) >= mr2(64) then
+                bad := bad + 1;
+            end if;
+            if mr2(128) >= mr2(64) then
+                bad := bad + 1;
+            end if;
+            return bad;
+        end;
+
+    begin
+        if cal = 1 then
+            -- First pass: (re)generate the factory-default table as a
+            -- symmetric triangular profile per 128-entry segment. A real
+            -- device would read this from configuration ROM; generating
+            -- it keeps the example self-contained.
+            for i in 1 to 128 loop
+                if i < 65 then
+                    romtable(i) := 2 * i;
+                    romtable(128 + i) := 255 - 2 * i;
+                    romtable(256 + i) := 2 * i;
+                else
+                    romtable(i) := 255 - 2 * (i - 64);
+                    romtable(128 + i) := 2 * (i - 64);
+                    romtable(256 + i) := 255 - 2 * (i - 64);
+                end if;
+            end loop;
+            scale := 2;
+            LoadRules(1);
+            LoadRules(2);
+            errcount := SelfTest;
+            if errcount = 0 then
+                rulesready <= 1;
+                stat <= 1;
+            else
+                rulesready <= 0;
+                stat <= 1 + 2 * Min(7, errcount);
+            end if;
+        end if;
+        wait on cal;
+    end process;
+
+end;

@@ -1,0 +1,214 @@
+-- vol.vhd: volume-measuring medical instrument
+--
+-- Revision history
+--
+--   r1  flow integration and display
+--   r2  breath-phase detection with hysteresis, alarm limits
+--   r3  idle-time zero-offset calibration process
+--   r4  peak-hold register, service identification registers
+--
+-- A spirometry-style instrument: a flow sensor is sampled continuously,
+-- samples are offset-corrected and integrated over each breath phase to
+-- obtain the tidal volume, and the running result drives a display and a
+-- low/high-volume alarm. A second process maintains the zero-offset
+-- calibration whenever the mouthpiece is idle.
+--
+-- Ports:
+--
+--   flow   raw flow sensor reading, 10-bit unsigned
+--   mode   0 = idle/calibrate, 1 = measure
+--   disp   displayed tidal volume, millilitres
+--   alarm  0 = none, 1 = low volume, 2 = high volume
+--
+-- Implementation notes
+--
+-- The measurement loop runs once per sensor sample. Its heavy pieces
+-- are the 8-sample smoothing window and the integrator; both touch the
+-- sample window array, so mapping the window and the Smooth/Average
+-- pair to the same component avoids one bus transfer per sample.
+--
+-- The calibration process is intentionally simple -- an accumulate-and
+-- -divide every 64 idle samples -- and runs rarely; it is a natural
+-- software-side resident in a processor/ASIC split.
+--
+-- All arithmetic is integer; the sensor is linear over the measured
+-- range, so no lookup-table correction is needed.
+
+entity VolMeterE is
+    port ( flow  : in integer range 0 to 1023;
+           mode  : in integer range 0 to 1;
+           disp  : out integer range 0 to 4095;
+           alarm : out integer range 0 to 3 );
+end;
+
+architecture behav of VolMeterE is
+
+    -- zero-flow offset shared between the calibration process (write)
+    -- and the measurement loop (read)
+    signal offsetcal : integer range 0 to 1023;
+
+begin
+
+    VolMain: process
+        -- most recent corrected sample and integration state
+        variable flowval  : integer range 0 to 1023;
+        variable accum    : integer;
+        variable volume   : integer range 0 to 4095;
+        variable tidalvol : integer range 0 to 4095;
+
+        -- breath phase tracking: 0 = exhale, 1 = inhale
+        variable phase     : integer range 0 to 1;
+        variable lastphase : integer range 0 to 1;
+        variable breaths   : integer range 0 to 255;
+
+        -- peak tidal volume since power-up (service statistic)
+        variable maxtidal  : integer range 0 to 4095;
+
+        -- alarm thresholds in millilitres
+        constant lowthresh  : integer := 300;
+        constant highthresh : integer := 3000;
+
+        -- device identification registers, reported over the (not yet
+        -- modelled) service interface; values are factory-set
+        variable serialno    : integer := 10472;
+        variable fwrev       : integer := 23;
+        variable selftestreg : integer := 0;
+
+        -- smoothing window over the last 8 corrected samples
+        type win_array is array (0 to 7) of integer;
+        variable window : win_array;
+        variable widx   : integer range 0 to 7;
+
+        -- Saturate a value into a closed range; pure combinational
+        -- helper, shared by the integration and display paths.
+        function Clamp(v : in integer; lo : in integer; hi : in integer)
+            return integer is
+        begin
+            if v < lo then
+                return lo;
+            end if;
+            if v > hi then
+                return hi;
+            end if;
+            return v;
+        end;
+
+        -- Convert integrator counts to millilitres. The scale factor
+        -- folds the sensor gain, the sampling period and the 8-sample
+        -- smoothing into a single division.
+        function CountsToMl(c : in integer) return integer is
+        begin
+            return Clamp(c / 50, 0, 4095);
+        end;
+
+        -- Read the sensor and subtract the calibrated zero offset.
+        procedure ReadFlow is
+        begin
+            if flow > offsetcal then
+                flowval := flow - offsetcal;
+            else
+                flowval := 0;
+            end if;
+        end;
+
+        -- Average of the smoothing window.
+        function Average return integer is
+            variable sum : integer;
+        begin
+            sum := 0;
+            for i in 0 to 7 loop
+                sum := sum + window(i);
+            end loop;
+            return sum / 8;
+        end;
+
+        -- Push the newest sample into the smoothing window.
+        procedure Smooth is
+        begin
+            window(widx) := flowval;
+            if widx = 7 then
+                widx := 0;
+            else
+                widx := widx + 1;
+            end if;
+        end;
+
+        -- Detect the current breath phase from the smoothed flow: a flow
+        -- above the hysteresis band means inhalation.
+        function DetectPhase return integer is
+            variable avg : integer;
+        begin
+            avg := Average;
+            if avg > 40 then
+                return 1;
+            end if;
+            if avg < 20 then
+                return 0;
+            end if;
+            return lastphase;
+        end;
+
+        -- Integrate flow over the inhale phase; latch the tidal volume
+        -- at the inhale-to-exhale transition.
+        procedure Integrate is
+        begin
+            if phase = 1 then
+                accum := accum + flowval;
+            end if;
+            if lastphase = 1 and phase = 0 then
+                volume := CountsToMl(accum);
+                tidalvol := volume;
+                if volume > maxtidal then
+                    maxtidal := volume;
+                end if;
+                accum := 0;
+                breaths := breaths + 1;
+            end if;
+        end;
+
+        -- Drive the alarm port from the latched tidal volume.
+        procedure CheckAlarm is
+        begin
+            if tidalvol < lowthresh then
+                alarm <= 1;
+            elsif tidalvol > highthresh then
+                alarm <= 2;
+            else
+                alarm <= 0;
+            end if;
+        end;
+
+    begin
+        if mode = 1 then
+            ReadFlow;
+            Smooth;
+            lastphase := phase;
+            phase := DetectPhase;
+            Integrate;
+            CheckAlarm;
+            disp <= tidalvol;
+        end if;
+        wait on flow;
+    end process;
+
+    -- Zero-offset calibration: while the instrument is idle the sensor
+    -- should read its resting value; track it with a slow moving average
+    -- so sensor drift is followed without chasing breath transients.
+    CalProc: process
+        variable calsum : integer;
+        variable calcnt : integer range 0 to 63;
+
+    begin
+        if mode = 0 then
+            calsum := calsum + flow;
+            calcnt := calcnt + 1;
+            if calcnt = 63 then
+                offsetcal <= calsum / 64;
+                calsum := 0;
+                calcnt := 0;
+            end if;
+        end if;
+        wait on flow;
+    end process;
+
+end;
