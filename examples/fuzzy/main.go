@@ -51,8 +51,10 @@ func main() {
 
 	// Figure 3's annotated edges. The full specification's rule arrays
 	// have 384 entries (9 address bits + 8 data = 17 bits per access);
-	// the paper's Figure 3 fragment uses 128-entry arrays (15 bits), and
-	// those exact values are asserted in the internal/builder tests.
+	// the paper's Figure 3 fragment uses 128-entry arrays (15 bits). Both
+	// shapes are pinned by internal/builder's TestFigure3Fragment and
+	// TestFullSpecFigure3, and the Fig. 4 counts printed above by
+	// TestGoldenFigure4Counts.
 	fmt.Println("Figure 3 annotations (full spec):")
 	for _, key := range [][2]string{{"evaluaterule", "in1val"}, {"evaluaterule", "mr1"}} {
 		c := g.FindChannel(key[0], key[1])

@@ -1,0 +1,125 @@
+// Package builder constructs the annotated SLIF access graph of §2 from an
+// elaborated design. It is the preprocessing step the paper's speed claims
+// rest on: every annotation estimation needs — internal computation times
+// and sizes per component type, access frequencies, transferred bits,
+// concurrency tags — is computed here, once, so that estimating a candidate
+// partition later is a matter of table lookups and sums.
+//
+// The construction runs as a staged pipeline of named passes over the
+// elaborated design, each owning one annotation family:
+//
+//  1. extract      — behavior/variable nodes and entity ports (BV, IO)
+//  2. frequencies  — channels with profile-weighted accfreq/accmin/accmax
+//  3. channelwires — per-access bit counts and concurrency tags (§2.3)
+//  4. weights      — per-technology ict_list/size_list via internal/synth
+//  5. overrides    — designer weight overrides (the -ov file)
+//  6. validate     — Graph.Validate on the finished SLIF
+//
+// Passes run in order and each is independently testable; a pass failure
+// aborts the build with the pass named in the error.
+package builder
+
+import (
+	"fmt"
+
+	"specsyn/internal/core"
+	"specsyn/internal/profile"
+	"specsyn/internal/sem"
+	"specsyn/internal/synth"
+	"specsyn/internal/vhdl"
+)
+
+// Options configures a build.
+type Options struct {
+	// Profile supplies branch probabilities and dynamic loop counts for
+	// the frequency and weight passes. Nil means profile.Empty(): uniform
+	// branches, single-trip dynamic loops.
+	Profile *profile.Profile
+
+	// Techs lists the component technologies to precompute ict/size
+	// weights for. Empty means synth.StdTechs().
+	Techs []*synth.Tech
+
+	// Overrides, when non-nil, replaces computed weights with
+	// designer-specified values after the weight pass.
+	Overrides *Overrides
+
+	// SkipTags disables concurrency-tag derivation; every channel gets
+	// core.NoTag. The naive re-analysis baseline builds with this set so
+	// its per-query model and the preprocessed graph stay comparable.
+	SkipTags bool
+}
+
+// state is the pipeline's working set, threaded through every pass.
+type state struct {
+	d     *sem.Design
+	opts  Options
+	prof  *profile.Profile
+	techs []*synth.Tech
+
+	g       *core.Graph
+	chanSym map[*core.Channel]*sem.Symbol // channel → resolved destination
+}
+
+// pass is one named pipeline stage.
+type pass struct {
+	name string
+	run  func(*state) error
+}
+
+// pipeline is the build order. Each pass owns the annotations its name
+// suggests; see the package comment.
+var pipeline = []pass{
+	{"extract", passExtract},
+	{"frequencies", passFrequencies},
+	{"channelwires", passChannelWires},
+	{"weights", passWeights},
+	{"overrides", passOverrides},
+	{"validate", passValidate},
+}
+
+// Build constructs the annotated SLIF graph of an elaborated design.
+func Build(d *sem.Design, opts Options) (*core.Graph, error) {
+	if d == nil {
+		return nil, fmt.Errorf("builder: nil design")
+	}
+	s := &state{
+		d:       d,
+		opts:    opts,
+		prof:    opts.Profile,
+		techs:   opts.Techs,
+		g:       core.NewGraph(d.Name),
+		chanSym: make(map[*core.Channel]*sem.Symbol),
+	}
+	if s.prof == nil {
+		s.prof = profile.Empty()
+	}
+	if len(s.techs) == 0 {
+		s.techs = synth.StdTechs()
+	}
+	for _, p := range pipeline {
+		if err := p.run(s); err != nil {
+			return nil, fmt.Errorf("builder: pass %s: %w", p.name, err)
+		}
+	}
+	return s.g, nil
+}
+
+// BuildVHDL parses, elaborates and builds in one step.
+func BuildVHDL(src string, opts Options) (*core.Graph, error) {
+	df, err := vhdl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		return nil, err
+	}
+	return Build(d, opts)
+}
+
+// passValidate is the final gate: the graph the pipeline hands out must
+// satisfy every SLIF invariant.
+func passValidate(s *state) error {
+	return s.g.Validate()
+}

@@ -1,0 +1,76 @@
+package builder
+
+import (
+	"specsyn/internal/core"
+	"specsyn/internal/profile"
+	"specsyn/internal/sem"
+)
+
+// passFrequencies creates the channel set C with its §2.4.1 frequency
+// annotations. For every behavior, the profile-weighted access walk
+// enumerates reads, writes and calls with expected/min/max counts per
+// start-to-finish execution; repeated accesses to the same destination
+// merge into one channel (SLIF keeps one edge per (src, dst) pair, keyed
+// by Channel.Key()), in first-access order so builds are deterministic.
+func passFrequencies(s *state) error {
+	for _, b := range s.d.Behaviors {
+		src := s.g.NodeByName(b.UniqueID)
+		var (
+			order []*core.Channel
+			bySym = map[*sem.Symbol]*core.Channel{}
+			walkE error
+		)
+		profile.Walk(s.d, b, s.prof, func(ev profile.Event) {
+			if walkE != nil {
+				return
+			}
+			c := bySym[ev.Target]
+			if c == nil {
+				dst, err := s.endpoint(ev.Target)
+				if err != nil {
+					walkE = err
+					return
+				}
+				c = &core.Channel{Src: src, Dst: dst, Tag: core.NoTag}
+				bySym[ev.Target] = c
+				s.chanSym[c] = ev.Target
+				order = append(order, c)
+			}
+			c.AccFreq += ev.Counts.Avg
+			c.AccMin += ev.Counts.Min
+			c.AccMax += ev.Counts.Max
+		})
+		if walkE != nil {
+			return walkE
+		}
+		for _, c := range order {
+			if err := s.g.AddChannel(c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// passChannelWires annotates every channel with the per-access transfer
+// width feeding the estimator's transfer model — scalar accesses cost
+// their encoding, array accesses one element plus its address, calls the
+// parameter (and result) bits — and derives the §2.3 concurrency tags
+// unless the build opted out.
+func passChannelWires(s *state) error {
+	for _, c := range s.g.Channels {
+		sym := s.chanSym[c]
+		switch sym.Kind {
+		case sem.SymObject:
+			c.Bits = sym.Object.Type.AccessBits()
+		case sem.SymPort:
+			c.Bits = sym.Port.Type.AccessBits()
+		case sem.SymBehavior:
+			c.Bits = sym.Behavior.ParamBits()
+		}
+	}
+	if s.opts.SkipTags {
+		return nil
+	}
+	return passTags(s)
+}

@@ -1,0 +1,71 @@
+package builder
+
+import (
+	"fmt"
+
+	"specsyn/internal/core"
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+// passExtract populates the graph's BV and IO sets from the elaborated
+// design: one behavior node per process/subprogram (in elaboration order,
+// which interleaves architecture-level subprograms, processes and their
+// nested subprograms deterministically), one variable node per declared
+// object, and one port per entity port. Variables carry their storage
+// footprint; ports carry their per-access bit count.
+func passExtract(s *state) error {
+	for _, p := range s.d.Ports {
+		dir, err := portDir(p.Dir)
+		if err != nil {
+			return err
+		}
+		if err := s.g.AddPort(&core.Port{Name: p.Name, Dir: dir, Bits: p.Type.AccessBits()}); err != nil {
+			return err
+		}
+	}
+	for _, b := range s.d.Behaviors {
+		n := &core.Node{Name: b.UniqueID, Kind: core.BehaviorNode, IsProcess: b.IsProcess}
+		if err := s.g.AddNode(n); err != nil {
+			return err
+		}
+	}
+	for _, o := range s.d.Objects {
+		n := &core.Node{Name: o.UniqueID, Kind: core.VariableNode, StorageBits: o.Type.TotalBits()}
+		if err := s.g.AddNode(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func portDir(d vhdl.PortDir) (core.PortDir, error) {
+	switch d {
+	case vhdl.DirIn:
+		return core.In, nil
+	case vhdl.DirOut:
+		return core.Out, nil
+	case vhdl.DirInOut:
+		return core.InOut, nil
+	}
+	return core.In, fmt.Errorf("unknown port direction %v", d)
+}
+
+// endpoint resolves an access target symbol to its graph endpoint.
+func (s *state) endpoint(sym *sem.Symbol) (core.Endpoint, error) {
+	switch sym.Kind {
+	case sem.SymObject:
+		if n := s.g.NodeByName(sym.Object.UniqueID); n != nil {
+			return n, nil
+		}
+	case sem.SymPort:
+		if p := s.g.PortByName(sym.Port.Name); p != nil {
+			return p, nil
+		}
+	case sem.SymBehavior:
+		if n := s.g.NodeByName(sym.Behavior.UniqueID); n != nil {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("access target %q has no graph endpoint", sym.Name)
+}

@@ -1,0 +1,120 @@
+package builder
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseOverrides(t *testing.T) {
+	src := `
+# Figure 3: measured Convolve values replace the synthesized ones.
+ict Convolve proc10 80
+size convolve asic50 2500   # trailing comments too
+`
+	o, err := ParseOverrides(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", o.Len())
+	}
+	// Node names are case-folded like every other SLIF identifier.
+	if o.entries[0].node != "convolve" || o.entries[0].kind != "ict" || o.entries[0].value != 80 {
+		t.Errorf("entry 0 = %+v", o.entries[0])
+	}
+}
+
+func TestParseOverridesErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown record", "frob convolve proc10 80", "unknown record"},
+		{"missing fields", "ict convolve proc10", "want 'ict"},
+		{"extra fields", "size convolve proc10 80 90", "want 'size"},
+		{"bad value", "ict convolve proc10 eighty", "bad value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseOverrides(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), "line 1") {
+				t.Errorf("error %q lacks a line number", err)
+			}
+		})
+	}
+}
+
+func TestLoadOverrides(t *testing.T) {
+	o, err := LoadOverrides(filepath.Join("..", "..", "testdata", "fuzzy.ov"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() == 0 {
+		t.Fatal("fuzzy.ov parsed empty")
+	}
+	if _, err := LoadOverrides(filepath.Join("..", "..", "testdata", "no-such.ov")); err == nil {
+		t.Error("missing file did not error")
+	}
+}
+
+func TestSetRejectsUnknownKind(t *testing.T) {
+	o := &Overrides{}
+	if err := o.Set("weight", "convolve", "proc10", 80); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := o.Set("ict", "convolve", "proc10", 80); err != nil || o.Len() != 1 {
+		t.Errorf("Set failed: %v, Len=%d", err, o.Len())
+	}
+}
+
+// TestOverrideWinsOverComputed: the pipeline computes weights in pass 4
+// and applies overrides in pass 5, so a designer-specified value must be
+// what the finished graph reports.
+func TestOverrideWinsOverComputed(t *testing.T) {
+	base, err := BuildVHDL(tinySrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	computed := base.NodeByName("step").ICT["proc10"]
+	if computed == 80 {
+		t.Fatal("pick a different override value; 80 collides with the computed one")
+	}
+
+	o := &Overrides{}
+	if err := o.Set("ict", "step", "proc10", 80); err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildVHDL(tinySrc, Options{Overrides: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NodeByName("step").ICT["proc10"]; got != 80 {
+		t.Errorf("overridden ict = %v, want 80 (computed was %v)", got, computed)
+	}
+	// Untouched annotations keep their computed values.
+	if g.NodeByName("step").ICT["proc20"] != base.NodeByName("step").ICT["proc20"] {
+		t.Error("override leaked onto another technology")
+	}
+}
+
+// TestOverrideUnknownNode: referencing an undeclared object is an error
+// surfaced through Build, not a silent no-op.
+func TestOverrideUnknownNode(t *testing.T) {
+	o := &Overrides{}
+	if err := o.Set("ict", "nosuchnode", "proc10", 80); err != nil {
+		t.Fatal(err)
+	}
+	_, err := BuildVHDL(tinySrc, Options{Overrides: o})
+	if err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if !strings.Contains(err.Error(), "nosuchnode") || !strings.Contains(err.Error(), "overrides") {
+		t.Errorf("error %q does not name the bad node", err)
+	}
+}

@@ -1,0 +1,44 @@
+package builder
+
+import (
+	"specsyn/internal/sched"
+	"specsyn/internal/sem"
+)
+
+// Concurrency tags (§2.3): two channel accesses that cannot overlap in
+// time may share bus wires, and the estimator counts same-tag channels by
+// their maximum rather than their sum. The paper obtains the tags "by
+// scheduling the contents of the behavior"; internal/sched implements that
+// as an ASAP schedule of each behavior's top-level statements under data
+// dependencies, with waits, calls and returns serializing. The builder's
+// job here is only to translate sched's per-target verdicts onto the
+// channels of the graph.
+func passTags(s *state) error {
+	for _, b := range s.d.Behaviors {
+		src := s.g.NodeByName(b.UniqueID)
+		chans := s.g.BehChans(src)
+		if len(chans) == 0 {
+			continue
+		}
+		tags := sched.Tags(s.d, b)
+		for _, c := range chans {
+			if tag, ok := tags[targetID(s.chanSym[c])]; ok {
+				c.Tag = tag
+			}
+		}
+	}
+	return nil
+}
+
+// targetID names a channel's destination the way sched keys its verdicts.
+func targetID(sym *sem.Symbol) string {
+	switch sym.Kind {
+	case sem.SymObject:
+		return sym.Object.UniqueID
+	case sem.SymPort:
+		return sym.Port.Name
+	case sem.SymBehavior:
+		return sym.Behavior.UniqueID
+	}
+	return ""
+}

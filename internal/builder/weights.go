@@ -1,0 +1,49 @@
+package builder
+
+import (
+	"specsyn/internal/synth"
+)
+
+// passWeights precomputes the §2.4 ict_list and size_list of every node on
+// every candidate technology — the step the paper performs by compiling or
+// synthesizing each behavior per component type before system design
+// begins. Behaviors get operation-count-derived weights on processors and
+// custom hardware (memories cannot host behaviors); variables get storage
+// access/footprint weights on every technology class.
+func passWeights(s *state) error {
+	for _, t := range s.techs {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, b := range s.d.Behaviors {
+		n := s.g.NodeByName(b.UniqueID)
+		ops := synth.CountOps(s.d, b, s.prof)
+		for _, t := range s.techs {
+			if ict, size, ok := t.BehaviorWeights(ops); ok {
+				n.SetICT(t.Name, ict)
+				n.SetSize(t.Name, size)
+			}
+		}
+	}
+	for _, o := range s.d.Objects {
+		n := s.g.NodeByName(o.UniqueID)
+		for _, t := range s.techs {
+			if ict, size, ok := t.VariableWeights(o.Type.TotalBits()); ok {
+				n.SetICT(t.Name, ict)
+				n.SetSize(t.Name, size)
+			}
+		}
+	}
+	return nil
+}
+
+// passOverrides applies designer weight overrides on top of the computed
+// annotations; a designer-specified value always wins (§2.1: "the designer
+// may simply specify an ict" without the synthesis step).
+func passOverrides(s *state) error {
+	if s.opts.Overrides == nil {
+		return nil
+	}
+	return s.opts.Overrides.apply(s.g)
+}
