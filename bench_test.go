@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"specsyn/internal/builder"
 	"specsyn/internal/cdfg"
@@ -198,15 +199,103 @@ func BenchmarkEstimatePerPartition(b *testing.B) {
 	}
 }
 
-// BenchmarkExploreThousand times a 1000-partition random exploration of
-// the largest example end to end.
-func BenchmarkExploreThousand(b *testing.B) {
-	env := loadEnv(b, "ether")
-	for i := 0; i < b.N; i++ {
-		ev := partition.NewEvaluator(env.Graph, partition.Constraints{}, partition.DefaultWeights(), estimate.Options{})
-		cfg := partition.Config{Eval: ev, Policy: partition.SingleBus(env.Graph.Buses[0]), Seed: int64(i), MaxIters: 1000}
-		if _, err := partition.Random(env.Graph, cfg); err != nil {
+// exploreGraphs collects the exploration subjects: the four paper examples
+// plus generated specifications that extend the size axis past "ether".
+func exploreGraphs(b *testing.B) []struct {
+	name string
+	g    *core.Graph
+} {
+	b.Helper()
+	var subjects []struct {
+		name string
+		g    *core.Graph
+	}
+	for _, name := range examples {
+		subjects = append(subjects, struct {
+			name string
+			g    *core.Graph
+		}{name, loadEnv(b, name).Graph})
+	}
+	for _, procs := range []int{8, 32} {
+		src := syngen.Generate(syngen.Config{Seed: 7, Processes: procs})
+		g, err := builder.BuildVHDL(src, builder.Options{})
+		if err != nil {
 			b.Fatal(err)
+		}
+		cpu := &core.Processor{Name: "cpu", TypeName: "proc10"}
+		g.AddProcessor(cpu)
+		g.AddProcessor(&core.Processor{Name: "asic", TypeName: "asic50", Custom: true})
+		g.AddBus(&core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4})
+		subjects = append(subjects, struct {
+			name string
+			g    *core.Graph
+		}{fmt.Sprintf("syn-p%d", procs), g})
+	}
+	return subjects
+}
+
+func exploreConfig(g *core.Graph) partition.Config {
+	ev := partition.NewEvaluator(g, partition.Constraints{}, partition.DefaultWeights(), estimate.Options{})
+	return partition.Config{Eval: ev, Policy: partition.SingleBus(g.Buses[0]), Seed: 42, MaxIters: 1000}
+}
+
+// BenchmarkExploreThousand times a 1000-partition random exploration of
+// each example end to end, one sub-benchmark per subject, reporting the
+// designs-per-second throughput and the best cost reached (the baseline
+// the parallel engine must reproduce exactly).
+func BenchmarkExploreThousand(b *testing.B) {
+	for _, sub := range exploreGraphs(b) {
+		b.Run(sub.name, func(b *testing.B) {
+			var res partition.Result
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = partition.Random(sub.g, exploreConfig(sub.g))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*res.Evals)/elapsed.Seconds(), "designs/s")
+			}
+			b.ReportMetric(res.Cost, "bestcost")
+		})
+	}
+}
+
+// BenchmarkParallelExplore runs the identical enumeration through the
+// parallel multi-start engine at 1, 2 and 4 workers (legs = workers). The
+// best cost is asserted equal to the sequential baseline's at every worker
+// count — the engine's determinism contract — so the only thing the worker
+// axis changes is throughput.
+func BenchmarkParallelExplore(b *testing.B) {
+	for _, sub := range exploreGraphs(b) {
+		seq, err := partition.Random(sub.g, exploreConfig(sub.g))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			opt := partition.ParallelOptions{Workers: workers, Legs: 4}
+			b.Run(fmt.Sprintf("%s/w%d", sub.name, workers), func(b *testing.B) {
+				var res partition.MultiResult
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = partition.ParallelRandom(sub.g, exploreConfig(sub.g), opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				elapsed := time.Since(start)
+				if res.Cost != seq.Cost {
+					b.Fatalf("parallel best cost %v != sequential %v at equal seed", res.Cost, seq.Cost)
+				}
+				if elapsed > 0 {
+					b.ReportMetric(float64(b.N*res.Evals)/elapsed.Seconds(), "designs/s")
+				}
+				b.ReportMetric(res.Cost, "bestcost")
+			})
 		}
 	}
 }

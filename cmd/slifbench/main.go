@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"specsyn/internal/builder"
@@ -38,6 +39,7 @@ func main() {
 	formats := flag.Bool("formats", false, "regenerate the format-size comparison")
 	n2 := flag.Bool("n2", false, "regenerate the n^2 computation-count comparison")
 	explore := flag.Bool("explore", false, "measure partitions estimated per second")
+	workers := flag.Int("workers", 0, "worker pool size for the parallel explore run (0 = GOMAXPROCS)")
 	buswidth := flag.Bool("buswidth", false, "sweep bus widths on the fuzzy example")
 	gran := flag.Bool("granularity", false, "basic-block granularity comparison")
 	flag.Parse()
@@ -53,7 +55,7 @@ func main() {
 		runN2(*dir)
 	}
 	if *explore || all {
-		runExplore(*dir)
+		runExplore(*dir, *workers)
 	}
 	if *buswidth || all {
 		runBusWidth(*dir)
@@ -217,22 +219,44 @@ func runN2(dir string) {
 }
 
 // runExplore demonstrates the estimation-speed claim: how many complete
-// partitions per second the §3 equations evaluate.
-func runExplore(dir string) {
-	fmt.Println("Estimation throughput (\"algorithms that explore thousands of possible designs\")")
+// partitions per second the §3 equations evaluate, sequentially and then
+// sharded across the parallel engine's worker pool. The parallel run is
+// bit-identical to the sequential one at the same seed, so the best costs
+// must match; only the throughput changes.
+func runExplore(dir string, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opt := partition.ParallelOptions{Workers: workers}
+	fmt.Printf("Estimation throughput (\"algorithms that explore thousands of possible designs\"), %d workers\n", workers)
 	fmt.Println()
+	fmt.Printf("%-8s %6s %14s %14s %9s %12s\n", "", "evals", "seq designs/s", "par designs/s", "speedup", "best cost")
 	for _, name := range examples {
 		env := loadEnv(dir, name)
-		ev := partition.NewEvaluator(env.Graph, partition.Constraints{}, partition.DefaultWeights(), estimate.Options{})
-		cfg := partition.Config{Eval: ev, Policy: partition.SingleBus(env.Graph.Buses[0]), Seed: 42, MaxIters: 2000}
+		mkCfg := func() partition.Config {
+			ev := partition.NewEvaluator(env.Graph, partition.Constraints{}, partition.DefaultWeights(), estimate.Options{})
+			return partition.Config{Eval: ev, Policy: partition.SingleBus(env.Graph.Buses[0]), Seed: 42, MaxIters: 2000}
+		}
 		start := time.Now()
-		res, err := partition.Random(env.Graph, cfg)
+		seq, err := partition.Random(env.Graph, mkCfg())
 		if err != nil {
 			fatal(err)
 		}
-		dur := time.Since(start)
-		fmt.Printf("%-8s %6d partitions estimated in %8.3f s  (%8.0f/s)  best cost %.4f\n",
-			name, res.Evals, dur.Seconds(), float64(res.Evals)/dur.Seconds(), res.Cost)
+		seqDur := time.Since(start)
+		start = time.Now()
+		par, err := partition.ParallelRandom(env.Graph, mkCfg(), opt)
+		if err != nil {
+			fatal(err)
+		}
+		parDur := time.Since(start)
+		if par.Cost != seq.Cost {
+			fatal(fmt.Errorf("%s: parallel best cost %v != sequential %v at equal seed", name, par.Cost, seq.Cost))
+		}
+		fmt.Printf("%-8s %6d %14.0f %14.0f %8.2fx %12.4f\n",
+			name, seq.Evals,
+			float64(seq.Evals)/seqDur.Seconds(),
+			float64(par.Evals)/parDur.Seconds(),
+			seqDur.Seconds()/parDur.Seconds(), seq.Cost)
 	}
 	fmt.Println()
 }

@@ -196,18 +196,35 @@ func runEstimate(args []string) {
 func runPartition(args []string) {
 	fs := flag.NewFlagSet("partition", flag.ExitOnError)
 	load := inputFlags(fs)
-	algo := fs.String("algo", "gm", "algorithm: random, greedy, cluster, gm, anneal, exhaustive")
+	algo := fs.String("algo", "gm", "algorithm: random, greedy, cluster, gm, anneal, exhaustive, multi")
 	seed := fs.Int64("seed", 1, "random seed")
 	iters := fs.Int("iters", 0, "iteration budget (0 = algorithm default)")
+	workers := fs.Int("workers", 0, "parallel workers for multi/random (0 = GOMAXPROCS)")
+	legs := fs.Int("legs", 0, "independent search legs for multi/random (0 = workers)")
 	var deadlines deadlineFlag
 	fs.Var(&deadlines, "deadline", "process deadline as name=microseconds (repeatable)")
 	_ = fs.Parse(args)
 
 	env := load()
 	cons := partition.Constraints{Deadline: deadlines.m}
-	res, err := env.PartitionSearch(*algo, cons, partition.DefaultWeights(), *seed, *iters)
-	if err != nil {
-		fatal(err)
+	var res partition.Result
+	// "multi" is the parallel portfolio engine; -workers/-legs also turn
+	// "random" into its sharded parallel form (same result, spread over a
+	// worker pool).
+	if *algo == "multi" || (*algo == "random" && (*workers != 0 || *legs != 0)) {
+		opt := partition.ParallelOptions{Workers: *workers, Legs: *legs}
+		multi, err := env.PartitionSearchParallel(*algo, cons, partition.DefaultWeights(), *seed, *iters, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d legs, best from leg %d\n", *algo, len(multi.Legs), multi.BestLeg)
+		res = multi.Result
+	} else {
+		var err error
+		res, err = env.PartitionSearch(*algo, cons, partition.DefaultWeights(), *seed, *iters)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("%s: %s\n\n", *algo, res)
 	fmt.Print(res.Best.String())

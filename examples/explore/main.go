@@ -78,8 +78,11 @@ func main() {
 	// A maximum frame occupies the wire for ~1.2 ms at 10 Mb/s, so the
 	// serial loops must finish one frame in 1.5 ms; all-software needs
 	// ~3 ms per frame, so processor-only architectures must lose.
+	// Each candidate is partitioned by the parallel multi-start portfolio
+	// (greedy, annealing restarts and random shards on a worker pool) with
+	// a group-migration polish on the winner.
 	cons := partition.Constraints{Deadline: map[string]float64{"txmain": 1500, "rxmain": 1500}}
-	outcomes := alloc.Explore(g, cands, cons, partition.DefaultWeights())
+	outcomes := alloc.ExploreParallel(g, cands, cons, partition.DefaultWeights(), partition.ParallelOptions{Legs: 6})
 
 	fmt.Printf("%-18s %12s %10s\n", "architecture", "cost", "evals")
 	for _, o := range outcomes {

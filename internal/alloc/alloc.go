@@ -258,3 +258,56 @@ func Explore(g *core.Graph, cands []Candidate, cons partition.Constraints, w par
 	sort.SliceStable(outcomes, func(i, j int) bool { return outcomes[i].Cost < outcomes[j].Cost })
 	return outcomes
 }
+
+// ExploreParallel is Explore with each candidate partitioned by the
+// parallel multi-start engine instead of a single greedy construction: the
+// mixed greedy/anneal/random portfolio runs on opt's worker pool, and the
+// winning leg is polished with group migration. Because the portfolio's
+// first leg is the canonical greedy construction, each candidate's cost is
+// never worse than what a plain greedy start would give. Candidates are
+// processed in order, so the ranking is deterministic for a given seed and
+// leg plan.
+func ExploreParallel(g *core.Graph, cands []Candidate, cons partition.Constraints, w partition.Weights, opt partition.ParallelOptions) []Outcome {
+	outcomes := make([]Outcome, 0, len(cands))
+	for _, cand := range cands {
+		ng := g.Clone(false)
+		for _, p := range cand.Procs {
+			cp := *p
+			ng.AddProcessor(&cp)
+		}
+		for _, m := range cand.Mems {
+			cm := *m
+			ng.AddMemory(&cm)
+		}
+		for _, b := range cand.Buses {
+			cb := *b
+			ng.AddBus(&cb)
+		}
+		out := Outcome{Candidate: cand, Cost: math.Inf(1)}
+		if len(ng.Buses) == 0 {
+			out.Err = fmt.Errorf("alloc: candidate %q has no bus", cand.Name)
+			outcomes = append(outcomes, out)
+			continue
+		}
+		ev := partition.NewEvaluator(ng, cons, w, estimate.Options{})
+		cfg := partition.Config{Eval: ev, Policy: partition.SingleBus(ng.Buses[0]), Seed: 1}
+		multi, err := partition.MultiStart(ng, cfg, opt)
+		res := multi.Result
+		if err == nil {
+			var polished partition.Result
+			polished, err = partition.GroupMigration(multi.Best, cfg)
+			if err == nil && polished.Cost < res.Cost {
+				res = polished
+			}
+		}
+		if err != nil {
+			out.Err = err
+		} else {
+			out.Cost = res.Cost
+			out.Evals = ev.Evals
+		}
+		outcomes = append(outcomes, out)
+	}
+	sort.SliceStable(outcomes, func(i, j int) bool { return outcomes[i].Cost < outcomes[j].Cost })
+	return outcomes
+}

@@ -168,4 +168,62 @@ func TestExploreNoBus(t *testing.T) {
 	if outs[0].Err == nil {
 		t.Error("allocation without a bus accepted")
 	}
+	outs = ExploreParallel(g, []Candidate{{Name: "nobus"}}, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{})
+	if outs[0].Err == nil {
+		t.Error("parallel explorer accepted an allocation without a bus")
+	}
+}
+
+// TestExploreParallelMatchesRanking: the multi-start explorer must agree
+// with the sequential one on the winning architecture and never score a
+// candidate worse than the plain greedy+migration path (its portfolio
+// contains that construction as leg 0).
+func TestExploreParallelMatchesRanking(t *testing.T) {
+	g := buildFuzzy(t)
+	bus := &core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4}
+	cands := []Candidate{
+		{
+			Name:  "sw-only-tiny",
+			Procs: []*core.Processor{{Name: "cpu", TypeName: "proc10", SizeCon: 64}},
+			Buses: []*core.Bus{bus},
+		},
+		{
+			Name: "cpu+asic",
+			Procs: []*core.Processor{
+				{Name: "cpu", TypeName: "proc10", SizeCon: 65536},
+				{Name: "asic", TypeName: "asic50", Custom: true, SizeCon: 1e7},
+			},
+			Mems:  []*core.Memory{{Name: "ram", TypeName: "sram8", SizeCon: 65536}},
+			Buses: []*core.Bus{bus},
+		},
+	}
+	seq := Explore(g, cands, partition.Constraints{}, partition.DefaultWeights())
+	par := ExploreParallel(g, cands, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{Workers: 4, Legs: 6})
+	if len(par) != 2 {
+		t.Fatalf("outcomes = %d", len(par))
+	}
+	if par[0].Candidate.Name != seq[0].Candidate.Name {
+		t.Errorf("parallel winner %s != sequential winner %s", par[0].Candidate.Name, seq[0].Candidate.Name)
+	}
+	byName := map[string]Outcome{}
+	for _, o := range seq {
+		byName[o.Candidate.Name] = o
+	}
+	for _, o := range par {
+		if o.Err != nil {
+			t.Errorf("%s: %v", o.Candidate.Name, o.Err)
+			continue
+		}
+		if ref := byName[o.Candidate.Name]; o.Cost > ref.Cost+1e-9 {
+			t.Errorf("%s: parallel cost %v worse than sequential %v", o.Candidate.Name, o.Cost, ref.Cost)
+		}
+	}
+	// Determinism: a rerun reproduces every cost exactly.
+	again := ExploreParallel(g, cands, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{Workers: 2, Legs: 6})
+	for i := range par {
+		if par[i].Cost != again[i].Cost || par[i].Candidate.Name != again[i].Candidate.Name {
+			t.Errorf("rerun diverged at %d: %s/%v vs %s/%v",
+				i, par[i].Candidate.Name, par[i].Cost, again[i].Candidate.Name, again[i].Cost)
+		}
+	}
 }

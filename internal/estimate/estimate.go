@@ -69,7 +69,9 @@ type Options struct {
 // Estimator evaluates the §3 metric equations. It memoizes Exectime per
 // behavior, so estimating every metric for a partition costs O(|BV| + |C|).
 // An Estimator is bound to one partition state: create a new one (or call
-// Reset) after changing the partition.
+// Reset / Rebind) after changing the partition. Rebind reuses the memo
+// storage, so a search loop that estimates thousands of candidate
+// partitions pays for the maps once, not per candidate.
 type Estimator struct {
 	g    *core.Graph
 	pt   *core.Partition
@@ -87,18 +89,29 @@ func New(g *core.Graph, pt *core.Partition, opt Options) *Estimator {
 	}
 }
 
-// Reset discards memoized results; call after mutating the partition.
+// Reset discards memoized results; call after mutating the partition. The
+// map storage is retained and reused.
 func (e *Estimator) Reset() {
-	e.memo = make(map[*core.Node]float64)
-	e.path = make(map[*core.Node]bool)
+	clear(e.memo)
+	clear(e.path)
 }
 
-// freq returns the access count for the selected mode. Channels whose
-// min/max annotations were never set fall back to the average.
+// Rebind points the estimator at a different partition (over the same
+// graph) and discards memoized results, reusing the allocated maps. It is
+// the allocation-free alternative to New for hot search loops.
+func (e *Estimator) Rebind(pt *core.Partition) {
+	e.pt = pt
+	e.Reset()
+}
+
+// freq returns the access count for the selected mode. A min or max
+// annotation that was never set (is zero) falls back to the average, each
+// independently: a channel carrying only an AccMax still estimates with
+// AccFreq in Min mode, never with a spurious zero.
 func (e *Estimator) freq(c *core.Channel) float64 {
 	switch e.opt.Mode {
 	case Min:
-		if c.AccMin != 0 || c.AccMax != 0 {
+		if c.AccMin != 0 {
 			return c.AccMin
 		}
 	case Max:

@@ -282,6 +282,48 @@ func TestModes(t *testing.T) {
 	}
 }
 
+// TestMinModeFallsBackWithoutMin pins the §2.4.1 fallback contract: an
+// annotation that was never set falls back to the average, per annotation.
+// main→sub and sub→arr carry an AccMax but no AccMin; Min mode must
+// estimate them with AccFreq, not silently zero their contribution (the
+// historical asymmetry with Max mode).
+func TestMinModeFallsBackWithoutMin(t *testing.T) {
+	g := buildGraph(t)
+	est := New(g, allCPU(t, g), Options{Mode: Min})
+	et, err := est.Exectime(g.NodeByName("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every channel's AccMin is either equal to AccFreq or unset, so the
+	// Min-mode estimate must equal the Avg-mode hand computation (35.85);
+	// the zeroing bug yielded 10.65.
+	if !almost(et, 35.85) {
+		t.Errorf("Min-mode Exectime(main) = %v, want 35.85 (fallback to average)", et)
+	}
+}
+
+// TestRebindReusesEstimator checks that one estimator rebound across
+// partitions reproduces fresh-estimator results exactly.
+func TestRebindReusesEstimator(t *testing.T) {
+	g := buildGraph(t)
+	pts := []*core.Partition{allCPU(t, g), hwSplit(t, g), allCPU(t, g)}
+	est := New(g, pts[0], Options{})
+	for i, pt := range pts {
+		est.Rebind(pt)
+		got, err := est.Exectime(g.NodeByName("main"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := New(g, pt, Options{}).Exectime(g.NodeByName("main"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, want) {
+			t.Errorf("rebind %d: Exectime(main) = %v, fresh estimator says %v", i, got, want)
+		}
+	}
+}
+
 func TestRecursionDetected(t *testing.T) {
 	g := buildGraph(t)
 	// Add a back edge sub→main: a recursion cycle.

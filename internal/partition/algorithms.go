@@ -22,6 +22,11 @@ type Result struct {
 	Best  *core.Partition
 	Cost  float64
 	Evals int // partitions estimated during this run
+
+	// FinalTemp is set by Anneal only: the temperature after the last
+	// iteration. The geometric schedule cools once per iteration, so for a
+	// fixed MaxIters it always lands at the same value (≈0.01).
+	FinalTemp float64
 }
 
 func (r Result) String() string {
@@ -36,6 +41,51 @@ func evalWith(cfg Config, pt *core.Partition) (float64, error) {
 	return cfg.Eval.Cost(pt)
 }
 
+// sampler is a tiny splitmix64 PRNG used to draw random candidates. Unlike
+// a single math/rand stream, every candidate index gets its own stream
+// derived from (seed, index), so a run sharded across parallel legs
+// enumerates exactly the same candidates as a sequential one — the basis
+// of the engine's determinism guarantee. Seeding is two multiplies, not
+// math/rand's 607-word table fill, so per-candidate reseeding is free.
+type sampler struct{ state uint64 }
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// candidateSampler returns the sampler for one candidate index.
+func candidateSampler(seed int64, candidate int) sampler {
+	return sampler{state: mix64(uint64(seed)) + 0x9E3779B97F4A7C15*uint64(candidate)}
+}
+
+func (s *sampler) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	return mix64(s.state)
+}
+
+// intn returns a value in [0, n). The modulo bias is negligible for the
+// handful of candidate components a node ever has.
+func (s *sampler) intn(n int) int { return int(s.next() % uint64(n)) }
+
+// candidateTable precomputes Allowed for every node once, in g.Nodes order,
+// so the sampling loop does no per-candidate slice allocation.
+func candidateTable(g *core.Graph) ([][]core.Component, error) {
+	table := make([][]core.Component, len(g.Nodes))
+	for i, n := range g.Nodes {
+		table[i] = Allowed(g, n)
+		if len(table[i]) == 0 {
+			return nil, fmt.Errorf("partition: node %q has no candidate component", n.Name)
+		}
+	}
+	return table, nil
+}
+
 // Random samples MaxIters (default 1000) random legal partitions and
 // returns the best — the baseline every smarter algorithm must beat, and
 // the workload for the "thousands of possible designs" speed claim.
@@ -44,33 +94,37 @@ func Random(g *core.Graph, cfg Config) (Result, error) {
 	if iters <= 0 {
 		iters = 1000
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	start := cfg.Eval.Evals
+	return randomRange(g, cfg, 0, iters)
+}
 
+// randomRange evaluates the candidates with indices [lo, hi) of the
+// deterministic candidate enumeration defined by cfg.Seed. Candidates are
+// built on one scratch partition (cloned only on improvement), so the loop
+// is allocation-light. Ties keep the earliest candidate, matching what a
+// sequential first-strictly-better scan would keep.
+func randomRange(g *core.Graph, cfg Config, lo, hi int) (Result, error) {
+	start := cfg.Eval.Evals
+	table, err := candidateTable(g)
+	if err != nil {
+		return Result{}, err
+	}
+	pt := core.NewPartition(g)
 	var best *core.Partition
 	bestCost := math.Inf(1)
-	for i := 0; i < iters; i++ {
-		pt := core.NewPartition(g)
-		ok := true
-		for _, n := range g.Nodes {
-			cands := Allowed(g, n)
-			if len(cands) == 0 {
-				ok = false
-				break
-			}
-			if err := pt.Assign(n, cands[rng.Intn(len(cands))]); err != nil {
+	for i := lo; i < hi; i++ {
+		s := candidateSampler(cfg.Seed, i)
+		for j, n := range g.Nodes {
+			cands := table[j]
+			if err := pt.Assign(n, cands[s.intn(len(cands))]); err != nil {
 				return Result{}, err
 			}
-		}
-		if !ok {
-			return Result{}, fmt.Errorf("partition: some node has no candidate component")
 		}
 		cost, err := evalWith(cfg, pt)
 		if err != nil {
 			return Result{}, err
 		}
 		if cost < bestCost {
-			bestCost, best = cost, pt
+			bestCost, best = cost, pt.Clone()
 		}
 	}
 	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start}, nil
@@ -81,6 +135,13 @@ func Random(g *core.Graph, cfg Config) (Result, error) {
 // the partial mapping (unplaced nodes temporarily ride on the first
 // candidate so the estimate is always defined).
 func Greedy(g *core.Graph, cfg Config) (Result, error) {
+	return greedyRotated(g, cfg, 0)
+}
+
+// greedyRotated is Greedy with the constructive order rotated left by
+// rotate positions — the multi-start engine's source of distinct greedy
+// legs. rotate 0 is the canonical heaviest-communicators-first order.
+func greedyRotated(g *core.Graph, cfg Config, rotate int) (Result, error) {
 	start := cfg.Eval.Evals
 
 	// Node order: heaviest communicators first.
@@ -94,6 +155,11 @@ func Greedy(g *core.Graph, cfg Config) (Result, error) {
 	}
 	nodes := append([]*core.Node(nil), g.Nodes...)
 	sort.SliceStable(nodes, func(i, j int) bool { return traffic[nodes[i]] > traffic[nodes[j]] })
+	if len(nodes) > 0 {
+		if r := rotate % len(nodes); r > 0 {
+			nodes = append(nodes[r:], nodes[:r]...)
+		}
+	}
 
 	// Seed: everything on its first candidate.
 	pt := core.NewPartition(g)
@@ -263,9 +329,29 @@ func Anneal(init *core.Partition, cfg Config) (Result, error) {
 		n := movable[rng.Intn(len(movable))]
 		from := cur.BvComp(n)
 		cands := Allowed(g, n)
-		to := cands[rng.Intn(len(cands))]
-		if to == from {
-			continue
+		// Draw the destination from the candidates excluding from, so every
+		// iteration proposes a real move and cools exactly once. (Redrawing
+		// on to == from made the effective schedule length depend on how
+		// often the RNG hit the current component: two runs with equal
+		// MaxIters saw different final temperatures.)
+		fromIdx := -1
+		for k, c := range cands {
+			if c == from {
+				fromIdx = k
+				break
+			}
+		}
+		var to core.Component
+		if fromIdx < 0 {
+			// Initial partition mapped n outside its candidate set; any
+			// candidate is a real move.
+			to = cands[rng.Intn(len(cands))]
+		} else {
+			j := rng.Intn(len(cands) - 1)
+			if j >= fromIdx {
+				j++
+			}
+			to = cands[j]
 		}
 		if err := cur.Assign(n, to); err != nil {
 			return Result{}, err
@@ -291,7 +377,7 @@ func Anneal(init *core.Partition, cfg Config) (Result, error) {
 	if err := ApplyBusPolicy(best, cfg.Policy); err != nil {
 		return Result{}, err
 	}
-	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start}, nil
+	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start, FinalTemp: temp}, nil
 }
 
 // Exhaustive enumerates every legal partition — exponential, usable only

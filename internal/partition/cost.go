@@ -43,6 +43,11 @@ func DefaultWeights() Weights {
 
 // Evaluator computes the cost of partitions over one graph. It counts
 // evaluations, which the benchmarks report as "designs explored".
+//
+// An Evaluator is stateful (evaluation counter, pooled estimator) and must
+// not be shared between goroutines; give each worker its own Clone.
+// EstOpt is captured by the pooled estimator on the first Cost call and
+// must not change afterwards.
 type Evaluator struct {
 	G      *core.Graph
 	Cons   Constraints
@@ -51,7 +56,8 @@ type Evaluator struct {
 
 	Evals int
 
-	totalTraffic float64 // Σ freq×bits, for Comm normalization
+	totalTraffic float64             // Σ freq×bits, for Comm normalization
+	est          *estimate.Estimator // pooled, rebound per evaluation
 }
 
 // NewEvaluator returns an evaluator for g.
@@ -61,6 +67,26 @@ func NewEvaluator(g *core.Graph, cons Constraints, w Weights, estOpt estimate.Op
 		ev.totalTraffic += c.AccFreq * float64(c.Bits)
 	}
 	return ev
+}
+
+// Clone returns an evaluator over the same graph, constraints, weights and
+// options but with its own evaluation counter and estimator pool — the
+// per-worker instance the parallel search engine hands each goroutine.
+func (ev *Evaluator) Clone() *Evaluator {
+	return &Evaluator{
+		G: ev.G, Cons: ev.Cons, W: ev.W, EstOpt: ev.EstOpt,
+		totalTraffic: ev.totalTraffic,
+	}
+}
+
+// estimator returns the pooled estimator rebound to pt.
+func (ev *Evaluator) estimator(pt *core.Partition) *estimate.Estimator {
+	if ev.est == nil {
+		ev.est = estimate.New(ev.G, pt, ev.EstOpt)
+	} else {
+		ev.est.Rebind(pt)
+	}
+	return ev.est
 }
 
 // excess returns the normalized amount by which val exceeds limit; 0 when
@@ -77,8 +103,14 @@ func excess(val, limit float64) float64 {
 // the estimator cannot evaluate (missing weights, unmapped objects) return
 // an error.
 func (ev *Evaluator) Cost(pt *core.Partition) (float64, error) {
+	return ev.costWith(pt, ev.W)
+}
+
+// costWith evaluates pt under an explicit weight set, so callers can vary
+// weights (Feasible disables Comm) without mutating shared state.
+func (ev *Evaluator) costWith(pt *core.Partition, w Weights) (float64, error) {
 	ev.Evals++
-	est := estimate.New(ev.G, pt, ev.EstOpt)
+	est := ev.estimator(pt)
 	var cost float64
 
 	for _, comp := range ev.G.Components() {
@@ -88,14 +120,14 @@ func (ev *Evaluator) Cost(pt *core.Partition) (float64, error) {
 		}
 		switch c := comp.(type) {
 		case *core.Processor:
-			cost += ev.W.Size * excess(size, c.SizeCon)
-			cost += ev.W.Pins * excess(float64(est.IO(comp)), float64(c.PinCon))
+			cost += w.Size * excess(size, c.SizeCon)
+			cost += w.Pins * excess(float64(est.IO(comp)), float64(c.PinCon))
 		case *core.Memory:
-			cost += ev.W.Size * excess(size, c.SizeCon)
+			cost += w.Size * excess(size, c.SizeCon)
 		}
 	}
 
-	if ev.W.Time > 0 {
+	if w.Time > 0 {
 		for _, p := range ev.G.Processes() {
 			limit, ok := ev.Cons.Deadline[p.Name]
 			if !ok {
@@ -105,11 +137,11 @@ func (ev *Evaluator) Cost(pt *core.Partition) (float64, error) {
 			if err != nil {
 				return 0, err
 			}
-			cost += ev.W.Time * excess(et, limit)
+			cost += w.Time * excess(et, limit)
 		}
 	}
 
-	if ev.W.Rate > 0 {
+	if w.Rate > 0 {
 		for _, b := range ev.G.Buses {
 			limit, ok := ev.Cons.MaxBusRate[b.Name]
 			if !ok {
@@ -119,11 +151,11 @@ func (ev *Evaluator) Cost(pt *core.Partition) (float64, error) {
 			if err != nil {
 				return 0, err
 			}
-			cost += ev.W.Rate * excess(rate, limit)
+			cost += w.Rate * excess(rate, limit)
 		}
 	}
 
-	if ev.W.Comm > 0 && ev.totalTraffic > 0 {
+	if w.Comm > 0 && ev.totalTraffic > 0 {
 		var cut float64
 		for _, c := range ev.G.Channels {
 			if _, isPort := c.Dst.(*core.Port); isPort {
@@ -133,19 +165,20 @@ func (ev *Evaluator) Cost(pt *core.Partition) (float64, error) {
 				cut += c.AccFreq * float64(c.Bits)
 			}
 		}
-		cost += ev.W.Comm * cut / ev.totalTraffic
+		cost += w.Comm * cut / ev.totalTraffic
 	}
 
 	return cost, nil
 }
 
 // Feasible reports whether the partition meets every hard constraint
-// (i.e. cost with the communication term disabled is zero).
+// (i.e. cost with the communication term disabled is zero). It evaluates
+// with a value copy of the weights: ev.W is never written, so Feasible
+// cannot skew an interleaved Cost call or race with one.
 func (ev *Evaluator) Feasible(pt *core.Partition) (bool, error) {
-	saved := ev.W.Comm
-	ev.W.Comm = 0
-	cost, err := ev.Cost(pt)
-	ev.W.Comm = saved
+	w := ev.W
+	w.Comm = 0
+	cost, err := ev.costWith(pt, w)
 	if err != nil {
 		return false, err
 	}

@@ -1,0 +1,212 @@
+package partition
+
+// This file is the parallel multi-start search engine: the §5 "explore
+// thousands of possible designs" loop run as N independent legs on a
+// worker pool. A leg is one self-contained search start — a shard of the
+// random candidate enumeration, a simulated-annealing restart with its own
+// derived seed, or a greedy construction from a rotated node order. Every
+// worker owns an Evaluator clone (the evaluator's pooled estimator is not
+// goroutine-safe), leg evaluation counts are aggregated atomically, and
+// the merge is deterministic: the same seed and leg plan produce the same
+// best cost for ANY worker count — ties between legs break toward the
+// lower leg index, and random shards are contiguous index ranges, so the
+// winner is exactly the candidate a sequential scan would have kept.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"specsyn/internal/core"
+)
+
+// ParallelOptions sizes the worker pool and the leg plan.
+type ParallelOptions struct {
+	// Workers is the number of concurrent goroutines; 0 means GOMAXPROCS.
+	// The worker count affects only scheduling, never the result.
+	Workers int
+	// Legs is the number of independent search starts; 0 means Workers.
+	Legs int
+}
+
+func (o ParallelOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o ParallelOptions) legs() int {
+	if o.Legs > 0 {
+		return o.Legs
+	}
+	return o.workers()
+}
+
+// MultiResult is the merged outcome of a multi-leg parallel run.
+type MultiResult struct {
+	Result
+	BestLeg int      // index of the winning leg
+	Legs    []Result // every leg's own result, indexed by leg
+}
+
+// legFunc runs one leg with a worker-local Config (its Eval field is the
+// worker's private Evaluator clone).
+type legFunc func(cfg Config) (Result, error)
+
+// legSeed derives a per-leg seed from the run seed; leg paths are given
+// disjoint salt ranges so no two legs share an RNG stream.
+func legSeed(seed int64, salt int) int64 {
+	return int64(mix64(uint64(seed) ^ (0x9E3779B97F4A7C15 * uint64(salt+1))))
+}
+
+// runLegs executes the legs on a pool of workers and merges their results.
+// cfg.Eval is cloned once per worker; the prototype evaluator is only
+// read, then credited with the aggregated evaluation count at the end.
+func runLegs(cfg Config, legs []legFunc, workers int) (MultiResult, error) {
+	if cfg.Eval == nil {
+		return MultiResult{}, fmt.Errorf("partition: parallel search needs Config.Eval")
+	}
+	if len(legs) == 0 {
+		return MultiResult{}, fmt.Errorf("partition: parallel search needs at least one leg")
+	}
+	if workers > len(legs) {
+		workers = len(legs)
+	}
+
+	results := make([]Result, len(legs))
+	errs := make([]error, len(legs))
+	var evals atomic.Int64
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wcfg := cfg
+			wcfg.Eval = cfg.Eval.Clone()
+			for i := range jobs {
+				res, err := legs[i](wcfg)
+				results[i], errs[i] = res, err
+				evals.Add(int64(res.Evals))
+			}
+		}()
+	}
+	for i := range legs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Merge deterministically: first error by leg index; otherwise the
+	// lowest cost, ties to the lower leg index.
+	for i, err := range errs {
+		if err != nil {
+			return MultiResult{}, fmt.Errorf("partition: leg %d: %w", i, err)
+		}
+	}
+	best := -1
+	for i, r := range results {
+		if r.Best == nil {
+			continue // empty leg (e.g. a zero-width random shard)
+		}
+		if best < 0 || r.Cost < results[best].Cost {
+			best = i
+		}
+	}
+	if best < 0 {
+		return MultiResult{}, fmt.Errorf("partition: no leg produced a partition")
+	}
+	total := int(evals.Load())
+	cfg.Eval.Evals += total
+	out := MultiResult{Result: results[best], BestLeg: best, Legs: results}
+	out.Result.Evals = total
+	return out, nil
+}
+
+// ParallelRandom is Random with its candidate enumeration sharded across
+// legs: leg k evaluates the contiguous index range [k·iters/legs,
+// (k+1)·iters/legs) of the same per-candidate-seeded enumeration Random
+// walks sequentially. Best cost and best partition are therefore identical
+// to Random's for every worker and leg count.
+func ParallelRandom(g *core.Graph, cfg Config, opt ParallelOptions) (MultiResult, error) {
+	iters := cfg.MaxIters
+	if iters <= 0 {
+		iters = 1000
+	}
+	nLegs := opt.legs()
+	legs := make([]legFunc, 0, nLegs)
+	for k := 0; k < nLegs; k++ {
+		lo, hi := k*iters/nLegs, (k+1)*iters/nLegs
+		legs = append(legs, func(c Config) (Result, error) {
+			return randomRange(g, c, lo, hi)
+		})
+	}
+	return runLegs(cfg, legs, opt.workers())
+}
+
+// MultiStart runs a mixed portfolio of legs — greedy constructions from
+// rotated node orders, annealing restarts from random starts with derived
+// seeds, and random sampling shards — and returns the best. Leg 0 is
+// always the canonical greedy construction, so a 1-leg MultiStart equals
+// Greedy exactly.
+func MultiStart(g *core.Graph, cfg Config, opt ParallelOptions) (MultiResult, error) {
+	nLegs := opt.legs()
+	// Portfolio split: greedy gets the first share (rounded up), then
+	// anneal restarts, then random shards.
+	nGreedy := (nLegs + 2) / 3
+	nAnneal := (nLegs + 1) / 3
+	nRandom := nLegs - nGreedy - nAnneal
+
+	table, err := candidateTable(g)
+	if err != nil {
+		return MultiResult{}, err
+	}
+
+	legs := make([]legFunc, 0, nLegs)
+	for r := 0; r < nGreedy; r++ {
+		rotate := r
+		legs = append(legs, func(c Config) (Result, error) {
+			return greedyRotated(g, c, rotate)
+		})
+	}
+	for a := 0; a < nAnneal; a++ {
+		initSeed := legSeed(cfg.Seed, a)
+		runSeed := legSeed(cfg.Seed, 1<<16+a)
+		legs = append(legs, func(c Config) (Result, error) {
+			init, err := randomStart(g, table, initSeed)
+			if err != nil {
+				return Result{}, err
+			}
+			c.Seed = runSeed
+			return Anneal(init, c)
+		})
+	}
+	if nRandom > 0 {
+		iters := cfg.MaxIters
+		if iters <= 0 {
+			iters = 1000
+		}
+		for k := 0; k < nRandom; k++ {
+			lo, hi := k*iters/nRandom, (k+1)*iters/nRandom
+			legs = append(legs, func(c Config) (Result, error) {
+				return randomRange(g, c, lo, hi)
+			})
+		}
+	}
+	return runLegs(cfg, legs, opt.workers())
+}
+
+// randomStart builds one random legal partition from a seed — the starting
+// point of an annealing restart leg.
+func randomStart(g *core.Graph, table [][]core.Component, seed int64) (*core.Partition, error) {
+	s := candidateSampler(seed, 0)
+	pt := core.NewPartition(g)
+	for j, n := range g.Nodes {
+		if err := pt.Assign(n, table[j][s.intn(len(table[j]))]); err != nil {
+			return nil, err
+		}
+	}
+	return pt, nil
+}

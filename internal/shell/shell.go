@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -113,6 +114,8 @@ func (s *Session) cmdHelp() error {
   explain <behavior>              where that behavior's exec time goes
   search <random|greedy|cluster|gm|anneal>
                                   replace the partition with a searched one
+  search multi [legs]             parallel multi-start portfolio (default
+                                  legs = GOMAXPROCS)
   inline <procedure>              inline a procedure into its single caller
   merge <procA> <procB>           merge two processes
   save <file.slif>                write the graph + partition
@@ -258,6 +261,24 @@ func (s *Session) cmdSearch(args []string) error {
 	algo := "gm"
 	if len(args) > 0 {
 		algo = strings.ToLower(args[0])
+	}
+	if algo == "multi" {
+		opt := partition.ParallelOptions{}
+		if len(args) > 1 {
+			legs, err := strconv.Atoi(args[1])
+			if err != nil || legs < 1 {
+				return fmt.Errorf("usage: search multi [legs]")
+			}
+			opt.Legs = legs
+		}
+		res, err := s.Env.PartitionSearchParallel(algo, partition.Constraints{}, partition.DefaultWeights(), 1, 0, opt)
+		if err != nil {
+			return err
+		}
+		s.snapshot()
+		s.Pt = res.Best
+		fmt.Fprintf(s.out, "multi: %s (%d legs, best from leg %d)\n", res.Result, len(res.Legs), res.BestLeg)
+		return nil
 	}
 	res, err := s.Env.PartitionSearch(algo, partition.Constraints{}, partition.DefaultWeights(), 1, 0)
 	if err != nil {

@@ -96,6 +96,22 @@ func TestShellSearch(t *testing.T) {
 	}
 }
 
+func TestShellSearchMulti(t *testing.T) {
+	s := session(t)
+	out := run(t, s, "search multi 4\nquit\n")
+	if !strings.Contains(out, "multi: cost") || !strings.Contains(out, "4 legs") {
+		t.Fatalf("search multi failed:\n%s", out)
+	}
+	if err := s.Pt.Validate(); err != nil {
+		t.Errorf("searched partition invalid: %v", err)
+	}
+	// Bad leg counts are usage errors, and the partition stays untouched.
+	out = run(t, s, "search multi zero\nquit\n")
+	if !strings.Contains(out, "usage: search multi") {
+		t.Fatalf("bad leg count not rejected:\n%s", out)
+	}
+}
+
 func TestShellTransforms(t *testing.T) {
 	s := session(t)
 	// smooth was folded into the main body; recordhistory has one caller.

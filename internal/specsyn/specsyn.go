@@ -133,15 +133,13 @@ func (e *Env) Estimate(pt *core.Partition, opt estimate.Options) (*estimate.Repo
 	return rep, time.Since(start), err
 }
 
-// PartitionSearch runs the named algorithm ("random", "greedy", "gm",
-// "anneal", "cluster", "exhaustive"); "gm" and "anneal" start from the
-// greedy result.
-func (e *Env) PartitionSearch(algo string, cons partition.Constraints, w partition.Weights, seed int64, iters int) (partition.Result, error) {
+// searchConfig assembles the evaluator and bus policy every search shares.
+func (e *Env) searchConfig(cons partition.Constraints, w partition.Weights, seed int64, iters int) (partition.Config, error) {
 	if e.Graph == nil {
-		return partition.Result{}, fmt.Errorf("specsyn: Build first")
+		return partition.Config{}, fmt.Errorf("specsyn: Build first")
 	}
 	if len(e.Graph.Buses) == 0 {
-		return partition.Result{}, fmt.Errorf("specsyn: allocation has no bus")
+		return partition.Config{}, fmt.Errorf("specsyn: allocation has no bus")
 	}
 	ev := partition.NewEvaluator(e.Graph, cons, w, estimate.Options{})
 	// Single-bus allocations put everything on that bus; with two or more
@@ -151,11 +149,21 @@ func (e *Env) PartitionSearch(algo string, cons partition.Constraints, w partiti
 	if len(e.Graph.Buses) > 1 {
 		policy = partition.InternalExternal(e.Graph.Buses[1], e.Graph.Buses[0])
 	}
-	cfg := partition.Config{
+	return partition.Config{
 		Eval:     ev,
 		Policy:   policy,
 		Seed:     seed,
 		MaxIters: iters,
+	}, nil
+}
+
+// PartitionSearch runs the named algorithm ("random", "greedy", "gm",
+// "anneal", "cluster", "exhaustive"); "gm" and "anneal" start from the
+// greedy result.
+func (e *Env) PartitionSearch(algo string, cons partition.Constraints, w partition.Weights, seed int64, iters int) (partition.Result, error) {
+	cfg, err := e.searchConfig(cons, w, seed, iters)
+	if err != nil {
+		return partition.Result{}, err
 	}
 	switch algo {
 	case "random":
@@ -180,4 +188,23 @@ func (e *Env) PartitionSearch(algo string, cons partition.Constraints, w partiti
 		return partition.Anneal(res.Best, cfg)
 	}
 	return partition.Result{}, fmt.Errorf("specsyn: unknown algorithm %q (want random, greedy, cluster, gm, anneal or exhaustive)", algo)
+}
+
+// PartitionSearchParallel runs the parallel multi-start engine: "random"
+// shards the random candidate enumeration across legs (bit-identical to
+// the sequential Random at equal seeds), "multi" (or "") runs the mixed
+// greedy/anneal/random portfolio. The result is deterministic for a given
+// seed and leg count, whatever the worker count.
+func (e *Env) PartitionSearchParallel(algo string, cons partition.Constraints, w partition.Weights, seed int64, iters int, opt partition.ParallelOptions) (partition.MultiResult, error) {
+	cfg, err := e.searchConfig(cons, w, seed, iters)
+	if err != nil {
+		return partition.MultiResult{}, err
+	}
+	switch algo {
+	case "random":
+		return partition.ParallelRandom(e.Graph, cfg, opt)
+	case "multi", "":
+		return partition.MultiStart(e.Graph, cfg, opt)
+	}
+	return partition.MultiResult{}, fmt.Errorf("specsyn: unknown parallel algorithm %q (want random or multi)", algo)
 }

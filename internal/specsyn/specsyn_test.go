@@ -204,6 +204,58 @@ func TestPartitionSearchAlgorithms(t *testing.T) {
 	}
 }
 
+// TestParallelSearchMatchesSequentialExamples: on the real paper examples,
+// the parallel engine at one worker reproduces the sequential algorithms
+// exactly — ParallelRandom equals Random, and a single-leg MultiStart
+// equals Greedy — and the result is identical again at four workers.
+func TestParallelSearchMatchesSequentialExamples(t *testing.T) {
+	cons := partition.Constraints{Deadline: map[string]float64{"fuzzymain": 500, "ansmain": 500}}
+	w := partition.DefaultWeights()
+	for _, name := range []string{"fuzzy", "ans"} {
+		env := load(t, name)
+		seqRandom, err := env.PartitionSearch("random", cons, w, 7, 400)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		seqGreedy, err := env.PartitionSearch("greedy", cons, w, 7, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, workers := range []int{1, 4} {
+			par, err := env.PartitionSearchParallel("random", cons, w, 7, 400, partition.ParallelOptions{Workers: workers, Legs: 4})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if par.Cost != seqRandom.Cost || par.Best.String() != seqRandom.Best.String() {
+				t.Errorf("%s: parallel random @%d workers (cost %v) != sequential random (cost %v)",
+					name, workers, par.Cost, seqRandom.Cost)
+			}
+			if par.Evals != seqRandom.Evals {
+				t.Errorf("%s: parallel random evals %d != sequential %d", name, par.Evals, seqRandom.Evals)
+			}
+			multi, err := env.PartitionSearchParallel("multi", cons, w, 7, 0, partition.ParallelOptions{Workers: workers, Legs: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if multi.Cost != seqGreedy.Cost || multi.Best.String() != seqGreedy.Best.String() {
+				t.Errorf("%s: 1-leg MultiStart @%d workers (cost %v) != greedy (cost %v)",
+					name, workers, multi.Cost, seqGreedy.Cost)
+			}
+		}
+		// The full portfolio must not lose to its own greedy leg.
+		full, err := env.PartitionSearchParallel("multi", cons, w, 7, 300, partition.ParallelOptions{Workers: 4, Legs: 6})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if full.Cost > seqGreedy.Cost+1e-9 {
+			t.Errorf("%s: MultiStart portfolio (%v) lost to greedy (%v)", name, full.Cost, seqGreedy.Cost)
+		}
+		if err := full.Best.Validate(); err != nil {
+			t.Errorf("%s: portfolio best invalid: %v", name, err)
+		}
+	}
+}
+
 // TestSlifRoundTripExamples serializes every example and reads it back.
 func TestSlifRoundTripExamples(t *testing.T) {
 	for _, name := range []string{"ans", "ether", "fuzzy", "vol"} {
