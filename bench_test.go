@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -250,7 +251,7 @@ func BenchmarkExploreThousand(b *testing.B) {
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
 				var err error
-				res, err = partition.Random(sub.g, exploreConfig(sub.g))
+				res, err = partition.Random(context.Background(), sub.g, exploreConfig(sub.g))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -271,7 +272,7 @@ func BenchmarkExploreThousand(b *testing.B) {
 // axis changes is throughput.
 func BenchmarkParallelExplore(b *testing.B) {
 	for _, sub := range exploreGraphs(b) {
-		seq, err := partition.Random(sub.g, exploreConfig(sub.g))
+		seq, err := partition.Random(context.Background(), sub.g, exploreConfig(sub.g))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -282,7 +283,7 @@ func BenchmarkParallelExplore(b *testing.B) {
 				start := time.Now()
 				for i := 0; i < b.N; i++ {
 					var err error
-					res, err = partition.ParallelRandom(sub.g, exploreConfig(sub.g), opt)
+					res, err = partition.ParallelRandom(context.Background(), sub.g, exploreConfig(sub.g), opt)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -308,7 +309,7 @@ func BenchmarkSearchAlgorithms(b *testing.B) {
 	for _, algo := range []string{"random", "greedy", "cluster", "gm", "anneal"} {
 		b.Run(algo, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := env.PartitionSearch(algo, partition.Constraints{}, partition.DefaultWeights(), int64(i), 0); err != nil {
+				if _, err := env.PartitionSearch(context.Background(), algo, partition.Constraints{}, partition.DefaultWeights(), int64(i), 0, 0); err != nil {
 					b.Fatal(err)
 				}
 			}

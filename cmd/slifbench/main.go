@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,7 @@ func main() {
 	n2 := flag.Bool("n2", false, "regenerate the n^2 computation-count comparison")
 	explore := flag.Bool("explore", false, "measure partitions estimated per second")
 	workers := flag.Int("workers", 0, "worker pool size for the parallel explore run (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on the explore run; a cut-short run reports its partial best (0 = none)")
 	buswidth := flag.Bool("buswidth", false, "sweep bus widths on the fuzzy example")
 	gran := flag.Bool("granularity", false, "basic-block granularity comparison")
 	flag.Parse()
@@ -55,7 +57,7 @@ func main() {
 		runN2(*dir)
 	}
 	if *explore || all {
-		runExplore(*dir, *workers)
+		runExplore(*dir, *workers, *timeout)
 	}
 	if *buswidth || all {
 		runBusWidth(*dir)
@@ -223,9 +225,15 @@ func runN2(dir string) {
 // sharded across the parallel engine's worker pool. The parallel run is
 // bit-identical to the sequential one at the same seed, so the best costs
 // must match; only the throughput changes.
-func runExplore(dir string, workers int) {
+func runExplore(dir string, workers int, timeout time.Duration) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 	opt := partition.ParallelOptions{Workers: workers}
 	fmt.Printf("Estimation throughput (\"algorithms that explore thousands of possible designs\"), %d workers\n", workers)
@@ -238,19 +246,25 @@ func runExplore(dir string, workers int) {
 			return partition.Config{Eval: ev, Policy: partition.SingleBus(env.Graph.Buses[0]), Seed: 42, MaxIters: 2000}
 		}
 		start := time.Now()
-		seq, err := partition.Random(env.Graph, mkCfg())
+		seq, err := partition.Random(ctx, env.Graph, mkCfg())
 		if err != nil {
 			fatal(err)
 		}
 		seqDur := time.Since(start)
 		start = time.Now()
-		par, err := partition.ParallelRandom(env.Graph, mkCfg(), opt)
+		par, err := partition.ParallelRandom(ctx, env.Graph, mkCfg(), opt)
 		if err != nil {
 			fatal(err)
 		}
 		parDur := time.Since(start)
-		if par.Cost != seq.Cost {
+		// A deadline cuts the two runs short at different points, so the
+		// bit-identity check only holds for complete runs.
+		if !seq.Partial && !par.Report.Partial && par.Cost != seq.Cost {
 			fatal(fmt.Errorf("%s: parallel best cost %v != sequential %v at equal seed", name, par.Cost, seq.Cost))
+		}
+		if seq.Partial || par.Report.Partial {
+			fmt.Printf("%-8s (cut short by -timeout; partial bests: seq %.4f, par %.4f)\n", name, seq.Cost, par.Cost)
+			continue
 		}
 		fmt.Printf("%-8s %6d %14.0f %14.0f %8.2fx %12.4f\n",
 			name, seq.Evals,
@@ -318,7 +332,11 @@ func runGranularity(dir string) {
 		if err != nil {
 			fatal(err)
 		}
-		fineDF := outline.Transform(vhdl.MustParse(string(src)), outline.Options{})
+		fineAST, err := vhdl.Parse(string(src))
+		if err != nil {
+			fatal(fmt.Errorf("%s: reparse for outlining failed: %w", name, err))
+		}
+		fineDF := outline.Transform(fineAST, outline.Options{})
 		fineD, err := sem.Elaborate(fineDF)
 		if err != nil {
 			fatal(err)

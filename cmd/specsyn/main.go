@@ -7,7 +7,7 @@
 //
 //	specsyn build     -vhd f.vhd [-prob f.prob] [-lib f.lib] [-ov f.ov] [-o out.slif] [-dot out.dot]
 //	specsyn estimate  -vhd f.vhd [...] [-split]         estimate a partition
-//	specsyn partition -vhd f.vhd [...] -algo gm [-deadline proc=us] [-seed n] [-iters n]
+//	specsyn partition -vhd f.vhd [...] -algo gm [-deadline proc=us] [-seed n] [-iters n] [-timeout d] [-max-evals n]
 //	specsyn xform     -vhd f.vhd [...] -inline-all | -merge a,b
 //	specsyn simulate  -vhd f.vhd [-steps n] [-seed n] [-prob-out f.prob]
 //	specsyn shell     -vhd f.vhd [...]                  interactive session
@@ -19,10 +19,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -201,30 +203,52 @@ func runPartition(args []string) {
 	iters := fs.Int("iters", 0, "iteration budget (0 = algorithm default)")
 	workers := fs.Int("workers", 0, "parallel workers for multi/random (0 = GOMAXPROCS)")
 	legs := fs.Int("legs", 0, "independent search legs for multi/random (0 = workers)")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound; on expiry the best partition found so far is kept (0 = none)")
+	maxEvals := fs.Int("max-evals", 0, "cost-evaluation budget (0 = unlimited)")
 	var deadlines deadlineFlag
 	fs.Var(&deadlines, "deadline", "process deadline as name=microseconds (repeatable)")
 	_ = fs.Parse(args)
 
 	env := load()
 	cons := partition.Constraints{Deadline: deadlines.m}
+
+	// Ctrl-C cancels the in-flight search; the engines return their best
+	// partition found so far rather than dying, so the report below still
+	// prints. Once the search returns, stop() restores default signal
+	// handling, so a second Ctrl-C kills the process as usual.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var res partition.Result
 	// "multi" is the parallel portfolio engine; -workers/-legs also turn
 	// "random" into its sharded parallel form (same result, spread over a
 	// worker pool).
 	if *algo == "multi" || (*algo == "random" && (*workers != 0 || *legs != 0)) {
 		opt := partition.ParallelOptions{Workers: *workers, Legs: *legs}
-		multi, err := env.PartitionSearchParallel(*algo, cons, partition.DefaultWeights(), *seed, *iters, opt)
+		multi, err := env.PartitionSearchParallel(ctx, *algo, cons, partition.DefaultWeights(), *seed, *iters, *maxEvals, opt)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s: %d legs, best from leg %d\n", *algo, len(multi.Legs), multi.BestLeg)
+		if multi.Report.Partial || len(multi.Report.Panics) > 0 || len(multi.Report.Errors) > 0 {
+			fmt.Printf("note: %s\n", multi.Report.String())
+		}
 		res = multi.Result
 	} else {
 		var err error
-		res, err = env.PartitionSearch(*algo, cons, partition.DefaultWeights(), *seed, *iters)
+		res, err = env.PartitionSearch(ctx, *algo, cons, partition.DefaultWeights(), *seed, *iters, *maxEvals)
 		if err != nil {
 			fatal(err)
 		}
+	}
+	stop()
+	if res.Partial {
+		fmt.Println("search interrupted — reporting best partition found so far")
 	}
 	fmt.Printf("%s: %s\n\n", *algo, res)
 	fmt.Print(res.Best.String())
@@ -388,6 +412,12 @@ func runShell(args []string) {
 	sess, err := shell.New(env)
 	if err != nil {
 		fatal(err)
+	}
+	// Each search command gets a context cancelled by Ctrl-C, so an
+	// interrupted search keeps its best-so-far partition and the shell
+	// keeps running.
+	sess.NewSearchCtx = func() (context.Context, context.CancelFunc) {
+		return signal.NotifyContext(context.Background(), os.Interrupt)
 	}
 	if err := sess.Run(os.Stdin, os.Stdout); err != nil {
 		fatal(err)

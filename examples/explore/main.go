@@ -6,14 +6,21 @@
 //
 // Run from the repository root:
 //
-//	go run ./examples/explore
+//	go run ./examples/explore [-timeout 500ms]
+//
+// The optional -timeout turns the sweep into an anytime run: on expiry the
+// candidates partitioned so far keep their results, the in-flight one
+// reports its best-so-far cost, and the rest are marked skipped.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"specsyn/internal/alloc"
 	"specsyn/internal/builder"
@@ -36,6 +43,9 @@ func testdata(name string) string {
 }
 
 func main() {
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on the sweep (0 = none)")
+	flag.Parse()
+
 	src, err := os.ReadFile(testdata("ether.vhd"))
 	if err != nil {
 		log.Fatal(err)
@@ -82,15 +92,30 @@ func main() {
 	// (greedy, annealing restarts and random shards on a worker pool) with
 	// a group-migration polish on the winner.
 	cons := partition.Constraints{Deadline: map[string]float64{"txmain": 1500, "rxmain": 1500}}
-	outcomes := alloc.ExploreParallel(g, cands, cons, partition.DefaultWeights(), partition.ParallelOptions{Legs: 6})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	outcomes := alloc.ExploreParallel(ctx, g, cands, cons, partition.DefaultWeights(), partition.ParallelOptions{Legs: 6})
+	fmt.Printf("explored %d candidates in %v\n\n", len(cands), time.Since(start).Round(time.Millisecond))
 
 	fmt.Printf("%-18s %12s %10s\n", "architecture", "cost", "evals")
 	for _, o := range outcomes {
-		if o.Err != nil {
+		switch {
+		case o.Skipped:
+			fmt.Printf("%-18s %12s %10s  (skipped: sweep cut short)\n", o.Candidate.Name, "-", "-")
+		case o.Err != nil:
 			fmt.Printf("%-18s %12s %10s  (%v)\n", o.Candidate.Name, "-", "-", o.Err)
-			continue
+		case o.Partial:
+			fmt.Printf("%-18s %12.4f %10d  (partial: best before cutoff)\n", o.Candidate.Name, o.Cost, o.Evals)
+		default:
+			fmt.Printf("%-18s %12.4f %10d\n", o.Candidate.Name, o.Cost, o.Evals)
 		}
-		fmt.Printf("%-18s %12.4f %10d\n", o.Candidate.Name, o.Cost, o.Evals)
 	}
-	fmt.Printf("\nbest architecture: %s\n", outcomes[0].Candidate.Name)
+	if best := outcomes[0]; !best.Skipped && best.Err == nil {
+		fmt.Printf("\nbest architecture: %s\n", best.Candidate.Name)
+	}
 }

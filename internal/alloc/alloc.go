@@ -8,6 +8,7 @@ package alloc
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -213,29 +214,60 @@ type Outcome struct {
 	Cost      float64
 	Evals     int
 	Err       error
+
+	// Partial marks a candidate whose search was cut short (deadline or
+	// cancellation): Cost is the best found before the cut, or +Inf for a
+	// candidate the sweep never reached (Skipped).
+	Partial bool
+	// Skipped marks a candidate the sweep was cancelled before starting.
+	Skipped bool
+	// Report, for parallel exploration, is the partition engine's
+	// structured account of the candidate's multi-leg search.
+	Report *partition.SearchReport
+}
+
+// install clones the base graph and applies one candidate allocation.
+func (c Candidate) install(g *core.Graph) *core.Graph {
+	ng := g.Clone(false)
+	for _, p := range c.Procs {
+		cp := *p
+		ng.AddProcessor(&cp)
+	}
+	for _, m := range c.Mems {
+		cm := *m
+		ng.AddMemory(&cm)
+	}
+	for _, b := range c.Buses {
+		cb := *b
+		ng.AddBus(&cb)
+	}
+	return ng
+}
+
+// sortOutcomes ranks by cost; skipped candidates (cost +Inf) sink to the
+// bottom in their original order.
+func sortOutcomes(outcomes []Outcome) {
+	sort.SliceStable(outcomes, func(i, j int) bool { return outcomes[i].Cost < outcomes[j].Cost })
 }
 
 // Explore partitions the design under every candidate allocation (using
 // the greedy constructive algorithm followed by group migration) and
 // returns outcomes sorted by cost. This is the allocation task driven by
-// the estimation speed SLIF provides.
-func Explore(g *core.Graph, cands []Candidate, cons partition.Constraints, w partition.Weights) []Outcome {
+// the estimation speed SLIF provides. Cancelling the context stops the
+// in-flight candidate at its next check (yielding a Partial outcome) and
+// marks the remaining candidates Skipped — the outcomes for completed
+// candidates are always returned.
+func Explore(ctx context.Context, g *core.Graph, cands []Candidate, cons partition.Constraints, w partition.Weights) []Outcome {
 	outcomes := make([]Outcome, 0, len(cands))
 	for _, cand := range cands {
-		ng := g.Clone(false)
-		for _, p := range cand.Procs {
-			cp := *p
-			ng.AddProcessor(&cp)
-		}
-		for _, m := range cand.Mems {
-			cm := *m
-			ng.AddMemory(&cm)
-		}
-		for _, b := range cand.Buses {
-			cb := *b
-			ng.AddBus(&cb)
-		}
 		out := Outcome{Candidate: cand, Cost: math.Inf(1)}
+		if ctx != nil && ctx.Err() != nil {
+			out.Err = ctx.Err()
+			out.Partial, out.Skipped = true, true
+			outcomes = append(outcomes, out)
+			continue
+		}
+		ng := cand.install(g)
 		if len(ng.Buses) == 0 {
 			out.Err = fmt.Errorf("alloc: candidate %q has no bus", cand.Name)
 			outcomes = append(outcomes, out)
@@ -243,19 +275,20 @@ func Explore(g *core.Graph, cands []Candidate, cons partition.Constraints, w par
 		}
 		ev := partition.NewEvaluator(ng, cons, w, estimate.Options{})
 		cfg := partition.Config{Eval: ev, Policy: partition.SingleBus(ng.Buses[0]), Seed: 1}
-		res, err := partition.Greedy(ng, cfg)
-		if err == nil {
-			res, err = partition.GroupMigration(res.Best, cfg)
+		res, err := partition.Greedy(ctx, ng, cfg)
+		if err == nil && !res.Partial {
+			res, err = partition.GroupMigration(ctx, res.Best, cfg)
 		}
 		if err != nil {
 			out.Err = err
 		} else {
 			out.Cost = res.Cost
 			out.Evals = ev.Evals
+			out.Partial = res.Partial
 		}
 		outcomes = append(outcomes, out)
 	}
-	sort.SliceStable(outcomes, func(i, j int) bool { return outcomes[i].Cost < outcomes[j].Cost })
+	sortOutcomes(outcomes)
 	return outcomes
 }
 
@@ -266,24 +299,21 @@ func Explore(g *core.Graph, cands []Candidate, cons partition.Constraints, w par
 // first leg is the canonical greedy construction, each candidate's cost is
 // never worse than what a plain greedy start would give. Candidates are
 // processed in order, so the ranking is deterministic for a given seed and
-// leg plan.
-func ExploreParallel(g *core.Graph, cands []Candidate, cons partition.Constraints, w partition.Weights, opt partition.ParallelOptions) []Outcome {
+// leg plan. Each completed candidate's Outcome carries the engine's
+// SearchReport; cancelling the context mid-sweep returns the finished
+// candidates' outcomes, a Partial outcome for the interrupted one, and
+// Skipped outcomes (cost +Inf) for the rest.
+func ExploreParallel(ctx context.Context, g *core.Graph, cands []Candidate, cons partition.Constraints, w partition.Weights, opt partition.ParallelOptions) []Outcome {
 	outcomes := make([]Outcome, 0, len(cands))
 	for _, cand := range cands {
-		ng := g.Clone(false)
-		for _, p := range cand.Procs {
-			cp := *p
-			ng.AddProcessor(&cp)
-		}
-		for _, m := range cand.Mems {
-			cm := *m
-			ng.AddMemory(&cm)
-		}
-		for _, b := range cand.Buses {
-			cb := *b
-			ng.AddBus(&cb)
-		}
 		out := Outcome{Candidate: cand, Cost: math.Inf(1)}
+		if ctx != nil && ctx.Err() != nil {
+			out.Err = ctx.Err()
+			out.Partial, out.Skipped = true, true
+			outcomes = append(outcomes, out)
+			continue
+		}
+		ng := cand.install(g)
 		if len(ng.Buses) == 0 {
 			out.Err = fmt.Errorf("alloc: candidate %q has no bus", cand.Name)
 			outcomes = append(outcomes, out)
@@ -291,13 +321,17 @@ func ExploreParallel(g *core.Graph, cands []Candidate, cons partition.Constraint
 		}
 		ev := partition.NewEvaluator(ng, cons, w, estimate.Options{})
 		cfg := partition.Config{Eval: ev, Policy: partition.SingleBus(ng.Buses[0]), Seed: 1}
-		multi, err := partition.MultiStart(ng, cfg, opt)
+		multi, err := partition.MultiStart(ctx, ng, cfg, opt)
 		res := multi.Result
 		if err == nil {
-			var polished partition.Result
-			polished, err = partition.GroupMigration(multi.Best, cfg)
-			if err == nil && polished.Cost < res.Cost {
-				res = polished
+			rep := multi.Report
+			out.Report = &rep
+			if !res.Partial {
+				var polished partition.Result
+				polished, err = partition.GroupMigration(ctx, multi.Best, cfg)
+				if err == nil && polished.Cost < res.Cost {
+					res = polished
+				}
 			}
 		}
 		if err != nil {
@@ -305,9 +339,10 @@ func ExploreParallel(g *core.Graph, cands []Candidate, cons partition.Constraint
 		} else {
 			out.Cost = res.Cost
 			out.Evals = ev.Evals
+			out.Partial = res.Partial
 		}
 		outcomes = append(outcomes, out)
 	}
-	sort.SliceStable(outcomes, func(i, j int) bool { return outcomes[i].Cost < outcomes[j].Cost })
+	sortOutcomes(outcomes)
 	return outcomes
 }

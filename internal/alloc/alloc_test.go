@@ -1,10 +1,13 @@
 package alloc
 
 import (
+	"context"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"specsyn/internal/builder"
 	"specsyn/internal/core"
@@ -142,7 +145,7 @@ func TestExploreRanksAllocations(t *testing.T) {
 			Buses: []*core.Bus{bus},
 		},
 	}
-	outs := Explore(g, cands, partition.Constraints{}, partition.DefaultWeights())
+	outs := Explore(context.Background(), g, cands, partition.Constraints{}, partition.DefaultWeights())
 	if len(outs) != 2 {
 		t.Fatalf("outcomes = %d", len(outs))
 	}
@@ -164,11 +167,11 @@ func TestExploreRanksAllocations(t *testing.T) {
 
 func TestExploreNoBus(t *testing.T) {
 	g := buildFuzzy(t)
-	outs := Explore(g, []Candidate{{Name: "nobus"}}, partition.Constraints{}, partition.DefaultWeights())
+	outs := Explore(context.Background(), g, []Candidate{{Name: "nobus"}}, partition.Constraints{}, partition.DefaultWeights())
 	if outs[0].Err == nil {
 		t.Error("allocation without a bus accepted")
 	}
-	outs = ExploreParallel(g, []Candidate{{Name: "nobus"}}, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{})
+	outs = ExploreParallel(context.Background(), g, []Candidate{{Name: "nobus"}}, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{})
 	if outs[0].Err == nil {
 		t.Error("parallel explorer accepted an allocation without a bus")
 	}
@@ -197,8 +200,8 @@ func TestExploreParallelMatchesRanking(t *testing.T) {
 			Buses: []*core.Bus{bus},
 		},
 	}
-	seq := Explore(g, cands, partition.Constraints{}, partition.DefaultWeights())
-	par := ExploreParallel(g, cands, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{Workers: 4, Legs: 6})
+	seq := Explore(context.Background(), g, cands, partition.Constraints{}, partition.DefaultWeights())
+	par := ExploreParallel(context.Background(), g, cands, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{Workers: 4, Legs: 6})
 	if len(par) != 2 {
 		t.Fatalf("outcomes = %d", len(par))
 	}
@@ -219,11 +222,94 @@ func TestExploreParallelMatchesRanking(t *testing.T) {
 		}
 	}
 	// Determinism: a rerun reproduces every cost exactly.
-	again := ExploreParallel(g, cands, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{Workers: 2, Legs: 6})
+	again := ExploreParallel(context.Background(), g, cands, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{Workers: 2, Legs: 6})
 	for i := range par {
 		if par[i].Cost != again[i].Cost || par[i].Candidate.Name != again[i].Candidate.Name {
 			t.Errorf("rerun diverged at %d: %s/%v vs %s/%v",
 				i, par[i].Candidate.Name, par[i].Cost, again[i].Candidate.Name, again[i].Cost)
+		}
+	}
+}
+
+// TestExploreParallelCancellation: cancelling the sweep still returns one
+// outcome per candidate — finished candidates keep their results, the
+// interrupted one is partial, the unreached ones are skipped — and every
+// searched candidate carries a non-nil SearchReport.
+func TestExploreParallelCancellation(t *testing.T) {
+	g := buildFuzzy(t)
+	bus := &core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4}
+	var cands []Candidate
+	for _, name := range []string{"a", "b", "c", "d"} {
+		cands = append(cands, Candidate{
+			Name:  name,
+			Procs: []*core.Processor{{Name: "cpu", TypeName: "proc10", SizeCon: 65536}},
+			Buses: []*core.Bus{bus},
+		})
+	}
+
+	// Pre-cancelled: everything is skipped, nothing runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	outs := ExploreParallel(ctx, g, cands, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{Legs: 2})
+	if len(outs) != len(cands) {
+		t.Fatalf("outcomes = %d, want %d", len(outs), len(cands))
+	}
+	for _, o := range outs {
+		if !o.Skipped || !o.Partial || o.Err == nil || !math.IsInf(o.Cost, 1) {
+			t.Errorf("%s: pre-cancelled outcome = %+v, want skipped/partial/error/+Inf", o.Candidate.Name, o)
+		}
+	}
+
+	// Deadline mid-sweep: the sweep is cut short but stays accounted for.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	outs = ExploreParallel(ctx2, g, cands, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{Legs: 2})
+	if len(outs) != len(cands) {
+		t.Fatalf("outcomes = %d, want %d", len(outs), len(cands))
+	}
+	cut := 0
+	for _, o := range outs {
+		if o.Partial || o.Skipped {
+			cut++
+		}
+		if o.Skipped {
+			continue
+		}
+		if o.Err == nil && o.Report == nil {
+			t.Errorf("%s: searched candidate has no report", o.Candidate.Name)
+		}
+	}
+	if cut == 0 {
+		t.Error("1ms deadline cut nothing short")
+	}
+
+	// The same sweep uncancelled runs clean (sanity for the same cands).
+	outs = ExploreParallel(context.Background(), g, cands, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{Legs: 2})
+	for _, o := range outs {
+		if o.Err != nil || o.Partial || o.Skipped {
+			t.Errorf("%s: clean sweep outcome = %+v", o.Candidate.Name, o)
+		}
+	}
+}
+
+// TestExploreCancellationSequential mirrors the parallel test for the
+// plain Explore loop.
+func TestExploreCancellationSequential(t *testing.T) {
+	g := buildFuzzy(t)
+	bus := &core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4}
+	cands := []Candidate{
+		{Name: "a", Procs: []*core.Processor{{Name: "cpu", TypeName: "proc10"}}, Buses: []*core.Bus{bus}},
+		{Name: "b", Procs: []*core.Processor{{Name: "cpu", TypeName: "proc10"}}, Buses: []*core.Bus{bus}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	outs := Explore(ctx, g, cands, partition.Constraints{}, partition.DefaultWeights())
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(outs))
+	}
+	for _, o := range outs {
+		if !o.Skipped || o.Err == nil {
+			t.Errorf("%s: outcome = %+v, want skipped with error", o.Candidate.Name, o)
 		}
 	}
 }

@@ -27,6 +27,11 @@ func FuzzRead(f *testing.F) {
 	f.Add("slif x\nnode a process\nchan a a freq 1 min 0 max 2 bits 8 tag -1\n")
 	f.Add("slif x\nbogus record\n")
 	f.Add("# comment\nslif x\nnode \x00 variable\n")
+	f.Add("slif x\nslif y\n")                        // duplicate header
+	f.Add("slif x\nnode a variable\nnode a process") // duplicate node
+	f.Add("slif x\nmap a cpu\nchanmap a b bus\n")    // mappings without objects
+	f.Add("slif x\nbus b width 16 ts 1 td 2\nproc p t std sizecon 1 pincon 2\nmem m t sizecon 0\n")
+	f.Add("slif x\nnode a variable storage 99999999999999999999\n") // overflowing int
 	f.Fuzz(func(t *testing.T, src string) {
 		g, pt, err := Read(strings.NewReader(src))
 		if err != nil {

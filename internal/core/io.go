@@ -99,11 +99,18 @@ func sortedKeys(m map[string]float64) []string {
 	return keys
 }
 
+// readMaxRecords caps the number of records one Read accepts, so a
+// corrupt or hostile stream cannot grow the graph without bound. A var,
+// not a const, so tests can lower it; the default admits far larger
+// graphs than any real specification produces.
+var readMaxRecords = 4 << 20
+
 // readState accumulates parse state for Read.
 type readState struct {
-	g    *Graph
-	pt   *Partition
-	line int
+	g       *Graph
+	pt      *Partition
+	line    int
+	records int
 }
 
 func (rs *readState) errf(format string, args ...any) error {
@@ -123,12 +130,17 @@ func Read(r io.Reader) (*Graph, *Partition, error) {
 			continue
 		}
 		f := strings.Fields(text)
+		if rs.records++; rs.records > readMaxRecords {
+			return nil, nil, rs.errf("stream exceeds %d records", readMaxRecords)
+		}
 		if err := rs.record(f); err != nil {
 			return nil, nil, err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, err
+		// Scanner failures (e.g. a line past the buffer cap) happen after
+		// the last complete line.
+		return nil, nil, fmt.Errorf("slif: line %d: %v", rs.line+1, err)
 	}
 	if rs.g == nil {
 		return nil, nil, fmt.Errorf("slif: stream has no 'slif' header")
@@ -144,6 +156,9 @@ func (rs *readState) record(f []string) error {
 	case "slif":
 		if len(f) != 2 {
 			return rs.errf("malformed slif header")
+		}
+		if rs.g != nil {
+			return rs.errf("duplicate slif header (stream already holds graph %q)", rs.g.Name)
 		}
 		rs.g = NewGraph(f[1])
 	case "port":

@@ -118,6 +118,62 @@ func TestReadErrors(t *testing.T) {
 	}
 }
 
+func TestReadRejectsDuplicateHeader(t *testing.T) {
+	src := "slif g\nnode a process\nslif h\n"
+	_, _, err := Read(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("duplicate slif header accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error does not name the offending line: %v", err)
+	}
+}
+
+func TestReadRecordCap(t *testing.T) {
+	defer func(old int) { readMaxRecords = old }(readMaxRecords)
+	readMaxRecords = 4
+
+	var src strings.Builder
+	src.WriteString("slif g\n")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&src, "node n%d variable\n", i)
+	}
+	_, _, err := Read(strings.NewReader(src.String()))
+	if err == nil {
+		t.Fatal("over-long stream accepted")
+	}
+	if !strings.Contains(err.Error(), "line 5") || !strings.Contains(err.Error(), "4 records") {
+		t.Errorf("cap error missing line or limit: %v", err)
+	}
+
+	// At the cap exactly, the stream still parses.
+	ok := "slif g\nnode a variable\nnode b variable\nnode c variable\n"
+	if _, _, err := Read(strings.NewReader(ok)); err != nil {
+		t.Errorf("stream at the cap rejected: %v", err)
+	}
+}
+
+func TestReadErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		line string
+	}{
+		{"slif g\nnode x bogus\n", "line 2"},
+		{"slif g\nnode a process\nict ghost t 1\n", "line 3"},
+		{"slif g\n\n# comment\nchan a b\n", "line 4"},
+	}
+	for _, c := range cases {
+		_, _, err := Read(strings.NewReader(c.src))
+		if err == nil {
+			t.Errorf("Read(%q) succeeded, want error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.line) {
+			t.Errorf("Read(%q) error %q does not mention %s", c.src, err, c.line)
+		}
+	}
+}
+
 func TestReadSkipsCommentsAndBlank(t *testing.T) {
 	src := "# header comment\n\nslif g\n# another\nnode a process\n"
 	g, _, err := Read(strings.NewReader(src))

@@ -1,0 +1,196 @@
+// Package faultinject provides deterministic, seeded fault injection for
+// the exploration stack. It defines the Hook interface the partition
+// evaluator consults before every cost evaluation (a nil hook costs one
+// branch — the production fast path is untouched) plus concrete injectors
+// that panic, delay, or fail legs of a parallel search on a reproducible
+// schedule.
+//
+// The package is a leaf: it depends only on the standard library, so any
+// layer (partition, alloc, tests) can import it without cycles. The
+// contract with the engine:
+//
+//   - Sequential searches call cfg.Eval.Hook.BeforeEval() once per cost
+//     evaluation, if the hook is non-nil.
+//   - The parallel engine derives a fresh per-leg hook via
+//     Hook.ForLeg(leg, seed) before running each leg on a worker, so
+//     injection decisions key on the leg index and the leg's derived seed —
+//     never on worker scheduling — and a fixed seed reproduces the same
+//     faults at any worker count.
+//   - A hook may return an error (injected estimator failure), sleep
+//     (injected latency), or panic (injected crash); the engine contains
+//     the panic, records it with the leg's seed, and keeps the other legs
+//     running.
+package faultinject
+
+import (
+	"fmt"
+	"time"
+)
+
+// Hook intercepts evaluator activity. Implementations returned by ForLeg
+// are used by exactly one goroutine at a time and may keep per-leg state
+// (e.g. an evaluation counter); the prototype hook installed on an
+// evaluator may be shared and must derive, not mutate.
+type Hook interface {
+	// BeforeEval fires immediately before one cost evaluation. Returning a
+	// non-nil error makes the evaluation fail as if the estimator had
+	// failed; the call may also sleep or panic.
+	BeforeEval() error
+	// ForLeg returns the hook one parallel search leg should use — a
+	// derived instance keyed on the leg index and the leg's derived seed,
+	// the hook itself if it is stateless, or nil to leave the leg unhooked.
+	ForLeg(leg int, seed int64) Hook
+}
+
+// Panic is the value an injected panic carries: everything needed to
+// reproduce the crash (the leg and its derived seed) plus where in the leg
+// it fired.
+type Panic struct {
+	Leg  int   // leg index the panic was injected into
+	Seed int64 // the leg's derived seed
+	Eval int   // evaluation count within the leg at which it fired
+}
+
+func (p *Panic) String() string {
+	return fmt.Sprintf("faultinject: injected panic in leg %d (seed %d) at eval %d", p.Leg, p.Seed, p.Eval)
+}
+
+// Error is the injected estimator error. It wraps nothing: an injected
+// failure must be distinguishable from a real one.
+type Error struct {
+	Leg  int
+	Seed int64
+	Eval int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: injected estimator error in leg %d (seed %d) at eval %d", e.Leg, e.Seed, e.Eval)
+}
+
+// mix64 is the splitmix64 finalizer — the same mixer the partition
+// sampler uses, so seeded injection composes with the engine's own
+// per-leg seed derivation without sharing streams.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Injector is a deterministic fault plan over the legs of a parallel
+// search. The zero value injects nothing. Legs can be selected explicitly
+// (PanicLegs/ErrLegs) or pseudo-randomly (PanicProb with Seed); either
+// way the decision is a pure function of (plan, leg index), so a run is
+// bit-reproducible at any worker count.
+//
+// The Injector itself is the inert prototype: its BeforeEval never fires.
+// Install it as an evaluator's hook and the parallel engine derives the
+// live per-leg hooks via ForLeg; for sequential searches, install
+// inj.ForLeg(0, seed) directly.
+type Injector struct {
+	// PanicLegs lists leg indices whose PanicAtEval-th evaluation panics.
+	PanicLegs []int
+	// PanicAtEval is the 0-based evaluation count within the leg at which
+	// an injected panic fires.
+	PanicAtEval int
+
+	// PanicProb panics each leg independently with this probability,
+	// decided by mix64(Seed, leg) — deterministic per (Seed, leg).
+	PanicProb float64
+	// Seed drives the PanicProb decision.
+	Seed int64
+
+	// ErrLegs lists leg indices whose ErrAtEval-th evaluation returns an
+	// injected estimator error instead of a cost.
+	ErrLegs []int
+	// ErrAtEval is the 0-based evaluation count at which the error fires.
+	ErrAtEval int
+
+	// Delay, if positive, is slept before every DelayEvery-th evaluation
+	// of every leg (DelayEvery 0 means every evaluation) — the knob that
+	// makes deadline tests independent of machine speed.
+	Delay      time.Duration
+	DelayEvery int
+}
+
+// BeforeEval on the prototype injects nothing; only leg-derived hooks fire.
+func (in *Injector) BeforeEval() error { return nil }
+
+// ForLeg derives the live hook for one leg, or nil if the plan injects
+// nothing into it.
+func (in *Injector) ForLeg(leg int, seed int64) Hook {
+	h := &legHook{leg: leg, seed: seed, panicAt: -1, errAt: -1}
+	for _, l := range in.PanicLegs {
+		if l == leg {
+			h.panicAt = in.PanicAtEval
+		}
+	}
+	if in.PanicProb > 0 {
+		// 53-bit uniform draw from the (Seed, leg) stream.
+		u := float64(mix64(mix64(uint64(in.Seed))+0x9E3779B97F4A7C15*uint64(leg+1))>>11) / (1 << 53)
+		if u < in.PanicProb {
+			h.panicAt = in.PanicAtEval
+		}
+	}
+	for _, l := range in.ErrLegs {
+		if l == leg {
+			h.errAt = in.ErrAtEval
+		}
+	}
+	if in.Delay > 0 {
+		h.delay = in.Delay
+		h.delayEvery = in.DelayEvery
+		if h.delayEvery <= 0 {
+			h.delayEvery = 1
+		}
+	}
+	if h.panicAt < 0 && h.errAt < 0 && h.delay == 0 {
+		return nil
+	}
+	return h
+}
+
+// legHook is the live, single-goroutine hook for one leg.
+type legHook struct {
+	leg        int
+	seed       int64
+	n          int // evaluations seen
+	panicAt    int // -1 = never
+	errAt      int // -1 = never
+	delay      time.Duration
+	delayEvery int
+}
+
+func (h *legHook) BeforeEval() error {
+	n := h.n
+	h.n++
+	if h.delay > 0 && n%h.delayEvery == 0 {
+		time.Sleep(h.delay)
+	}
+	if h.panicAt >= 0 && n == h.panicAt {
+		panic(&Panic{Leg: h.leg, Seed: h.seed, Eval: n})
+	}
+	if h.errAt >= 0 && n == h.errAt {
+		return &Error{Leg: h.leg, Seed: h.seed, Eval: n}
+	}
+	return nil
+}
+
+// ForLeg on an already-derived hook rebinds it to a new leg — a fresh
+// counter with the same plan slice is not reconstructible here, so derive
+// from the Injector instead; this exists only to satisfy Hook.
+func (h *legHook) ForLeg(leg int, seed int64) Hook {
+	cp := *h
+	cp.leg, cp.seed, cp.n = leg, seed, 0
+	return &cp
+}
+
+// Delayer is a stateless hook that sleeps D before every evaluation in
+// every leg — the simplest way to slow a search down enough for a
+// deadline to fire deterministically in tests.
+type Delayer struct{ D time.Duration }
+
+func (d Delayer) BeforeEval() error      { time.Sleep(d.D); return nil }
+func (d Delayer) ForLeg(int, int64) Hook { return d }

@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectorInertPrototype(t *testing.T) {
+	in := &Injector{PanicLegs: []int{0}, PanicAtEval: 0}
+	// The prototype itself never fires, however it is configured.
+	for i := 0; i < 10; i++ {
+		if err := in.BeforeEval(); err != nil {
+			t.Fatalf("prototype BeforeEval returned %v", err)
+		}
+	}
+}
+
+func TestForLegSelectsPlannedLegs(t *testing.T) {
+	in := &Injector{PanicLegs: []int{2}, PanicAtEval: 1, ErrLegs: []int{4}, ErrAtEval: 0}
+
+	if h := in.ForLeg(0, 7); h != nil {
+		t.Error("unplanned leg got a live hook")
+	}
+
+	h := in.ForLeg(2, 7)
+	if h == nil {
+		t.Fatal("planned panic leg got no hook")
+	}
+	if err := h.BeforeEval(); err != nil { // eval 0: quiet
+		t.Fatal(err)
+	}
+	defer func() {
+		p, ok := recover().(*Panic)
+		if !ok {
+			t.Fatal("eval 1 did not panic with *Panic")
+		}
+		if p.Leg != 2 || p.Seed != 7 || p.Eval != 1 {
+			t.Errorf("panic payload = %+v, want leg 2, seed 7, eval 1", p)
+		}
+		if p.String() == "" {
+			t.Error("empty panic description")
+		}
+	}()
+	_ = h.BeforeEval() // eval 1: injected panic
+}
+
+func TestForLegInjectsError(t *testing.T) {
+	in := &Injector{ErrLegs: []int{4}, ErrAtEval: 2}
+	h := in.ForLeg(4, 9)
+	if h == nil {
+		t.Fatal("planned error leg got no hook")
+	}
+	for i := 0; i < 2; i++ {
+		if err := h.BeforeEval(); err != nil {
+			t.Fatalf("eval %d: premature error %v", i, err)
+		}
+	}
+	err := h.BeforeEval()
+	var ie *Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("eval 2 returned %v, want *Error", err)
+	}
+	if ie.Leg != 4 || ie.Seed != 9 || ie.Eval != 2 {
+		t.Errorf("error payload = %+v", ie)
+	}
+	// One-shot: later evaluations are clean again.
+	if err := h.BeforeEval(); err != nil {
+		t.Errorf("eval 3: error fired twice: %v", err)
+	}
+}
+
+func TestPanicProbDeterministic(t *testing.T) {
+	all := &Injector{PanicProb: 1, Seed: 3}
+	none := &Injector{PanicProb: 0, Seed: 3}
+	for leg := 0; leg < 32; leg++ {
+		if all.ForLeg(leg, 0) == nil {
+			t.Errorf("PanicProb=1: leg %d unhooked", leg)
+		}
+		if none.ForLeg(leg, 0) != nil {
+			t.Errorf("PanicProb=0: leg %d hooked", leg)
+		}
+	}
+
+	// A fractional probability must pick the same leg subset every time —
+	// the decision is a pure function of (Seed, leg).
+	half := &Injector{PanicProb: 0.5, Seed: 11}
+	pick := func() (legs []int) {
+		for leg := 0; leg < 64; leg++ {
+			if half.ForLeg(leg, 0) != nil {
+				legs = append(legs, leg)
+			}
+		}
+		return legs
+	}
+	a, b := pick(), pick()
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("PanicProb=0.5 hooked %d/64 legs — draw looks degenerate", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PanicProb leg selection not deterministic")
+		}
+	}
+}
+
+func TestDelayerStateless(t *testing.T) {
+	d := Delayer{D: time.Microsecond}
+	if h := d.ForLeg(3, 99); h != Hook(d) {
+		t.Error("Delayer.ForLeg should return itself")
+	}
+	if err := d.BeforeEval(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLegHookRebind(t *testing.T) {
+	in := &Injector{ErrLegs: []int{1}, ErrAtEval: 0}
+	h := in.ForLeg(1, 5)
+	if err := h.BeforeEval(); err == nil {
+		t.Fatal("error did not fire")
+	}
+	// Rebinding resets the counter and retargets the metadata.
+	h2 := h.ForLeg(8, 6)
+	err := h2.BeforeEval()
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Leg != 8 || ie.Seed != 6 || ie.Eval != 0 {
+		t.Fatalf("rebound hook returned %v, want *Error{Leg:8 Seed:6 Eval:0}", err)
+	}
+}

@@ -406,6 +406,13 @@ func (m *Machine) maxIters() int {
 	return 1 << 20
 }
 
+func (m *Machine) maxStmts() int {
+	if m.MaxStmts > 0 {
+		return m.MaxStmts
+	}
+	return 1 << 20
+}
+
 func (m *Machine) execStmts(b *sem.Behavior, fr *frame, stmts []vhdl.Stmt) (ctl, error) {
 	for _, s := range stmts {
 		res, err := m.exec(b, fr, s)
@@ -420,6 +427,10 @@ func (m *Machine) execStmts(b *sem.Behavior, fr *frame, stmts []vhdl.Stmt) (ctl,
 }
 
 func (m *Machine) exec(b *sem.Behavior, fr *frame, s vhdl.Stmt) (ctl, error) {
+	if m.stmts++; m.stmts > m.maxStmts() {
+		return ctlPass, fmt.Errorf("%s: activation exceeded the %d-statement budget (runaway loop?)",
+			vhdl.StmtPos(s), m.maxStmts())
+	}
 	ts := m.trace[b]
 	switch st := s.(type) {
 	case *vhdl.AssignStmt:

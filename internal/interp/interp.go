@@ -124,6 +124,14 @@ type Machine struct {
 	// catch runaway specifications; 0 means the default of 1<<20.
 	MaxLoopIters int
 
+	// MaxStmts bounds the total statements one activation may execute —
+	// the backstop MaxLoopIters cannot provide against nested loops whose
+	// product of trip counts explodes, or infinite `loop` bodies that keep
+	// each individual loop under the iteration cap. 0 means the default of
+	// 1<<20 (~1e6); exceeding the budget aborts the activation with the
+	// source position of the statement that ran over.
+	MaxStmts int
+
 	// CheckRanges enables VHDL's runtime range checks: assigning a value
 	// outside a constrained scalar subtype's range is an error, as it
 	// would be in a real simulator. Off by default — the estimation flow
@@ -133,7 +141,8 @@ type Machine struct {
 	// Activations counts start-to-finish executions per behavior.
 	Activations map[*sem.Behavior]int64
 
-	step int
+	step  int
+	stmts int // statements executed in the current activation
 }
 
 // New prepares a machine for the design: allocates storage, evaluates
@@ -302,6 +311,7 @@ func (m *Machine) activate(ps *procState) error {
 	for _, c := range ps.watch {
 		ps.preSnap[c] = c.snapshot()
 	}
+	m.stmts = 0 // per-activation statement budget (MaxStmts)
 	fr := newFrame(ps.beh)
 	// Re-initialize subprogram-owned nothing here; process locals persist.
 	ctl, err := m.execStmts(ps.beh, fr, ps.beh.Body)

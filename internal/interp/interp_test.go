@@ -4,6 +4,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 
 	"specsyn/internal/sem"
@@ -369,6 +371,62 @@ end process; end;`)
 	m.MaxLoopIters = 1000
 	if err := m.Step(nil); err == nil {
 		t.Error("runaway while loop not caught")
+	}
+}
+
+func TestStatementBudgetCaught(t *testing.T) {
+	// Nested loops whose individual trip counts stay under MaxLoopIters
+	// but whose product does not — only the per-activation statement
+	// budget catches this shape.
+	m, _ := machine(t, `
+entity E is port (o : out integer); end;
+architecture x of E is begin
+P: process
+    variable n : integer;
+begin
+    for i in 1 to 100 loop
+        for j in 1 to 100 loop
+            n := n + 1;
+        end loop;
+    end loop;
+    o <= n;
+    wait;
+end process; end;`)
+	m.MaxStmts = 500
+	err := m.Step(nil)
+	if err == nil {
+		t.Fatal("statement-budget overrun not caught")
+	}
+	if !strings.Contains(err.Error(), "500-statement budget") {
+		t.Errorf("error does not name the budget: %v", err)
+	}
+	// The offending statement's source position must be in the message
+	// (line:col — every statement in the snippet is past line 4).
+	if !regexp.MustCompile(`\b\d+:\d+\b`).MatchString(err.Error()) {
+		t.Errorf("error has no source position: %v", err)
+	}
+
+	// A generous budget lets the same design finish.
+	m2, _ := machine(t, `
+entity E is port (o : out integer); end;
+architecture x of E is begin
+P: process
+    variable n : integer;
+begin
+    for i in 1 to 100 loop
+        for j in 1 to 100 loop
+            n := n + 1;
+        end loop;
+    end loop;
+    o <= n;
+    wait;
+end process; end;`)
+	m2.MaxStmts = 1 << 20
+	if err := m2.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := m2.Port("o"); o != 10000 {
+		t.Errorf("o = %d, want 10000", o)
 	}
 }
 

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,6 +16,41 @@ type Config struct {
 	Policy   BusPolicy
 	Seed     int64
 	MaxIters int // algorithm-specific iteration budget; 0 = default
+
+	// MaxEvals caps the cost evaluations a run may spend; 0 = unlimited.
+	// A search that exhausts the budget stops and returns its best-so-far
+	// result with Partial set (anytime semantics), possibly spending one
+	// grace evaluation to cost the final partition of a constructive
+	// algorithm. Parallel engines split the budget deterministically
+	// across legs, so a budgeted run is still reproducible at a fixed
+	// seed and leg plan.
+	MaxEvals int
+}
+
+// checkInterval is how many candidates/iterations a search hot loop runs
+// between cooperative cancellation checks. Polling the context is a mutex
+// acquisition, so amortizing it keeps the allocation-free fast path from
+// the parallel engine intact; a cancel therefore takes effect within at
+// most this many evaluations.
+const checkInterval = 64
+
+// cancelled polls the context; nil contexts never cancel, so internal
+// callers can pass whatever they were handed.
+func cancelled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
+// budgetLeft reports whether the run may spend another evaluation. A
+// negative MaxEvals means an already-exhausted budget (the parallel
+// engine's way of giving a leg a zero quota), as opposed to 0 = unlimited.
+func (c Config) budgetLeft(start int) bool {
+	if c.MaxEvals == 0 {
+		return true
+	}
+	if c.MaxEvals < 0 {
+		return false
+	}
+	return c.Eval.Evals-start < c.MaxEvals
 }
 
 // Result is the outcome of one search run.
@@ -23,6 +59,13 @@ type Result struct {
 	Cost  float64
 	Evals int // partitions estimated during this run
 
+	// Partial marks an anytime result: the search stopped early — context
+	// cancelled, deadline passed, or evaluation budget exhausted — and
+	// Best is the best candidate seen so far rather than the algorithm's
+	// converged answer. Best may be nil if the search was stopped before
+	// it evaluated anything.
+	Partial bool
+
 	// FinalTemp is set by Anneal only: the temperature after the last
 	// iteration. The geometric schedule cools once per iteration, so for a
 	// fixed MaxIters it always lands at the same value (≈0.01).
@@ -30,7 +73,11 @@ type Result struct {
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("cost %.4f after %d evaluations", r.Cost, r.Evals)
+	s := fmt.Sprintf("cost %.4f after %d evaluations", r.Cost, r.Evals)
+	if r.Partial {
+		s += " (partial)"
+	}
+	return s
 }
 
 // evalWith applies the bus policy and costs the partition.
@@ -88,21 +135,25 @@ func candidateTable(g *core.Graph) ([][]core.Component, error) {
 
 // Random samples MaxIters (default 1000) random legal partitions and
 // returns the best — the baseline every smarter algorithm must beat, and
-// the workload for the "thousands of possible designs" speed claim.
-func Random(g *core.Graph, cfg Config) (Result, error) {
+// the workload for the "thousands of possible designs" speed claim. On
+// cancellation or budget exhaustion it returns the best candidate seen so
+// far with Partial set.
+func Random(ctx context.Context, g *core.Graph, cfg Config) (Result, error) {
 	iters := cfg.MaxIters
 	if iters <= 0 {
 		iters = 1000
 	}
-	return randomRange(g, cfg, 0, iters)
+	return randomRange(ctx, g, cfg, 0, iters)
 }
 
 // randomRange evaluates the candidates with indices [lo, hi) of the
 // deterministic candidate enumeration defined by cfg.Seed. Candidates are
 // built on one scratch partition (cloned only on improvement), so the loop
 // is allocation-light. Ties keep the earliest candidate, matching what a
-// sequential first-strictly-better scan would keep.
-func randomRange(g *core.Graph, cfg Config, lo, hi int) (Result, error) {
+// sequential first-strictly-better scan would keep. The context is polled
+// every checkInterval candidates; a poll that never fires changes nothing,
+// so an uncancelled run is bit-identical to the pre-context engine.
+func randomRange(ctx context.Context, g *core.Graph, cfg Config, lo, hi int) (Result, error) {
 	start := cfg.Eval.Evals
 	table, err := candidateTable(g)
 	if err != nil {
@@ -111,7 +162,16 @@ func randomRange(g *core.Graph, cfg Config, lo, hi int) (Result, error) {
 	pt := core.NewPartition(g)
 	var best *core.Partition
 	bestCost := math.Inf(1)
+	partial := false
 	for i := lo; i < hi; i++ {
+		if (i-lo)%checkInterval == 0 && cancelled(ctx) {
+			partial = true
+			break
+		}
+		if !cfg.budgetLeft(start) {
+			partial = true
+			break
+		}
 		s := candidateSampler(cfg.Seed, i)
 		for j, n := range g.Nodes {
 			cands := table[j]
@@ -127,21 +187,24 @@ func randomRange(g *core.Graph, cfg Config, lo, hi int) (Result, error) {
 			bestCost, best = cost, pt.Clone()
 		}
 	}
-	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start}, nil
+	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start, Partial: partial}, nil
 }
 
 // Greedy builds a partition constructively: nodes in descending traffic
 // order, each placed on the candidate component that minimizes the cost of
 // the partial mapping (unplaced nodes temporarily ride on the first
-// candidate so the estimate is always defined).
-func Greedy(g *core.Graph, cfg Config) (Result, error) {
-	return greedyRotated(g, cfg, 0)
+// candidate so the estimate is always defined). Cancelled or
+// budget-exhausted runs stop placing and return the (always complete and
+// legal) mapping built so far with Partial set, spending one grace
+// evaluation to cost it.
+func Greedy(ctx context.Context, g *core.Graph, cfg Config) (Result, error) {
+	return greedyRotated(ctx, g, cfg, 0)
 }
 
 // greedyRotated is Greedy with the constructive order rotated left by
 // rotate positions — the multi-start engine's source of distinct greedy
 // legs. rotate 0 is the canonical heaviest-communicators-first order.
-func greedyRotated(g *core.Graph, cfg Config, rotate int) (Result, error) {
+func greedyRotated(ctx context.Context, g *core.Graph, cfg Config, rotate int) (Result, error) {
 	start := cfg.Eval.Evals
 
 	// Node order: heaviest communicators first.
@@ -173,9 +236,16 @@ func greedyRotated(g *core.Graph, cfg Config, rotate int) (Result, error) {
 		}
 	}
 
+	partial := false
+place:
 	for _, n := range nodes {
+		if cancelled(ctx) || !cfg.budgetLeft(start) {
+			partial = true
+			break
+		}
 		bestCost := math.Inf(1)
 		var bestComp core.Component
+		from := pt.BvComp(n)
 		for _, comp := range Allowed(g, n) {
 			if err := pt.Assign(n, comp); err != nil {
 				return Result{}, err
@@ -187,6 +257,18 @@ func greedyRotated(g *core.Graph, cfg Config, rotate int) (Result, error) {
 			if cost < bestCost {
 				bestCost, bestComp = cost, comp
 			}
+			if !cfg.budgetLeft(start) {
+				// Mid-node budget exhaustion: commit the best candidate
+				// tried so far (the mapping stays complete) and stop.
+				if err := pt.Assign(n, bestComp); err != nil {
+					return Result{}, err
+				}
+				partial = true
+				break place
+			}
+		}
+		if bestComp == nil {
+			bestComp = from
 		}
 		if err := pt.Assign(n, bestComp); err != nil {
 			return Result{}, err
@@ -196,15 +278,17 @@ func greedyRotated(g *core.Graph, cfg Config, rotate int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Best: pt, Cost: cost, Evals: cfg.Eval.Evals - start}, nil
+	return Result{Best: pt, Cost: cost, Evals: cfg.Eval.Evals - start, Partial: partial}, nil
 }
 
 // GroupMigration is a Kernighan–Lin style improvement pass over an initial
 // partition: repeatedly, every node is trial-moved to every other candidate
 // component, the single best move is committed and the node locked; a pass
 // ends when all nodes are locked, the best prefix of moves is kept, and
-// passes repeat until one yields no improvement.
-func GroupMigration(init *core.Partition, cfg Config) (Result, error) {
+// passes repeat until one yields no improvement. Cancellation or budget
+// exhaustion abandons the in-flight pass and returns the last committed
+// partition with Partial set — committed prefixes are never lost.
+func GroupMigration(ctx context.Context, init *core.Partition, cfg Config) (Result, error) {
 	g := init.Graph()
 	start := cfg.Eval.Evals
 	cur := init.Clone()
@@ -213,6 +297,7 @@ func GroupMigration(init *core.Partition, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
+	partial := false
 	maxPasses := cfg.MaxIters
 	if maxPasses <= 0 {
 		maxPasses = 10
@@ -230,6 +315,10 @@ func GroupMigration(init *core.Partition, cfg Config) (Result, error) {
 		var seq []move
 
 		for len(locked) < len(g.Nodes) {
+			if cancelled(ctx) || !cfg.budgetLeft(start) {
+				partial = true
+				break
+			}
 			bestCost := math.Inf(1)
 			var bestMove *move
 			for _, n := range g.Nodes {
@@ -277,7 +366,7 @@ func GroupMigration(init *core.Partition, cfg Config) (Result, error) {
 			}
 		}
 		if bestPrefix == 0 {
-			break // no improving prefix: converged
+			break // no improving prefix: converged (or pass abandoned dry)
 		}
 		for _, m := range seq[:bestPrefix] {
 			if err := cur.Assign(m.n, m.to); err != nil {
@@ -288,14 +377,19 @@ func GroupMigration(init *core.Partition, cfg Config) (Result, error) {
 		if err := ApplyBusPolicy(cur, cfg.Policy); err != nil {
 			return Result{}, err
 		}
+		if partial {
+			break
+		}
 	}
-	return Result{Best: cur, Cost: curCost, Evals: cfg.Eval.Evals - start}, nil
+	return Result{Best: cur, Cost: curCost, Evals: cfg.Eval.Evals - start, Partial: partial}, nil
 }
 
 // Anneal runs simulated annealing from an initial partition: random node
 // moves accepted when improving or with Boltzmann probability otherwise,
-// geometric cooling.
-func Anneal(init *core.Partition, cfg Config) (Result, error) {
+// geometric cooling. A cancelled or budget-exhausted run returns the best
+// partition seen so far with Partial set; the context is polled every
+// checkInterval iterations so the RNG stream is untouched by the checks.
+func Anneal(ctx context.Context, init *core.Partition, cfg Config) (Result, error) {
 	g := init.Graph()
 	start := cfg.Eval.Evals
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -325,7 +419,16 @@ func Anneal(init *core.Partition, cfg Config) (Result, error) {
 		return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start}, nil
 	}
 
+	partial := false
 	for i := 0; i < iters; i++ {
+		if i%checkInterval == 0 && cancelled(ctx) {
+			partial = true
+			break
+		}
+		if !cfg.budgetLeft(start) {
+			partial = true
+			break
+		}
 		n := movable[rng.Intn(len(movable))]
 		from := cur.BvComp(n)
 		cands := Allowed(g, n)
@@ -377,12 +480,14 @@ func Anneal(init *core.Partition, cfg Config) (Result, error) {
 	if err := ApplyBusPolicy(best, cfg.Policy); err != nil {
 		return Result{}, err
 	}
-	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start, FinalTemp: temp}, nil
+	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start, Partial: partial, FinalTemp: temp}, nil
 }
 
 // Exhaustive enumerates every legal partition — exponential, usable only
-// for small graphs; the oracle the heuristics are tested against.
-func Exhaustive(g *core.Graph, cfg Config) (Result, error) {
+// for small graphs; the oracle the heuristics are tested against. On
+// cancellation or budget exhaustion the enumeration stops and the best
+// partition found so far is returned with Partial set.
+func Exhaustive(ctx context.Context, g *core.Graph, cfg Config) (Result, error) {
 	start := cfg.Eval.Evals
 	cands := make([][]core.Component, len(g.Nodes))
 	total := 1.0
@@ -400,9 +505,23 @@ func Exhaustive(g *core.Graph, cfg Config) (Result, error) {
 	pt := core.NewPartition(g)
 	var best *core.Partition
 	bestCost := math.Inf(1)
+	partial := false
+	visited := 0
 	var recurse func(i int) error
 	recurse = func(i int) error {
+		if partial {
+			return nil
+		}
 		if i == len(g.Nodes) {
+			if visited%checkInterval == 0 && cancelled(ctx) {
+				partial = true
+				return nil
+			}
+			if !cfg.budgetLeft(start) {
+				partial = true
+				return nil
+			}
+			visited++
 			cost, err := evalWith(cfg, pt)
 			if err != nil {
 				return err
@@ -420,6 +539,9 @@ func Exhaustive(g *core.Graph, cfg Config) (Result, error) {
 			if err := recurse(i + 1); err != nil {
 				return err
 			}
+			if partial {
+				return nil
+			}
 		}
 		return nil
 	}
@@ -431,5 +553,5 @@ func Exhaustive(g *core.Graph, cfg Config) (Result, error) {
 			return Result{}, err
 		}
 	}
-	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start}, nil
+	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start, Partial: partial}, nil
 }

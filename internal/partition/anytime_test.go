@@ -1,0 +1,372 @@
+package partition
+
+// Tests for the anytime/fault-isolation contract: injected panics are
+// contained per leg and reported with reproduction seeds, deadlines and
+// budgets yield valid best-so-far results with Partial set, and none of it
+// perturbs the deterministic merge.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"specsyn/internal/faultinject"
+)
+
+// completeMapping fails the test unless every node of the result's graph
+// is mapped — the "anytime results are always valid partitions" invariant.
+func completeMapping(t *testing.T, res Result) {
+	t.Helper()
+	if res.Best == nil {
+		t.Fatal("result has no partition")
+	}
+	for _, n := range res.Best.Graph().Nodes {
+		if res.Best.BvComp(n) == nil {
+			t.Fatalf("node %q unmapped in anytime result", n.Name)
+		}
+	}
+}
+
+// TestInjectedPanicsContained: K of N legs panic on a deterministic
+// schedule; the run still succeeds with the best surviving leg, the report
+// lists exactly the K panics with their derived seeds, and the whole thing
+// is bit-reproducible at any worker count.
+func TestInjectedPanicsContained(t *testing.T) {
+	g := benchGraph(t, 8, 5)
+	const nLegs = 8
+	panicLegs := []int{1, 3, 5} // K = 3 of N = 8
+
+	mk := func(inject bool) Config {
+		cfg := config(g, Constraints{})
+		cfg.Seed = 42
+		cfg.MaxIters = 200
+		if inject {
+			cfg.Eval.Hook = &faultinject.Injector{PanicLegs: panicLegs, PanicAtEval: 3}
+		}
+		return cfg
+	}
+
+	clean, err := MultiStart(context.Background(), g, mk(false), ParallelOptions{Workers: 4, Legs: nLegs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var runs []MultiResult
+	for _, workers := range []int{1, 2, 4, 7} {
+		out, err := MultiStart(context.Background(), g, mk(true), ParallelOptions{Workers: workers, Legs: nLegs})
+		if err != nil {
+			t.Fatalf("workers=%d: injected panics not contained: %v", workers, err)
+		}
+		if got := len(out.Report.Panics); got != len(panicLegs) {
+			t.Fatalf("workers=%d: %d panics reported, want %d", workers, got, len(panicLegs))
+		}
+		for i, p := range out.Report.Panics {
+			if p.Leg != panicLegs[i] {
+				t.Errorf("workers=%d: panic %d on leg %d, want %d", workers, i, p.Leg, panicLegs[i])
+			}
+			ip, ok := p.Value.(*faultinject.Panic)
+			if !ok {
+				t.Fatalf("workers=%d: panic value %T, want *faultinject.Panic", workers, p.Value)
+			}
+			if ip.Seed != p.Seed {
+				t.Errorf("workers=%d: record seed %d != injected seed %d", workers, p.Seed, ip.Seed)
+			}
+			if p.Stack == "" {
+				t.Error("panic record has no stack")
+			}
+		}
+		if out.Report.Partial {
+			t.Errorf("workers=%d: contained panics marked the run partial", workers)
+		}
+		if out.Report.LegsCompleted != nLegs-len(panicLegs) {
+			t.Errorf("workers=%d: %d legs completed, want %d", workers, out.Report.LegsCompleted, nLegs-len(panicLegs))
+		}
+		runs = append(runs, out)
+	}
+
+	// Deterministic across worker counts: same winner, same cost.
+	for _, out := range runs[1:] {
+		if out.Cost != runs[0].Cost || out.BestLeg != runs[0].BestLeg {
+			t.Fatalf("injected run not deterministic: (cost %v, leg %d) vs (cost %v, leg %d)",
+				out.Cost, out.BestLeg, runs[0].Cost, runs[0].BestLeg)
+		}
+	}
+
+	// The winner is the best over the SURVIVING legs, and each surviving
+	// leg's result is untouched by its neighbours' crashes.
+	dead := map[int]bool{}
+	for _, l := range panicLegs {
+		dead[l] = true
+	}
+	best := -1
+	for i, r := range runs[0].Legs {
+		if dead[i] || r.Best == nil {
+			continue
+		}
+		if r.Cost != clean.Legs[i].Cost {
+			t.Errorf("surviving leg %d cost %v differs from uninjected run's %v", i, r.Cost, clean.Legs[i].Cost)
+		}
+		if best < 0 || r.Cost < runs[0].Legs[best].Cost {
+			best = i
+		}
+	}
+	if runs[0].BestLeg != best {
+		t.Errorf("BestLeg = %d, want best surviving leg %d", runs[0].BestLeg, best)
+	}
+}
+
+// TestInjectedErrorRecorded: an injected estimator error fails its leg,
+// lands in Report.Errors as a *faultinject.Error (distinguishable from a
+// real failure), and the portfolio still returns a result.
+func TestInjectedErrorRecorded(t *testing.T) {
+	g := benchGraph(t, 6, 4)
+	cfg := config(g, Constraints{})
+	cfg.MaxIters = 100
+	cfg.Eval.Hook = &faultinject.Injector{ErrLegs: []int{0}, ErrAtEval: 2}
+
+	out, err := MultiStart(context.Background(), g, cfg, ParallelOptions{Workers: 2, Legs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Report.Errors) != 1 || out.Report.Errors[0].Leg != 0 {
+		t.Fatalf("Errors = %+v, want one entry for leg 0", out.Report.Errors)
+	}
+	var ie *faultinject.Error
+	if !errors.As(out.Report.Errors[0].Err, &ie) {
+		t.Fatalf("leg error %v is not a *faultinject.Error", out.Report.Errors[0].Err)
+	}
+	if out.BestLeg == 0 {
+		t.Error("failed leg won the merge")
+	}
+	completeMapping(t, out.Result)
+}
+
+// TestAllLegsPanicIsAnError: when nothing survives, the engine reports an
+// error naming the first panic — and still returns the full report.
+func TestAllLegsPanicIsAnError(t *testing.T) {
+	g := benchGraph(t, 5, 3)
+	cfg := config(g, Constraints{})
+	cfg.Eval.Hook = &faultinject.Injector{PanicProb: 1}
+
+	out, err := MultiStart(context.Background(), g, cfg, ParallelOptions{Workers: 2, Legs: 3})
+	if err == nil {
+		t.Fatal("run with zero surviving legs succeeded")
+	}
+	if len(out.Report.Panics) != 3 {
+		t.Errorf("%d panics reported, want 3", len(out.Report.Panics))
+	}
+}
+
+// TestDeadlinePartialResult: a deadline far shorter than the full search
+// returns a valid, complete best-so-far partition with Partial set, for
+// both the sequential greedy and the parallel portfolio. Injected delays
+// make the timing machine-independent.
+func TestDeadlinePartialResult(t *testing.T) {
+	g := benchGraph(t, 10, 6)
+
+	mk := func() Config {
+		cfg := config(g, Constraints{})
+		cfg.MaxIters = 100000
+		cfg.Eval.Hook = faultinject.Delayer{D: 200 * time.Microsecond}
+		return cfg
+	}
+
+	t.Run("greedy", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		defer cancel()
+		cfg := mk()
+		cfg.Eval.Hook = cfg.Eval.Hook.ForLeg(0, cfg.Seed)
+		res, err := Greedy(ctx, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Partial {
+			t.Error("deadline did not mark the greedy result partial")
+		}
+		completeMapping(t, res)
+	})
+
+	t.Run("multi", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		defer cancel()
+		out, err := MultiStart(ctx, g, mk(), ParallelOptions{Workers: 2, Legs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Report.Partial || !out.Result.Partial {
+			t.Errorf("deadline-bounded run not marked partial: %+v", out.Report)
+		}
+		completeMapping(t, out.Result)
+	})
+}
+
+// TestCancelMidParallelRandom: cancelling the context mid-run stops the
+// legs at their next cooperative check and the merge returns the best of
+// what was evaluated, marked partial.
+func TestCancelMidParallelRandom(t *testing.T) {
+	g := benchGraph(t, 8, 5)
+	cfg := config(g, Constraints{})
+	cfg.MaxIters = 1 << 30 // would run ~forever without the cancel
+	cfg.Eval.Hook = faultinject.Delayer{D: 50 * time.Microsecond}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	out, err := ParallelRandom(ctx, g, cfg, ParallelOptions{Workers: 2, Legs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancel took %v to take effect", elapsed)
+	}
+	if !out.Result.Partial || !out.Report.Partial {
+		t.Error("cancelled run not marked partial")
+	}
+	if out.Evals >= 1<<30 {
+		t.Error("cancelled run claims to have finished the plan")
+	}
+	completeMapping(t, out.Result)
+}
+
+// TestMaxEvalsBudget: the evaluation budget is a hard cap (plus at most
+// one grace evaluation for constructive algorithms) and budgeted runs are
+// marked partial.
+func TestMaxEvalsBudget(t *testing.T) {
+	g := benchGraph(t, 8, 5)
+
+	t.Run("random", func(t *testing.T) {
+		cfg := config(g, Constraints{})
+		cfg.MaxIters = 300
+		cfg.MaxEvals = 100
+		res, err := Random(context.Background(), g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Evals != 100 || !res.Partial {
+			t.Errorf("Evals = %d, Partial = %v; want exactly 100, true", res.Evals, res.Partial)
+		}
+		// The budgeted prefix equals an unbudgeted run of just that prefix.
+		cfg2 := config(g, Constraints{})
+		cfg2.MaxIters = 100
+		ref, err := Random(context.Background(), g, cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != ref.Cost {
+			t.Errorf("budgeted cost %v != prefix cost %v", res.Cost, ref.Cost)
+		}
+	})
+
+	t.Run("greedy-grace", func(t *testing.T) {
+		cfg := config(g, Constraints{})
+		cfg.MaxEvals = 5
+		res, err := Greedy(context.Background(), g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Evals > 6 { // budget + one grace eval of the final mapping
+			t.Errorf("Evals = %d, want <= 6", res.Evals)
+		}
+		if !res.Partial {
+			t.Error("budget-stopped greedy not marked partial")
+		}
+		completeMapping(t, res)
+	})
+
+	t.Run("parallel-random-clamp", func(t *testing.T) {
+		cfg := config(g, Constraints{})
+		cfg.MaxIters = 300
+		cfg.MaxEvals = 100
+		out, err := ParallelRandom(context.Background(), g, cfg, ParallelOptions{Workers: 3, Legs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Evals != 100 || !out.Result.Partial {
+			t.Errorf("Evals = %d, Partial = %v; want exactly 100, true", out.Evals, out.Result.Partial)
+		}
+		// Bit-identical to the budgeted sequential run.
+		cfg2 := config(g, Constraints{})
+		cfg2.MaxIters = 300
+		cfg2.MaxEvals = 100
+		seq, err := Random(context.Background(), g, cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Cost != seq.Cost || out.Best.String() != seq.Best.String() {
+			t.Error("budgeted parallel result differs from budgeted sequential")
+		}
+	})
+
+	t.Run("multi-split", func(t *testing.T) {
+		cfg := config(g, Constraints{})
+		cfg.MaxIters = 200
+		cfg.MaxEvals = 60
+		for _, workers := range []int{1, 4} {
+			out, err := MultiStart(context.Background(), g, cfg, ParallelOptions{Workers: workers, Legs: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Even split + at most one grace eval per constructive leg.
+			if out.Evals > 60+6 {
+				t.Errorf("workers=%d: Evals = %d, want <= 66", workers, out.Evals)
+			}
+			if !out.Report.Partial {
+				t.Errorf("workers=%d: budget-capped run not marked partial", workers)
+			}
+			completeMapping(t, out.Result)
+		}
+	})
+}
+
+// TestNilContext: internal callers may pass a nil context; it must behave
+// as Background (never cancelled).
+func TestNilContext(t *testing.T) {
+	g := benchGraph(t, 5, 3)
+	cfg := config(g, Constraints{})
+	cfg.MaxIters = 50
+	res, err := Random(nil, g, cfg) //nolint:staticcheck // nil ctx is part of the contract
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Error("nil context marked the run partial")
+	}
+	bg, err := Random(context.Background(), g, config(g, Constraints{}))
+	_ = bg
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlreadyCancelled: a context cancelled before the run starts skips
+// every leg and reports a structured error rather than panicking.
+func TestAlreadyCancelled(t *testing.T) {
+	g := benchGraph(t, 5, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cfg := config(g, Constraints{})
+	out, err := MultiStart(ctx, g, cfg, ParallelOptions{Workers: 2, Legs: 4})
+	if err == nil {
+		t.Fatal("fully skipped run returned no error")
+	}
+	if out.Report.LegsSkipped != 4 {
+		t.Errorf("LegsSkipped = %d, want 4", out.Report.LegsSkipped)
+	}
+	if !out.Report.Partial {
+		t.Error("fully skipped run not marked partial")
+	}
+
+	// Sequential algorithms return an empty partial result instead.
+	res, err := Random(ctx, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.Best != nil {
+		t.Errorf("pre-cancelled Random: Partial=%v Best=%v, want true, nil", res.Partial, res.Best)
+	}
+}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -117,8 +118,9 @@ func HierarchicalClusters(g *core.Graph, k int) ([]Cluster, int, error) {
 // clusters as there are components, then assigning whole clusters to
 // components greedily by cost. Clusters whose nodes cannot all live on the
 // chosen component (behaviors on a memory) spill those nodes to their first
-// allowed component.
-func ClusterGreedy(g *core.Graph, cfg Config) (Result, error) {
+// allowed component. A cancelled or budget-exhausted run stops placing
+// clusters and returns the complete mapping built so far with Partial set.
+func ClusterGreedy(ctx context.Context, g *core.Graph, cfg Config) (Result, error) {
 	start := cfg.Eval.Evals
 	comps := g.Components()
 	if len(comps) == 0 {
@@ -165,7 +167,12 @@ func ClusterGreedy(g *core.Graph, cfg Config) (Result, error) {
 		return nil
 	}
 
+	partial := false
 	for _, cl := range clusters {
+		if cancelled(ctx) || !cfg.budgetLeft(start) {
+			partial = true
+			break
+		}
 		bestCost := math.Inf(1)
 		var bestComp core.Component
 		for _, comp := range comps {
@@ -188,5 +195,5 @@ func ClusterGreedy(g *core.Graph, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Best: pt, Cost: cost, Evals: cfg.Eval.Evals - start}, nil
+	return Result{Best: pt, Cost: cost, Evals: cfg.Eval.Evals - start, Partial: partial}, nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"specsyn/internal/core"
 	"specsyn/internal/estimate"
+	"specsyn/internal/faultinject"
 )
 
 // Constraints carries design constraints beyond the per-component size/pin
@@ -54,6 +55,13 @@ type Evaluator struct {
 	W      Weights
 	EstOpt estimate.Options
 
+	// Hook, when non-nil, fires before every cost evaluation — the
+	// fault-injection seam. Production runs leave it nil, which costs a
+	// single predicted branch per evaluation. The parallel engine derives
+	// per-leg hooks from it via ForLeg; a hook used sequentially must be
+	// single-goroutine (evaluators are anyway).
+	Hook faultinject.Hook
+
 	Evals int
 
 	totalTraffic float64             // Σ freq×bits, for Comm normalization
@@ -74,7 +82,7 @@ func NewEvaluator(g *core.Graph, cons Constraints, w Weights, estOpt estimate.Op
 // per-worker instance the parallel search engine hands each goroutine.
 func (ev *Evaluator) Clone() *Evaluator {
 	return &Evaluator{
-		G: ev.G, Cons: ev.Cons, W: ev.W, EstOpt: ev.EstOpt,
+		G: ev.G, Cons: ev.Cons, W: ev.W, EstOpt: ev.EstOpt, Hook: ev.Hook,
 		totalTraffic: ev.totalTraffic,
 	}
 }
@@ -109,6 +117,11 @@ func (ev *Evaluator) Cost(pt *core.Partition) (float64, error) {
 // costWith evaluates pt under an explicit weight set, so callers can vary
 // weights (Feasible disables Comm) without mutating shared state.
 func (ev *Evaluator) costWith(pt *core.Partition, w Weights) (float64, error) {
+	if ev.Hook != nil {
+		if err := ev.Hook.BeforeEval(); err != nil {
+			return 0, err
+		}
+	}
 	ev.Evals++
 	est := ev.estimator(pt)
 	var cost float64

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -23,7 +24,7 @@ func TestParallelRandomMatchesSequential(t *testing.T) {
 		cfg.MaxIters = 300
 		return cfg
 	}
-	seq, err := Random(g, mk())
+	seq, err := Random(context.Background(), g, mk())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestParallelRandomMatchesSequential(t *testing.T) {
 		{Workers: 3},
 	} {
 		cfg := mk()
-		par, err := ParallelRandom(g, cfg, opt)
+		par, err := ParallelRandom(context.Background(), g, cfg, opt)
 		if err != nil {
 			t.Fatalf("%+v: %v", opt, err)
 		}
@@ -59,7 +60,7 @@ func TestParallelEvalsAggregation(t *testing.T) {
 	cfg.Seed = 5
 	cfg.MaxIters = 120
 	before := cfg.Eval.Evals
-	res, err := ParallelRandom(g, cfg, ParallelOptions{Workers: 4, Legs: 5})
+	res, err := ParallelRandom(context.Background(), g, cfg, ParallelOptions{Workers: 4, Legs: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestMultiStartDeterministic(t *testing.T) {
 		cfg := config(g, Constraints{Deadline: map[string]float64{"b0": 150}})
 		cfg.Seed = 11
 		cfg.MaxIters = 200
-		res, err := MultiStart(g, cfg, ParallelOptions{Workers: workers, Legs: 6})
+		res, err := MultiStart(context.Background(), g, cfg, ParallelOptions{Workers: workers, Legs: 6})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,12 +111,12 @@ func TestMultiStartDeterministic(t *testing.T) {
 func TestMultiStartOneLegEqualsGreedy(t *testing.T) {
 	g := benchGraph(t, 7, 4)
 	g.Procs[0].SizeCon = 600
-	seq, err := Greedy(g, config(g, Constraints{}))
+	seq, err := Greedy(context.Background(), g, config(g, Constraints{}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := config(g, Constraints{})
-	par, err := MultiStart(g, cfg, ParallelOptions{Workers: 1, Legs: 1})
+	par, err := MultiStart(context.Background(), g, cfg, ParallelOptions{Workers: 1, Legs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,13 +130,13 @@ func TestMultiStartOneLegEqualsGreedy(t *testing.T) {
 func TestMultiStartNotWorseThanGreedy(t *testing.T) {
 	g := benchGraph(t, 10, 6)
 	g.Procs[0].SizeCon = 500
-	greedy, err := Greedy(g, config(g, Constraints{}))
+	greedy, err := Greedy(context.Background(), g, config(g, Constraints{}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := config(g, Constraints{})
 	cfg.Seed = 3
-	res, err := MultiStart(g, cfg, ParallelOptions{Workers: 4, Legs: 9})
+	res, err := MultiStart(context.Background(), g, cfg, ParallelOptions{Workers: 4, Legs: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestAnnealFinalTemperature(t *testing.T) {
 		if err := ApplyBusPolicy(init, cfg.Policy); err != nil {
 			t.Fatal(err)
 		}
-		res, err := Anneal(init, cfg)
+		res, err := Anneal(context.Background(), init, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -188,7 +189,7 @@ func TestRandomSearch(t *testing.T) {
 	g := benchGraph(t, 6, 4)
 	cfg := config(g, Constraints{})
 	cfg.MaxIters = 200
-	res, err := Random(g, cfg)
+	res, err := Random(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestRandomDeterministicPerSeed(t *testing.T) {
 		cfg := config(g, Constraints{})
 		cfg.Seed = seed
 		cfg.MaxIters = 100
-		res, err := Random(g, cfg)
+		res, err := Random(context.Background(), g, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,7 +224,7 @@ func TestGreedyBeatsWorstRandom(t *testing.T) {
 	g.Procs[0].SizeCon = 500
 	cons := Constraints{Deadline: map[string]float64{"b0": 200}}
 	cfg := config(g, cons)
-	greedy, err := Greedy(g, cfg)
+	greedy, err := Greedy(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestGreedyBeatsWorstRandom(t *testing.T) {
 	}
 	cfg2 := config(g, cons)
 	cfg2.MaxIters = 1
-	oneRandom, err := Random(g, cfg2)
+	oneRandom, err := Random(context.Background(), g, cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestGroupMigrationImproves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := GroupMigration(init, cfg)
+	res, err := GroupMigration(context.Background(), init, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestAnnealRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Anneal(init, cfg)
+	res, err := Anneal(context.Background(), init, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,19 +295,19 @@ func TestExhaustiveIsOptimal(t *testing.T) {
 	g := benchGraph(t, 3, 2) // 5 nodes ≤ 3^5 = 243 partitions
 	g.Procs[0].SizeCon = 400
 	cfg := config(g, Constraints{})
-	opt, err := Exhaustive(g, cfg)
+	opt, err := Exhaustive(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// No heuristic may beat the exhaustive optimum.
 	for name, run := range map[string]func() (Result, error){
-		"greedy": func() (Result, error) { return Greedy(g, config(g, Constraints{})) },
+		"greedy": func() (Result, error) { return Greedy(context.Background(), g, config(g, Constraints{})) },
 		"random": func() (Result, error) {
 			c := config(g, Constraints{})
 			c.MaxIters = 300
-			return Random(g, c)
+			return Random(context.Background(), g, c)
 		},
-		"cluster": func() (Result, error) { return ClusterGreedy(g, config(g, Constraints{})) },
+		"cluster": func() (Result, error) { return ClusterGreedy(context.Background(), g, config(g, Constraints{})) },
 	} {
 		res, err := run()
 		if err != nil {
@@ -320,7 +321,7 @@ func TestExhaustiveIsOptimal(t *testing.T) {
 
 func TestExhaustiveRefusesHugeSpace(t *testing.T) {
 	g := benchGraph(t, 20, 20)
-	if _, err := Exhaustive(g, config(g, Constraints{})); err == nil {
+	if _, err := Exhaustive(context.Background(), g, config(g, Constraints{})); err == nil {
 		t.Error("exhaustive accepted an enormous space")
 	}
 }
@@ -419,14 +420,14 @@ func TestAlgorithmsAlwaysLegalQuick(t *testing.T) {
 		cfg := config(g, Constraints{})
 		cfg.Seed = seed
 		cfg.MaxIters = 50
-		res, err := Random(g, cfg)
+		res, err := Random(context.Background(), g, cfg)
 		if err != nil || res.Best.Validate() != nil {
 			return false
 		}
 		if math.IsNaN(res.Cost) || res.Cost < 0 {
 			return false
 		}
-		gm, err := GroupMigration(res.Best, cfg)
+		gm, err := GroupMigration(context.Background(), res.Best, cfg)
 		if err != nil || gm.Best.Validate() != nil || gm.Cost > res.Cost+1e-9 {
 			return false
 		}

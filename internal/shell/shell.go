@@ -10,6 +10,7 @@ package shell
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -29,6 +30,12 @@ import (
 type Session struct {
 	Env *specsyn.Env
 	Pt  *core.Partition
+
+	// NewSearchCtx, when set, supplies the context bounding each `search`
+	// command — the seam through which a front end wires Ctrl-C (SIGINT)
+	// into in-flight searches. Nil means context.Background(). A `search`
+	// with a trailing timeout argument layers a deadline on top.
+	NewSearchCtx func() (context.Context, context.CancelFunc)
 
 	history []*core.Partition // undo stack of partition snapshots
 	out     io.Writer
@@ -112,10 +119,12 @@ func (s *Session) cmdHelp() error {
   mapall <component>              move everything to one processor
   est                             full size/pin/bitrate/performance report
   explain <behavior>              where that behavior's exec time goes
-  search <random|greedy|cluster|gm|anneal>
-                                  replace the partition with a searched one
-  search multi [legs]             parallel multi-start portfolio (default
-                                  legs = GOMAXPROCS)
+  search <random|greedy|cluster|gm|anneal> [timeout]
+                                  replace the partition with a searched one;
+                                  an optional Go duration (e.g. 500ms) bounds
+                                  the search, keeping the best found so far
+  search multi [legs] [timeout]   parallel multi-start portfolio (default
+                                  legs = GOMAXPROCS), same optional timeout
   inline <procedure>              inline a procedure into its single caller
   merge <procA> <procB>           merge two processes
   save <file.slif>                write the graph + partition
@@ -257,30 +266,60 @@ func (s *Session) cmdExplain(args []string) error {
 	return nil
 }
 
+// searchCtx builds the context for one search command: the session's
+// provider (or Background) plus an optional deadline.
+func (s *Session) searchCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if s.NewSearchCtx != nil {
+		ctx, cancel = s.NewSearchCtx()
+	}
+	if timeout > 0 {
+		inner := cancel
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		cancel = func() { tcancel(); inner() }
+	}
+	return ctx, cancel
+}
+
 func (s *Session) cmdSearch(args []string) error {
+	// A trailing Go duration bounds the search ("search gm 100ms",
+	// "search multi 8 1s"); the best-so-far partition is kept either way.
+	var timeout time.Duration
+	if len(args) > 0 {
+		if d, err := time.ParseDuration(args[len(args)-1]); err == nil && d > 0 {
+			timeout = d
+			args = args[:len(args)-1]
+		}
+	}
 	algo := "gm"
 	if len(args) > 0 {
 		algo = strings.ToLower(args[0])
 	}
+	ctx, cancel := s.searchCtx(timeout)
+	defer cancel()
 	if algo == "multi" {
 		opt := partition.ParallelOptions{}
 		if len(args) > 1 {
 			legs, err := strconv.Atoi(args[1])
 			if err != nil || legs < 1 {
-				return fmt.Errorf("usage: search multi [legs]")
+				return fmt.Errorf("usage: search multi [legs] [timeout]")
 			}
 			opt.Legs = legs
 		}
-		res, err := s.Env.PartitionSearchParallel(algo, partition.Constraints{}, partition.DefaultWeights(), 1, 0, opt)
+		res, err := s.Env.PartitionSearchParallel(ctx, algo, partition.Constraints{}, partition.DefaultWeights(), 1, 0, 0, opt)
 		if err != nil {
 			return err
 		}
 		s.snapshot()
 		s.Pt = res.Best
 		fmt.Fprintf(s.out, "multi: %s (%d legs, best from leg %d)\n", res.Result, len(res.Legs), res.BestLeg)
+		if res.Report.Partial {
+			fmt.Fprintf(s.out, "note: search interrupted — %s\n", res.Report.String())
+		}
 		return nil
 	}
-	res, err := s.Env.PartitionSearch(algo, partition.Constraints{}, partition.DefaultWeights(), 1, 0)
+	res, err := s.Env.PartitionSearch(ctx, algo, partition.Constraints{}, partition.DefaultWeights(), 1, 0, 0)
 	if err != nil {
 		return err
 	}

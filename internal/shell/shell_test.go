@@ -1,6 +1,7 @@
 package shell
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -211,5 +212,69 @@ func TestShellExplain(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("explain output missing %q:\n%s", frag, out)
 		}
+	}
+}
+
+// TestShellSearchTimeout: a trailing duration bounds the search, the
+// best-so-far partition is installed, and the shell keeps running.
+func TestShellSearchTimeout(t *testing.T) {
+	s := session(t)
+	before := s.Pt
+	out := run(t, s, "search anneal 1ns\nshow part\nquit\n")
+	if strings.Contains(out, "error:") {
+		t.Fatalf("timed-out search errored:\n%s", out)
+	}
+	if !strings.Contains(out, "anneal:") {
+		t.Fatalf("search produced no result line:\n%s", out)
+	}
+	// A 1ns budget cannot finish; the result must say so.
+	if !strings.Contains(out, "(partial)") {
+		t.Errorf("cut-short search not reported partial:\n%s", out)
+	}
+	if s.Pt == before {
+		t.Error("search did not install a partition")
+	}
+	// The partition installed is complete despite the timeout.
+	for _, n := range s.Env.Graph.Nodes {
+		if s.Pt.BvComp(n) == nil {
+			t.Fatalf("node %q unmapped after timed-out search", n.Name)
+		}
+	}
+}
+
+// TestShellSearchMultiTimeout: the timeout composes with the legs arg. A
+// 1ns bound expires before any leg starts, so the engine has nothing to
+// return — the shell must report that as a command error, keep the old
+// partition, and keep running.
+func TestShellSearchMultiTimeout(t *testing.T) {
+	s := session(t)
+	before := s.Pt
+	out := run(t, s, "search multi 2 1ns\nshow comps\nquit\n")
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("fully expired multi search did not report an error:\n%s", out)
+	}
+	if !strings.Contains(out, "bye") || !strings.Contains(out, "cpu") {
+		t.Fatalf("shell did not keep running after the timeout:\n%s", out)
+	}
+	if s.Pt != before {
+		t.Error("failed search replaced the partition")
+	}
+}
+
+// TestShellSearchCtxProvider: the session-level context provider (the
+// Ctrl-C seam) bounds searches even without a timeout argument.
+func TestShellSearchCtxProvider(t *testing.T) {
+	s := session(t)
+	s.NewSearchCtx = func() (context.Context, context.CancelFunc) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // simulate an instant interrupt
+		return ctx, func() { cancel() }
+	}
+	out := run(t, s, "search gm\nquit\n")
+	if strings.Contains(out, "error:") {
+		t.Fatalf("interrupted search errored:\n%s", out)
+	}
+	if !strings.Contains(out, "(partial)") {
+		t.Errorf("interrupted search not reported partial:\n%s", out)
 	}
 }

@@ -6,6 +6,7 @@
 package specsyn
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -159,33 +160,36 @@ func (e *Env) searchConfig(cons partition.Constraints, w partition.Weights, seed
 
 // PartitionSearch runs the named algorithm ("random", "greedy", "gm",
 // "anneal", "cluster", "exhaustive"); "gm" and "anneal" start from the
-// greedy result.
-func (e *Env) PartitionSearch(algo string, cons partition.Constraints, w partition.Weights, seed int64, iters int) (partition.Result, error) {
+// greedy result. The context bounds the whole run: on cancellation or
+// deadline the algorithm returns its best-so-far result with Partial set.
+// maxEvals (0 = unlimited) caps the cost evaluations spent.
+func (e *Env) PartitionSearch(ctx context.Context, algo string, cons partition.Constraints, w partition.Weights, seed int64, iters, maxEvals int) (partition.Result, error) {
 	cfg, err := e.searchConfig(cons, w, seed, iters)
 	if err != nil {
 		return partition.Result{}, err
 	}
+	cfg.MaxEvals = maxEvals
 	switch algo {
 	case "random":
-		return partition.Random(e.Graph, cfg)
+		return partition.Random(ctx, e.Graph, cfg)
 	case "greedy":
-		return partition.Greedy(e.Graph, cfg)
+		return partition.Greedy(ctx, e.Graph, cfg)
 	case "cluster":
-		return partition.ClusterGreedy(e.Graph, cfg)
+		return partition.ClusterGreedy(ctx, e.Graph, cfg)
 	case "exhaustive":
-		return partition.Exhaustive(e.Graph, cfg)
+		return partition.Exhaustive(ctx, e.Graph, cfg)
 	case "gm":
-		res, err := partition.Greedy(e.Graph, cfg)
-		if err != nil {
+		res, err := partition.Greedy(ctx, e.Graph, cfg)
+		if err != nil || res.Partial {
 			return res, err
 		}
-		return partition.GroupMigration(res.Best, cfg)
+		return partition.GroupMigration(ctx, res.Best, cfg)
 	case "anneal":
-		res, err := partition.Greedy(e.Graph, cfg)
-		if err != nil {
+		res, err := partition.Greedy(ctx, e.Graph, cfg)
+		if err != nil || res.Partial {
 			return res, err
 		}
-		return partition.Anneal(res.Best, cfg)
+		return partition.Anneal(ctx, res.Best, cfg)
 	}
 	return partition.Result{}, fmt.Errorf("specsyn: unknown algorithm %q (want random, greedy, cluster, gm, anneal or exhaustive)", algo)
 }
@@ -195,16 +199,17 @@ func (e *Env) PartitionSearch(algo string, cons partition.Constraints, w partiti
 // the sequential Random at equal seeds), "multi" (or "") runs the mixed
 // greedy/anneal/random portfolio. The result is deterministic for a given
 // seed and leg count, whatever the worker count.
-func (e *Env) PartitionSearchParallel(algo string, cons partition.Constraints, w partition.Weights, seed int64, iters int, opt partition.ParallelOptions) (partition.MultiResult, error) {
+func (e *Env) PartitionSearchParallel(ctx context.Context, algo string, cons partition.Constraints, w partition.Weights, seed int64, iters, maxEvals int, opt partition.ParallelOptions) (partition.MultiResult, error) {
 	cfg, err := e.searchConfig(cons, w, seed, iters)
 	if err != nil {
 		return partition.MultiResult{}, err
 	}
+	cfg.MaxEvals = maxEvals
 	switch algo {
 	case "random":
-		return partition.ParallelRandom(e.Graph, cfg, opt)
+		return partition.ParallelRandom(ctx, e.Graph, cfg, opt)
 	case "multi", "":
-		return partition.MultiStart(e.Graph, cfg, opt)
+		return partition.MultiStart(ctx, e.Graph, cfg, opt)
 	}
 	return partition.MultiResult{}, fmt.Errorf("specsyn: unknown parallel algorithm %q (want random or multi)", algo)
 }

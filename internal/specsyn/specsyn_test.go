@@ -2,6 +2,7 @@ package specsyn
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -183,12 +184,12 @@ func TestPartitionSearchAlgorithms(t *testing.T) {
 	cons := partition.Constraints{Deadline: map[string]float64{"volmain": 50}}
 	w := partition.DefaultWeights()
 
-	random, err := env.PartitionSearch("random", cons, w, 1, 300)
+	random, err := env.PartitionSearch(context.Background(), "random", cons, w, 1, 300, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, algo := range []string{"greedy", "gm", "anneal", "cluster"} {
-		res, err := env.PartitionSearch(algo, cons, w, 1, 0)
+		res, err := env.PartitionSearch(context.Background(), algo, cons, w, 1, 0, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -199,7 +200,7 @@ func TestPartitionSearchAlgorithms(t *testing.T) {
 			t.Errorf("group migration (%v) lost to random sampling (%v)", res.Cost, random.Cost)
 		}
 	}
-	if _, err := env.PartitionSearch("nonsense", cons, w, 1, 0); err == nil {
+	if _, err := env.PartitionSearch(context.Background(), "nonsense", cons, w, 1, 0, 0); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -213,16 +214,16 @@ func TestParallelSearchMatchesSequentialExamples(t *testing.T) {
 	w := partition.DefaultWeights()
 	for _, name := range []string{"fuzzy", "ans"} {
 		env := load(t, name)
-		seqRandom, err := env.PartitionSearch("random", cons, w, 7, 400)
+		seqRandom, err := env.PartitionSearch(context.Background(), "random", cons, w, 7, 400, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		seqGreedy, err := env.PartitionSearch("greedy", cons, w, 7, 0)
+		seqGreedy, err := env.PartitionSearch(context.Background(), "greedy", cons, w, 7, 0, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		for _, workers := range []int{1, 4} {
-			par, err := env.PartitionSearchParallel("random", cons, w, 7, 400, partition.ParallelOptions{Workers: workers, Legs: 4})
+			par, err := env.PartitionSearchParallel(context.Background(), "random", cons, w, 7, 400, 0, partition.ParallelOptions{Workers: workers, Legs: 4})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -233,7 +234,7 @@ func TestParallelSearchMatchesSequentialExamples(t *testing.T) {
 			if par.Evals != seqRandom.Evals {
 				t.Errorf("%s: parallel random evals %d != sequential %d", name, par.Evals, seqRandom.Evals)
 			}
-			multi, err := env.PartitionSearchParallel("multi", cons, w, 7, 0, partition.ParallelOptions{Workers: workers, Legs: 1})
+			multi, err := env.PartitionSearchParallel(context.Background(), "multi", cons, w, 7, 0, 0, partition.ParallelOptions{Workers: workers, Legs: 1})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -243,7 +244,7 @@ func TestParallelSearchMatchesSequentialExamples(t *testing.T) {
 			}
 		}
 		// The full portfolio must not lose to its own greedy leg.
-		full, err := env.PartitionSearchParallel("multi", cons, w, 7, 300, partition.ParallelOptions{Workers: 4, Legs: 6})
+		full, err := env.PartitionSearchParallel(context.Background(), "multi", cons, w, 7, 300, 0, partition.ParallelOptions{Workers: 4, Legs: 6})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -362,7 +363,7 @@ func TestTwoBusAllocation(t *testing.T) {
 	single := load(t, "fuzzy")
 	cons := partition.Constraints{Deadline: map[string]float64{"fuzzymain": 500}}
 	w := partition.DefaultWeights()
-	resSingle, err := single.PartitionSearch("gm", cons, w, 3, 0)
+	resSingle, err := single.PartitionSearch(context.Background(), "gm", cons, w, 3, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +382,7 @@ func TestTwoBusAllocation(t *testing.T) {
 	if err := env.Build(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := env.PartitionSearch("gm", cons, w, 3, 0)
+	res, err := env.PartitionSearch(context.Background(), "gm", cons, w, 3, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +415,7 @@ func TestPinConstraintDrives(t *testing.T) {
 	g := env.Graph
 	g.ProcByName("asic").PinCon = 8 // the 16-bit bus alone violates this
 	cons := partition.Constraints{}
-	res, err := env.PartitionSearch("gm", cons, partition.DefaultWeights(), 1, 0)
+	res, err := env.PartitionSearch(context.Background(), "gm", cons, partition.DefaultWeights(), 1, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +434,7 @@ func TestMemoryConstraintScenario(t *testing.T) {
 	g := env.Graph
 	g.ProcByName("cpu").SizeCon = 2000  // bytes: msgmem alone is 49k
 	g.ProcByName("asic").SizeCon = 4000 // gates: arrays cost bits×8 gates, far over
-	res, err := env.PartitionSearch("gm", partition.Constraints{}, partition.DefaultWeights(), 1, 0)
+	res, err := env.PartitionSearch(context.Background(), "gm", partition.Constraints{}, partition.DefaultWeights(), 1, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

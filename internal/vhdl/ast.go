@@ -386,6 +386,35 @@ func ExprPos(e Expr) Pos {
 	return Pos{}
 }
 
+// StmtPos returns the source position of a statement.
+func StmtPos(s Stmt) Pos {
+	switch x := s.(type) {
+	case *AssignStmt:
+		return x.Pos
+	case *IfStmt:
+		return x.Pos
+	case *CaseStmt:
+		return x.Pos
+	case *ForStmt:
+		return x.Pos
+	case *WhileStmt:
+		return x.Pos
+	case *LoopStmt:
+		return x.Pos
+	case *ExitStmt:
+		return x.Pos
+	case *CallStmt:
+		return x.Pos
+	case *WaitStmt:
+		return x.Pos
+	case *ReturnStmt:
+		return x.Pos
+	case *NullStmt:
+		return x.Pos
+	}
+	return Pos{}
+}
+
 // WalkStmts applies f to every statement in the list, recursing into
 // compound statements. It is the workhorse for access extraction, CDFG
 // construction and frequency analysis.
