@@ -36,7 +36,7 @@ import (
 
 var examples = []string{"ans", "ether", "fuzzy", "vol"}
 
-func readFile(b *testing.B, name string) string {
+func readFile(b testing.TB, name string) string {
 	b.Helper()
 	data, err := os.ReadFile(filepath.Join("testdata", name))
 	if err != nil {
@@ -46,7 +46,7 @@ func readFile(b *testing.B, name string) string {
 }
 
 // loadEnv builds one example end to end (outside the timed region).
-func loadEnv(b *testing.B, name string) *specsyn.Env {
+func loadEnv(b testing.TB, name string) *specsyn.Env {
 	b.Helper()
 	env := specsyn.New()
 	if err := env.LoadVHDLFile(filepath.Join("testdata", name+".vhd")); err != nil {
@@ -202,7 +202,7 @@ func BenchmarkEstimatePerPartition(b *testing.B) {
 
 // exploreGraphs collects the exploration subjects: the four paper examples
 // plus generated specifications that extend the size axis past "ether".
-func exploreGraphs(b *testing.B) []struct {
+func exploreGraphs(b testing.TB) []struct {
 	name string
 	g    *core.Graph
 } {

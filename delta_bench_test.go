@@ -1,0 +1,177 @@
+// Differential and performance coverage for the incremental delta-cost
+// evaluator on the real paper examples (the internal/partition tests cover
+// it on synthetic graphs). The differential test is the oracle contract of
+// the tentpole: on every Fig. 4 example and the generated scaling
+// subjects, long random move sequences through MoveCost/Apply/Undo must
+// agree with a full recompute within 1e-9 — and it runs under -race in CI.
+
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+	"specsyn/internal/partition"
+)
+
+// deltaSubjectConstraints activates every cost term: a deadline on the
+// first process and a bitrate cap on the first bus, both tight.
+func deltaSubjectConstraints(g *core.Graph) partition.Constraints {
+	cons := partition.Constraints{
+		Deadline:   map[string]float64{},
+		MaxBusRate: map[string]float64{g.Buses[0].Name: 1},
+	}
+	if procs := g.Processes(); len(procs) > 0 {
+		cons.Deadline[procs[0].Name] = 1
+	}
+	return cons
+}
+
+// TestDeltaDifferentialExamples runs ≥1000 random moves per subject,
+// checking every incremental MoveCost against a full-recompute oracle and
+// periodically cross-checking the committed state.
+func TestDeltaDifferentialExamples(t *testing.T) {
+	const steps = 1000
+	for _, sub := range exploreGraphs(t) {
+		sub := sub
+		t.Run(sub.name, func(t *testing.T) {
+			g := sub.g
+			cons := deltaSubjectConstraints(g)
+			ev := partition.NewEvaluator(g, cons, partition.DefaultWeights(), estimate.Options{})
+			oracle := partition.NewEvaluator(g, cons, partition.DefaultWeights(), estimate.Options{})
+			policy := partition.SingleBus(g.Buses[0])
+			pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+			d, err := ev.Delta(pt, policy)
+			if err != nil {
+				t.Fatalf("Delta on %s: %v", sub.name, err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			for step := 0; step < steps; step++ {
+				n := g.Nodes[rng.Intn(len(g.Nodes))]
+				cands := partition.Allowed(g, n)
+				if len(cands) == 0 {
+					continue
+				}
+				to := cands[rng.Intn(len(cands))]
+
+				got, err := d.MoveCost(n, to)
+				if err != nil {
+					t.Fatalf("step %d: MoveCost(%s→%s): %v", step, n.Name, to.CompName(), err)
+				}
+				trial := pt.Clone()
+				if err := trial.Assign(n, to); err != nil {
+					t.Fatal(err)
+				}
+				if err := partition.ApplyBusPolicy(trial, policy); err != nil {
+					t.Fatal(err)
+				}
+				want, err := oracle.Cost(trial)
+				if err != nil {
+					t.Fatalf("step %d: oracle: %v", step, err)
+				}
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("step %d: MoveCost(%s→%s) = %.15g, oracle %.15g (Δ %g)",
+						step, n.Name, to.CompName(), got, want, got-want)
+				}
+
+				switch r := rng.Float64(); {
+				case r < 0.45:
+					if err := d.Apply(n, to); err != nil {
+						t.Fatalf("step %d: Apply: %v", step, err)
+					}
+				case r < 0.55:
+					if err := d.Apply(n, to); err != nil {
+						t.Fatalf("step %d: Apply: %v", step, err)
+					}
+					if err := d.Undo(); err != nil {
+						t.Fatalf("step %d: Undo: %v", step, err)
+					}
+				}
+				if step%127 == 0 {
+					got, err := d.Cost()
+					if err != nil {
+						t.Fatalf("step %d: Cost: %v", step, err)
+					}
+					want, err := oracle.Cost(pt)
+					if err != nil {
+						t.Fatalf("step %d: oracle commit: %v", step, err)
+					}
+					if math.Abs(got-want) > 1e-9 {
+						t.Fatalf("step %d: committed Cost = %.15g, oracle %.15g", step, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// moveBenchSetup binds a delta evaluator to an example and precomputes a
+// rotation of (node, destination) moves so the benchmark loop measures
+// only MoveCost.
+func moveBenchSetup(b *testing.B, name string) (*partition.DeltaEval, []*core.Node, []core.Component) {
+	b.Helper()
+	g := loadEnv(b, name).Graph
+	ev := partition.NewEvaluator(g, deltaSubjectConstraints(g), partition.DefaultWeights(), estimate.Options{})
+	pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	d, err := ev.Delta(pt, partition.SingleBus(g.Buses[0]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var nodes []*core.Node
+	var dests []core.Component
+	for _, n := range g.Nodes {
+		for _, c := range partition.Allowed(g, n) {
+			if c != pt.BvComp(n) {
+				nodes = append(nodes, n)
+				dests = append(dests, c)
+				break
+			}
+		}
+	}
+	if len(nodes) == 0 {
+		b.Fatal("no movable nodes")
+	}
+	return d, nodes, dests
+}
+
+// BenchmarkMoveCost measures one incremental move trial — the partitioning
+// inner loop after the delta rewrite. The acceptance bar: ≥5× fewer ns/op
+// than BenchmarkFullCost on ether and 0 allocs/op in steady state (CI runs
+// it with -benchmem and fails on a non-zero allocation rate).
+func BenchmarkMoveCost(b *testing.B) {
+	for _, name := range []string{"ans", "ether"} {
+		b.Run(name, func(b *testing.B) {
+			d, nodes, dests := moveBenchSetup(b, name)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % len(nodes)
+				if _, err := d.MoveCost(nodes[k], dests[k]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFullCost is the same trial costed by full recompute — the
+// before picture, and the denominator of the delta speedup claim.
+func BenchmarkFullCost(b *testing.B) {
+	for _, name := range []string{"ans", "ether"} {
+		b.Run(name, func(b *testing.B) {
+			g := loadEnv(b, name).Graph
+			ev := partition.NewEvaluator(g, deltaSubjectConstraints(g), partition.DefaultWeights(), estimate.Options{})
+			pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Cost(pt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -179,6 +179,9 @@ func Parse(r io.Reader) (*Library, error) {
 			if err1 != nil || err2 != nil || err3 != nil {
 				return fail(fmt.Errorf("bad numbers"))
 			}
+			if w <= 0 {
+				return fail(fmt.Errorf("bus %q has non-positive width %d", f[1], w))
+			}
 			l.Buses = append(l.Buses, &core.Bus{Name: f[1], BitWidth: w, TS: ts, TD: td})
 		default:
 			return fail(fmt.Errorf("unknown record %q", f[0]))

@@ -6,8 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
-	"time"
 
 	"specsyn/internal/builder"
 	"specsyn/internal/core"
@@ -261,8 +261,10 @@ func TestExploreParallelCancellation(t *testing.T) {
 	}
 
 	// Deadline mid-sweep: the sweep is cut short but stays accounted for.
-	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
-	defer cancel2()
+	// The deadline is poll-count based, not wall-clock — incremental move
+	// costing made the sweep faster than any timer a test could portably
+	// pick, and the engine only ever observes a deadline through Err polls.
+	ctx2 := &expiringCtx{Context: context.Background(), after: 10}
 	outs = ExploreParallel(ctx2, g, cands, partition.Constraints{}, partition.DefaultWeights(), partition.ParallelOptions{Legs: 2})
 	if len(outs) != len(cands) {
 		t.Fatalf("outcomes = %d, want %d", len(outs), len(cands))
@@ -290,6 +292,22 @@ func TestExploreParallelCancellation(t *testing.T) {
 			t.Errorf("%s: clean sweep outcome = %+v", o.Candidate.Name, o)
 		}
 	}
+}
+
+// expiringCtx is a context whose deadline "passes" after a fixed number of
+// Err polls — a machine-speed-independent stand-in for a mid-sweep timeout
+// (the search engines observe deadlines exclusively through Err).
+type expiringCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *expiringCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.DeadlineExceeded
+	}
+	return nil
 }
 
 // TestExploreCancellationSequential mirrors the parallel test for the

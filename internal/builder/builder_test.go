@@ -188,8 +188,8 @@ end;
 	runThrough(t, s, "channelwires")
 
 	checks := map[[2]string]int{
-		{"main", "v"}:    3,      // scalar 0..7
-		{"main", "buf"}:  8 + 7,  // element + address bits of a 128-entry array
+		{"main", "v"}:    3,       // scalar 0..7
+		{"main", "buf"}:  8 + 7,   // element + address bits of a 128-entry array
 		{"main", "pick"}: 32 + 32, // integer parameter + integer result
 		{"main", "din"}:  8,
 		{"pick", "buf"}:  8 + 7,

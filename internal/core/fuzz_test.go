@@ -32,6 +32,7 @@ func FuzzRead(f *testing.F) {
 	f.Add("slif x\nmap a cpu\nchanmap a b bus\n")    // mappings without objects
 	f.Add("slif x\nbus b width 16 ts 1 td 2\nproc p t std sizecon 1 pincon 2\nmem m t sizecon 0\n")
 	f.Add("slif x\nnode a variable storage 99999999999999999999\n") // overflowing int
+	f.Add("slif x\nbus b width 0 ts 1 td 2\n")                      // zero-width bus (estimator div-by-zero)
 	f.Fuzz(func(t *testing.T, src string) {
 		g, pt, err := Read(strings.NewReader(src))
 		if err != nil {

@@ -281,6 +281,11 @@ func (rs *readState) record(f []string) error {
 		if err1 != nil || err2 != nil || err3 != nil {
 			return rs.errf("bad bus numbers")
 		}
+		if w <= 0 {
+			// A zero width would divide transfer counts by zero deep in the
+			// estimator; reject it here with a position instead.
+			return rs.errf("bus %q has non-positive width %d", f[1], w)
+		}
 		rs.g.AddBus(&Bus{Name: f[1], BitWidth: w, TS: ts, TD: td})
 	case "map":
 		if len(f) != 3 {

@@ -312,3 +312,22 @@ func TestWriteDOTPartition(t *testing.T) {
 		t.Error("unmapped nodes not marked")
 	}
 }
+
+// TestReadRejectsNonPositiveBusWidth is the regression for the estimator
+// div-by-zero: a zero or negative bus width must be rejected at parse time
+// with a positioned error, never reaching the transfer-time math.
+func TestReadRejectsNonPositiveBusWidth(t *testing.T) {
+	for _, src := range []string{
+		"slif g\nbus b width 0 ts 1 td 2\n",
+		"slif g\nbus b width -3 ts 1 td 2\n",
+	} {
+		_, _, err := Read(strings.NewReader(src))
+		if err == nil {
+			t.Errorf("Read(%q) accepted a non-positive bus width", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "width") {
+			t.Errorf("Read(%q) error %v does not name line and width", src, err)
+		}
+	}
+}

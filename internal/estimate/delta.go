@@ -1,0 +1,295 @@
+// This file implements the incremental execution-time engine behind
+// partition's delta evaluator: a static reverse dependency index over the
+// access graph (Deps) plus a dense array of per-node Exectime values
+// (Incr) that a caller updates for just the nodes a move affects, instead
+// of re-walking the whole graph. It is the update-not-reanalyze discipline
+// of §4 applied to the partitioning inner loop.
+
+package estimate
+
+import (
+	"fmt"
+	"sort"
+
+	"specsyn/internal/core"
+)
+
+// Deps is the static dependency structure of a graph's access relation: a
+// callee-first topological order plus, per node, the topologically sorted
+// set of nodes whose Exectime transitively depends on it (the node itself
+// included). It is partition-independent — build it once per graph and
+// reuse it across searches. Building fails on a recursive (cyclic) access
+// graph, for which incremental update is undefined; callers fall back to
+// the full estimator, which reports the cycle precisely (or tolerates it
+// under Options.IgnoreRecursion).
+type Deps struct {
+	g        *core.Graph
+	idx      map[*core.Node]int32
+	pos      []int32   // topological position per node index
+	order    []int32   // node indices, callees before callers
+	affected [][]int32 // node index → topo-sorted dependents incl. self
+}
+
+// NewDeps indexes g's access relation. The graph must not gain or lose
+// nodes or channels while the index is in use.
+func NewDeps(g *core.Graph) (*Deps, error) {
+	n := len(g.Nodes)
+	d := &Deps{
+		g:   g,
+		idx: make(map[*core.Node]int32, n),
+		pos: make([]int32, n),
+	}
+	for i, nd := range g.Nodes {
+		d.idx[nd] = int32(i)
+	}
+	// dependents[v] lists the nodes whose Commtime reads Exectime(v);
+	// ndeps[u] counts u's outstanding callees. Channel keys are unique per
+	// (src, dst), so no edge is recorded twice.
+	dependents := make([][]int32, n)
+	ndeps := make([]int32, n)
+	for _, c := range g.Channels {
+		dst, ok := c.Dst.(*core.Node)
+		if !ok {
+			continue // port access: transfer time only, no Exectime dependency
+		}
+		u, v := d.idx[c.Src], d.idx[dst]
+		if u == v {
+			return nil, fmt.Errorf("estimate: access graph cycle (recursion) through %q", dst.Name)
+		}
+		ndeps[u]++
+		dependents[v] = append(dependents[v], u)
+	}
+	// Kahn's algorithm, callees first. The FIFO queue seeded in node order
+	// keeps the order deterministic.
+	queue := make([]int32, 0, n)
+	for i := range ndeps {
+		if ndeps[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	d.order = make([]int32, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		d.pos[v] = int32(len(d.order))
+		d.order = append(d.order, v)
+		for _, u := range dependents[v] {
+			if ndeps[u]--; ndeps[u] == 0 {
+				queue = append(queue, u)
+			}
+		}
+	}
+	if len(d.order) != n {
+		return nil, fmt.Errorf("estimate: access graph of %q has a cycle (recursion)", g.Name)
+	}
+	// Per-node transitive closure of dependents, sorted topologically so
+	// that recomputing a closure in slice order never reads a stale callee.
+	d.affected = make([][]int32, n)
+	seen := make([]bool, n)
+	stack := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		aff := make([]int32, 0, 1+len(dependents[i]))
+		stack = append(stack[:0], int32(i))
+		seen[i] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			aff = append(aff, v)
+			for _, u := range dependents[v] {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Slice(aff, func(a, b int) bool { return d.pos[aff[a]] < d.pos[aff[b]] })
+		d.affected[i] = aff
+		for _, v := range aff {
+			seen[v] = false
+		}
+	}
+	return d, nil
+}
+
+// Graph returns the graph the index is over.
+func (d *Deps) Graph() *core.Graph { return d.g }
+
+// Len returns the node count.
+func (d *Deps) Len() int { return len(d.pos) }
+
+// Index returns the dense node index of n.
+func (d *Deps) Index(n *core.Node) (int32, bool) {
+	i, ok := d.idx[n]
+	return i, ok
+}
+
+// Node returns the node at dense index i.
+func (d *Deps) Node(i int32) *core.Node { return d.g.Nodes[i] }
+
+// Order returns every node index callee-first; recomputing Exectime in
+// this order never reads a stale callee.
+func (d *Deps) Order() []int32 { return d.order }
+
+// Affected returns the indices of the nodes whose Exectime depends on node
+// i, including i itself, topologically sorted callee-first. The slice is
+// owned by the index; callers must not modify it.
+func (d *Deps) Affected(i int32) []int32 { return d.affected[i] }
+
+// Incr holds one Exectime value per node for a bound partition and
+// recomputes them incrementally: after a node move, refreshing just
+// Deps.Affected(moved) restores every value — O(affected region), not
+// O(graph). Each refreshed value is recomputed from scratch with the same
+// per-channel summation the full estimator's Commtime performs, so
+// incremental values accumulate no floating-point drift of their own.
+//
+// An Incr is bound to one partition at a time via Rebind and is not safe
+// for concurrent use.
+type Incr struct {
+	deps *Deps
+	opt  Options
+	pt   *core.Partition
+
+	et  []float64         // Exectime per node index
+	out [][]*core.Channel // BehChans per node index
+	dst [][]int32         // destination node index per out-channel; -1 = port
+
+	// Concurrency-tag groups (Options.UseTags): group index per
+	// out-channel (-1 = sequential), group count per node, and a shared
+	// running-max scratch sized for the largest group count.
+	grp  [][]int32
+	ngrp []int32
+	gmax []float64
+}
+
+// NewIncr returns an incremental engine over deps. Bind a partition with
+// Rebind before reading values.
+func NewIncr(deps *Deps, opt Options) *Incr {
+	n := deps.Len()
+	in := &Incr{
+		deps: deps,
+		opt:  opt,
+		et:   make([]float64, n),
+		out:  make([][]*core.Channel, n),
+		dst:  make([][]int32, n),
+		grp:  make([][]int32, n),
+		ngrp: make([]int32, n),
+	}
+	maxGroups := int32(0)
+	for i, nd := range deps.g.Nodes {
+		chans := deps.g.BehChans(nd)
+		in.out[i] = chans
+		dst := make([]int32, len(chans))
+		grp := make([]int32, len(chans))
+		var groups int32
+		var byTag map[int]int32
+		for k, c := range chans {
+			dst[k] = -1
+			if dn, ok := c.Dst.(*core.Node); ok {
+				dst[k], _ = deps.Index(dn)
+			}
+			grp[k] = -1
+			if opt.UseTags && c.Tag != core.NoTag {
+				// Group indices in first-appearance order: deterministic,
+				// unlike the full estimator's map-ordered group sum (the
+				// two agree up to summation order).
+				if byTag == nil {
+					byTag = make(map[int]int32)
+				}
+				gi, ok := byTag[c.Tag]
+				if !ok {
+					gi = groups
+					groups++
+					byTag[c.Tag] = gi
+				}
+				grp[k] = gi
+			}
+		}
+		in.dst[i] = dst
+		in.grp[i] = grp
+		in.ngrp[i] = groups
+		if groups > maxGroups {
+			maxGroups = groups
+		}
+	}
+	in.gmax = make([]float64, maxGroups)
+	return in
+}
+
+// Rebind points the engine at a partition (over the same graph) and
+// recomputes every node's Exectime callee-first — O(|BV| + |C|). After a
+// Rebind, RecomputeAffected keeps the values current move by move.
+func (in *Incr) Rebind(pt *core.Partition) error {
+	in.pt = pt
+	return in.RecomputeAffected(in.deps.order)
+}
+
+// RecomputeAffected refreshes Exectime for the given node indices, which
+// must be sorted callee-first (Deps.Affected and Deps.Order both are).
+func (in *Incr) RecomputeAffected(order []int32) error {
+	for _, i := range order {
+		if err := in.recompute(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Et returns the current Exectime of the node with dense index i.
+func (in *Incr) Et(i int32) float64 { return in.et[i] }
+
+// Exectime returns the current Exectime of n.
+func (in *Incr) Exectime(n *core.Node) (float64, bool) {
+	i, ok := in.deps.Index(n)
+	if !ok {
+		return 0, false
+	}
+	return in.et[i], true
+}
+
+// recompute evaluates eq. 1 for one node from its callees' current values.
+func (in *Incr) recompute(i int32) error {
+	n := in.deps.g.Nodes[i]
+	comp := in.pt.BvComp(n)
+	if comp == nil {
+		return fmt.Errorf("estimate: node %q is not mapped to a component", n.Name)
+	}
+	ict, ok := n.ICT[comp.TypeKey()]
+	if !ok {
+		return fmt.Errorf("estimate: node %q has no ict weight for component type %q", n.Name, comp.TypeKey())
+	}
+	if !n.IsBehavior() {
+		in.et[i] = ict
+		return nil
+	}
+	grp := in.grp[i]
+	dst := in.dst[i]
+	ng := in.ngrp[i]
+	for k := int32(0); k < ng; k++ {
+		in.gmax[k] = 0
+	}
+	var total float64
+	for k, c := range in.out[i] {
+		dc := in.pt.DstComp(c)
+		tt, err := transferTime(c, in.pt.ChanBus(c), dc != nil && comp == dc)
+		if err != nil {
+			return err
+		}
+		var dstTime float64
+		if di := dst[k]; di >= 0 {
+			dstTime = in.et[di]
+		}
+		cost := in.opt.Freq(c) * (tt + dstTime)
+		if gi := grp[k]; gi >= 0 {
+			if cost > in.gmax[gi] {
+				in.gmax[gi] = cost
+			}
+		} else {
+			total += cost
+		}
+	}
+	for k := int32(0); k < ng; k++ {
+		total += in.gmax[k]
+	}
+	in.et[i] = ict + total
+	return nil
+}

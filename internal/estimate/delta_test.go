@@ -1,0 +1,209 @@
+package estimate
+
+import (
+	"strings"
+	"testing"
+
+	"specsyn/internal/core"
+)
+
+// TestDepsOrderAndAffected checks the callee-first order and the
+// transitive dependent sets on the reference graph:
+//
+//	main → sub → arr, main → v, main → out1 (port, no dependency)
+func TestDepsOrderAndAffected(t *testing.T) {
+	g := buildGraph(t)
+	deps, err := NewDeps(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deps.Len() != len(g.Nodes) {
+		t.Fatalf("Len = %d, want %d", deps.Len(), len(g.Nodes))
+	}
+	pos := map[string]int{}
+	for k, i := range deps.Order() {
+		pos[deps.Node(i).Name] = k
+	}
+	// Callees must come before callers.
+	if !(pos["arr"] < pos["sub"] && pos["sub"] < pos["main"] && pos["v"] < pos["main"]) {
+		t.Errorf("order is not callee-first: %v", pos)
+	}
+	affected := func(name string) []string {
+		i, ok := deps.Index(g.NodeByName(name))
+		if !ok {
+			t.Fatalf("node %q not indexed", name)
+		}
+		var out []string
+		for _, a := range deps.Affected(i) {
+			out = append(out, deps.Node(a).Name)
+		}
+		return out
+	}
+	cases := map[string][]string{
+		"arr":  {"arr", "sub", "main"},
+		"v":    {"v", "main"},
+		"sub":  {"sub", "main"},
+		"main": {"main"},
+	}
+	for name, want := range cases {
+		got := affected(name)
+		if len(got) != len(want) {
+			t.Errorf("Affected(%s) = %v, want %v", name, got, want)
+			continue
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Errorf("Affected(%s) = %v, want %v", name, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestDepsRejectsRecursion(t *testing.T) {
+	// Self-access.
+	g := core.NewGraph("selfloop")
+	a := &core.Node{Name: "a", Kind: core.BehaviorNode, IsProcess: true}
+	if err := g.AddNode(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddChannel(&core.Channel{Src: a, Dst: a, AccFreq: 1, Bits: 8, Tag: core.NoTag}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDeps(g); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("self-loop NewDeps error = %v, want cycle", err)
+	}
+
+	// Two-node cycle.
+	g2 := core.NewGraph("pair")
+	x := &core.Node{Name: "x", Kind: core.BehaviorNode, IsProcess: true}
+	y := &core.Node{Name: "y", Kind: core.BehaviorNode}
+	for _, n := range []*core.Node{x, y} {
+		if err := g2.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []*core.Channel{
+		{Src: x, Dst: y, AccFreq: 1, Bits: 8, Tag: core.NoTag},
+		{Src: y, Dst: x, AccFreq: 1, Bits: 8, Tag: core.NoTag},
+	} {
+		if err := g2.AddChannel(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := NewDeps(g2); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("two-node cycle NewDeps error = %v, want cycle", err)
+	}
+}
+
+// incrFor builds a rebound Incr over g/pt.
+func incrFor(t *testing.T, g *core.Graph, pt *core.Partition, opt Options) *Incr {
+	t.Helper()
+	deps, err := NewDeps(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewIncr(deps, opt)
+	if err := in.Rebind(pt); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// checkIncrMatches compares every node's incremental Exectime against a
+// fresh full estimator over the same partition.
+func checkIncrMatches(t *testing.T, g *core.Graph, pt *core.Partition, in *Incr, opt Options) {
+	t.Helper()
+	est := New(g, pt, opt)
+	for _, n := range g.Nodes {
+		want, err := est.Exectime(n)
+		if err != nil {
+			t.Fatalf("oracle Exectime(%s): %v", n.Name, err)
+		}
+		got, ok := in.Exectime(n)
+		if !ok {
+			t.Fatalf("Incr has no value for %s", n.Name)
+		}
+		if !almost(got, want) {
+			t.Errorf("Incr Exectime(%s) = %v, oracle %v", n.Name, got, want)
+		}
+	}
+}
+
+func TestIncrMatchesEstimator(t *testing.T) {
+	g := buildGraph(t)
+	for _, opt := range []Options{{}, {Mode: Min}, {Mode: Max}} {
+		for _, mk := range []func(testing.TB, *core.Graph) *core.Partition{
+			func(tb testing.TB, g *core.Graph) *core.Partition { return allCPU(t, g) },
+			func(tb testing.TB, g *core.Graph) *core.Partition { return hwSplit(t, g) },
+		} {
+			pt := mk(t, g)
+			checkIncrMatches(t, g, pt, incrFor(t, g, pt, opt), opt)
+		}
+	}
+}
+
+// TestIncrTracksMoves refreshes only the affected region after each node
+// move and checks every value against a fresh estimator each time.
+func TestIncrTracksMoves(t *testing.T) {
+	g := buildGraph(t)
+	pt := allCPU(t, g)
+	opt := Options{}
+	in := incrFor(t, g, pt, opt)
+	deps, _ := NewDeps(g)
+
+	cpu, asic := g.ProcByName("cpu"), g.ProcByName("asic")
+	moves := []struct {
+		node string
+		to   *core.Processor
+	}{
+		{"sub", asic}, {"arr", asic}, {"v", asic}, {"sub", cpu}, {"arr", cpu}, {"main", asic},
+	}
+	for _, m := range moves {
+		n := g.NodeByName(m.node)
+		if err := pt.Assign(n, m.to); err != nil {
+			t.Fatal(err)
+		}
+		i, _ := deps.Index(n)
+		if err := in.RecomputeAffected(deps.Affected(i)); err != nil {
+			t.Fatal(err)
+		}
+		checkIncrMatches(t, g, pt, in, opt)
+	}
+}
+
+// TestIncrConcurrencyTags checks the per-group max of tagged channels
+// against the full estimator.
+func TestIncrConcurrencyTags(t *testing.T) {
+	g := core.NewGraph("tags")
+	main := &core.Node{Name: "main", Kind: core.BehaviorNode, IsProcess: true}
+	a := &core.Node{Name: "a", Kind: core.VariableNode, StorageBits: 8}
+	b := &core.Node{Name: "b", Kind: core.VariableNode, StorageBits: 8}
+	for _, n := range []*core.Node{main, a, b} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	main.SetICT("proc10", 10)
+	main.SetSize("proc10", 100)
+	for _, n := range []*core.Node{a, b} {
+		n.SetICT("proc10", 0.2)
+		n.SetSize("proc10", 1)
+	}
+	for _, c := range []*core.Channel{
+		{Src: main, Dst: a, AccFreq: 4, Bits: 16, Tag: 7},
+		{Src: main, Dst: b, AccFreq: 2, Bits: 16, Tag: 7},
+	} {
+		if err := g.AddChannel(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.AddProcessor(&core.Processor{Name: "cpu", TypeName: "proc10", SizeCon: 4096, PinCon: 40})
+	g.AddBus(&core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4})
+
+	pt := core.AllToProcessor(g, g.ProcByName("cpu"), g.Buses[0])
+	for _, opt := range []Options{{}, {UseTags: true}} {
+		in := incrFor(t, g, pt, opt)
+		checkIncrMatches(t, g, pt, in, opt)
+	}
+}

@@ -56,8 +56,9 @@ type Options struct {
 	SharingFactor float64
 
 	// ClampBusBitrate caps each bus's reported bitrate at its physical
-	// capacity (bitwidth / td), the simple form of the paper's ref [2]
-	// extension. False reproduces eqs. 2–3 exactly.
+	// capacity (bitwidth over the smallest positive transfer time, see
+	// BusCapacity), the simple form of the paper's ref [2] extension. False
+	// reproduces eqs. 2–3 exactly.
 	ClampBusBitrate bool
 
 	// IgnoreRecursion makes a recursive access-graph cycle contribute zero
@@ -104,12 +105,12 @@ func (e *Estimator) Rebind(pt *core.Partition) {
 	e.Reset()
 }
 
-// freq returns the access count for the selected mode. A min or max
-// annotation that was never set (is zero) falls back to the average, each
-// independently: a channel carrying only an AccMax still estimates with
-// AccFreq in Min mode, never with a spurious zero.
-func (e *Estimator) freq(c *core.Channel) float64 {
-	switch e.opt.Mode {
+// Freq returns the channel's access count under the options' mode. A min
+// or max annotation that was never set (is zero) falls back to the average,
+// each independently: a channel carrying only an AccMax still estimates
+// with AccFreq in Min mode, never with a spurious zero.
+func (o Options) Freq(c *core.Channel) float64 {
+	switch o.Mode {
 	case Min:
 		if c.AccMin != 0 {
 			return c.AccMin
@@ -122,23 +123,38 @@ func (e *Estimator) freq(c *core.Channel) float64 {
 	return c.AccFreq
 }
 
-// TransferTime implements TransferTime(c, p) of eq. 1: the bus data
-// transfer time (ts within one component, td across components) times the
-// number of physical transfers, ceil(bits / bitwidth).
-func (e *Estimator) TransferTime(c *core.Channel) (float64, error) {
-	bus := e.pt.ChanBus(c)
+// freq returns the access count for the selected mode.
+func (e *Estimator) freq(c *core.Channel) float64 { return e.opt.Freq(c) }
+
+// transferTime is TransferTime(c, p) of eq. 1 given the channel's bus and
+// whether both endpoints share a component — the shared core of the full
+// estimator and the incremental engine. A zero-bit (control-only) access
+// costs nothing regardless of the bus; any other access over a bus with a
+// non-positive width is an error, never a divide-by-zero.
+func transferTime(c *core.Channel, bus *core.Bus, sameComp bool) (float64, error) {
 	if bus == nil {
 		return 0, fmt.Errorf("estimate: channel %s is not mapped to a bus", c.Key())
 	}
 	if c.Bits == 0 {
 		return 0, nil // control-only access (e.g. parameterless call)
 	}
+	if bus.BitWidth <= 0 {
+		return 0, fmt.Errorf("estimate: channel %s: bus %q has non-positive bitwidth %d", c.Key(), bus.Name, bus.BitWidth)
+	}
 	transfers := (c.Bits + bus.BitWidth - 1) / bus.BitWidth
 	bdt := bus.TD
-	if src, dst := e.pt.BvComp(c.Src), e.pt.DstComp(c); dst != nil && src == dst {
+	if sameComp {
 		bdt = bus.TS
 	}
 	return bdt * float64(transfers), nil
+}
+
+// TransferTime implements TransferTime(c, p) of eq. 1: the bus data
+// transfer time (ts within one component, td across components) times the
+// number of physical transfers, ceil(bits / bitwidth).
+func (e *Estimator) TransferTime(c *core.Channel) (float64, error) {
+	src, dst := e.pt.BvComp(c.Src), e.pt.DstComp(c)
+	return transferTime(c, e.pt.ChanBus(c), dst != nil && src == dst)
 }
 
 // Exectime implements eq. 1 for a behavior node, and for a variable node
@@ -245,17 +261,26 @@ func (e *Estimator) BusBitrate(b *core.Bus) (float64, error) {
 		sum += br
 	}
 	if e.opt.ClampBusBitrate {
-		t := b.TD
-		if b.TS > 0 && b.TS < t {
-			t = b.TS
-		}
-		if t > 0 {
-			if capacity := float64(b.BitWidth) / t; sum > capacity {
-				sum = capacity
-			}
+		if capacity, ok := BusCapacity(b); ok && sum > capacity {
+			sum = capacity
 		}
 	}
 	return sum, nil
+}
+
+// BusCapacity returns the physical capacity of a bus in bits/µs: bitwidth
+// divided by the smallest positive per-transfer time. A TS-only bus
+// (TD == 0, TS > 0) is still capacity-limited by TS. ok is false when the
+// bus has no positive transfer time or width, i.e. no finite capacity.
+func BusCapacity(b *core.Bus) (capacity float64, ok bool) {
+	t := b.TD
+	if t <= 0 || (b.TS > 0 && b.TS < t) {
+		t = b.TS
+	}
+	if t <= 0 || b.BitWidth <= 0 {
+		return 0, false
+	}
+	return float64(b.BitWidth) / t, true
 }
 
 // Size implements eqs. 4–5: the sum of the size weights, on the component's

@@ -554,3 +554,97 @@ func TestSizeAdditiveQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTransferTimeZeroWidthBusError is the div-by-zero regression: a bus
+// with a non-positive width must surface as an error naming the bus, not
+// a panic, both from TransferTime and from anything that sums it.
+func TestTransferTimeZeroWidthBusError(t *testing.T) {
+	g := buildGraph(t)
+	g.Buses[0].BitWidth = 0
+	est := New(g, allCPU(t, g), Options{})
+	_, err := est.TransferTime(g.FindChannel("main", "sub"))
+	if err == nil || !strings.Contains(err.Error(), "bitwidth") {
+		t.Fatalf("TransferTime on zero-width bus: err = %v, want bitwidth error", err)
+	}
+	if _, err := est.Exectime(g.NodeByName("main")); err == nil {
+		t.Error("Exectime through a zero-width bus succeeded, want error")
+	}
+	// Control-only accesses (Bits == 0) never touch the width and stay fine.
+	g2 := buildGraph(t)
+	g2.Buses[0].BitWidth = 0
+	ctl := g2.FindChannel("main", "v")
+	ctl.Bits = 0
+	tt, err := New(g2, allCPU(t, g2), Options{}).TransferTime(ctl)
+	if err != nil || tt != 0 {
+		t.Errorf("control-only transfer on zero-width bus = %v, %v; want 0, nil", tt, err)
+	}
+}
+
+// TestBusCapacity covers the TS-only clamp regression: the capacity must
+// use the smallest positive of TS/TD, and be absent only when the bus has
+// no positive transfer time (or no wires).
+func TestBusCapacity(t *testing.T) {
+	cases := []struct {
+		bus  core.Bus
+		want float64
+		ok   bool
+	}{
+		{core.Bus{BitWidth: 16, TS: 0.05, TD: 0.4}, 16 / 0.05, true},
+		{core.Bus{BitWidth: 16, TD: 0.4}, 16 / 0.4, true},   // TD-only
+		{core.Bus{BitWidth: 16, TS: 0.05}, 16 / 0.05, true}, // TS-only: the old code skipped this
+		{core.Bus{BitWidth: 16, TS: 0.4, TD: 0.05}, 16 / 0.05, true},
+		{core.Bus{BitWidth: 16}, 0, false},
+		{core.Bus{BitWidth: 0, TS: 0.05}, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := BusCapacity(&c.bus)
+		if ok != c.ok || (ok && !almost(got, c.want)) {
+			t.Errorf("BusCapacity(%+v) = %v, %v; want %v, %v", c.bus, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestClampBusBitrateTSOnly drives the clamp end-to-end on a TS-only bus
+// whose raw per-channel sum exceeds capacity: two independent writers each
+// near the single-channel throughput bound.
+func TestClampBusBitrateTSOnly(t *testing.T) {
+	g := core.NewGraph("tsonly")
+	for _, name := range []string{"p1", "p2"} {
+		p := &core.Node{Name: name, Kind: core.BehaviorNode, IsProcess: true}
+		v := &core.Node{Name: name + "v", Kind: core.VariableNode, StorageBits: 16}
+		p.SetICT("proc10", 1)
+		p.SetSize("proc10", 10)
+		v.SetICT("proc10", 0.001)
+		v.SetSize("proc10", 2)
+		for _, n := range []*core.Node{p, v} {
+			if err := g.AddNode(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := g.AddChannel(&core.Channel{Src: p, Dst: v, AccFreq: 1e6, Bits: 16, Tag: core.NoTag}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.AddProcessor(&core.Processor{Name: "cpu", TypeName: "proc10", SizeCon: 4096, PinCon: 40})
+	g.AddBus(&core.Bus{Name: "bus", BitWidth: 16, TS: 0.05}) // TD == 0: TS-only
+	pt := core.AllToProcessor(g, g.ProcByName("cpu"), g.Buses[0])
+
+	raw, err := New(g, pt, Options{}).BusBitrate(g.Buses[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity, ok := BusCapacity(g.Buses[0])
+	if !ok {
+		t.Fatal("TS-only bus has no capacity")
+	}
+	if raw <= capacity {
+		t.Fatalf("test graph does not exceed capacity: raw %v <= %v", raw, capacity)
+	}
+	clamped, err := New(g, pt, Options{ClampBusBitrate: true}).BusBitrate(g.Buses[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(clamped, capacity) {
+		t.Errorf("TS-only clamped bitrate = %v, want capacity %v", clamped, capacity)
+	}
+}

@@ -25,6 +25,14 @@ type Config struct {
 	// across legs, so a budgeted run is still reproducible at a fixed
 	// seed and leg plan.
 	MaxEvals int
+
+	// FullEval forces the move-based searches (Greedy, GroupMigration,
+	// Anneal) to cost every trial with a full recompute instead of the
+	// incremental delta evaluator. Set it when the bus policy is not
+	// endpoint-local (see BusPolicy), or to cross-check the incremental
+	// path — the two produce identical searches up to floating-point
+	// rounding, and the differential tests hold them to 1e-9.
+	FullEval bool
 }
 
 // checkInterval is how many candidates/iterations a search hot loop runs
@@ -86,6 +94,61 @@ func evalWith(cfg Config, pt *core.Partition) (float64, error) {
 		return 0, err
 	}
 	return cfg.Eval.Cost(pt)
+}
+
+// mover is what a move-based search needs from an evaluator: the cost of
+// the current partition, the cost the partition would have after one node
+// move (without keeping it), and committing a move. DeltaEval satisfies
+// it at O(degree) per call; fullMover is the O(graph) recompute with
+// identical semantics. Both count one evaluation per Cost/MoveCost and
+// none per Apply, so budgets and fault injection see the same sequence
+// whichever implementation runs.
+type mover interface {
+	Cost() (float64, error)
+	MoveCost(n *core.Node, to core.Component) (float64, error)
+	Apply(n *core.Node, to core.Component) error
+}
+
+// fullMover implements mover by full recompute: MoveCost assigns, costs
+// and restores, exactly the trial loops the searches used to inline.
+type fullMover struct {
+	cfg Config
+	pt  *core.Partition
+}
+
+func (m *fullMover) Cost() (float64, error) { return evalWith(m.cfg, m.pt) }
+
+func (m *fullMover) MoveCost(n *core.Node, to core.Component) (float64, error) {
+	from := m.pt.BvComp(n)
+	if err := m.pt.Assign(n, to); err != nil {
+		return 0, err
+	}
+	cost, cerr := evalWith(m.cfg, m.pt)
+	if err := m.pt.Assign(n, from); err != nil {
+		return 0, err
+	}
+	return cost, cerr
+}
+
+// Apply commits the node move only; the bus policy is re-applied by the
+// next evaluation (evalWith), as the searches always did.
+func (m *fullMover) Apply(n *core.Node, to core.Component) error {
+	return m.pt.Assign(n, to)
+}
+
+// newMover binds the best available mover to pt: the evaluator's pooled
+// delta evaluator, or a full-recompute mover when the graph doesn't
+// support incremental evaluation (recursive access graph, degenerate bus,
+// incomplete mapping) or the caller opted out with cfg.FullEval. The
+// fallback preserves full-recompute semantics exactly — including which
+// degenerate inputs it tolerates and how it reports the ones it doesn't.
+func newMover(cfg Config, pt *core.Partition) mover {
+	if !cfg.FullEval {
+		if d, err := cfg.Eval.Delta(pt, cfg.Policy); err == nil {
+			return d
+		}
+	}
+	return &fullMover{cfg: cfg, pt: pt}
 }
 
 // sampler is a tiny splitmix64 PRNG used to draw random candidates. Unlike
@@ -236,6 +299,7 @@ func greedyRotated(ctx context.Context, g *core.Graph, cfg Config, rotate int) (
 		}
 	}
 
+	m := newMover(cfg, pt)
 	partial := false
 place:
 	for _, n := range nodes {
@@ -247,10 +311,7 @@ place:
 		var bestComp core.Component
 		from := pt.BvComp(n)
 		for _, comp := range Allowed(g, n) {
-			if err := pt.Assign(n, comp); err != nil {
-				return Result{}, err
-			}
-			cost, err := evalWith(cfg, pt)
+			cost, err := m.MoveCost(n, comp)
 			if err != nil {
 				return Result{}, err
 			}
@@ -260,7 +321,7 @@ place:
 			if !cfg.budgetLeft(start) {
 				// Mid-node budget exhaustion: commit the best candidate
 				// tried so far (the mapping stays complete) and stop.
-				if err := pt.Assign(n, bestComp); err != nil {
+				if err := m.Apply(n, bestComp); err != nil {
 					return Result{}, err
 				}
 				partial = true
@@ -270,11 +331,11 @@ place:
 		if bestComp == nil {
 			bestComp = from
 		}
-		if err := pt.Assign(n, bestComp); err != nil {
+		if err := m.Apply(n, bestComp); err != nil {
 			return Result{}, err
 		}
 	}
-	cost, err := evalWith(cfg, pt)
+	cost, err := m.Cost()
 	if err != nil {
 		return Result{}, err
 	}
@@ -292,7 +353,10 @@ func GroupMigration(ctx context.Context, init *core.Partition, cfg Config) (Resu
 	g := init.Graph()
 	start := cfg.Eval.Evals
 	cur := init.Clone()
-	curCost, err := evalWith(cfg, cur)
+	// This mover is used for exactly one evaluation: each pass binds the
+	// evaluator's pooled delta state to its own working clone, so a mover
+	// is never held across pass boundaries.
+	curCost, err := newMover(cfg, cur).Cost()
 	if err != nil {
 		return Result{}, err
 	}
@@ -311,6 +375,7 @@ func GroupMigration(ctx context.Context, init *core.Partition, cfg Config) (Resu
 		}
 		locked := map[*core.Node]bool{}
 		work := cur.Clone()
+		wm := newMover(cfg, work)
 		workCost := curCost
 		var seq []move
 
@@ -330,10 +395,7 @@ func GroupMigration(ctx context.Context, init *core.Partition, cfg Config) (Resu
 					if to == from {
 						continue
 					}
-					if err := work.Assign(n, to); err != nil {
-						return Result{}, err
-					}
-					cost, err := evalWith(cfg, work)
+					cost, err := wm.MoveCost(n, to)
 					if err != nil {
 						return Result{}, err
 					}
@@ -342,14 +404,11 @@ func GroupMigration(ctx context.Context, init *core.Partition, cfg Config) (Resu
 						bestMove = &move{n: n, from: from, to: to, cost: cost}
 					}
 				}
-				if err := work.Assign(n, from); err != nil {
-					return Result{}, err
-				}
 			}
 			if bestMove == nil {
 				break // every unlocked node has a single candidate
 			}
-			if err := work.Assign(bestMove.n, bestMove.to); err != nil {
+			if err := wm.Apply(bestMove.n, bestMove.to); err != nil {
 				return Result{}, err
 			}
 			locked[bestMove.n] = true
@@ -399,7 +458,8 @@ func Anneal(ctx context.Context, init *core.Partition, cfg Config) (Result, erro
 		iters = 2000
 	}
 	cur := init.Clone()
-	curCost, err := evalWith(cfg, cur)
+	m := newMover(cfg, cur)
+	curCost, err := m.Cost()
 	if err != nil {
 		return Result{}, err
 	}
@@ -456,23 +516,19 @@ func Anneal(ctx context.Context, init *core.Partition, cfg Config) (Result, erro
 			}
 			to = cands[j]
 		}
-		if err := cur.Assign(n, to); err != nil {
-			return Result{}, err
-		}
-		cost, err := evalWith(cfg, cur)
+		cost, err := m.MoveCost(n, to)
 		if err != nil {
 			return Result{}, err
 		}
 		accept := cost <= curCost || rng.Float64() < math.Exp((curCost-cost)/temp)
 		if accept {
+			if err := m.Apply(n, to); err != nil {
+				return Result{}, err
+			}
 			curCost = cost
 			if cost < bestCost {
 				bestCost = cost
 				best = cur.Clone()
-			}
-		} else {
-			if err := cur.Assign(n, from); err != nil {
-				return Result{}, err
 			}
 		}
 		temp *= cool

@@ -64,14 +64,22 @@ type Evaluator struct {
 
 	Evals int
 
-	totalTraffic float64             // Σ freq×bits, for Comm normalization
+	totalTraffic float64             // Σ freq×bits over non-port channels, for Comm normalization
 	est          *estimate.Estimator // pooled, rebound per evaluation
+	delta        *DeltaEval          // pooled incremental evaluator (see Delta)
+	deltaErr     error               // sticky: graph does not support incremental evaluation
 }
 
 // NewEvaluator returns an evaluator for g.
 func NewEvaluator(g *core.Graph, cons Constraints, w Weights, estOpt estimate.Options) *Evaluator {
 	ev := &Evaluator{G: g, Cons: cons, W: w, EstOpt: estOpt}
 	for _, c := range g.Channels {
+		if _, isPort := c.Dst.(*core.Port); isPort {
+			// Port traffic is external under every partition, and the Comm
+			// term skips it; keeping it out of the normalizer too makes the
+			// term a true fraction of the traffic a partition can affect.
+			continue
+		}
 		ev.totalTraffic += c.AccFreq * float64(c.Bits)
 	}
 	return ev
@@ -174,7 +182,11 @@ func (ev *Evaluator) costWith(pt *core.Partition, w Weights) (float64, error) {
 			if _, isPort := c.Dst.(*core.Port); isPort {
 				continue // external traffic is cut under every partition
 			}
-			if pt.BvComp(c.Src) != pt.DstComp(c) {
+			src, dst := pt.BvComp(c.Src), pt.DstComp(c)
+			if src == nil || dst == nil {
+				continue // an unmapped endpoint is not attributable to a cut
+			}
+			if src != dst {
 				cut += c.AccFreq * float64(c.Bits)
 			}
 		}
@@ -221,6 +233,12 @@ func Allowed(g *core.Graph, n *core.Node) []core.Component {
 // BusPolicy derives the channel→bus mapping from the node mapping. The
 // paper treats channel mapping as part of the partition; in practice tools
 // re-derive it after each node move, which is what the algorithms here do.
+//
+// A policy must be endpoint-local: its choice for a channel may depend
+// only on that channel and the mapping of the channel's own endpoints.
+// The incremental delta evaluator relies on this to re-derive only the
+// channels incident to a moved node (SingleBus and InternalExternal both
+// qualify). A policy that inspects unrelated nodes needs Config.FullEval.
 type BusPolicy func(pt *core.Partition, c *core.Channel) *core.Bus
 
 // SingleBus maps every channel to one bus.

@@ -1,0 +1,632 @@
+package partition
+
+// The delta evaluator: incremental cost estimation for single-node moves.
+//
+// Evaluator.Cost re-walks every component, process, bus and channel per
+// candidate — O(graph) — even when the candidate differs from the previous
+// one by a single object move. DeltaEval instead materializes every sum
+// the cost function reads (per-component size and IO, per-bus bitrate,
+// the cut-traffic total, per-node Exectime) and updates only the entries
+// a move touches: O(degree of the moved node + its dependent region).
+// That makes a move trial "a matter of table lookups and sums" (§4) and
+// is what lets the searches explore thousands of designs per second on
+// graphs where a full re-estimate would dominate.
+//
+// Correctness discipline: the full recompute stays the oracle. Integer
+// sums (cut counts, IO widths) are maintained exactly; floating-point
+// sums (sizes, bitrates, cut traffic) drift by one rounding error per
+// inverse update, so they are re-derived from scratch — in the oracle's
+// summation order — every deltaRefreshInterval moves and on every Cost
+// call. Exectime values are recomputed from scratch per affected node
+// (estimate.Incr), so they carry no incremental drift at all.
+
+import (
+	"fmt"
+	"math"
+
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+)
+
+// deltaRefreshInterval is how many incremental updates the evaluator
+// applies between full re-derivations of its floating-point sums. Each
+// trial or commit perturbs a sum by add/subtract pairs that do not cancel
+// exactly in floating point; re-deriving every few dozen moves keeps the
+// accumulated drift orders of magnitude below the 1e-9 the differential
+// tests (and reasonable callers) care about, while amortizing the
+// O(graph) refresh to a negligible per-move cost.
+const deltaRefreshInterval = 64
+
+// DeltaEval is the incremental counterpart of Evaluator.Cost for
+// single-node moves. Obtain one with Evaluator.Delta; it is pooled on the
+// evaluator and rebound per search, and like the evaluator it must not be
+// shared between goroutines.
+//
+// MoveCost and Cost fire the evaluator's fault-injection hook and count
+// one evaluation each, exactly like Evaluator.Cost; Apply and Undo are
+// bookkeeping and count nothing.
+type DeltaEval struct {
+	ev     *Evaluator
+	deps   *estimate.Deps
+	incr   *estimate.Incr
+	pt     *core.Partition
+	policy BusPolicy
+	w      Weights // captured at Rebind; see Evaluator's EstOpt contract
+
+	// Static tables, built once per evaluator.
+	comps    []core.Component
+	compIdx  map[core.Component]int32
+	buses    []*core.Bus
+	busIdx   map[*core.Bus]int32
+	busWidth []int32
+	chans    []*core.Channel
+	chSrc    []int32   // source node index per channel
+	chDst    []int32   // destination node index per channel; -1 = port
+	chVol    []float64 // AccFreq × Bits (Comm-term traffic); 0 for port channels
+	chRVol   []float64 // mode freq × Bits (bitrate volume)
+	outIdx   [][]int32 // channel indices with Src = node
+	inIdx    [][]int32 // channel indices with Dst = node
+	sizeTab  []float64 // node × comp size weight; NaN = missing
+	dlNode   []int32   // deadline-constrained processes, in Processes order
+	dlLimit  []float64
+	rateBus  []int32 // bitrate-constrained buses, in g.Buses order
+	rateLim  []float64
+
+	// Dynamic mirrors and sums for the bound partition.
+	comp    []int32   // component index per node
+	chBus   []int32   // bus index per channel
+	chBr    []float64 // last-computed bitrate per channel (rate-tracked buses)
+	chBad   []bool    // channel has traffic but zero source Exectime
+	hasRate []bool    // bus participates in the Rate term (constrained, W.Rate > 0)
+	sizeSum []float64 // per component
+	ioSum   []int32   // per component: Σ widths of buses with a cut channel
+	cutCnt  []int32   // comp × bus: cut channels of comp on bus
+	busRate []float64 // per bus
+	badCnt  []int32   // per bus: channels with chBad set
+	cut     float64   // Σ chVol over component-crossing channels
+
+	sinceRefresh int
+	undoNode     int32
+	undoComp     int32
+	hasUndo      bool
+	broken       bool // a move failed midway; sums are unreliable
+}
+
+// Delta returns the evaluator's pooled incremental evaluator, bound to pt
+// with its channel mapping (re)derived by policy — the same derivation
+// evalWith performs, written through to pt. It returns an error when the
+// graph does not support incremental evaluation (recursive access graph,
+// non-positive bus width — the error is sticky) or when pt is not a
+// complete, estimable mapping; callers then fall back to full recompute,
+// which reports such states with precise diagnostics or, per its
+// semantics, tolerates them.
+func (ev *Evaluator) Delta(pt *core.Partition, policy BusPolicy) (*DeltaEval, error) {
+	if ev.deltaErr != nil {
+		return nil, ev.deltaErr
+	}
+	if ev.delta == nil {
+		d, err := newDeltaEval(ev)
+		if err != nil {
+			ev.deltaErr = err
+			return nil, err
+		}
+		ev.delta = d
+	}
+	if err := ev.delta.Rebind(pt, policy); err != nil {
+		return nil, err
+	}
+	return ev.delta, nil
+}
+
+// newDeltaEval builds the partition-independent tables.
+func newDeltaEval(ev *Evaluator) (*DeltaEval, error) {
+	deps, err := estimate.NewDeps(ev.G)
+	if err != nil {
+		return nil, err
+	}
+	g := ev.G
+	for _, b := range g.Buses {
+		// The full estimator only trips over a degenerate bus when a
+		// deadline forces an Exectime through it; incremental evaluation
+		// computes every Exectime up front and would diverge, so refuse.
+		if b.BitWidth <= 0 {
+			return nil, fmt.Errorf("partition: bus %q has non-positive bitwidth %d", b.Name, b.BitWidth)
+		}
+	}
+	nn, nc, nb, nch := len(g.Nodes), len(g.Components()), len(g.Buses), len(g.Channels)
+	d := &DeltaEval{
+		ev:       ev,
+		deps:     deps,
+		incr:     estimate.NewIncr(deps, ev.EstOpt),
+		comps:    g.Components(),
+		compIdx:  make(map[core.Component]int32, nc),
+		buses:    g.Buses,
+		busIdx:   make(map[*core.Bus]int32, nb),
+		busWidth: make([]int32, nb),
+		chans:    g.Channels,
+		chSrc:    make([]int32, nch),
+		chDst:    make([]int32, nch),
+		chVol:    make([]float64, nch),
+		chRVol:   make([]float64, nch),
+		outIdx:   make([][]int32, nn),
+		inIdx:    make([][]int32, nn),
+		sizeTab:  make([]float64, nn*nc),
+		comp:     make([]int32, nn),
+		chBus:    make([]int32, nch),
+		chBr:     make([]float64, nch),
+		chBad:    make([]bool, nch),
+		hasRate:  make([]bool, nb),
+		sizeSum:  make([]float64, nc),
+		ioSum:    make([]int32, nc),
+		cutCnt:   make([]int32, nc*nb),
+		busRate:  make([]float64, nb),
+		badCnt:   make([]int32, nb),
+	}
+	for i, c := range d.comps {
+		d.compIdx[c] = int32(i)
+	}
+	for i, b := range g.Buses {
+		d.busIdx[b] = int32(i)
+		d.busWidth[i] = int32(b.BitWidth)
+	}
+	for i, n := range g.Nodes {
+		for ci, comp := range d.comps {
+			w, ok := n.Size[comp.TypeKey()]
+			if !ok {
+				w = math.NaN()
+			}
+			d.sizeTab[i*nc+ci] = w
+		}
+	}
+	for ci, c := range g.Channels {
+		si, _ := deps.Index(c.Src)
+		d.chSrc[ci] = si
+		d.chDst[ci] = -1
+		if dn, ok := c.Dst.(*core.Node); ok {
+			di, _ := deps.Index(dn)
+			d.chDst[ci] = di
+			d.chVol[ci] = c.AccFreq * float64(c.Bits)
+			d.inIdx[di] = append(d.inIdx[di], int32(ci))
+		}
+		d.chRVol[ci] = ev.EstOpt.Freq(c) * float64(c.Bits)
+		d.outIdx[si] = append(d.outIdx[si], int32(ci))
+	}
+	for _, p := range g.Processes() {
+		limit, ok := ev.Cons.Deadline[p.Name]
+		if !ok {
+			continue
+		}
+		ni, _ := deps.Index(p)
+		d.dlNode = append(d.dlNode, ni)
+		d.dlLimit = append(d.dlLimit, limit)
+	}
+	for bi, b := range g.Buses {
+		limit, ok := ev.Cons.MaxBusRate[b.Name]
+		if !ok {
+			continue
+		}
+		d.rateBus = append(d.rateBus, int32(bi))
+		d.rateLim = append(d.rateLim, limit)
+	}
+	return d, nil
+}
+
+// Rebind points the evaluator at a partition and bus policy, applies the
+// policy to every channel (writing the derivation through to pt), and
+// re-derives every sum — O(graph), paid once per search, not per move.
+func (d *DeltaEval) Rebind(pt *core.Partition, policy BusPolicy) error {
+	d.pt, d.policy = pt, policy
+	d.broken, d.hasUndo = false, false
+	d.w = d.ev.W
+	for i := range d.hasRate {
+		d.hasRate[i] = false
+	}
+	if d.w.Rate > 0 {
+		for _, bi := range d.rateBus {
+			d.hasRate[bi] = true
+		}
+	}
+	for i, n := range d.ev.G.Nodes {
+		c := pt.BvComp(n)
+		if c == nil {
+			return fmt.Errorf("partition: node %q is unmapped", n.Name)
+		}
+		ci, ok := d.compIdx[c]
+		if !ok {
+			return fmt.Errorf("partition: node %q is mapped to a component outside the graph", n.Name)
+		}
+		d.comp[i] = ci
+	}
+	for ci, c := range d.chans {
+		b := policy(pt, c)
+		if b == nil {
+			return fmt.Errorf("partition: bus policy returned nil for channel %s", c.Key())
+		}
+		bi, ok := d.busIdx[b]
+		if !ok {
+			return fmt.Errorf("partition: bus policy returned a bus outside the graph for channel %s", c.Key())
+		}
+		d.chBus[ci] = bi
+		pt.AssignChan(c, b)
+	}
+	if err := d.incr.Rebind(pt); err != nil {
+		return err
+	}
+	return d.refresh()
+}
+
+// Partition returns the partition the evaluator is bound to.
+func (d *DeltaEval) Partition() *core.Partition { return d.pt }
+
+// refresh re-derives every floating-point sum from scratch, in the same
+// summation order the full recompute uses, resetting accumulated drift.
+// The integer sums (cutCnt, ioSum, badCnt) are re-derived too, though
+// incremental maintenance keeps those exact anyway.
+func (d *DeltaEval) refresh() error {
+	for i := range d.sizeSum {
+		d.sizeSum[i] = 0
+		d.ioSum[i] = 0
+	}
+	for i := range d.cutCnt {
+		d.cutCnt[i] = 0
+	}
+	for i := range d.busRate {
+		d.busRate[i] = 0
+		d.badCnt[i] = 0
+	}
+	d.cut = 0
+	nc := len(d.comps)
+	for i := range d.comp {
+		w := d.sizeTab[i*nc+int(d.comp[i])]
+		if math.IsNaN(w) {
+			n := d.ev.G.Nodes[i]
+			return fmt.Errorf("estimate: node %q has no size weight for component type %q", n.Name, d.comps[d.comp[i]].TypeKey())
+		}
+		d.sizeSum[d.comp[i]] += w
+	}
+	for ci := range d.chans {
+		s := d.comp[d.chSrc[ci]]
+		bi := d.chBus[ci]
+		if di := d.chDst[ci]; di < 0 {
+			d.incCut(s, bi)
+		} else if dc := d.comp[di]; dc != s {
+			d.incCut(s, bi)
+			d.incCut(dc, bi)
+			d.cut += d.chVol[ci]
+		}
+		d.chBr[ci], d.chBad[ci] = 0, false
+		if d.hasRate[bi] {
+			br, bad := d.bitrate(ci)
+			d.chBr[ci], d.chBad[ci] = br, bad
+			if bad {
+				d.badCnt[bi]++
+			} else {
+				d.busRate[bi] += br
+			}
+		}
+	}
+	d.sinceRefresh = 0
+	return nil
+}
+
+func (d *DeltaEval) refreshIfDue() error {
+	if d.sinceRefresh < deltaRefreshInterval {
+		return nil
+	}
+	if err := d.refresh(); err != nil {
+		d.broken = true
+		return err
+	}
+	return nil
+}
+
+// bitrate evaluates eq. 2 for one channel from the current Exectime of
+// its source. bad reports non-zero traffic from a zero-Exectime source,
+// which the full estimator treats as an error.
+func (d *DeltaEval) bitrate(ci int) (br float64, bad bool) {
+	vol := d.chRVol[ci]
+	if vol == 0 {
+		return 0, false
+	}
+	et := d.incr.Et(d.chSrc[ci])
+	if et == 0 {
+		return 0, true
+	}
+	return vol / et, false
+}
+
+// incCut records one more cut channel of component comp on bus; the first
+// one adds the bus to the component's IO (eq. 6).
+func (d *DeltaEval) incCut(comp, bus int32) {
+	k := int(comp)*len(d.buses) + int(bus)
+	if d.cutCnt[k] == 0 {
+		d.ioSum[comp] += d.busWidth[bus]
+	}
+	d.cutCnt[k]++
+}
+
+func (d *DeltaEval) decCut(comp, bus int32) {
+	k := int(comp)*len(d.buses) + int(bus)
+	d.cutCnt[k]--
+	if d.cutCnt[k] == 0 {
+		d.ioSum[comp] -= d.busWidth[bus]
+	}
+}
+
+// detachCut removes channel ci's contribution to the cut counts, IO sums
+// and cut traffic, under the current mirrors.
+func (d *DeltaEval) detachCut(ci int32) {
+	bi := d.chBus[ci]
+	s := d.comp[d.chSrc[ci]]
+	if di := d.chDst[ci]; di < 0 {
+		d.decCut(s, bi)
+	} else if dc := d.comp[di]; dc != s {
+		d.decCut(s, bi)
+		d.decCut(dc, bi)
+		d.cut -= d.chVol[ci]
+	}
+}
+
+func (d *DeltaEval) attachCut(ci int32) {
+	bi := d.chBus[ci]
+	s := d.comp[d.chSrc[ci]]
+	if di := d.chDst[ci]; di < 0 {
+		d.incCut(s, bi)
+	} else if dc := d.comp[di]; dc != s {
+		d.incCut(s, bi)
+		d.incCut(dc, bi)
+		d.cut += d.chVol[ci]
+	}
+}
+
+// rederive re-applies the bus policy to the given channels (the ones
+// incident to a moved node — the only ones an endpoint-local policy can
+// change) and writes the result through to the bound partition.
+func (d *DeltaEval) rederive(chs []int32) error {
+	for _, ci := range chs {
+		c := d.chans[ci]
+		b := d.policy(d.pt, c)
+		if b == nil {
+			return fmt.Errorf("partition: bus policy returned nil for channel %s", c.Key())
+		}
+		bi, ok := d.busIdx[b]
+		if !ok {
+			return fmt.Errorf("partition: bus policy returned a bus outside the graph for channel %s", c.Key())
+		}
+		d.chBus[ci] = bi
+		d.pt.AssignChan(c, b)
+	}
+	return nil
+}
+
+// move transitions the bound partition and every sum from "ni on its
+// current component" to "ni on toIdx". Validation that can fail happens
+// before any sum is touched; a failure after mutation begins (a policy
+// misbehaving mid-move) marks the evaluator broken.
+func (d *DeltaEval) move(ni, toIdx int32) error {
+	fromIdx := d.comp[ni]
+	if toIdx == fromIdx {
+		return nil
+	}
+	nc := len(d.comps)
+	n := d.ev.G.Nodes[ni]
+	to := d.comps[toIdx]
+	wTo := d.sizeTab[int(ni)*nc+int(toIdx)]
+	if math.IsNaN(wTo) {
+		return fmt.Errorf("estimate: node %q has no size weight for component type %q", n.Name, to.TypeKey())
+	}
+	if _, ok := n.ICT[to.TypeKey()]; !ok {
+		return fmt.Errorf("estimate: node %q has no ict weight for component type %q", n.Name, to.TypeKey())
+	}
+	if err := d.pt.Assign(n, to); err != nil {
+		return err // behavior on a non-processor; nothing mutated yet
+	}
+
+	aff := d.deps.Affected(ni)
+	// Detach: cut/IO/traffic contributions of the channels touching n
+	// (under the old buses and components) ...
+	for _, ci := range d.outIdx[ni] {
+		d.detachCut(ci)
+	}
+	for _, ci := range d.inIdx[ni] {
+		d.detachCut(ci)
+	}
+	// ... and the bitrate of every channel whose source Exectime is about
+	// to change (the incident channels' sources are all in aff).
+	for _, ai := range aff {
+		for _, ci := range d.outIdx[ai] {
+			if d.chBad[ci] {
+				d.badCnt[d.chBus[ci]]--
+				d.chBad[ci] = false
+			} else if d.hasRate[d.chBus[ci]] {
+				d.busRate[d.chBus[ci]] -= d.chBr[ci]
+			}
+		}
+	}
+
+	// Swap the node itself.
+	d.sizeSum[fromIdx] -= d.sizeTab[int(ni)*nc+int(fromIdx)]
+	d.sizeSum[toIdx] += wTo
+	d.comp[ni] = toIdx
+
+	// Reattach under the new mapping: incident buses first (the policy
+	// sees the updated partition), then the affected Exectimes
+	// callee-first, then bitrates and cut sums.
+	if err := d.rederive(d.outIdx[ni]); err != nil {
+		d.broken = true
+		return err
+	}
+	if err := d.rederive(d.inIdx[ni]); err != nil {
+		d.broken = true
+		return err
+	}
+	if err := d.incr.RecomputeAffected(aff); err != nil {
+		d.broken = true
+		return err
+	}
+	for _, ai := range aff {
+		for _, ci := range d.outIdx[ai] {
+			bi := d.chBus[ci]
+			if !d.hasRate[bi] {
+				continue
+			}
+			br, bad := d.bitrate(int(ci))
+			d.chBr[ci], d.chBad[ci] = br, bad
+			if bad {
+				d.badCnt[bi]++
+			} else {
+				d.busRate[bi] += br
+			}
+		}
+	}
+	for _, ci := range d.outIdx[ni] {
+		d.attachCut(ci)
+	}
+	for _, ci := range d.inIdx[ni] {
+		d.attachCut(ci)
+	}
+	d.sinceRefresh++
+	return nil
+}
+
+// costNow evaluates the cost function from the materialized sums — the
+// same terms, in the same order, as Evaluator.costWith.
+func (d *DeltaEval) costNow() (float64, error) {
+	w := d.w
+	var cost float64
+	for ci, comp := range d.comps {
+		size := d.sizeSum[ci]
+		switch c := comp.(type) {
+		case *core.Processor:
+			if c.Custom && d.ev.EstOpt.SharingFactor > 0 {
+				size *= 1 - d.ev.EstOpt.SharingFactor
+			}
+			cost += w.Size * excess(size, c.SizeCon)
+			cost += w.Pins * excess(float64(d.ioSum[ci]), float64(c.PinCon))
+		case *core.Memory:
+			cost += w.Size * excess(size, c.SizeCon)
+		}
+	}
+	if w.Time > 0 {
+		for k, ni := range d.dlNode {
+			cost += w.Time * excess(d.incr.Et(ni), d.dlLimit[k])
+		}
+	}
+	if w.Rate > 0 {
+		for k, bi := range d.rateBus {
+			if d.badCnt[bi] > 0 {
+				return 0, fmt.Errorf("estimate: bus %q carries traffic from a source with zero execution time", d.buses[bi].Name)
+			}
+			rate := d.busRate[bi]
+			if d.ev.EstOpt.ClampBusBitrate {
+				if capacity, ok := estimate.BusCapacity(d.buses[bi]); ok && rate > capacity {
+					rate = capacity
+				}
+			}
+			cost += w.Rate * excess(rate, d.rateLim[k])
+		}
+	}
+	if w.Comm > 0 && d.ev.totalTraffic > 0 {
+		cost += w.Comm * d.cut / d.ev.totalTraffic
+	}
+	return cost, nil
+}
+
+// beginEval fires the fault-injection hook and counts the evaluation —
+// the same per-evaluation observable sequence as Evaluator.Cost, so
+// budgets, injected faults and eval accounting are strategy-independent.
+func (d *DeltaEval) beginEval() error {
+	if d.broken {
+		return fmt.Errorf("partition: delta evaluator is broken by an earlier failed move; Rebind it")
+	}
+	if d.ev.Hook != nil {
+		if err := d.ev.Hook.BeforeEval(); err != nil {
+			return err
+		}
+	}
+	d.ev.Evals++
+	return nil
+}
+
+// MoveCost returns the cost the bound partition would have with n moved
+// to `to`, leaving the partition as it was: the move is applied, costed
+// and inverted, all at O(degree). It counts as one evaluation.
+func (d *DeltaEval) MoveCost(n *core.Node, to core.Component) (float64, error) {
+	if err := d.beginEval(); err != nil {
+		return 0, err
+	}
+	if err := d.refreshIfDue(); err != nil {
+		return 0, err
+	}
+	ni, ok := d.deps.Index(n)
+	if !ok {
+		return 0, fmt.Errorf("partition: node %q is not in the evaluator's graph", n.Name)
+	}
+	toIdx, ok := d.compIdx[to]
+	if !ok {
+		return 0, fmt.Errorf("partition: component %q is not in the evaluator's graph", to.CompName())
+	}
+	fromIdx := d.comp[ni]
+	if toIdx == fromIdx {
+		return d.costNow()
+	}
+	if err := d.move(ni, toIdx); err != nil {
+		return 0, err
+	}
+	cost, cerr := d.costNow()
+	if err := d.move(ni, fromIdx); err != nil {
+		d.broken = true // the forward move succeeded; its inverse cannot cleanly fail
+		return 0, err
+	}
+	return cost, cerr
+}
+
+// Apply commits the move of n to `to` (a no-op if already there) and
+// remembers it for Undo. It is bookkeeping, not an evaluation: no hook
+// fires and no evaluation is counted, matching a search loop that trials
+// with MoveCost and then commits the winner.
+func (d *DeltaEval) Apply(n *core.Node, to core.Component) error {
+	if d.broken {
+		return fmt.Errorf("partition: delta evaluator is broken by an earlier failed move; Rebind it")
+	}
+	if err := d.refreshIfDue(); err != nil {
+		return err
+	}
+	ni, ok := d.deps.Index(n)
+	if !ok {
+		return fmt.Errorf("partition: node %q is not in the evaluator's graph", n.Name)
+	}
+	toIdx, ok := d.compIdx[to]
+	if !ok {
+		return fmt.Errorf("partition: component %q is not in the evaluator's graph", to.CompName())
+	}
+	d.undoNode, d.undoComp, d.hasUndo = ni, d.comp[ni], true
+	return d.move(ni, toIdx)
+}
+
+// Undo reverts the most recent Apply. Only one level is kept.
+func (d *DeltaEval) Undo() error {
+	if d.broken {
+		return fmt.Errorf("partition: delta evaluator is broken by an earlier failed move; Rebind it")
+	}
+	if !d.hasUndo {
+		return fmt.Errorf("partition: Undo without a preceding Apply")
+	}
+	d.hasUndo = false
+	return d.move(d.undoNode, d.undoComp)
+}
+
+// Cost counts one evaluation and returns the cost of the bound partition,
+// re-deriving the floating-point sums first so the value carries no
+// incremental drift (it matches the full recompute up to summation-order
+// rounding).
+func (d *DeltaEval) Cost() (float64, error) {
+	if err := d.beginEval(); err != nil {
+		return 0, err
+	}
+	if err := d.refresh(); err != nil {
+		d.broken = true
+		return 0, err
+	}
+	return d.costNow()
+}

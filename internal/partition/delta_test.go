@@ -1,0 +1,438 @@
+package partition
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+	"specsyn/internal/faultinject"
+)
+
+// portedGraph is benchGraph plus an output port written by b0 — the shape
+// that exercises port handling in the cut/IO accounting.
+func portedGraph(t testing.TB, nBeh, nVar int) *core.Graph {
+	t.Helper()
+	g := benchGraph(t, nBeh, nVar)
+	p := &core.Port{Name: "out", Dir: core.Out, Bits: 8}
+	if err := g.AddPort(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddChannel(&core.Channel{Src: g.NodeByName("b0"), Dst: p, AccFreq: 3, Bits: 8, Tag: core.NoTag}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// twoBusGraph is portedGraph with an internal/external bus pair.
+func twoBusGraph(t testing.TB, nBeh, nVar int) *core.Graph {
+	t.Helper()
+	g := portedGraph(t, nBeh, nVar)
+	g.AddBus(&core.Bus{Name: "ext", BitWidth: 8, TS: 0.1, TD: 0.8})
+	return g
+}
+
+// deltaScenario is one differential-test configuration.
+type deltaScenario struct {
+	name   string
+	graph  *core.Graph
+	cons   Constraints
+	w      Weights
+	opt    estimate.Options
+	policy func(g *core.Graph) BusPolicy
+}
+
+func deltaScenarios(t testing.TB) []deltaScenario {
+	single := func(g *core.Graph) BusPolicy { return SingleBus(g.Buses[0]) }
+	intExt := func(g *core.Graph) BusPolicy { return InternalExternal(g.Buses[0], g.Buses[1]) }
+	// Constraints tight enough that every cost term is non-zero somewhere
+	// in the move sequences.
+	cons := Constraints{
+		Deadline:   map[string]float64{"b0": 25},
+		MaxBusRate: map[string]float64{"bus": 8},
+	}
+	return []deltaScenario{
+		{"basic", benchGraph(t, 8, 4), cons, DefaultWeights(), estimate.Options{}, single},
+		{"ported", portedGraph(t, 8, 4), cons, DefaultWeights(), estimate.Options{}, single},
+		{"intext", twoBusGraph(t, 8, 4), cons, DefaultWeights(), estimate.Options{}, intExt},
+		{"clamp-sharing", benchGraph(t, 6, 3), cons, DefaultWeights(),
+			estimate.Options{ClampBusBitrate: true, SharingFactor: 0.4}, single},
+		{"minmode", benchGraph(t, 6, 3), cons, DefaultWeights(), estimate.Options{Mode: estimate.Min}, single},
+		{"no-rate-weight", benchGraph(t, 6, 3), cons, Weights{Size: 1, Pins: 1, Time: 1, Comm: 0.1}, estimate.Options{}, single},
+	}
+}
+
+// oracleCost is the full-recompute reference: policy applied to a clone,
+// costed by a dedicated evaluator.
+func oracleCost(t testing.TB, ev *Evaluator, pt *core.Partition, policy BusPolicy) float64 {
+	t.Helper()
+	clone := pt.Clone()
+	if err := ApplyBusPolicy(clone, policy); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := ev.Cost(clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cost
+}
+
+// TestDeltaMatchesOracleRandomMoves is the differential property test of
+// the tentpole: over long random move sequences — trials, commits, undos,
+// spanning many refresh intervals — every incremental cost must match the
+// full recompute within 1e-9.
+func TestDeltaMatchesOracleRandomMoves(t *testing.T) {
+	const steps = 1200
+	for _, sc := range deltaScenarios(t) {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			g := sc.graph
+			ev := NewEvaluator(g, sc.cons, sc.w, sc.opt)
+			oracle := NewEvaluator(g, sc.cons, sc.w, sc.opt)
+			policy := sc.policy(g)
+			pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+			d, err := ev.Delta(pt, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			for step := 0; step < steps; step++ {
+				n := g.Nodes[rng.Intn(len(g.Nodes))]
+				cands := Allowed(g, n)
+				to := cands[rng.Intn(len(cands))]
+
+				got, err := d.MoveCost(n, to)
+				if err != nil {
+					t.Fatalf("step %d: MoveCost(%s→%s): %v", step, n.Name, to.CompName(), err)
+				}
+				trial := pt.Clone()
+				if err := trial.Assign(n, to); err != nil {
+					t.Fatal(err)
+				}
+				if err := ApplyBusPolicy(trial, policy); err != nil {
+					t.Fatal(err)
+				}
+				want, err := oracle.Cost(trial)
+				if err != nil {
+					t.Fatalf("step %d: oracle: %v", step, err)
+				}
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("step %d: MoveCost(%s→%s) = %.15g, oracle %.15g (Δ %g)",
+						step, n.Name, to.CompName(), got, want, got-want)
+				}
+
+				switch r := rng.Float64(); {
+				case r < 0.45:
+					if err := d.Apply(n, to); err != nil {
+						t.Fatalf("step %d: Apply: %v", step, err)
+					}
+				case r < 0.55:
+					if err := d.Apply(n, to); err != nil {
+						t.Fatalf("step %d: Apply: %v", step, err)
+					}
+					if err := d.Undo(); err != nil {
+						t.Fatalf("step %d: Undo: %v", step, err)
+					}
+				}
+				if step%97 == 0 {
+					got, err := d.Cost()
+					if err != nil {
+						t.Fatalf("step %d: Cost: %v", step, err)
+					}
+					want := oracleCost(t, oracle, pt, policy)
+					if math.Abs(got-want) > 1e-9 {
+						t.Fatalf("step %d: committed Cost = %.15g, oracle %.15g", step, got, want)
+					}
+				}
+			}
+			// Final state, once more, through both paths.
+			got, err := d.Cost()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := oracleCost(t, oracle, pt, policy); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("final Cost = %.15g, oracle %.15g", got, want)
+			}
+		})
+	}
+}
+
+// countingHook counts BeforeEval calls.
+type countingHook struct{ n int }
+
+func (h *countingHook) BeforeEval() error                  { h.n++; return nil }
+func (h *countingHook) ForLeg(int, int64) faultinject.Hook { return h }
+
+// TestDeltaEvalAccounting pins the eval/hook contract: MoveCost and Cost
+// each fire the hook once and count one evaluation; Rebind, Apply and Undo
+// count nothing.
+func TestDeltaEvalAccounting(t *testing.T) {
+	g := benchGraph(t, 6, 3)
+	ev := NewEvaluator(g, Constraints{}, DefaultWeights(), estimate.Options{})
+	hook := &countingHook{}
+	ev.Hook = hook
+	pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	d, err := ev.Delta(pt, SingleBus(g.Buses[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hook.n != 0 || ev.Evals != 0 {
+		t.Fatalf("binding the delta evaluator counted evals: hook %d, evals %d", hook.n, ev.Evals)
+	}
+	n := g.NodeByName("b1")
+	asic := g.ProcByName("asic")
+	for i := 0; i < 5; i++ {
+		if _, err := d.MoveCost(n, asic); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.Apply(n, asic); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Undo(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := d.Cost(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hook.n != 7 || ev.Evals != 7 {
+		t.Errorf("5 MoveCost + 3 Apply/Undo + 2 Cost: hook %d, evals %d; want 7, 7", hook.n, ev.Evals)
+	}
+}
+
+// TestDeltaUndo checks that Undo restores both the mapping and the cost,
+// and that a second Undo is refused.
+func TestDeltaUndo(t *testing.T) {
+	g := benchGraph(t, 6, 3)
+	ev := NewEvaluator(g, Constraints{Deadline: map[string]float64{"b0": 25}}, DefaultWeights(), estimate.Options{})
+	pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	d, err := ev.Delta(pt, SingleBus(g.Buses[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := d.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NodeByName("b2")
+	from := pt.BvComp(n)
+	if err := d.Apply(n, g.ProcByName("asic")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if pt.BvComp(n) != from {
+		t.Errorf("Undo left %s on %s, want %s", n.Name, pt.BvComp(n).CompName(), from.CompName())
+	}
+	after, err := d.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before-after) > 1e-9 {
+		t.Errorf("cost after Apply+Undo = %.15g, want %.15g", after, before)
+	}
+	if err := d.Undo(); err == nil {
+		t.Error("second Undo succeeded, want error")
+	}
+}
+
+// TestMoveCostZeroAllocs pins the steady-state allocation budget of the
+// incremental hot path at zero, including the periodic full refresh.
+func TestMoveCostZeroAllocs(t *testing.T) {
+	g := benchGraph(t, 12, 6)
+	ev := NewEvaluator(g, Constraints{
+		Deadline:   map[string]float64{"b0": 25},
+		MaxBusRate: map[string]float64{"bus": 8},
+	}, DefaultWeights(), estimate.Options{})
+	pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	d, err := ev.Delta(pt, SingleBus(g.Buses[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NodeByName("b3")
+	asic := g.ProcByName("asic")
+	for i := 0; i < 2*deltaRefreshInterval; i++ { // warm up past a refresh
+		if _, err := d.MoveCost(n, asic); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(3*deltaRefreshInterval, func() {
+		if _, err := d.MoveCost(n, asic); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("MoveCost allocates %v per op in steady state, want 0", allocs)
+	}
+}
+
+// TestDeltaFallsBackOnRecursion: a cyclic access graph cannot be evaluated
+// incrementally; Delta must fail (stickily) and the searches must fall
+// back to full recompute with identical results.
+func TestDeltaFallsBackOnRecursion(t *testing.T) {
+	g := benchGraph(t, 6, 3)
+	// Close a cycle b5 → b0 (benchGraph chains b0 → … → b5).
+	if err := g.AddChannel(&core.Channel{Src: g.NodeByName("b5"), Dst: g.NodeByName("b0"), AccFreq: 1, Bits: 8, Tag: core.NoTag}); err != nil {
+		t.Fatal(err)
+	}
+	// No deadline constraints: the full estimator never needs an Exectime,
+	// so full recompute tolerates the cycle.
+	ev := NewEvaluator(g, Constraints{}, DefaultWeights(), estimate.Options{})
+	pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	if _, err := ev.Delta(pt, SingleBus(g.Buses[0])); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Delta on cyclic graph: err = %v, want cycle", err)
+	}
+	if _, err := ev.Delta(pt, SingleBus(g.Buses[0])); err == nil {
+		t.Fatal("second Delta call succeeded; the failure should be sticky")
+	}
+
+	cfg := Config{Eval: ev, Policy: SingleBus(g.Buses[0]), Seed: 1}
+	res, err := Greedy(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatalf("Greedy with fallback: %v", err)
+	}
+	full := Config{Eval: NewEvaluator(g, Constraints{}, DefaultWeights(), estimate.Options{}), Policy: SingleBus(g.Buses[0]), Seed: 1, FullEval: true}
+	want, err := Greedy(context.Background(), g, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != want.Cost || res.Evals != want.Evals {
+		t.Errorf("fallback Greedy = (%v, %d evals), full = (%v, %d evals)", res.Cost, res.Evals, want.Cost, want.Evals)
+	}
+}
+
+// TestSearchesDeltaMatchesFullEval runs the rewired searches both ways on
+// the same inputs: the incremental path must reproduce the full-recompute
+// path's result quality and evaluation count.
+func TestSearchesDeltaMatchesFullEval(t *testing.T) {
+	cons := Constraints{
+		Deadline:   map[string]float64{"b0": 25},
+		MaxBusRate: map[string]float64{"bus": 8},
+	}
+	mk := func(full bool) (Config, *core.Graph) {
+		g := benchGraph(t, 8, 4)
+		cfg := config(g, cons)
+		cfg.FullEval = full
+		return cfg, g
+	}
+
+	cfgD, gD := mk(false)
+	cfgF, gF := mk(true)
+	rd, err := Greedy(context.Background(), gD, cfgD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Greedy(context.Background(), gF, cfgF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rd.Cost-rf.Cost) > 1e-9 || rd.Evals != rf.Evals {
+		t.Errorf("Greedy delta = (%.15g, %d evals), full = (%.15g, %d evals)", rd.Cost, rd.Evals, rf.Cost, rf.Evals)
+	}
+
+	cfgD, gD = mk(false)
+	cfgF, gF = mk(true)
+	initD := core.AllToProcessor(gD, gD.Procs[0], gD.Buses[0])
+	initF := core.AllToProcessor(gF, gF.Procs[0], gF.Buses[0])
+	md, err := GroupMigration(context.Background(), initD, cfgD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := GroupMigration(context.Background(), initF, cfgF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(md.Cost-mf.Cost) > 1e-9 {
+		t.Errorf("GroupMigration delta cost = %.15g, full = %.15g", md.Cost, mf.Cost)
+	}
+}
+
+// TestSearchResultsRecostCleanly: whatever the rewired searches report as
+// Result.Cost must match a fresh full recompute of Result.Best — the
+// incremental path may never report a cost its partition doesn't have.
+func TestSearchResultsRecostCleanly(t *testing.T) {
+	cons := Constraints{
+		Deadline:   map[string]float64{"b0": 25},
+		MaxBusRate: map[string]float64{"bus": 8},
+	}
+	g := benchGraph(t, 8, 4)
+	check := func(name string, res Result, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fresh := NewEvaluator(g, cons, DefaultWeights(), estimate.Options{})
+		got, err := fresh.Cost(res.Best)
+		if err != nil {
+			t.Fatalf("%s: recost: %v", name, err)
+		}
+		if math.Abs(got-res.Cost) > 1e-9 {
+			t.Errorf("%s reported cost %.15g but its Best recosts to %.15g", name, res.Cost, got)
+		}
+	}
+	cfg := config(g, cons)
+	res, err := Greedy(context.Background(), g, cfg)
+	check("Greedy", res, err)
+	init := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	res, err = GroupMigration(context.Background(), init, config(g, cons))
+	check("GroupMigration", res, err)
+	res, err = Anneal(context.Background(), init, config(g, cons))
+	check("Anneal", res, err)
+}
+
+// TestCommTermExcludesPortTraffic is the Comm-asymmetry regression: port
+// traffic is external under every partition, so it must be excluded from
+// the numerator AND the normalizer — a fully cut two-behavior graph with a
+// large port write must score Comm exactly 1.
+func TestCommTermExcludesPortTraffic(t *testing.T) {
+	g := core.NewGraph("ports")
+	b0 := &core.Node{Name: "b0", Kind: core.BehaviorNode, IsProcess: true}
+	b1 := &core.Node{Name: "b1", Kind: core.BehaviorNode}
+	for _, n := range []*core.Node{b0, b1} {
+		n.SetICT("proc10", 1)
+		n.SetICT("asic50", 1)
+		n.SetSize("proc10", 10)
+		n.SetSize("asic50", 10)
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &core.Port{Name: "out", Dir: core.Out, Bits: 8}
+	if err := g.AddPort(p); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*core.Channel{
+		{Src: b0, Dst: b1, AccFreq: 1, Bits: 16, Tag: core.NoTag}, // 16 bits of internal traffic
+		{Src: b0, Dst: p, AccFreq: 100, Bits: 8, Tag: core.NoTag}, // 800 bits of port traffic
+	} {
+		if err := g.AddChannel(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.AddProcessor(&core.Processor{Name: "cpu", TypeName: "proc10", SizeCon: 1e6})
+	g.AddProcessor(&core.Processor{Name: "asic", TypeName: "asic50", Custom: true, SizeCon: 1e6})
+	g.AddBus(&core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4})
+
+	pt := core.AllToProcessor(g, g.ProcByName("cpu"), g.Buses[0])
+	if err := pt.Assign(b1, g.ProcByName("asic")); err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(g, Constraints{}, Weights{Comm: 1}, estimate.Options{})
+	cost, err := ev.Cost(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All partitionable traffic (the 16-bit channel) is cut: Comm = 1.
+	// Before the fix the 800 bits of port traffic diluted the fraction.
+	if math.Abs(cost-1) > 1e-12 {
+		t.Errorf("Comm with fully cut internal traffic = %v, want 1", cost)
+	}
+}
