@@ -218,21 +218,27 @@ func exploreGraphs(b testing.TB) []struct {
 		}{name, loadEnv(b, name).Graph})
 	}
 	for _, procs := range []int{8, 32} {
-		src := syngen.Generate(syngen.Config{Seed: 7, Processes: procs})
-		g, err := builder.BuildVHDL(src, builder.Options{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		cpu := &core.Processor{Name: "cpu", TypeName: "proc10"}
-		g.AddProcessor(cpu)
-		g.AddProcessor(&core.Processor{Name: "asic", TypeName: "asic50", Custom: true})
-		g.AddBus(&core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4})
 		subjects = append(subjects, struct {
 			name string
 			g    *core.Graph
-		}{fmt.Sprintf("syn-p%d", procs), g})
+		}{fmt.Sprintf("syn-p%d", procs), synGraph(b, procs)})
 	}
 	return subjects
+}
+
+// synGraph builds a generated scaling subject with the standard two-way
+// allocation (cpu + custom asic on one bus).
+func synGraph(b testing.TB, procs int) *core.Graph {
+	b.Helper()
+	src := syngen.Generate(syngen.Config{Seed: 7, Processes: procs})
+	g, err := builder.BuildVHDL(src, builder.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.AddProcessor(&core.Processor{Name: "cpu", TypeName: "proc10"})
+	g.AddProcessor(&core.Processor{Name: "asic", TypeName: "asic50", Custom: true})
+	g.AddBus(&core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4})
+	return g
 }
 
 func exploreConfig(g *core.Graph) partition.Config {
@@ -257,6 +263,41 @@ func BenchmarkExploreThousand(b *testing.B) {
 				}
 			}
 			elapsed := time.Since(start)
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*res.Evals)/elapsed.Seconds(), "designs/s")
+			}
+			b.ReportMetric(res.Cost, "bestcost")
+		})
+	}
+}
+
+// BenchmarkSnapshotExplore runs the same 1000-partition exploration as
+// BenchmarkExploreThousand through the snapshot-native explorer: every
+// candidate is written into the flat assignment vector and costed from the
+// compiled CSR arrays, with the best cost asserted identical (within
+// summation tolerance) to the pointer path's at equal seed.
+func BenchmarkSnapshotExplore(b *testing.B) {
+	for _, sub := range exploreGraphs(b) {
+		seq, err := partition.Random(context.Background(), sub.g, exploreConfig(sub.g))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(sub.name, func(b *testing.B) {
+			var res partition.Result
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				cfg := exploreConfig(sub.g)
+				cfg.IdxPolicy = partition.SingleBusIdx(sub.g, sub.g.Buses[0])
+				var err error
+				res, err = partition.SnapRandom(context.Background(), sub.g, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			if diff := res.Cost - seq.Cost; diff > 1e-9 || diff < -1e-9 {
+				b.Fatalf("snapshot best cost %v != pointer-path %v at equal seed", res.Cost, seq.Cost)
+			}
 			if elapsed > 0 {
 				b.ReportMetric(float64(b.N*res.Evals)/elapsed.Seconds(), "designs/s")
 			}

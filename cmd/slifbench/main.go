@@ -13,11 +13,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"testing"
 	"time"
 
 	"specsyn/internal/builder"
@@ -28,6 +30,7 @@ import (
 	"specsyn/internal/partition"
 	"specsyn/internal/sem"
 	"specsyn/internal/specsyn"
+	"specsyn/internal/syngen"
 	"specsyn/internal/vhdl"
 	"specsyn/internal/vt"
 )
@@ -40,6 +43,7 @@ func main() {
 	formats := flag.Bool("formats", false, "regenerate the format-size comparison")
 	n2 := flag.Bool("n2", false, "regenerate the n^2 computation-count comparison")
 	explore := flag.Bool("explore", false, "measure partitions estimated per second")
+	jsonOut := flag.Bool("json", false, "also write the -explore measurements to BENCH_explore.json")
 	workers := flag.Int("workers", 0, "worker pool size for the parallel explore run (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on the explore run; a cut-short run reports its partial best (0 = none)")
 	buswidth := flag.Bool("buswidth", false, "sweep bus widths on the fuzzy example")
@@ -57,7 +61,7 @@ func main() {
 		runN2(*dir)
 	}
 	if *explore || all {
-		runExplore(*dir, *workers, *timeout)
+		runExplore(*dir, *workers, *timeout, *jsonOut)
 	}
 	if *buswidth || all {
 		runBusWidth(*dir)
@@ -220,12 +224,105 @@ func runN2(dir string) {
 		computations, time.Since(start))
 }
 
+// exploreRecord is one subject's row of the explore run, as written to
+// BENCH_explore.json.
+type exploreRecord struct {
+	Example        string  `json:"example"`
+	Evals          int     `json:"evals"`
+	SeqDesignsSec  float64 `json:"seq_designs_per_sec"`
+	SnapDesignsSec float64 `json:"snap_designs_per_sec"`
+	ParDesignsSec  float64 `json:"par_designs_per_sec"`
+	BestCost       float64 `json:"best_cost"`
+	NsPerTrial     float64 `json:"ns_per_trial"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	Workers        int     `json:"workers"`
+}
+
+// exploreSubjects: the four paper examples plus generated scaling subjects.
+func exploreSubjects(dir string) []struct {
+	name string
+	g    *core.Graph
+} {
+	var subjects []struct {
+		name string
+		g    *core.Graph
+	}
+	for _, name := range examples {
+		subjects = append(subjects, struct {
+			name string
+			g    *core.Graph
+		}{name, loadEnv(dir, name).Graph})
+	}
+	for _, procs := range []int{8, 32} {
+		src := syngen.Generate(syngen.Config{Seed: 7, Processes: procs})
+		g, err := builder.BuildVHDL(src, builder.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		g.AddProcessor(&core.Processor{Name: "cpu", TypeName: "proc10"})
+		g.AddProcessor(&core.Processor{Name: "asic", TypeName: "asic50", Custom: true})
+		g.AddBus(&core.Bus{Name: "bus", BitWidth: 16, TS: 0.05, TD: 0.4})
+		subjects = append(subjects, struct {
+			name string
+			g    *core.Graph
+		}{fmt.Sprintf("syn-p%d", procs), g})
+	}
+	return subjects
+}
+
+// moveTrialStats measures the per-trial hot path of the snapshot engine on
+// one graph: the nanoseconds and heap allocations of a single incremental
+// move costed through the IndexedPolicy (steady state, past the refresh
+// interval).
+func moveTrialStats(g *core.Graph) (nsPerTrial, allocsPerOp float64) {
+	ev := partition.NewEvaluator(g, partition.Constraints{}, partition.DefaultWeights(), estimate.Options{})
+	pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+	d, err := ev.Delta(pt, partition.SingleBus(g.Buses[0]))
+	if err != nil {
+		fatal(err)
+	}
+	d.UseIndexedPolicy(partition.SingleBusIdx(g, g.Buses[0]))
+	var node *core.Node
+	var dest core.Component
+	for _, n := range g.Nodes {
+		for _, c := range partition.Allowed(g, n) {
+			if c != pt.BvComp(n) {
+				node, dest = n, c
+				break
+			}
+		}
+		if node != nil {
+			break
+		}
+	}
+	if node == nil {
+		return 0, 0
+	}
+	trial := func() {
+		if _, err := d.MoveCost(node, dest); err != nil {
+			fatal(err)
+		}
+	}
+	for i := 0; i < 256; i++ { // warm past a full refresh
+		trial()
+	}
+	allocsPerOp = testing.AllocsPerRun(400, trial)
+	const rounds = 4000
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		trial()
+	}
+	return float64(time.Since(start).Nanoseconds()) / rounds, allocsPerOp
+}
+
 // runExplore demonstrates the estimation-speed claim: how many complete
-// partitions per second the §3 equations evaluate, sequentially and then
-// sharded across the parallel engine's worker pool. The parallel run is
-// bit-identical to the sequential one at the same seed, so the best costs
-// must match; only the throughput changes.
-func runExplore(dir string, workers int, timeout time.Duration) {
+// partitions per second the §3 equations evaluate — sequentially through
+// the pointer-walking estimator, through the snapshot-native explorer on
+// the compiled CSR arrays, and sharded across the parallel engine's worker
+// pool. All three land on the same best cost at the same seed (the
+// parallel run bit-identically, the snapshot run to summation tolerance);
+// only the throughput changes.
+func runExplore(dir string, workers int, timeout time.Duration, jsonOut bool) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -238,41 +335,77 @@ func runExplore(dir string, workers int, timeout time.Duration) {
 	opt := partition.ParallelOptions{Workers: workers}
 	fmt.Printf("Estimation throughput (\"algorithms that explore thousands of possible designs\"), %d workers\n", workers)
 	fmt.Println()
-	fmt.Printf("%-8s %6s %14s %14s %9s %12s\n", "", "evals", "seq designs/s", "par designs/s", "speedup", "best cost")
-	for _, name := range examples {
-		env := loadEnv(dir, name)
-		mkCfg := func() partition.Config {
-			ev := partition.NewEvaluator(env.Graph, partition.Constraints{}, partition.DefaultWeights(), estimate.Options{})
-			return partition.Config{Eval: ev, Policy: partition.SingleBus(env.Graph.Buses[0]), Seed: 42, MaxIters: 2000}
+	fmt.Printf("%-8s %6s %14s %15s %14s %9s %12s\n", "", "evals", "seq designs/s", "snap designs/s", "par designs/s", "speedup", "best cost")
+	var records []exploreRecord
+	for _, sub := range exploreSubjects(dir) {
+		name, g := sub.name, sub.g
+		mkCfg := func(indexed bool) partition.Config {
+			ev := partition.NewEvaluator(g, partition.Constraints{}, partition.DefaultWeights(), estimate.Options{})
+			cfg := partition.Config{Eval: ev, Policy: partition.SingleBus(g.Buses[0]), Seed: 42, MaxIters: 2000}
+			if indexed {
+				cfg.IdxPolicy = partition.SingleBusIdx(g, g.Buses[0])
+			}
+			return cfg
 		}
 		start := time.Now()
-		seq, err := partition.Random(ctx, env.Graph, mkCfg())
+		seq, err := partition.Random(ctx, g, mkCfg(false))
 		if err != nil {
 			fatal(err)
 		}
 		seqDur := time.Since(start)
 		start = time.Now()
-		par, err := partition.ParallelRandom(ctx, env.Graph, mkCfg(), opt)
+		snap, err := partition.SnapRandom(ctx, g, mkCfg(true))
+		if err != nil {
+			fatal(err)
+		}
+		snapDur := time.Since(start)
+		start = time.Now()
+		par, err := partition.ParallelSnapRandom(ctx, g, mkCfg(true), opt)
 		if err != nil {
 			fatal(err)
 		}
 		parDur := time.Since(start)
-		// A deadline cuts the two runs short at different points, so the
-		// bit-identity check only holds for complete runs.
-		if !seq.Partial && !par.Report.Partial && par.Cost != seq.Cost {
-			fatal(fmt.Errorf("%s: parallel best cost %v != sequential %v at equal seed", name, par.Cost, seq.Cost))
+		// A deadline cuts the runs short at different points, so the
+		// identity checks only hold for complete runs.
+		if !snap.Partial && !par.Report.Partial && par.Cost != snap.Cost {
+			fatal(fmt.Errorf("%s: parallel best cost %v != sequential %v at equal seed", name, par.Cost, snap.Cost))
 		}
-		if seq.Partial || par.Report.Partial {
-			fmt.Printf("%-8s (cut short by -timeout; partial bests: seq %.4f, par %.4f)\n", name, seq.Cost, par.Cost)
+		if diff := snap.Cost - seq.Cost; !seq.Partial && !snap.Partial && (diff > 1e-9 || diff < -1e-9) {
+			fatal(fmt.Errorf("%s: snapshot best cost %v != pointer-path %v at equal seed", name, snap.Cost, seq.Cost))
+		}
+		if seq.Partial || snap.Partial || par.Report.Partial {
+			fmt.Printf("%-8s (cut short by -timeout; partial bests: seq %.4f, snap %.4f, par %.4f)\n", name, seq.Cost, snap.Cost, par.Cost)
 			continue
 		}
-		fmt.Printf("%-8s %6d %14.0f %14.0f %8.2fx %12.4f\n",
+		nsPerTrial, allocs := moveTrialStats(g)
+		rec := exploreRecord{
+			Example:        name,
+			Evals:          seq.Evals,
+			SeqDesignsSec:  float64(seq.Evals) / seqDur.Seconds(),
+			SnapDesignsSec: float64(snap.Evals) / snapDur.Seconds(),
+			ParDesignsSec:  float64(par.Evals) / parDur.Seconds(),
+			BestCost:       seq.Cost,
+			NsPerTrial:     nsPerTrial,
+			AllocsPerOp:    allocs,
+			Workers:        workers,
+		}
+		records = append(records, rec)
+		fmt.Printf("%-8s %6d %14.0f %15.0f %14.0f %8.2fx %12.4f\n",
 			name, seq.Evals,
-			float64(seq.Evals)/seqDur.Seconds(),
-			float64(par.Evals)/parDur.Seconds(),
+			rec.SeqDesignsSec, rec.SnapDesignsSec, rec.ParDesignsSec,
 			seqDur.Seconds()/parDur.Seconds(), seq.Cost)
 	}
 	fmt.Println()
+	if jsonOut {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_explore.json", append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote BENCH_explore.json")
+	}
 }
 
 // runBusWidth sweeps the physical bus width for a fixed hardware/software

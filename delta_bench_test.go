@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -32,93 +33,118 @@ func deltaSubjectConstraints(g *core.Graph) partition.Constraints {
 
 // TestDeltaDifferentialExamples runs ≥1000 random moves per subject,
 // checking every incremental MoveCost against a full-recompute oracle and
-// periodically cross-checking the committed state.
+// periodically cross-checking the committed state. Each subject runs
+// twice: once through the pointer bus policy ("ptr") and once with the
+// snapshot-native IndexedPolicy installed ("idx"), where move trials never
+// touch a Partition at all — both must pin to the same oracle.
 func TestDeltaDifferentialExamples(t *testing.T) {
 	const steps = 1000
 	for _, sub := range exploreGraphs(t) {
 		sub := sub
-		t.Run(sub.name, func(t *testing.T) {
-			g := sub.g
-			cons := deltaSubjectConstraints(g)
-			ev := partition.NewEvaluator(g, cons, partition.DefaultWeights(), estimate.Options{})
-			oracle := partition.NewEvaluator(g, cons, partition.DefaultWeights(), estimate.Options{})
-			policy := partition.SingleBus(g.Buses[0])
-			pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
-			d, err := ev.Delta(pt, policy)
-			if err != nil {
-				t.Fatalf("Delta on %s: %v", sub.name, err)
-			}
-			rng := rand.New(rand.NewSource(11))
-			for step := 0; step < steps; step++ {
-				n := g.Nodes[rng.Intn(len(g.Nodes))]
-				cands := partition.Allowed(g, n)
-				if len(cands) == 0 {
-					continue
-				}
-				to := cands[rng.Intn(len(cands))]
-
-				got, err := d.MoveCost(n, to)
+		for _, mode := range []string{"ptr", "idx"} {
+			mode := mode
+			t.Run(sub.name+"/"+mode, func(t *testing.T) {
+				g := sub.g
+				cons := deltaSubjectConstraints(g)
+				ev := partition.NewEvaluator(g, cons, partition.DefaultWeights(), estimate.Options{})
+				oracle := partition.NewEvaluator(g, cons, partition.DefaultWeights(), estimate.Options{})
+				policy := partition.SingleBus(g.Buses[0])
+				pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+				d, err := ev.Delta(pt, policy)
 				if err != nil {
-					t.Fatalf("step %d: MoveCost(%s→%s): %v", step, n.Name, to.CompName(), err)
+					t.Fatalf("Delta on %s: %v", sub.name, err)
 				}
-				trial := pt.Clone()
-				if err := trial.Assign(n, to); err != nil {
-					t.Fatal(err)
+				if mode == "idx" {
+					d.UseIndexedPolicy(partition.SingleBusIdx(g, g.Buses[0]))
 				}
-				if err := partition.ApplyBusPolicy(trial, policy); err != nil {
-					t.Fatal(err)
-				}
-				want, err := oracle.Cost(trial)
-				if err != nil {
-					t.Fatalf("step %d: oracle: %v", step, err)
-				}
-				if math.Abs(got-want) > 1e-9 {
-					t.Fatalf("step %d: MoveCost(%s→%s) = %.15g, oracle %.15g (Δ %g)",
-						step, n.Name, to.CompName(), got, want, got-want)
-				}
+				rng := rand.New(rand.NewSource(11))
+				for step := 0; step < steps; step++ {
+					n := g.Nodes[rng.Intn(len(g.Nodes))]
+					cands := partition.Allowed(g, n)
+					if len(cands) == 0 {
+						continue
+					}
+					to := cands[rng.Intn(len(cands))]
 
-				switch r := rng.Float64(); {
-				case r < 0.45:
-					if err := d.Apply(n, to); err != nil {
-						t.Fatalf("step %d: Apply: %v", step, err)
-					}
-				case r < 0.55:
-					if err := d.Apply(n, to); err != nil {
-						t.Fatalf("step %d: Apply: %v", step, err)
-					}
-					if err := d.Undo(); err != nil {
-						t.Fatalf("step %d: Undo: %v", step, err)
-					}
-				}
-				if step%127 == 0 {
-					got, err := d.Cost()
+					got, err := d.MoveCost(n, to)
 					if err != nil {
-						t.Fatalf("step %d: Cost: %v", step, err)
+						t.Fatalf("step %d: MoveCost(%s→%s): %v", step, n.Name, to.CompName(), err)
 					}
-					want, err := oracle.Cost(pt)
+					trial := pt.Clone()
+					if err := trial.Assign(n, to); err != nil {
+						t.Fatal(err)
+					}
+					if err := partition.ApplyBusPolicy(trial, policy); err != nil {
+						t.Fatal(err)
+					}
+					want, err := oracle.Cost(trial)
 					if err != nil {
-						t.Fatalf("step %d: oracle commit: %v", step, err)
+						t.Fatalf("step %d: oracle: %v", step, err)
 					}
 					if math.Abs(got-want) > 1e-9 {
-						t.Fatalf("step %d: committed Cost = %.15g, oracle %.15g", step, got, want)
+						t.Fatalf("step %d: MoveCost(%s→%s) = %.15g, oracle %.15g (Δ %g)",
+							step, n.Name, to.CompName(), got, want, got-want)
+					}
+
+					switch r := rng.Float64(); {
+					case r < 0.45:
+						if err := d.Apply(n, to); err != nil {
+							t.Fatalf("step %d: Apply: %v", step, err)
+						}
+					case r < 0.55:
+						if err := d.Apply(n, to); err != nil {
+							t.Fatalf("step %d: Apply: %v", step, err)
+						}
+						if err := d.Undo(); err != nil {
+							t.Fatalf("step %d: Undo: %v", step, err)
+						}
+					}
+					if step%127 == 0 {
+						got, err := d.Cost()
+						if err != nil {
+							t.Fatalf("step %d: Cost: %v", step, err)
+						}
+						want, err := oracle.Cost(pt)
+						if err != nil {
+							t.Fatalf("step %d: oracle commit: %v", step, err)
+						}
+						if math.Abs(got-want) > 1e-9 {
+							t.Fatalf("step %d: committed Cost = %.15g, oracle %.15g", step, got, want)
+						}
 					}
 				}
-			}
-		})
+			})
+		}
 	}
+}
+
+// moveBenchGraph resolves a move-benchmark subject name: the paper
+// examples by name, or "syn-pN" for a generated specification with N
+// processes.
+func moveBenchGraph(b *testing.B, name string) *core.Graph {
+	b.Helper()
+	var procs int
+	if n, err := fmt.Sscanf(name, "syn-p%d", &procs); n == 1 && err == nil {
+		return synGraph(b, procs)
+	}
+	return loadEnv(b, name).Graph
 }
 
 // moveBenchSetup binds a delta evaluator to an example and precomputes a
 // rotation of (node, destination) moves so the benchmark loop measures
-// only MoveCost.
-func moveBenchSetup(b *testing.B, name string) (*partition.DeltaEval, []*core.Node, []core.Component) {
+// only MoveCost. With indexed set, the snapshot-native bus policy is
+// installed, so each trial runs entirely on the compiled arrays.
+func moveBenchSetup(b *testing.B, name string, indexed bool) (*partition.DeltaEval, []*core.Node, []core.Component) {
 	b.Helper()
-	g := loadEnv(b, name).Graph
+	g := moveBenchGraph(b, name)
 	ev := partition.NewEvaluator(g, deltaSubjectConstraints(g), partition.DefaultWeights(), estimate.Options{})
 	pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
 	d, err := ev.Delta(pt, partition.SingleBus(g.Buses[0]))
 	if err != nil {
 		b.Fatal(err)
+	}
+	if indexed {
+		d.UseIndexedPolicy(partition.SingleBusIdx(g, g.Buses[0]))
 	}
 	var nodes []*core.Node
 	var dests []core.Component
@@ -144,7 +170,7 @@ func moveBenchSetup(b *testing.B, name string) (*partition.DeltaEval, []*core.No
 func BenchmarkMoveCost(b *testing.B) {
 	for _, name := range []string{"ans", "ether"} {
 		b.Run(name, func(b *testing.B) {
-			d, nodes, dests := moveBenchSetup(b, name)
+			d, nodes, dests := moveBenchSetup(b, name, false)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -153,6 +179,28 @@ func BenchmarkMoveCost(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkSnapshotMoveCost is BenchmarkMoveCost with the IndexedPolicy
+// installed: one incremental move trial costed entirely from the compiled
+// CSR snapshot, touching no Partition maps and no pointers. The subjects
+// extend up the size axis (syn-p128 ≈ an order of magnitude past ether);
+// the CI zero-alloc gate covers this benchmark too.
+func BenchmarkSnapshotMoveCost(b *testing.B) {
+	for _, name := range []string{"ans", "ether", "syn-p8", "syn-p32", "syn-p128"} {
+		b.Run(name, func(b *testing.B) {
+			d, nodes, dests := moveBenchSetup(b, name, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % len(nodes)
+				if _, err := d.MoveCost(nodes[k], dests[k]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "designs/s")
 		})
 	}
 }

@@ -432,15 +432,44 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
+// Reindex rebuilds every internal lookup map (name → node/port, channel
+// key, per-node adjacency) from the graph's slices. The Add/Remove helpers
+// maintain the indexes incrementally; code that edits the slices directly
+// — bulk builders, deserializers, surgery the helpers don't cover — must
+// call Reindex before the next lookup, or lookups may serve stale
+// pointers. Reindex is idempotent and O(|graph|); Compile does not need it
+// (a Snapshot is built from the slices alone).
+func (g *Graph) Reindex() {
+	g.nodeByName = make(map[string]*Node, len(g.Nodes))
+	g.portByName = make(map[string]*Port, len(g.Ports))
+	g.chanByKey = make(map[string]*Channel, len(g.Channels))
+	g.outgoing = make(map[*Node][]*Channel, len(g.Nodes))
+	g.incoming = make(map[string][]*Channel, len(g.Nodes))
+	for _, n := range g.Nodes {
+		g.nodeByName[n.Name] = n
+	}
+	for _, p := range g.Ports {
+		g.portByName[p.Name] = p
+	}
+	for _, c := range g.Channels {
+		g.chanByKey[c.Key()] = c
+		g.outgoing[c.Src] = append(g.outgoing[c.Src], c)
+		g.incoming[c.Dst.EndpointName()] = append(g.incoming[c.Dst.EndpointName()], c)
+	}
+}
+
 // Clone returns a deep copy of the graph. When withComponents is false the
 // copy has empty P/M/I sets — the form allocation explorers start from.
+// The copy's slices are built directly and indexed by one Reindex pass, so
+// its lookups can never serve pointers into the original graph.
 func (g *Graph) Clone(withComponents bool) *Graph {
 	ng := NewGraph(g.Name)
 	nodeOf := make(map[*Node]*Node, len(g.Nodes))
+	portOf := make(map[*Port]*Port, len(g.Ports))
 	for _, p := range g.Ports {
 		np := *p
-		// Names were unique in g, so re-adding cannot fail.
-		_ = ng.AddPort(&np)
+		ng.Ports = append(ng.Ports, &np)
+		portOf[p] = &np
 	}
 	for _, n := range g.Nodes {
 		nn := &Node{Name: n.Name, Kind: n.Kind, IsProcess: n.IsProcess, StorageBits: n.StorageBits}
@@ -450,7 +479,7 @@ func (g *Graph) Clone(withComponents bool) *Graph {
 		for k, v := range n.Size {
 			nn.SetSize(k, v)
 		}
-		_ = ng.AddNode(nn)
+		ng.Nodes = append(ng.Nodes, nn)
 		nodeOf[n] = nn
 	}
 	for _, c := range g.Channels {
@@ -459,14 +488,15 @@ func (g *Graph) Clone(withComponents bool) *Graph {
 		case *Node:
 			dst = nodeOf[d]
 		case *Port:
-			dst = ng.PortByName(d.Name)
+			dst = portOf[d]
 		}
-		_ = ng.AddChannel(&Channel{
+		ng.Channels = append(ng.Channels, &Channel{
 			Src: nodeOf[c.Src], Dst: dst,
 			AccFreq: c.AccFreq, AccMin: c.AccMin, AccMax: c.AccMax,
 			Bits: c.Bits, Tag: c.Tag,
 		})
 	}
+	ng.Reindex()
 	if withComponents {
 		for _, p := range g.Procs {
 			cp := *p

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestCompileShape pins the snapshot layout on the reference graph: ID
+// assignment, CSR adjacency mirroring BehChans/InChans, port-destination
+// encoding, NaN-coded weight tables, and sorted type interning.
+func TestCompileShape(t *testing.T) {
+	g := tinyGraph(t)
+	s, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumNodes() != 4 || s.NumChans() != 4 || s.NumComps() != 3 || s.NumBuses() != 1 {
+		t.Fatalf("counts = %d nodes %d chans %d comps %d buses", s.NumNodes(), s.NumChans(), s.NumComps(), s.NumBuses())
+	}
+	if s.NumProcs != 2 || !s.IsMem(2) || s.IsMem(1) {
+		t.Fatalf("NumProcs = %d, IsMem(2) = %v", s.NumProcs, s.IsMem(2))
+	}
+	// IDs follow slice order.
+	for i, n := range g.Nodes {
+		if s.NodeID(n.Name) != int32(i) || s.NodeNames[i] != n.Name {
+			t.Errorf("node %q: ID %d, want %d", n.Name, s.NodeID(n.Name), i)
+		}
+	}
+	if s.CompID("cpu") != 0 || s.CompID("asic") != 1 || s.CompID("ram") != 2 {
+		t.Errorf("component IDs = %d %d %d", s.CompID("cpu"), s.CompID("asic"), s.CompID("ram"))
+	}
+	if s.CompID("nope") != -1 || s.NodeID("nope") != -1 || s.BusID("nope") != -1 {
+		t.Error("unknown names must map to -1")
+	}
+	// Type interning is sorted.
+	for i := 1; i < len(s.TypeNames); i++ {
+		if s.TypeNames[i-1] >= s.TypeNames[i] {
+			t.Fatalf("TypeNames not sorted: %v", s.TypeNames)
+		}
+	}
+	// CSR matches the pointer adjacency, in order.
+	for i, n := range g.Nodes {
+		chans := g.BehChans(n)
+		out := s.Out(int32(i))
+		if len(out) != len(chans) {
+			t.Fatalf("Out(%s) has %d channels, want %d", n.Name, len(out), len(chans))
+		}
+		for k, ci := range out {
+			if g.Channels[ci] != chans[k] {
+				t.Errorf("Out(%s)[%d] = channel %d, want %s", n.Name, k, ci, chans[k].Key())
+			}
+		}
+		in := s.In(int32(i))
+		inChans := g.InChans(n.Name)
+		if len(in) != len(inChans) {
+			t.Fatalf("In(%s) has %d channels, want %d", n.Name, len(in), len(inChans))
+		}
+		for k, ci := range in {
+			if g.Channels[ci] != inChans[k] {
+				t.Errorf("In(%s)[%d] = channel %d, want %s", n.Name, k, ci, inChans[k].Key())
+			}
+		}
+	}
+	// Port destination encoding and keys.
+	for ci, c := range g.Channels {
+		if s.ChanKey(int32(ci)) != c.Key() {
+			t.Errorf("ChanKey(%d) = %q, want %q", ci, s.ChanKey(int32(ci)), c.Key())
+		}
+		if p, isPort := c.Dst.(*Port); isPort {
+			if d := s.ChanDst[ci]; d >= 0 || s.PortNames[-d-1] != p.Name {
+				t.Errorf("channel %s: ChanDst = %d, want port encoding of %q", c.Key(), s.ChanDst[ci], p.Name)
+			}
+		}
+	}
+	// Weight tables: behaviors have no sram8 weights → NaN on ram.
+	mainID, ramID := s.NodeID("main"), s.CompID("ram")
+	if !math.IsNaN(s.Ict(mainID, ramID)) || !math.IsNaN(s.SizeOf(mainID, ramID)) {
+		t.Error("missing annotation must be NaN-coded")
+	}
+	if got := s.Ict(s.NodeID("sub"), s.CompID("asic")); got != 1 {
+		t.Errorf("Ict(sub, asic) = %v, want 1", got)
+	}
+	if got := s.SizeOf(s.NodeID("arr"), s.CompID("cpu")); got != 128 {
+		t.Errorf("Size(arr, cpu) = %v, want 128", got)
+	}
+}
+
+// TestCompileDeterministic is the snapshot determinism guarantee:
+// compiling the same graph twice — and compiling its deep clone — yields
+// byte-identical serializations.
+func TestCompileDeterministic(t *testing.T) {
+	g := tinyGraph(t)
+	s1, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := s1.MarshalBinary()
+	b2, _ := s2.MarshalBinary()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two compiles of one graph differ")
+	}
+	s3, err := Compile(g.Clone(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, _ := s3.MarshalBinary()
+	if !bytes.Equal(b1, b3) {
+		t.Fatal("compile of a clone differs from the original")
+	}
+}
+
+// TestCompileStableAcrossMapOrder builds the same design twice with the
+// annotation maps populated in opposite orders: ID assignment (and the
+// whole snapshot) must not depend on map iteration order.
+func TestCompileStableAcrossMapOrder(t *testing.T) {
+	build := func(reverse bool) *Graph {
+		g := NewGraph("order")
+		n := &Node{Name: "b", Kind: BehaviorNode, IsProcess: true}
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+		types := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+		if reverse {
+			for i := len(types) - 1; i >= 0; i-- {
+				n.SetICT(types[i], float64(i))
+				n.SetSize(types[i], float64(i)*2)
+			}
+		} else {
+			for i, ty := range types {
+				n.SetICT(ty, float64(i))
+				n.SetSize(ty, float64(i)*2)
+			}
+		}
+		g.AddProcessor(&Processor{Name: "p", TypeName: "gamma"})
+		g.AddBus(&Bus{Name: "bus", BitWidth: 8, TS: 1, TD: 2})
+		return g
+	}
+	b1, _ := mustCompile(t, build(false)).MarshalBinary()
+	b2, _ := mustCompile(t, build(true)).MarshalBinary()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("snapshot depends on annotation-map insertion order")
+	}
+}
+
+func mustCompile(t *testing.T, g *Graph) *Snapshot {
+	t.Helper()
+	s, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCompileRejectsInconsistentSlices: foreign channel endpoints and
+// duplicate names are compile errors, not silent mis-wires.
+func TestCompileRejectsInconsistentSlices(t *testing.T) {
+	g := tinyGraph(t)
+	foreign := &Node{Name: "ghost", Kind: BehaviorNode}
+	g.Channels = append(g.Channels, &Channel{Src: foreign, Dst: g.NodeByName("v"), AccFreq: 1})
+	if _, err := Compile(g); err == nil {
+		t.Error("foreign channel source must fail to compile")
+	}
+	g2 := tinyGraph(t)
+	g2.AddProcessor(&Processor{Name: "cpu", TypeName: "proc10"})
+	if _, err := Compile(g2); err == nil {
+		t.Error("duplicate component name must fail to compile")
+	}
+	g3 := tinyGraph(t)
+	g3.Nodes = append(g3.Nodes, &Node{Name: "main", Kind: VariableNode})
+	if _, err := Compile(g3); err == nil {
+		t.Error("duplicate node name must fail to compile")
+	}
+}
+
+// TestCaptureAssignment round-trips a Partition into the flat assignment
+// vector.
+func TestCaptureAssignment(t *testing.T) {
+	g := tinyGraph(t)
+	s := mustCompile(t, g)
+	pt := AllToProcessor(g, g.ProcByName("cpu"), g.Buses[0])
+	a := NewAssignment(s)
+	if err := s.Capture(pt, a); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.NodeComp {
+		if a.NodeComp[i] != s.CompID("cpu") {
+			t.Fatalf("node %d captured to comp %d, want cpu", i, a.NodeComp[i])
+		}
+	}
+	for i := range a.ChanBus {
+		if a.ChanBus[i] != 0 {
+			t.Fatalf("channel %d captured to bus %d, want 0", i, a.ChanBus[i])
+		}
+	}
+	// Partial mappings stay -1.
+	pt2 := NewPartition(g)
+	if err := pt2.Assign(g.NodeByName("v"), g.MemByName("ram")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Capture(pt2, a); err != nil {
+		t.Fatal(err)
+	}
+	if a.NodeComp[s.NodeID("v")] != s.CompID("ram") {
+		t.Error("mapped node not captured")
+	}
+	if a.NodeComp[s.NodeID("main")] != -1 || a.ChanBus[0] != -1 {
+		t.Error("unmapped objects must capture to -1")
+	}
+	// A mapping outside the snapshot is an error.
+	pt3 := NewPartition(g)
+	stray := &Processor{Name: "stray", TypeName: "proc10"}
+	for _, n := range g.Nodes {
+		if err := pt3.Assign(n, stray); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Capture(pt3, a); err == nil {
+		t.Error("capture of a foreign component must fail")
+	}
+}
+
+// TestReindexRestoresLookups is the lookup-staleness regression test: code
+// that edits the graph's slices directly must be able to restore every
+// index with one Reindex call, and the maintained helpers must never serve
+// a removed object.
+func TestReindexRestoresLookups(t *testing.T) {
+	g := tinyGraph(t)
+
+	// Direct slice surgery: a bulk builder appends without the helpers.
+	extra := &Node{Name: "late", Kind: BehaviorNode}
+	extra.SetICT("proc10", 1)
+	g.Nodes = append(g.Nodes, extra)
+	ch := &Channel{Src: extra, Dst: g.NodeByName("v"), AccFreq: 1, Bits: 8, Tag: NoTag}
+	g.Channels = append(g.Channels, ch)
+	if g.NodeByName("late") != nil {
+		t.Fatal("lookup should miss a slice-appended node before Reindex")
+	}
+	g.Reindex()
+	if g.NodeByName("late") != extra {
+		t.Error("Reindex must index slice-appended nodes")
+	}
+	if got := g.BehChans(extra); len(got) != 1 || got[0] != ch {
+		t.Errorf("BehChans(late) = %v after Reindex", got)
+	}
+	if g.FindChannel("late", "v") != ch {
+		t.Error("Reindex must index slice-appended channels")
+	}
+	if in := g.InChans("v"); len(in) != 2 || in[1] != ch {
+		t.Errorf("InChans(v) = %d channels after Reindex, want 2 ending in late->v", len(in))
+	}
+
+	// Remove-then-replace under the helpers: lookups must never serve the
+	// stale pointer.
+	old := g.NodeByName("sub")
+	g.RemoveNode(old)
+	if g.NodeByName("sub") != nil || g.FindChannel("main", "sub") != nil || g.FindChannel("sub", "arr") != nil {
+		t.Fatal("lookups serve a removed node or its channels")
+	}
+	repl := &Node{Name: "sub", Kind: VariableNode}
+	if err := g.AddNode(repl); err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeByName("sub") != repl {
+		t.Error("lookup serves the stale pointer after remove + re-add")
+	}
+	if chans := g.BehChans(old); len(chans) != 0 {
+		t.Errorf("BehChans of a removed node = %d channels, want 0", len(chans))
+	}
+
+	// Reindex is idempotent.
+	before, _ := Compile(g)
+	g.Reindex()
+	after, _ := Compile(g)
+	b1, _ := before.MarshalBinary()
+	b2, _ := after.MarshalBinary()
+	if !bytes.Equal(b1, b2) {
+		t.Error("Reindex changed the compiled form of an already-consistent graph")
+	}
+}

@@ -1,14 +1,17 @@
 // This file implements the incremental execution-time engine behind
 // partition's delta evaluator: a static reverse dependency index over the
-// access graph (Deps) plus a dense array of per-node Exectime values
-// (Incr) that a caller updates for just the nodes a move affects, instead
-// of re-walking the whole graph. It is the update-not-reanalyze discipline
-// of §4 applied to the partitioning inner loop.
+// access graph (Deps, built on the compiled core.Snapshot) plus a dense
+// array of per-node Exectime values (Incr) that a caller updates for just
+// the nodes a move affects, instead of re-walking the whole graph. It is
+// the update-not-reanalyze discipline of §4 applied to the partitioning
+// inner loop, and since the snapshot refactor the recompute itself is pure
+// array arithmetic: no partition maps, no annotation-map hashing.
 
 package estimate
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"specsyn/internal/core"
@@ -18,26 +21,34 @@ import (
 // callee-first topological order plus, per node, the topologically sorted
 // set of nodes whose Exectime transitively depends on it (the node itself
 // included). It is partition-independent — build it once per graph and
-// reuse it across searches. Building fails on a recursive (cyclic) access
-// graph, for which incremental update is undefined; callers fall back to
-// the full estimator, which reports the cycle precisely (or tolerates it
+// reuse it across searches; it also owns the graph's compiled Snapshot,
+// which every consumer (Incr, partition.DeltaEval, parallel workers)
+// shares read-only. Building fails on a recursive (cyclic) access graph,
+// for which incremental update is undefined; callers fall back to the
+// full estimator, which reports the cycle precisely (or tolerates it
 // under Options.IgnoreRecursion).
 type Deps struct {
 	g        *core.Graph
+	snap     *core.Snapshot
 	idx      map[*core.Node]int32
 	pos      []int32   // topological position per node index
 	order    []int32   // node indices, callees before callers
 	affected [][]int32 // node index → topo-sorted dependents incl. self
 }
 
-// NewDeps indexes g's access relation. The graph must not gain or lose
-// nodes or channels while the index is in use.
+// NewDeps compiles g and indexes its access relation. The graph must not
+// gain or lose nodes or channels while the index is in use.
 func NewDeps(g *core.Graph) (*Deps, error) {
-	n := len(g.Nodes)
+	snap, err := core.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	n := snap.NumNodes()
 	d := &Deps{
-		g:   g,
-		idx: make(map[*core.Node]int32, n),
-		pos: make([]int32, n),
+		g:    g,
+		snap: snap,
+		idx:  make(map[*core.Node]int32, n),
+		pos:  make([]int32, n),
 	}
 	for i, nd := range g.Nodes {
 		d.idx[nd] = int32(i)
@@ -47,14 +58,14 @@ func NewDeps(g *core.Graph) (*Deps, error) {
 	// (src, dst), so no edge is recorded twice.
 	dependents := make([][]int32, n)
 	ndeps := make([]int32, n)
-	for _, c := range g.Channels {
-		dst, ok := c.Dst.(*core.Node)
-		if !ok {
+	for ci := 0; ci < snap.NumChans(); ci++ {
+		v := snap.ChanDst[ci]
+		if v < 0 {
 			continue // port access: transfer time only, no Exectime dependency
 		}
-		u, v := d.idx[c.Src], d.idx[dst]
+		u := snap.ChanSrc[ci]
 		if u == v {
-			return nil, fmt.Errorf("estimate: access graph cycle (recursion) through %q", dst.Name)
+			return nil, fmt.Errorf("estimate: access graph cycle (recursion) through %q", snap.NodeNames[v])
 		}
 		ndeps[u]++
 		dependents[v] = append(dependents[v], u)
@@ -114,6 +125,10 @@ func NewDeps(g *core.Graph) (*Deps, error) {
 // Graph returns the graph the index is over.
 func (d *Deps) Graph() *core.Graph { return d.g }
 
+// Snapshot returns the graph's compiled snapshot. It is immutable and safe
+// to share across goroutines.
+func (d *Deps) Snapshot() *core.Snapshot { return d.snap }
+
 // Len returns the node count.
 func (d *Deps) Len() int { return len(d.pos) }
 
@@ -135,77 +150,81 @@ func (d *Deps) Order() []int32 { return d.order }
 // owned by the index; callers must not modify it.
 func (d *Deps) Affected(i int32) []int32 { return d.affected[i] }
 
-// Incr holds one Exectime value per node for a bound partition and
+// Incr holds one Exectime value per node for a bound assignment and
 // recomputes them incrementally: after a node move, refreshing just
 // Deps.Affected(moved) restores every value — O(affected region), not
 // O(graph). Each refreshed value is recomputed from scratch with the same
 // per-channel summation the full estimator's Commtime performs, so
 // incremental values accumulate no floating-point drift of their own.
 //
-// An Incr is bound to one partition at a time via Rebind and is not safe
-// for concurrent use.
+// The engine reads the design through the compiled Snapshot and the
+// partition through a core.Assignment vector — the recompute loop is pure
+// index arithmetic over flat arrays. An Incr is bound to one assignment at
+// a time via Bind and is not safe for concurrent use (the Deps/Snapshot it
+// reads are shareable; the Incr's scratch is not).
 type Incr struct {
 	deps *Deps
+	snap *core.Snapshot
 	opt  Options
-	pt   *core.Partition
+	asg  *core.Assignment
 
-	et  []float64         // Exectime per node index
-	out [][]*core.Channel // BehChans per node index
-	dst [][]int32         // destination node index per out-channel; -1 = port
+	nc   int       // snapshot component count
+	et   []float64 // Exectime per node index
+	freq []float64 // per channel: access count under opt.Mode
 
 	// Concurrency-tag groups (Options.UseTags): group index per
-	// out-channel (-1 = sequential), group count per node, and a shared
-	// running-max scratch sized for the largest group count.
-	grp  [][]int32
+	// out-channel (parallel to Snapshot.OutChan; -1 = sequential), group
+	// count per node, and a shared running-max scratch sized for the
+	// largest group count.
+	grp  []int32
 	ngrp []int32
 	gmax []float64
 }
 
-// NewIncr returns an incremental engine over deps. Bind a partition with
-// Rebind before reading values.
+// NewIncr returns an incremental engine over deps. Bind an assignment
+// before reading values.
 func NewIncr(deps *Deps, opt Options) *Incr {
-	n := deps.Len()
+	snap := deps.Snapshot()
+	n := snap.NumNodes()
 	in := &Incr{
 		deps: deps,
+		snap: snap,
 		opt:  opt,
+		nc:   snap.NumComps(),
 		et:   make([]float64, n),
-		out:  make([][]*core.Channel, n),
-		dst:  make([][]int32, n),
-		grp:  make([][]int32, n),
+		freq: make([]float64, snap.NumChans()),
+		grp:  make([]int32, len(snap.OutChan)),
 		ngrp: make([]int32, n),
 	}
+	for ci := 0; ci < snap.NumChans(); ci++ {
+		in.freq[ci] = chanFreq(snap, opt.Mode, int32(ci))
+	}
 	maxGroups := int32(0)
-	for i, nd := range deps.g.Nodes {
-		chans := deps.g.BehChans(nd)
-		in.out[i] = chans
-		dst := make([]int32, len(chans))
-		grp := make([]int32, len(chans))
+	var byTag map[int32]int32
+	for i := 0; i < n; i++ {
 		var groups int32
-		var byTag map[int]int32
-		for k, c := range chans {
-			dst[k] = -1
-			if dn, ok := c.Dst.(*core.Node); ok {
-				dst[k], _ = deps.Index(dn)
-			}
-			grp[k] = -1
-			if opt.UseTags && c.Tag != core.NoTag {
+		for t := range byTag {
+			delete(byTag, t)
+		}
+		for k := snap.OutStart[i]; k < snap.OutStart[i+1]; k++ {
+			in.grp[k] = -1
+			tag := snap.ChanTag[snap.OutChan[k]]
+			if opt.UseTags && tag != core.NoTag {
 				// Group indices in first-appearance order: deterministic,
 				// unlike the full estimator's map-ordered group sum (the
 				// two agree up to summation order).
 				if byTag == nil {
-					byTag = make(map[int]int32)
+					byTag = make(map[int32]int32)
 				}
-				gi, ok := byTag[c.Tag]
+				gi, ok := byTag[tag]
 				if !ok {
 					gi = groups
 					groups++
-					byTag[c.Tag] = gi
+					byTag[tag] = gi
 				}
-				grp[k] = gi
+				in.grp[k] = gi
 			}
 		}
-		in.dst[i] = dst
-		in.grp[i] = grp
 		in.ngrp[i] = groups
 		if groups > maxGroups {
 			maxGroups = groups
@@ -215,11 +234,32 @@ func NewIncr(deps *Deps, opt Options) *Incr {
 	return in
 }
 
-// Rebind points the engine at a partition (over the same graph) and
+// chanFreq mirrors Options.Freq on snapshot arrays: min/max annotations
+// that were never set (are zero) fall back to the average, independently.
+func chanFreq(s *core.Snapshot, mode Mode, ci int32) float64 {
+	switch mode {
+	case Min:
+		if s.ChanMin[ci] != 0 {
+			return s.ChanMin[ci]
+		}
+	case Max:
+		if s.ChanMax[ci] != 0 {
+			return s.ChanMax[ci]
+		}
+	}
+	return s.ChanFreq[ci]
+}
+
+// Deps returns the dependency index the engine was built over.
+func (in *Incr) Deps() *Deps { return in.deps }
+
+// Bind points the engine at an assignment (over the same snapshot) and
 // recomputes every node's Exectime callee-first — O(|BV| + |C|). After a
-// Rebind, RecomputeAffected keeps the values current move by move.
-func (in *Incr) Rebind(pt *core.Partition) error {
-	in.pt = pt
+// Bind, RecomputeAffected keeps the values current move by move. The
+// engine reads the assignment live: callers that mutate it must refresh
+// the affected region before the next read.
+func (in *Incr) Bind(a *core.Assignment) error {
+	in.asg = a
 	return in.RecomputeAffected(in.deps.order)
 }
 
@@ -246,40 +286,57 @@ func (in *Incr) Exectime(n *core.Node) (float64, bool) {
 	return in.et[i], true
 }
 
-// recompute evaluates eq. 1 for one node from its callees' current values.
+// recompute evaluates eq. 1 for one node from its callees' current values,
+// entirely from the snapshot arrays and the bound assignment vector.
 func (in *Incr) recompute(i int32) error {
-	n := in.deps.g.Nodes[i]
-	comp := in.pt.BvComp(n)
-	if comp == nil {
-		return fmt.Errorf("estimate: node %q is not mapped to a component", n.Name)
+	s := in.snap
+	ci := in.asg.NodeComp[i]
+	if ci < 0 {
+		return fmt.Errorf("estimate: node %q is not mapped to a component", s.NodeNames[i])
 	}
-	ict, ok := n.ICT[comp.TypeKey()]
-	if !ok {
-		return fmt.Errorf("estimate: node %q has no ict weight for component type %q", n.Name, comp.TypeKey())
+	ict := s.ICT[int(i)*in.nc+int(ci)]
+	if math.IsNaN(ict) { // no annotation for the component's type
+		return fmt.Errorf("estimate: node %q has no ict weight for component type %q", s.NodeNames[i], s.TypeNames[s.CompType[ci]])
 	}
-	if !n.IsBehavior() {
+	if s.NodeKind[i] != core.BehaviorNode {
 		in.et[i] = ict
 		return nil
 	}
-	grp := in.grp[i]
-	dst := in.dst[i]
 	ng := in.ngrp[i]
 	for k := int32(0); k < ng; k++ {
 		in.gmax[k] = 0
 	}
 	var total float64
-	for k, c := range in.out[i] {
-		dc := in.pt.DstComp(c)
-		tt, err := transferTime(c, in.pt.ChanBus(c), dc != nil && comp == dc)
-		if err != nil {
-			return err
+	for k := s.OutStart[i]; k < s.OutStart[i+1]; k++ {
+		ch := s.OutChan[k]
+		// TransferTime (eq. 1): the same semantics as the full
+		// estimator's transferTime — an unmapped bus is an error even for
+		// zero-bit channels, a zero-bit access costs nothing, and a
+		// non-positive width is an error, never a divide-by-zero.
+		bi := in.asg.ChanBus[ch]
+		if bi < 0 {
+			return fmt.Errorf("estimate: channel %s is not mapped to a bus", s.ChanKey(ch))
+		}
+		var tt float64
+		if bits := s.ChanBits[ch]; bits != 0 {
+			w := s.BusWidth[bi]
+			if w <= 0 {
+				return fmt.Errorf("estimate: channel %s: bus %q has non-positive bitwidth %d", s.ChanKey(ch), s.BusNames[bi], w)
+			}
+			transfers := (bits + w - 1) / w
+			di := s.ChanDst[ch]
+			bdt := s.BusTD[bi]
+			if di >= 0 && in.asg.NodeComp[di] == ci {
+				bdt = s.BusTS[bi]
+			}
+			tt = bdt * float64(transfers)
 		}
 		var dstTime float64
-		if di := dst[k]; di >= 0 {
+		if di := s.ChanDst[ch]; di >= 0 {
 			dstTime = in.et[di]
 		}
-		cost := in.opt.Freq(c) * (tt + dstTime)
-		if gi := grp[k]; gi >= 0 {
+		cost := in.freq[ch] * (tt + dstTime)
+		if gi := in.grp[k]; gi >= 0 {
 			if cost > in.gmax[gi] {
 				in.gmax[gi] = cost
 			}

@@ -96,7 +96,8 @@ func TestDepsRejectsRecursion(t *testing.T) {
 	}
 }
 
-// incrFor builds a rebound Incr over g/pt.
+// incrFor builds an Incr over g bound to pt captured as an assignment
+// vector — the snapshot-era binding sequence every consumer performs.
 func incrFor(t *testing.T, g *core.Graph, pt *core.Partition, opt Options) *Incr {
 	t.Helper()
 	deps, err := NewDeps(g)
@@ -104,7 +105,11 @@ func incrFor(t *testing.T, g *core.Graph, pt *core.Partition, opt Options) *Incr
 		t.Fatal(err)
 	}
 	in := NewIncr(deps, opt)
-	if err := in.Rebind(pt); err != nil {
+	asg := core.NewAssignment(deps.Snapshot())
+	if err := deps.Snapshot().Capture(pt, asg); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Bind(asg); err != nil {
 		t.Fatal(err)
 	}
 	return in
@@ -149,8 +154,19 @@ func TestIncrTracksMoves(t *testing.T) {
 	g := buildGraph(t)
 	pt := allCPU(t, g)
 	opt := Options{}
-	in := incrFor(t, g, pt, opt)
-	deps, _ := NewDeps(g)
+	deps, err := NewDeps(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := deps.Snapshot()
+	in := NewIncr(deps, opt)
+	asg := core.NewAssignment(snap)
+	if err := snap.Capture(pt, asg); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Bind(asg); err != nil {
+		t.Fatal(err)
+	}
 
 	cpu, asic := g.ProcByName("cpu"), g.ProcByName("asic")
 	moves := []struct {
@@ -164,8 +180,11 @@ func TestIncrTracksMoves(t *testing.T) {
 		if err := pt.Assign(n, m.to); err != nil {
 			t.Fatal(err)
 		}
-		i, _ := deps.Index(n)
-		if err := in.RecomputeAffected(deps.Affected(i)); err != nil {
+		// Mirror the move into the assignment vector — one int32 store —
+		// and refresh only the affected region.
+		ni := snap.NodeID(m.node)
+		asg.NodeComp[ni] = snap.CompID(m.to.Name)
+		if err := in.RecomputeAffected(deps.Affected(ni)); err != nil {
 			t.Fatal(err)
 		}
 		checkIncrMatches(t, g, pt, in, opt)

@@ -17,6 +17,14 @@ type Config struct {
 	Seed     int64
 	MaxIters int // algorithm-specific iteration budget; 0 = default
 
+	// IdxPolicy, when set, is the snapshot-native twin of Policy (see
+	// IndexedPolicy): it must derive the same bus per channel. Move-based
+	// searches then run their trial moves entirely on the flat assignment
+	// vector, and SnapRandom requires it. Leave nil to drive the delta
+	// evaluator through the pointer policy (still incremental, slightly
+	// slower).
+	IdxPolicy IndexedPolicy
+
 	// MaxEvals caps the cost evaluations a run may spend; 0 = unlimited.
 	// A search that exhausts the budget stops and returns its best-so-far
 	// result with Partial set (anytime semantics), possibly spending one
@@ -145,6 +153,9 @@ func (m *fullMover) Apply(n *core.Node, to core.Component) error {
 func newMover(cfg Config, pt *core.Partition) mover {
 	if !cfg.FullEval {
 		if d, err := cfg.Eval.Delta(pt, cfg.Policy); err == nil {
+			if cfg.IdxPolicy != nil {
+				d.UseIndexedPolicy(cfg.IdxPolicy)
+			}
 			return d
 		}
 	}

@@ -11,6 +11,7 @@ package partition
 
 import (
 	"fmt"
+	"sync"
 
 	"specsyn/internal/core"
 	"specsyn/internal/estimate"
@@ -68,11 +69,23 @@ type Evaluator struct {
 	est          *estimate.Estimator // pooled, rebound per evaluation
 	delta        *DeltaEval          // pooled incremental evaluator (see Delta)
 	deltaErr     error               // sticky: graph does not support incremental evaluation
+	shared       *evalShared         // snapshot + dependency index, shared by all clones
+}
+
+// evalShared is the read-only compiled state an evaluator and all its
+// clones share: the graph's Snapshot and dependency index, built once
+// under a sync.Once so a parallel fleet of workers pays for compilation
+// a single time and every clone's delta evaluator shrinks to scratch
+// arrays over the one shared copy.
+type evalShared struct {
+	once sync.Once
+	deps *estimate.Deps
+	err  error
 }
 
 // NewEvaluator returns an evaluator for g.
 func NewEvaluator(g *core.Graph, cons Constraints, w Weights, estOpt estimate.Options) *Evaluator {
-	ev := &Evaluator{G: g, Cons: cons, W: w, EstOpt: estOpt}
+	ev := &Evaluator{G: g, Cons: cons, W: w, EstOpt: estOpt, shared: &evalShared{}}
 	for _, c := range g.Channels {
 		if _, isPort := c.Dst.(*core.Port); isPort {
 			// Port traffic is external under every partition, and the Comm
@@ -88,11 +101,43 @@ func NewEvaluator(g *core.Graph, cons Constraints, w Weights, estOpt estimate.Op
 // Clone returns an evaluator over the same graph, constraints, weights and
 // options but with its own evaluation counter and estimator pool — the
 // per-worker instance the parallel search engine hands each goroutine.
+// The compiled Snapshot and dependency index are shared with the original
+// (they are immutable), so cloning is cheap no matter the graph size.
 func (ev *Evaluator) Clone() *Evaluator {
+	shared := ev.shared
+	if shared == nil {
+		// A literal-constructed prototype: give the clone its own shared
+		// state rather than racing to lazily install one on the original.
+		shared = &evalShared{}
+	}
 	return &Evaluator{
 		G: ev.G, Cons: ev.Cons, W: ev.W, EstOpt: ev.EstOpt, Hook: ev.Hook,
-		totalTraffic: ev.totalTraffic,
+		totalTraffic: ev.totalTraffic, shared: shared,
 	}
+}
+
+// sharedDeps returns the evaluator's shared dependency index (and with it
+// the compiled snapshot), building it on first use. Safe to call from any
+// clone concurrently; the build happens once.
+func (ev *Evaluator) sharedDeps() (*estimate.Deps, error) {
+	if ev.shared == nil {
+		ev.shared = &evalShared{}
+	}
+	ev.shared.once.Do(func() {
+		ev.shared.deps, ev.shared.err = estimate.NewDeps(ev.G)
+	})
+	return ev.shared.deps, ev.shared.err
+}
+
+// Snapshot returns the graph's compiled snapshot, shared read-only across
+// the evaluator and every clone. It errors when the graph cannot be
+// compiled or its access graph is recursive (no dependency index exists).
+func (ev *Evaluator) Snapshot() (*core.Snapshot, error) {
+	deps, err := ev.sharedDeps()
+	if err != nil {
+		return nil, err
+	}
+	return deps.Snapshot(), nil
 }
 
 // estimator returns the pooled estimator rebound to pt.
@@ -267,4 +312,51 @@ func ApplyBusPolicy(pt *core.Partition, policy BusPolicy) error {
 		pt.AssignChan(c, b)
 	}
 	return nil
+}
+
+// IndexedPolicy is the snapshot-native form of a BusPolicy: it derives the
+// bus ID for channel ci from the assignment vector alone — no Partition,
+// no pointers, no map lookups — so the delta evaluator's trial moves and
+// SnapRandom's candidate loop stay pure array work. The same
+// endpoint-local contract applies: the choice may depend only on the
+// channel and its endpoints' mapping. Set one in Config.IdxPolicy as the
+// indexed twin of Config.Policy; it must derive the same bus (by ID) that
+// the pointer policy derives, or the differential guarantees are void.
+type IndexedPolicy func(s *core.Snapshot, a *core.Assignment, ci int32) int32
+
+// SingleBusIdx is SingleBus in indexed form: every channel on b. The bus
+// is resolved against g once, up front; a bus outside g yields a policy
+// that always returns -1, which the evaluator reports as an error.
+func SingleBusIdx(g *core.Graph, b *core.Bus) IndexedPolicy {
+	bi := int32(-1)
+	for i, x := range g.Buses {
+		if x == b {
+			bi = int32(i)
+			break
+		}
+	}
+	return func(*core.Snapshot, *core.Assignment, int32) int32 { return bi }
+}
+
+// InternalExternalIdx is InternalExternal in indexed form:
+// component-internal channels on the internal bus, component-crossing (or
+// port) channels on the external bus.
+func InternalExternalIdx(g *core.Graph, internal, external *core.Bus) IndexedPolicy {
+	ii, ei := int32(-1), int32(-1)
+	for i, x := range g.Buses {
+		if x == internal {
+			ii = int32(i)
+		}
+		if x == external {
+			ei = int32(i)
+		}
+	}
+	return func(s *core.Snapshot, a *core.Assignment, ci int32) int32 {
+		if di := s.ChanDst[ci]; di >= 0 {
+			if dc := a.NodeComp[di]; dc >= 0 && dc == a.NodeComp[s.ChanSrc[ci]] {
+				return ii
+			}
+		}
+		return ei
+	}
 }

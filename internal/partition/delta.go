@@ -12,6 +12,14 @@ package partition
 // is what lets the searches explore thousands of designs per second on
 // graphs where a full re-estimate would dominate.
 //
+// Since the snapshot refactor the evaluator's working state is a flat
+// core.Assignment vector over the graph's compiled core.Snapshot: a trial
+// move is int32 stores and array sums, with no partition-map or
+// annotation-map access on the hot path at all. The bound Partition is the
+// caller-visible mirror — trials never touch it when an IndexedPolicy is
+// installed (commits write through), and under a pointer BusPolicy trials
+// touch only its node mapping, which the policy is allowed to read.
+//
 // Correctness discipline: the full recompute stays the oracle. Integer
 // sums (cut counts, IO widths) are maintained exactly; floating-point
 // sums (sizes, bitrates, cut traffic) drift by one rounding error per
@@ -40,7 +48,8 @@ const deltaRefreshInterval = 64
 // DeltaEval is the incremental counterpart of Evaluator.Cost for
 // single-node moves. Obtain one with Evaluator.Delta; it is pooled on the
 // evaluator and rebound per search, and like the evaluator it must not be
-// shared between goroutines.
+// shared between goroutines (the Snapshot and Deps it reads are shared;
+// its scratch arrays are not).
 //
 // MoveCost and Cost fire the evaluator's fault-injection hook and count
 // one evaluation each, exactly like Evaluator.Cost; Apply and Undo are
@@ -48,33 +57,31 @@ const deltaRefreshInterval = 64
 type DeltaEval struct {
 	ev     *Evaluator
 	deps   *estimate.Deps
+	snap   *core.Snapshot
 	incr   *estimate.Incr
 	pt     *core.Partition
 	policy BusPolicy
+	ipol   IndexedPolicy
 	w      Weights // captured at Rebind; see Evaluator's EstOpt contract
 
-	// Static tables, built once per evaluator.
-	comps    []core.Component
-	compIdx  map[core.Component]int32
-	buses    []*core.Bus
-	busIdx   map[*core.Bus]int32
-	busWidth []int32
-	chans    []*core.Channel
-	chSrc    []int32   // source node index per channel
-	chDst    []int32   // destination node index per channel; -1 = port
-	chVol    []float64 // AccFreq × Bits (Comm-term traffic); 0 for port channels
-	chRVol   []float64 // mode freq × Bits (bitrate volume)
-	outIdx   [][]int32 // channel indices with Src = node
-	inIdx    [][]int32 // channel indices with Dst = node
-	sizeTab  []float64 // node × comp size weight; NaN = missing
-	dlNode   []int32   // deadline-constrained processes, in Processes order
-	dlLimit  []float64
-	rateBus  []int32 // bitrate-constrained buses, in g.Buses order
-	rateLim  []float64
+	// Static tables, built once per evaluator. Object pointers are kept
+	// only to translate between the caller's pointer world and the
+	// snapshot's ID world at the API boundary.
+	comps   []core.Component
+	compIdx map[core.Component]int32
+	buses   []*core.Bus
+	busIdx  map[*core.Bus]int32
+	chans   []*core.Channel
+	chVol   []float64 // AccFreq × Bits (Comm-term traffic); 0 for port channels
+	chRVol  []float64 // mode freq × Bits (bitrate volume)
+	dlNode  []int32   // deadline-constrained processes, in Processes order
+	dlLimit []float64
+	rateBus []int32 // bitrate-constrained buses, in g.Buses order
+	rateLim []float64
 
-	// Dynamic mirrors and sums for the bound partition.
-	comp    []int32   // component index per node
-	chBus   []int32   // bus index per channel
+	// Dynamic state for the bound partition: the assignment vector is the
+	// source of truth; everything below it is sums derived from it.
+	asg     *core.Assignment
 	chBr    []float64 // last-computed bitrate per channel (rate-tracked buses)
 	chBad   []bool    // channel has traffic but zero source Exectime
 	hasRate []bool    // bus participates in the Rate term (constrained, W.Rate > 0)
@@ -118,9 +125,11 @@ func (ev *Evaluator) Delta(pt *core.Partition, policy BusPolicy) (*DeltaEval, er
 	return ev.delta, nil
 }
 
-// newDeltaEval builds the partition-independent tables.
+// newDeltaEval builds the partition-independent tables. The dependency
+// index and compiled snapshot come from the evaluator's shared state, so
+// every clone in a parallel fleet reuses one copy.
 func newDeltaEval(ev *Evaluator) (*DeltaEval, error) {
-	deps, err := estimate.NewDeps(ev.G)
+	deps, err := ev.sharedDeps()
 	if err != nil {
 		return nil, err
 	}
@@ -133,63 +142,41 @@ func newDeltaEval(ev *Evaluator) (*DeltaEval, error) {
 			return nil, fmt.Errorf("partition: bus %q has non-positive bitwidth %d", b.Name, b.BitWidth)
 		}
 	}
-	nn, nc, nb, nch := len(g.Nodes), len(g.Components()), len(g.Buses), len(g.Channels)
+	snap := deps.Snapshot()
+	nc, nb, nch := snap.NumComps(), snap.NumBuses(), snap.NumChans()
 	d := &DeltaEval{
-		ev:       ev,
-		deps:     deps,
-		incr:     estimate.NewIncr(deps, ev.EstOpt),
-		comps:    g.Components(),
-		compIdx:  make(map[core.Component]int32, nc),
-		buses:    g.Buses,
-		busIdx:   make(map[*core.Bus]int32, nb),
-		busWidth: make([]int32, nb),
-		chans:    g.Channels,
-		chSrc:    make([]int32, nch),
-		chDst:    make([]int32, nch),
-		chVol:    make([]float64, nch),
-		chRVol:   make([]float64, nch),
-		outIdx:   make([][]int32, nn),
-		inIdx:    make([][]int32, nn),
-		sizeTab:  make([]float64, nn*nc),
-		comp:     make([]int32, nn),
-		chBus:    make([]int32, nch),
-		chBr:     make([]float64, nch),
-		chBad:    make([]bool, nch),
-		hasRate:  make([]bool, nb),
-		sizeSum:  make([]float64, nc),
-		ioSum:    make([]int32, nc),
-		cutCnt:   make([]int32, nc*nb),
-		busRate:  make([]float64, nb),
-		badCnt:   make([]int32, nb),
+		ev:      ev,
+		deps:    deps,
+		snap:    snap,
+		incr:    estimate.NewIncr(deps, ev.EstOpt),
+		comps:   g.Components(),
+		compIdx: make(map[core.Component]int32, nc),
+		buses:   g.Buses,
+		busIdx:  make(map[*core.Bus]int32, nb),
+		chans:   g.Channels,
+		chVol:   make([]float64, nch),
+		chRVol:  make([]float64, nch),
+		asg:     core.NewAssignment(snap),
+		chBr:    make([]float64, nch),
+		chBad:   make([]bool, nch),
+		hasRate: make([]bool, nb),
+		sizeSum: make([]float64, nc),
+		ioSum:   make([]int32, nc),
+		cutCnt:  make([]int32, nc*nb),
+		busRate: make([]float64, nb),
+		badCnt:  make([]int32, nb),
 	}
 	for i, c := range d.comps {
 		d.compIdx[c] = int32(i)
 	}
 	for i, b := range g.Buses {
 		d.busIdx[b] = int32(i)
-		d.busWidth[i] = int32(b.BitWidth)
-	}
-	for i, n := range g.Nodes {
-		for ci, comp := range d.comps {
-			w, ok := n.Size[comp.TypeKey()]
-			if !ok {
-				w = math.NaN()
-			}
-			d.sizeTab[i*nc+ci] = w
-		}
 	}
 	for ci, c := range g.Channels {
-		si, _ := deps.Index(c.Src)
-		d.chSrc[ci] = si
-		d.chDst[ci] = -1
-		if dn, ok := c.Dst.(*core.Node); ok {
-			di, _ := deps.Index(dn)
-			d.chDst[ci] = di
+		if snap.ChanDst[ci] >= 0 {
 			d.chVol[ci] = c.AccFreq * float64(c.Bits)
-			d.inIdx[di] = append(d.inIdx[di], int32(ci))
 		}
 		d.chRVol[ci] = ev.EstOpt.Freq(c) * float64(c.Bits)
-		d.outIdx[si] = append(d.outIdx[si], int32(ci))
 	}
 	for _, p := range g.Processes() {
 		limit, ok := ev.Cons.Deadline[p.Name]
@@ -214,8 +201,9 @@ func newDeltaEval(ev *Evaluator) (*DeltaEval, error) {
 // Rebind points the evaluator at a partition and bus policy, applies the
 // policy to every channel (writing the derivation through to pt), and
 // re-derives every sum — O(graph), paid once per search, not per move.
+// Rebind clears any installed IndexedPolicy; reinstall it afterwards.
 func (d *DeltaEval) Rebind(pt *core.Partition, policy BusPolicy) error {
-	d.pt, d.policy = pt, policy
+	d.pt, d.policy, d.ipol = pt, policy, nil
 	d.broken, d.hasUndo = false, false
 	d.w = d.ev.W
 	for i := range d.hasRate {
@@ -235,7 +223,7 @@ func (d *DeltaEval) Rebind(pt *core.Partition, policy BusPolicy) error {
 		if !ok {
 			return fmt.Errorf("partition: node %q is mapped to a component outside the graph", n.Name)
 		}
-		d.comp[i] = ci
+		d.asg.NodeComp[i] = ci
 	}
 	for ci, c := range d.chans {
 		b := policy(pt, c)
@@ -246,14 +234,23 @@ func (d *DeltaEval) Rebind(pt *core.Partition, policy BusPolicy) error {
 		if !ok {
 			return fmt.Errorf("partition: bus policy returned a bus outside the graph for channel %s", c.Key())
 		}
-		d.chBus[ci] = bi
+		d.asg.ChanBus[ci] = bi
 		pt.AssignChan(c, b)
 	}
-	if err := d.incr.Rebind(pt); err != nil {
+	if err := d.incr.Bind(d.asg); err != nil {
 		return err
 	}
 	return d.refresh()
 }
+
+// UseIndexedPolicy installs the snapshot-native form of the bound bus
+// policy. It MUST derive the same bus for every channel as the BusPolicy
+// the evaluator was rebound with — it is a faster expression of the same
+// policy, not an override. With it installed, trial moves (MoveCost) run
+// entirely on the assignment vector and never touch the bound Partition;
+// commits still write through. Rebind clears it. Installing nil reverts
+// to the pointer policy.
+func (d *DeltaEval) UseIndexedPolicy(p IndexedPolicy) { d.ipol = p }
 
 // Partition returns the partition the evaluator is bound to.
 func (d *DeltaEval) Partition() *core.Partition { return d.pt }
@@ -275,22 +272,22 @@ func (d *DeltaEval) refresh() error {
 		d.badCnt[i] = 0
 	}
 	d.cut = 0
-	nc := len(d.comps)
-	for i := range d.comp {
-		w := d.sizeTab[i*nc+int(d.comp[i])]
+	s := d.snap
+	nc := s.NumComps()
+	for i, ci := range d.asg.NodeComp {
+		w := s.Size[i*nc+int(ci)]
 		if math.IsNaN(w) {
-			n := d.ev.G.Nodes[i]
-			return fmt.Errorf("estimate: node %q has no size weight for component type %q", n.Name, d.comps[d.comp[i]].TypeKey())
+			return fmt.Errorf("estimate: node %q has no size weight for component type %q", s.NodeNames[i], s.TypeNames[s.CompType[ci]])
 		}
-		d.sizeSum[d.comp[i]] += w
+		d.sizeSum[ci] += w
 	}
-	for ci := range d.chans {
-		s := d.comp[d.chSrc[ci]]
-		bi := d.chBus[ci]
-		if di := d.chDst[ci]; di < 0 {
-			d.incCut(s, bi)
-		} else if dc := d.comp[di]; dc != s {
-			d.incCut(s, bi)
+	for ci := 0; ci < s.NumChans(); ci++ {
+		src := d.asg.NodeComp[s.ChanSrc[ci]]
+		bi := d.asg.ChanBus[ci]
+		if di := s.ChanDst[ci]; di < 0 {
+			d.incCut(src, bi)
+		} else if dc := d.asg.NodeComp[di]; dc != src {
+			d.incCut(src, bi)
 			d.incCut(dc, bi)
 			d.cut += d.chVol[ci]
 		}
@@ -328,7 +325,7 @@ func (d *DeltaEval) bitrate(ci int) (br float64, bad bool) {
 	if vol == 0 {
 		return 0, false
 	}
-	et := d.incr.Et(d.chSrc[ci])
+	et := d.incr.Et(d.snap.ChanSrc[ci])
 	if et == 0 {
 		return 0, true
 	}
@@ -340,7 +337,7 @@ func (d *DeltaEval) bitrate(ci int) (br float64, bad bool) {
 func (d *DeltaEval) incCut(comp, bus int32) {
 	k := int(comp)*len(d.buses) + int(bus)
 	if d.cutCnt[k] == 0 {
-		d.ioSum[comp] += d.busWidth[bus]
+		d.ioSum[comp] += d.snap.BusWidth[bus]
 	}
 	d.cutCnt[k]++
 }
@@ -349,40 +346,53 @@ func (d *DeltaEval) decCut(comp, bus int32) {
 	k := int(comp)*len(d.buses) + int(bus)
 	d.cutCnt[k]--
 	if d.cutCnt[k] == 0 {
-		d.ioSum[comp] -= d.busWidth[bus]
+		d.ioSum[comp] -= d.snap.BusWidth[bus]
 	}
 }
 
 // detachCut removes channel ci's contribution to the cut counts, IO sums
-// and cut traffic, under the current mirrors.
+// and cut traffic, under the current assignment.
 func (d *DeltaEval) detachCut(ci int32) {
-	bi := d.chBus[ci]
-	s := d.comp[d.chSrc[ci]]
-	if di := d.chDst[ci]; di < 0 {
-		d.decCut(s, bi)
-	} else if dc := d.comp[di]; dc != s {
-		d.decCut(s, bi)
+	bi := d.asg.ChanBus[ci]
+	src := d.asg.NodeComp[d.snap.ChanSrc[ci]]
+	if di := d.snap.ChanDst[ci]; di < 0 {
+		d.decCut(src, bi)
+	} else if dc := d.asg.NodeComp[di]; dc != src {
+		d.decCut(src, bi)
 		d.decCut(dc, bi)
 		d.cut -= d.chVol[ci]
 	}
 }
 
 func (d *DeltaEval) attachCut(ci int32) {
-	bi := d.chBus[ci]
-	s := d.comp[d.chSrc[ci]]
-	if di := d.chDst[ci]; di < 0 {
-		d.incCut(s, bi)
-	} else if dc := d.comp[di]; dc != s {
-		d.incCut(s, bi)
+	bi := d.asg.ChanBus[ci]
+	src := d.asg.NodeComp[d.snap.ChanSrc[ci]]
+	if di := d.snap.ChanDst[ci]; di < 0 {
+		d.incCut(src, bi)
+	} else if dc := d.asg.NodeComp[di]; dc != src {
+		d.incCut(src, bi)
 		d.incCut(dc, bi)
 		d.cut += d.chVol[ci]
 	}
 }
 
-// rederive re-applies the bus policy to the given channels (the ones
+// rederive re-applies the bus policy to the given channel IDs (the ones
 // incident to a moved node — the only ones an endpoint-local policy can
-// change) and writes the result through to the bound partition.
+// change), updating the assignment vector. With an IndexedPolicy this is
+// pure array work; under a pointer policy the policy reads the bound
+// partition's node mapping (which move keeps current).
 func (d *DeltaEval) rederive(chs []int32) error {
+	if d.ipol != nil {
+		nb := int32(d.snap.NumBuses())
+		for _, ci := range chs {
+			bi := d.ipol(d.snap, d.asg, ci)
+			if bi < 0 || bi >= nb {
+				return fmt.Errorf("partition: indexed bus policy returned bus %d out of range for channel %s", bi, d.snap.ChanKey(ci))
+			}
+			d.asg.ChanBus[ci] = bi
+		}
+		return nil
+	}
 	for _, ci := range chs {
 		c := d.chans[ci]
 		b := d.policy(d.pt, c)
@@ -393,70 +403,77 @@ func (d *DeltaEval) rederive(chs []int32) error {
 		if !ok {
 			return fmt.Errorf("partition: bus policy returned a bus outside the graph for channel %s", c.Key())
 		}
-		d.chBus[ci] = bi
-		d.pt.AssignChan(c, b)
+		d.asg.ChanBus[ci] = bi
 	}
 	return nil
 }
 
-// move transitions the bound partition and every sum from "ni on its
+// move transitions the assignment vector and every sum from "ni on its
 // current component" to "ni on toIdx". Validation that can fail happens
 // before any sum is touched; a failure after mutation begins (a policy
-// misbehaving mid-move) marks the evaluator broken.
+// misbehaving mid-move) marks the evaluator broken. With an IndexedPolicy
+// the bound Partition is untouched; under a pointer policy only its node
+// mapping is updated (so the policy sees the move), which the inverse
+// move restores — commits make the partition fully current via syncNode.
 func (d *DeltaEval) move(ni, toIdx int32) error {
-	fromIdx := d.comp[ni]
+	fromIdx := d.asg.NodeComp[ni]
 	if toIdx == fromIdx {
 		return nil
 	}
-	nc := len(d.comps)
-	n := d.ev.G.Nodes[ni]
-	to := d.comps[toIdx]
-	wTo := d.sizeTab[int(ni)*nc+int(toIdx)]
+	s := d.snap
+	nc := s.NumComps()
+	wTo := s.Size[int(ni)*nc+int(toIdx)]
 	if math.IsNaN(wTo) {
-		return fmt.Errorf("estimate: node %q has no size weight for component type %q", n.Name, to.TypeKey())
+		return fmt.Errorf("estimate: node %q has no size weight for component type %q", s.NodeNames[ni], s.TypeNames[s.CompType[toIdx]])
 	}
-	if _, ok := n.ICT[to.TypeKey()]; !ok {
-		return fmt.Errorf("estimate: node %q has no ict weight for component type %q", n.Name, to.TypeKey())
+	if math.IsNaN(s.ICT[int(ni)*nc+int(toIdx)]) {
+		return fmt.Errorf("estimate: node %q has no ict weight for component type %q", s.NodeNames[ni], s.TypeNames[s.CompType[toIdx]])
 	}
-	if err := d.pt.Assign(n, to); err != nil {
-		return err // behavior on a non-processor; nothing mutated yet
+	if s.NodeKind[ni] == core.BehaviorNode && s.IsMem(toIdx) {
+		// Same rule, and same message, as Partition.Assign.
+		return fmt.Errorf("partition: behavior %q may only map to a processor, not %q", s.NodeNames[ni], s.CompNames[toIdx])
+	}
+	if d.ipol == nil {
+		// The pointer policy reads pt's node mapping during rederive.
+		// The checks above are exactly Assign's, so this cannot fail.
+		_ = d.pt.Assign(d.ev.G.Nodes[ni], d.comps[toIdx])
 	}
 
 	aff := d.deps.Affected(ni)
 	// Detach: cut/IO/traffic contributions of the channels touching n
 	// (under the old buses and components) ...
-	for _, ci := range d.outIdx[ni] {
+	for _, ci := range s.Out(ni) {
 		d.detachCut(ci)
 	}
-	for _, ci := range d.inIdx[ni] {
+	for _, ci := range s.In(ni) {
 		d.detachCut(ci)
 	}
 	// ... and the bitrate of every channel whose source Exectime is about
 	// to change (the incident channels' sources are all in aff).
 	for _, ai := range aff {
-		for _, ci := range d.outIdx[ai] {
+		for _, ci := range s.Out(ai) {
 			if d.chBad[ci] {
-				d.badCnt[d.chBus[ci]]--
+				d.badCnt[d.asg.ChanBus[ci]]--
 				d.chBad[ci] = false
-			} else if d.hasRate[d.chBus[ci]] {
-				d.busRate[d.chBus[ci]] -= d.chBr[ci]
+			} else if d.hasRate[d.asg.ChanBus[ci]] {
+				d.busRate[d.asg.ChanBus[ci]] -= d.chBr[ci]
 			}
 		}
 	}
 
 	// Swap the node itself.
-	d.sizeSum[fromIdx] -= d.sizeTab[int(ni)*nc+int(fromIdx)]
+	d.sizeSum[fromIdx] -= s.Size[int(ni)*nc+int(fromIdx)]
 	d.sizeSum[toIdx] += wTo
-	d.comp[ni] = toIdx
+	d.asg.NodeComp[ni] = toIdx
 
 	// Reattach under the new mapping: incident buses first (the policy
-	// sees the updated partition), then the affected Exectimes
+	// sees the updated mapping), then the affected Exectimes
 	// callee-first, then bitrates and cut sums.
-	if err := d.rederive(d.outIdx[ni]); err != nil {
+	if err := d.rederive(s.Out(ni)); err != nil {
 		d.broken = true
 		return err
 	}
-	if err := d.rederive(d.inIdx[ni]); err != nil {
+	if err := d.rederive(s.In(ni)); err != nil {
 		d.broken = true
 		return err
 	}
@@ -465,8 +482,8 @@ func (d *DeltaEval) move(ni, toIdx int32) error {
 		return err
 	}
 	for _, ai := range aff {
-		for _, ci := range d.outIdx[ai] {
-			bi := d.chBus[ci]
+		for _, ci := range s.Out(ai) {
+			bi := d.asg.ChanBus[ci]
 			if !d.hasRate[bi] {
 				continue
 			}
@@ -479,33 +496,47 @@ func (d *DeltaEval) move(ni, toIdx int32) error {
 			}
 		}
 	}
-	for _, ci := range d.outIdx[ni] {
+	for _, ci := range s.Out(ni) {
 		d.attachCut(ci)
 	}
-	for _, ci := range d.inIdx[ni] {
+	for _, ci := range s.In(ni) {
 		d.attachCut(ci)
 	}
 	d.sinceRefresh++
 	return nil
 }
 
+// syncNode writes node ni's committed state — its component and the buses
+// of its incident channels — through to the bound Partition, keeping the
+// caller-visible mirror current after Apply/Undo. Only channels incident
+// to the moved node can have changed under an endpoint-local policy.
+func (d *DeltaEval) syncNode(ni int32) {
+	_ = d.pt.Assign(d.ev.G.Nodes[ni], d.comps[d.asg.NodeComp[ni]])
+	for _, ci := range d.snap.Out(ni) {
+		d.pt.AssignChan(d.chans[ci], d.buses[d.asg.ChanBus[ci]])
+	}
+	for _, ci := range d.snap.In(ni) {
+		d.pt.AssignChan(d.chans[ci], d.buses[d.asg.ChanBus[ci]])
+	}
+}
+
 // costNow evaluates the cost function from the materialized sums — the
 // same terms, in the same order, as Evaluator.costWith.
 func (d *DeltaEval) costNow() (float64, error) {
 	w := d.w
+	s := d.snap
 	var cost float64
-	for ci, comp := range d.comps {
+	for ci := range d.sizeSum {
 		size := d.sizeSum[ci]
-		switch c := comp.(type) {
-		case *core.Processor:
-			if c.Custom && d.ev.EstOpt.SharingFactor > 0 {
-				size *= 1 - d.ev.EstOpt.SharingFactor
-			}
-			cost += w.Size * excess(size, c.SizeCon)
-			cost += w.Pins * excess(float64(d.ioSum[ci]), float64(c.PinCon))
-		case *core.Memory:
-			cost += w.Size * excess(size, c.SizeCon)
+		if s.IsMem(int32(ci)) {
+			cost += w.Size * excess(size, s.CompSizeCon[ci])
+			continue
 		}
+		if s.CompCustom[ci] && d.ev.EstOpt.SharingFactor > 0 {
+			size *= 1 - d.ev.EstOpt.SharingFactor
+		}
+		cost += w.Size * excess(size, s.CompSizeCon[ci])
+		cost += w.Pins * excess(float64(d.ioSum[ci]), float64(s.CompPinCon[ci]))
 	}
 	if w.Time > 0 {
 		for k, ni := range d.dlNode {
@@ -515,7 +546,7 @@ func (d *DeltaEval) costNow() (float64, error) {
 	if w.Rate > 0 {
 		for k, bi := range d.rateBus {
 			if d.badCnt[bi] > 0 {
-				return 0, fmt.Errorf("estimate: bus %q carries traffic from a source with zero execution time", d.buses[bi].Name)
+				return 0, fmt.Errorf("estimate: bus %q carries traffic from a source with zero execution time", s.BusNames[bi])
 			}
 			rate := d.busRate[bi]
 			if d.ev.EstOpt.ClampBusBitrate {
@@ -566,7 +597,7 @@ func (d *DeltaEval) MoveCost(n *core.Node, to core.Component) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("partition: component %q is not in the evaluator's graph", to.CompName())
 	}
-	fromIdx := d.comp[ni]
+	fromIdx := d.asg.NodeComp[ni]
 	if toIdx == fromIdx {
 		return d.costNow()
 	}
@@ -582,9 +613,10 @@ func (d *DeltaEval) MoveCost(n *core.Node, to core.Component) (float64, error) {
 }
 
 // Apply commits the move of n to `to` (a no-op if already there) and
-// remembers it for Undo. It is bookkeeping, not an evaluation: no hook
-// fires and no evaluation is counted, matching a search loop that trials
-// with MoveCost and then commits the winner.
+// remembers it for Undo, writing the new state through to the bound
+// Partition. It is bookkeeping, not an evaluation: no hook fires and no
+// evaluation is counted, matching a search loop that trials with MoveCost
+// and then commits the winner.
 func (d *DeltaEval) Apply(n *core.Node, to core.Component) error {
 	if d.broken {
 		return fmt.Errorf("partition: delta evaluator is broken by an earlier failed move; Rebind it")
@@ -600,8 +632,12 @@ func (d *DeltaEval) Apply(n *core.Node, to core.Component) error {
 	if !ok {
 		return fmt.Errorf("partition: component %q is not in the evaluator's graph", to.CompName())
 	}
-	d.undoNode, d.undoComp, d.hasUndo = ni, d.comp[ni], true
-	return d.move(ni, toIdx)
+	d.undoNode, d.undoComp, d.hasUndo = ni, d.asg.NodeComp[ni], true
+	if err := d.move(ni, toIdx); err != nil {
+		return err
+	}
+	d.syncNode(ni)
+	return nil
 }
 
 // Undo reverts the most recent Apply. Only one level is kept.
@@ -613,7 +649,11 @@ func (d *DeltaEval) Undo() error {
 		return fmt.Errorf("partition: Undo without a preceding Apply")
 	}
 	d.hasUndo = false
-	return d.move(d.undoNode, d.undoComp)
+	if err := d.move(d.undoNode, d.undoComp); err != nil {
+		return err
+	}
+	d.syncNode(d.undoNode)
+	return nil
 }
 
 // Cost counts one evaluation and returns the cost of the bound partition,
@@ -622,6 +662,37 @@ func (d *DeltaEval) Undo() error {
 // rounding).
 func (d *DeltaEval) Cost() (float64, error) {
 	if err := d.beginEval(); err != nil {
+		return 0, err
+	}
+	if err := d.refresh(); err != nil {
+		d.broken = true
+		return 0, err
+	}
+	return d.costNow()
+}
+
+// costCandidate costs the current assignment vector from scratch: every
+// channel's bus re-derived by the installed IndexedPolicy, every Exectime
+// recomputed callee-first, every sum re-derived — O(graph), but pure array
+// work with zero allocations and no Partition access, which is what lets
+// SnapRandom cost thousands of whole candidate designs per second. It
+// counts one evaluation. The bound Partition is NOT updated; callers own
+// the assignment vector and materialize a Partition only for the winner.
+func (d *DeltaEval) costCandidate() (float64, error) {
+	if err := d.beginEval(); err != nil {
+		return 0, err
+	}
+	nb := int32(d.snap.NumBuses())
+	for ci := range d.asg.ChanBus {
+		bi := d.ipol(d.snap, d.asg, int32(ci))
+		if bi < 0 || bi >= nb {
+			d.broken = true
+			return 0, fmt.Errorf("partition: indexed bus policy returned bus %d out of range for channel %s", bi, d.snap.ChanKey(int32(ci)))
+		}
+		d.asg.ChanBus[ci] = bi
+	}
+	if err := d.incr.RecomputeAffected(d.deps.Order()); err != nil {
+		d.broken = true
 		return 0, err
 	}
 	if err := d.refresh(); err != nil {

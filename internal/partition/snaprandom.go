@@ -1,0 +1,155 @@
+package partition
+
+// SnapRandom: the snapshot-native random explorer. Random (algorithms.go)
+// builds every candidate in a Partition's maps and costs it with the full
+// pointer-walking estimator; SnapRandom writes each candidate straight
+// into the delta evaluator's flat assignment vector and costs it entirely
+// from the compiled Snapshot's arrays — same candidate enumeration, same
+// first-strictly-better selection, zero map traffic and zero allocations
+// per candidate. The two agree on the best cost to floating-point
+// summation order (the differential tests hold them to 1e-9); a Partition
+// is materialized only for the winner.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"specsyn/internal/core"
+)
+
+// SnapRandom samples MaxIters (default 1000) random legal partitions on
+// the compiled snapshot and returns the best. It requires Config.IdxPolicy
+// (the indexed twin of Config.Policy); without one — or with FullEval set,
+// or on a graph that does not support incremental evaluation — it falls
+// back to Random, which has identical semantics. On cancellation or budget
+// exhaustion it returns the best candidate seen so far with Partial set.
+func SnapRandom(ctx context.Context, g *core.Graph, cfg Config) (Result, error) {
+	iters := cfg.MaxIters
+	if iters <= 0 {
+		iters = 1000
+	}
+	return snapRandomRange(ctx, g, cfg, 0, iters)
+}
+
+// snapRandomRange evaluates the candidates with indices [lo, hi) of the
+// same deterministic enumeration randomRange walks, on the assignment
+// vector. Ties keep the earliest candidate.
+func snapRandomRange(ctx context.Context, g *core.Graph, cfg Config, lo, hi int) (Result, error) {
+	if cfg.IdxPolicy == nil || cfg.FullEval {
+		return randomRange(ctx, g, cfg, lo, hi)
+	}
+	start := cfg.Eval.Evals
+	table, err := candidateTable(g)
+	if err != nil {
+		return Result{}, err
+	}
+	// The delta evaluator needs a complete, legal mapping to bind to;
+	// every node on its first candidate is one (it is Greedy's seed too).
+	pt := core.NewPartition(g)
+	for j, n := range g.Nodes {
+		if err := pt.Assign(n, table[j][0]); err != nil {
+			return Result{}, err
+		}
+	}
+	d, err := cfg.Eval.Delta(pt, cfg.Policy)
+	if err != nil {
+		// The graph does not support incremental evaluation; Random
+		// preserves full-recompute semantics exactly, as newMover does.
+		return randomRange(ctx, g, cfg, lo, hi)
+	}
+	d.UseIndexedPolicy(cfg.IdxPolicy)
+
+	// Candidate component IDs per node, resolved once.
+	snap := d.snap
+	idxTable := make([][]int32, len(table))
+	for j, cands := range table {
+		ids := make([]int32, len(cands))
+		for k, c := range cands {
+			ci := snap.CompID(c.CompName())
+			if ci < 0 {
+				return Result{}, fmt.Errorf("partition: component %q is not in the evaluator's graph", c.CompName())
+			}
+			ids[k] = ci
+		}
+		idxTable[j] = ids
+	}
+
+	bestVec := make([]int32, snap.NumNodes())
+	bestCost := math.Inf(1)
+	found := false
+	partial := false
+	for i := lo; i < hi; i++ {
+		if (i-lo)%checkInterval == 0 && cancelled(ctx) {
+			partial = true
+			break
+		}
+		if !cfg.budgetLeft(start) {
+			partial = true
+			break
+		}
+		s := candidateSampler(cfg.Seed, i)
+		for j := range idxTable {
+			ids := idxTable[j]
+			d.asg.NodeComp[j] = ids[s.intn(len(ids))]
+		}
+		cost, err := d.costCandidate()
+		if err != nil {
+			return Result{}, err
+		}
+		if cost < bestCost {
+			bestCost = cost
+			copy(bestVec, d.asg.NodeComp)
+			found = true
+		}
+	}
+
+	// Materialize the winner as a Partition, with its channel mapping
+	// derived the same way randomRange's evalWith leaves it.
+	var best *core.Partition
+	if found {
+		best = core.NewPartition(g)
+		for j, n := range g.Nodes {
+			if err := best.Assign(n, d.comps[bestVec[j]]); err != nil {
+				return Result{}, err
+			}
+		}
+		if err := ApplyBusPolicy(best, cfg.Policy); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start, Partial: partial}, nil
+}
+
+// ParallelSnapRandom is SnapRandom with its candidate enumeration sharded
+// across legs, exactly as ParallelRandom shards Random: leg k evaluates
+// the contiguous range [k·iters/legs, (k+1)·iters/legs) of the same
+// enumeration, every worker sharing one read-only Snapshot through its
+// evaluator clone. Best cost and partition are identical to SnapRandom's
+// for every worker and leg count.
+func ParallelSnapRandom(ctx context.Context, g *core.Graph, cfg Config, opt ParallelOptions) (MultiResult, error) {
+	iters := cfg.MaxIters
+	if iters <= 0 {
+		iters = 1000
+	}
+	clamped := false
+	if cfg.MaxEvals > 0 && cfg.MaxEvals < iters {
+		iters, clamped = cfg.MaxEvals, true
+	}
+	nLegs := opt.legs()
+	plans := make([]legPlan, 0, nLegs)
+	for k := 0; k < nLegs; k++ {
+		lo, hi := k*iters/nLegs, (k+1)*iters/nLegs
+		plans = append(plans, legPlan{kind: "random", seed: cfg.Seed,
+			run: func(ctx context.Context, c Config) (Result, error) {
+				c.MaxEvals = 0 // the shard bounds are the budget
+				return snapRandomRange(ctx, g, c, lo, hi)
+			}})
+	}
+	out, err := runLegs(ctx, cfg, plans, opt.workers())
+	if err == nil && clamped {
+		out.Result.Partial = true
+		out.Report.Partial = true
+	}
+	return out, err
+}

@@ -1,0 +1,306 @@
+package partition
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"specsyn/internal/core"
+	"specsyn/internal/estimate"
+)
+
+// idxPolicyFor returns the indexed twin of each deltaScenario's pointer
+// policy, mirroring the single-bus / internal-external split the scenarios
+// use.
+func idxPolicyFor(sc deltaScenario) IndexedPolicy {
+	if len(sc.graph.Buses) > 1 {
+		return InternalExternalIdx(sc.graph, sc.graph.Buses[0], sc.graph.Buses[1])
+	}
+	return SingleBusIdx(sc.graph, sc.graph.Buses[0])
+}
+
+// TestDeltaMatchesOracleRandomMovesIndexed is the indexed-policy variant of
+// the central differential test: with an IndexedPolicy installed, move
+// trials never touch a Partition at all — the assignment vector and the
+// compiled snapshot carry everything — yet every cost must still match the
+// pointer-walking full recompute within 1e-9 over long trial/commit/undo
+// sequences.
+func TestDeltaMatchesOracleRandomMovesIndexed(t *testing.T) {
+	const steps = 1200
+	for _, sc := range deltaScenarios(t) {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			g := sc.graph
+			ev := NewEvaluator(g, sc.cons, sc.w, sc.opt)
+			oracle := NewEvaluator(g, sc.cons, sc.w, sc.opt)
+			policy := sc.policy(g)
+			pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+			d, err := ev.Delta(pt, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.UseIndexedPolicy(idxPolicyFor(sc))
+			rng := rand.New(rand.NewSource(11))
+			for step := 0; step < steps; step++ {
+				n := g.Nodes[rng.Intn(len(g.Nodes))]
+				cands := Allowed(g, n)
+				to := cands[rng.Intn(len(cands))]
+
+				got, err := d.MoveCost(n, to)
+				if err != nil {
+					t.Fatalf("step %d: MoveCost(%s→%s): %v", step, n.Name, to.CompName(), err)
+				}
+				trial := pt.Clone()
+				if err := trial.Assign(n, to); err != nil {
+					t.Fatal(err)
+				}
+				if err := ApplyBusPolicy(trial, policy); err != nil {
+					t.Fatal(err)
+				}
+				want, err := oracle.Cost(trial)
+				if err != nil {
+					t.Fatalf("step %d: oracle: %v", step, err)
+				}
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("step %d: MoveCost(%s→%s) = %.15g, oracle %.15g (Δ %g)",
+						step, n.Name, to.CompName(), got, want, got-want)
+				}
+
+				switch r := rng.Float64(); {
+				case r < 0.45:
+					if err := d.Apply(n, to); err != nil {
+						t.Fatalf("step %d: Apply: %v", step, err)
+					}
+				case r < 0.55:
+					if err := d.Apply(n, to); err != nil {
+						t.Fatalf("step %d: Apply: %v", step, err)
+					}
+					if err := d.Undo(); err != nil {
+						t.Fatalf("step %d: Undo: %v", step, err)
+					}
+				}
+				// Apply/Undo write the committed state through to pt, so the
+				// pointer oracle must agree on it at any moment.
+				if step%97 == 0 {
+					got, err := d.Cost()
+					if err != nil {
+						t.Fatalf("step %d: Cost: %v", step, err)
+					}
+					want := oracleCost(t, oracle, pt, policy)
+					if math.Abs(got-want) > 1e-9 {
+						t.Fatalf("step %d: committed Cost = %.15g, oracle %.15g", step, got, want)
+					}
+				}
+			}
+			got, err := d.Cost()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := oracleCost(t, oracle, pt, policy); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("final Cost = %.15g, oracle %.15g", got, want)
+			}
+		})
+	}
+}
+
+// TestSnapRandomMatchesRandom: the snapshot-native explorer walks the same
+// candidate enumeration as Random and must land on the same answer — cost
+// within summation tolerance, evaluation count exactly equal, and a Best
+// partition that recosts to the reported cost.
+func TestSnapRandomMatchesRandom(t *testing.T) {
+	for _, sc := range deltaScenarios(t) {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			g := sc.graph
+			mkCfg := func(indexed bool) Config {
+				cfg := Config{
+					Eval:     NewEvaluator(g, sc.cons, sc.w, sc.opt),
+					Policy:   sc.policy(g),
+					Seed:     42,
+					MaxIters: 400,
+				}
+				if indexed {
+					cfg.IdxPolicy = idxPolicyFor(sc)
+				}
+				return cfg
+			}
+			want, err := Random(context.Background(), g, mkCfg(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := mkCfg(true)
+			got, err := SnapRandom(context.Background(), g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Cost-want.Cost) > 1e-9 {
+				t.Errorf("SnapRandom cost = %.15g, Random = %.15g", got.Cost, want.Cost)
+			}
+			if got.Evals != want.Evals {
+				t.Errorf("SnapRandom evals = %d, Random = %d", got.Evals, want.Evals)
+			}
+			fresh := NewEvaluator(g, sc.cons, sc.w, sc.opt)
+			recost, err := fresh.Cost(got.Best)
+			if err != nil {
+				t.Fatalf("recost: %v", err)
+			}
+			if math.Abs(recost-got.Cost) > 1e-9 {
+				t.Errorf("SnapRandom reported %.15g but Best recosts to %.15g", got.Cost, recost)
+			}
+		})
+	}
+}
+
+// TestSnapRandomFallsBack: without an IdxPolicy (or with FullEval, or on a
+// graph the incremental path refuses) SnapRandom must behave exactly like
+// Random.
+func TestSnapRandomFallsBack(t *testing.T) {
+	cons := Constraints{Deadline: map[string]float64{"b0": 25}}
+	g := benchGraph(t, 6, 3)
+	base := config(g, cons)
+	base.MaxIters = 100
+
+	want, err := Random(context.Background(), g, config(g, cons))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no-idx-policy", func(c *Config) {}},
+		{"full-eval", func(c *Config) { c.IdxPolicy = SingleBusIdx(g, g.Buses[0]); c.FullEval = true }},
+	} {
+		cfg := config(g, cons)
+		tc.mut(&cfg)
+		got, err := SnapRandom(context.Background(), g, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-9 || got.Evals != want.Evals {
+			t.Errorf("%s: SnapRandom = (%.15g, %d evals), Random = (%.15g, %d evals)",
+				tc.name, got.Cost, got.Evals, want.Cost, want.Evals)
+		}
+	}
+
+	// Cyclic graph: Delta refuses, SnapRandom falls back to Random's
+	// full-recompute semantics.
+	gc := benchGraph(t, 6, 3)
+	if err := gc.AddChannel(&core.Channel{Src: gc.NodeByName("b5"), Dst: gc.NodeByName("b0"), AccFreq: 1, Bits: 8, Tag: core.NoTag}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Eval: NewEvaluator(gc, Constraints{}, DefaultWeights(), estimate.Options{}),
+		Policy: SingleBus(gc.Buses[0]), IdxPolicy: SingleBusIdx(gc, gc.Buses[0]), Seed: 1}
+	got, err := SnapRandom(context.Background(), gc, cfg)
+	if err != nil {
+		t.Fatalf("cyclic fallback: %v", err)
+	}
+	full := Config{Eval: NewEvaluator(gc, Constraints{}, DefaultWeights(), estimate.Options{}),
+		Policy: SingleBus(gc.Buses[0]), Seed: 1, FullEval: true}
+	wantC, err := Random(context.Background(), gc, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Cost-wantC.Cost) > 1e-9 || got.Evals != wantC.Evals {
+		t.Errorf("cyclic fallback = (%.15g, %d evals), full Random = (%.15g, %d evals)",
+			got.Cost, got.Evals, wantC.Cost, wantC.Evals)
+	}
+}
+
+// TestParallelSnapRandomDeterministic: the sharded explorer returns
+// bit-identical results at every worker count, equal to the sequential
+// run.
+func TestParallelSnapRandomDeterministic(t *testing.T) {
+	cons := Constraints{
+		Deadline:   map[string]float64{"b0": 25},
+		MaxBusRate: map[string]float64{"bus": 8},
+	}
+	g := benchGraph(t, 8, 4)
+	mkCfg := func() Config {
+		cfg := config(g, cons)
+		cfg.IdxPolicy = SingleBusIdx(g, g.Buses[0])
+		cfg.Seed = 9
+		cfg.MaxIters = 300
+		return cfg
+	}
+	seq, err := SnapRandom(context.Background(), g, mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		res, err := ParallelSnapRandom(context.Background(), g, mkCfg(), ParallelOptions{Workers: workers, Legs: 4})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if math.Abs(res.Result.Cost-seq.Cost) > 1e-12 {
+			t.Errorf("workers=%d: cost %.15g, sequential %.15g", workers, res.Result.Cost, seq.Cost)
+		}
+		if res.Result.Evals != seq.Evals {
+			t.Errorf("workers=%d: evals %d, sequential %d", workers, res.Result.Evals, seq.Evals)
+		}
+		for _, n := range g.Nodes {
+			if res.Result.Best.BvComp(n) != seq.Best.BvComp(n) {
+				t.Errorf("workers=%d: node %s on %v, sequential %v", workers, n.Name,
+					res.Result.Best.BvComp(n).CompName(), seq.Best.BvComp(n).CompName())
+			}
+		}
+	}
+}
+
+// TestSnapshotSharedAcrossClones pins the fleet-sharing contract: every
+// clone of an evaluator compiles the design exactly once and hands out the
+// same read-only *core.Snapshot, and concurrent incremental evaluation on
+// sibling clones is race-free (this test is the -race CI target).
+func TestSnapshotSharedAcrossClones(t *testing.T) {
+	g := benchGraph(t, 8, 4)
+	ev := NewEvaluator(g, Constraints{Deadline: map[string]float64{"b0": 25}}, DefaultWeights(), estimate.Options{})
+	s0, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	clones := make([]*Evaluator, workers)
+	for i := range clones {
+		clones[i] = ev.Clone()
+		si, err := clones[i].Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if si != s0 {
+			t.Fatalf("clone %d compiled its own snapshot", i)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(ev *Evaluator, seed int64) {
+			defer wg.Done()
+			pt := core.AllToProcessor(g, g.Procs[0], g.Buses[0])
+			d, err := ev.Delta(pt, SingleBus(g.Buses[0]))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			d.UseIndexedPolicy(SingleBusIdx(g, g.Buses[0]))
+			rng := rand.New(rand.NewSource(seed))
+			for step := 0; step < 300; step++ {
+				n := g.Nodes[rng.Intn(len(g.Nodes))]
+				cands := Allowed(g, n)
+				to := cands[rng.Intn(len(cands))]
+				if _, err := d.MoveCost(n, to); err != nil {
+					t.Errorf("seed %d step %d: %v", seed, step, err)
+					return
+				}
+				if rng.Float64() < 0.3 {
+					if err := d.Apply(n, to); err != nil {
+						t.Errorf("seed %d step %d: %v", seed, step, err)
+						return
+					}
+				}
+			}
+		}(clones[i], int64(i+1))
+	}
+	wg.Wait()
+}
