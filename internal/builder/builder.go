@@ -5,8 +5,9 @@
 // concurrency tags — is computed here, once, so that estimating a candidate
 // partition later is a matter of table lookups and sums.
 //
-// The construction runs as a staged pipeline of named passes over the
-// elaborated design, each owning one annotation family:
+// The construction runs as an explicit pass graph over the elaborated
+// design, each pass owning one annotation family and declaring the passes
+// whose outputs it reads:
 //
 //  1. extract      — behavior/variable nodes and entity ports (BV, IO)
 //  2. frequencies  — channels with profile-weighted accfreq/accmin/accmax
@@ -15,12 +16,17 @@
 //  5. overrides    — designer weight overrides (the -ov file)
 //  6. validate     — Graph.Validate on the finished SLIF
 //
-// Passes run in order and each is independently testable; a pass failure
-// aborts the build with the pass named in the error.
+// Passes run in dependency order and each is independently testable; a
+// pass failure aborts the build with the pass named in the error. Every
+// pass whose work is per-behavior exposes its loop body as a separate
+// function (behaviorChannels, wireChannel, tagChannels, behaviorWeights,
+// ...), which Rebuild invokes for just the edited slice of the design —
+// see rebuild.go.
 package builder
 
 import (
 	"fmt"
+	"strings"
 
 	"specsyn/internal/core"
 	"specsyn/internal/profile"
@@ -59,23 +65,48 @@ type state struct {
 
 	g       *core.Graph
 	chanSym map[*core.Channel]*sem.Symbol // channel → resolved destination
+
+	// res, when non-nil, maps node names to the endpoint struct a rebuild
+	// has decided on, shadowing g's (possibly mid-surgery) indexes. It lets
+	// the per-behavior pass bodies resolve destinations to fresh replacement
+	// nodes before the copy-on-write graph's indexes are repaired.
+	res map[string]core.Endpoint
 }
 
-// pass is one named pipeline stage.
+// pass is one node of the build's pass graph.
 type pass struct {
 	name string
 	run  func(*state) error
+	// needs names the passes whose outputs this pass reads. The pipeline
+	// order must respect it (checked once at init), and Rebuild relies on
+	// it: a per-behavior re-run replays the bodies of every pass
+	// downstream of the first invalidated one, in this order.
+	needs []string
 }
 
-// pipeline is the build order. Each pass owns the annotations its name
-// suggests; see the package comment.
+// pipeline is the pass graph in execution order. Each pass owns the
+// annotations its name suggests; see the package comment.
 var pipeline = []pass{
-	{"extract", passExtract},
-	{"frequencies", passFrequencies},
-	{"channelwires", passChannelWires},
-	{"weights", passWeights},
-	{"overrides", passOverrides},
-	{"validate", passValidate},
+	{name: "extract", run: passExtract},
+	{name: "frequencies", run: passFrequencies, needs: []string{"extract"}},
+	{name: "channelwires", run: passChannelWires, needs: []string{"frequencies"}},
+	{name: "weights", run: passWeights, needs: []string{"extract"}},
+	{name: "overrides", run: passOverrides, needs: []string{"weights"}},
+	{name: "validate", run: passValidate, needs: []string{"frequencies", "channelwires", "weights", "overrides"}},
+}
+
+func init() {
+	// The pass graph is data, so a reordering that breaks a declared
+	// dependency is a programming error worth failing fast on.
+	done := map[string]bool{}
+	for _, p := range pipeline {
+		for _, n := range p.needs {
+			if !done[n] {
+				panic(fmt.Sprintf("builder: pass %s runs before its input %s", p.name, n))
+			}
+		}
+		done[p.name] = true
+	}
 }
 
 // Build constructs the annotated SLIF graph of an elaborated design.
@@ -83,6 +114,17 @@ func Build(d *sem.Design, opts Options) (*core.Graph, error) {
 	if d == nil {
 		return nil, fmt.Errorf("builder: nil design")
 	}
+	s := newBuildState(d, opts)
+	for _, p := range pipeline {
+		if err := p.run(s); err != nil {
+			return nil, fmt.Errorf("builder: pass %s: %w", p.name, err)
+		}
+	}
+	return s.g, nil
+}
+
+// newBuildState assembles the pipeline working set with defaults applied.
+func newBuildState(d *sem.Design, opts Options) *state {
 	s := &state{
 		d:       d,
 		opts:    opts,
@@ -97,12 +139,7 @@ func Build(d *sem.Design, opts Options) (*core.Graph, error) {
 	if len(s.techs) == 0 {
 		s.techs = synth.StdTechs()
 	}
-	for _, p := range pipeline {
-		if err := p.run(s); err != nil {
-			return nil, fmt.Errorf("builder: pass %s: %w", p.name, err)
-		}
-	}
-	return s.g, nil
+	return s
 }
 
 // BuildVHDL parses, elaborates and builds in one step.
@@ -119,7 +156,32 @@ func BuildVHDL(src string, opts Options) (*core.Graph, error) {
 }
 
 // passValidate is the final gate: the graph the pipeline hands out must
-// satisfy every SLIF invariant.
+// satisfy every SLIF invariant. A violation is reported with the source
+// position of the behavior or object whose node the invariant names, so
+// the designer's editor can jump to the offending line.
 func passValidate(s *state) error {
-	return s.g.Validate()
+	err := s.g.Validate()
+	if err == nil {
+		return nil
+	}
+	// Graph.Validate names the faulty node or channel; locate the unit
+	// whose UniqueID the message mentions and prefix its position. Longest
+	// match wins, since one UniqueID may be a substring of another.
+	msg := err.Error()
+	var best string
+	var pos vhdl.Pos
+	for _, b := range s.d.Behaviors {
+		if b.Pos.Line != 0 && len(b.UniqueID) > len(best) && strings.Contains(msg, b.UniqueID) {
+			best, pos = b.UniqueID, b.Pos
+		}
+	}
+	for _, o := range s.d.Objects {
+		if o.Pos.Line != 0 && len(o.UniqueID) > len(best) && strings.Contains(msg, o.UniqueID) {
+			best, pos = o.UniqueID, o.Pos
+		}
+	}
+	if best == "" {
+		return err
+	}
+	return fmt.Errorf("%s: %w", pos, err)
 }

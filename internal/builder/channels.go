@@ -15,41 +15,54 @@ import (
 func passFrequencies(s *state) error {
 	for _, b := range s.d.Behaviors {
 		src := s.g.NodeByName(b.UniqueID)
-		var (
-			order []*core.Channel
-			bySym = map[*sem.Symbol]*core.Channel{}
-			walkE error
-		)
-		profile.Walk(s.d, b, s.prof, func(ev profile.Event) {
-			if walkE != nil {
-				return
-			}
-			c := bySym[ev.Target]
-			if c == nil {
-				dst, err := s.endpoint(ev.Target)
-				if err != nil {
-					walkE = err
-					return
-				}
-				c = &core.Channel{Src: src, Dst: dst, Tag: core.NoTag}
-				bySym[ev.Target] = c
-				s.chanSym[c] = ev.Target
-				order = append(order, c)
-			}
-			c.AccFreq += ev.Counts.Avg
-			c.AccMin += ev.Counts.Min
-			c.AccMax += ev.Counts.Max
-		})
-		if walkE != nil {
-			return walkE
+		chans, err := s.behaviorChannels(b, src)
+		if err != nil {
+			return behErr(b, err)
 		}
-		for _, c := range order {
+		for _, c := range chans {
 			if err := s.g.AddChannel(c); err != nil {
-				return err
+				return behErr(b, err)
 			}
 		}
 	}
 	return nil
+}
+
+// behaviorChannels is the frequency pass's per-behavior body: it computes
+// the merged channel list of one behavior in first-access order, with the
+// §2.4.1 avg/min/max access counts, registering each channel's destination
+// symbol in s.chanSym. The channels are returned unattached so that the
+// full pass and the incremental rebuilder can splice them in differently.
+func (s *state) behaviorChannels(b *sem.Behavior, src *core.Node) ([]*core.Channel, error) {
+	var (
+		order []*core.Channel
+		bySym = map[*sem.Symbol]*core.Channel{}
+		walkE error
+	)
+	profile.Walk(s.d, b, s.prof, func(ev profile.Event) {
+		if walkE != nil {
+			return
+		}
+		c := bySym[ev.Target]
+		if c == nil {
+			dst, err := s.endpoint(ev.Target)
+			if err != nil {
+				walkE = err
+				return
+			}
+			c = &core.Channel{Src: src, Dst: dst, Tag: core.NoTag}
+			bySym[ev.Target] = c
+			s.chanSym[c] = ev.Target
+			order = append(order, c)
+		}
+		c.AccFreq += ev.Counts.Avg
+		c.AccMin += ev.Counts.Min
+		c.AccMax += ev.Counts.Max
+	})
+	if walkE != nil {
+		return nil, walkE
+	}
+	return order, nil
 }
 
 // passChannelWires annotates every channel with the per-access transfer
@@ -59,18 +72,23 @@ func passFrequencies(s *state) error {
 // unless the build opted out.
 func passChannelWires(s *state) error {
 	for _, c := range s.g.Channels {
-		sym := s.chanSym[c]
-		switch sym.Kind {
-		case sem.SymObject:
-			c.Bits = sym.Object.Type.AccessBits()
-		case sem.SymPort:
-			c.Bits = sym.Port.Type.AccessBits()
-		case sem.SymBehavior:
-			c.Bits = sym.Behavior.ParamBits()
-		}
+		s.wireChannel(c)
 	}
 	if s.opts.SkipTags {
 		return nil
 	}
 	return passTags(s)
+}
+
+// wireChannel is the wire pass's per-channel body: it sets the channel's
+// per-access bit count from the resolved destination symbol.
+func (s *state) wireChannel(c *core.Channel) {
+	switch sym := s.chanSym[c]; sym.Kind {
+	case sem.SymObject:
+		c.Bits = sym.Object.Type.AccessBits()
+	case sem.SymPort:
+		c.Bits = sym.Port.Type.AccessBits()
+	case sem.SymBehavior:
+		c.Bits = sym.Behavior.ParamBits()
+	}
 }

@@ -13,30 +13,49 @@ import (
 // which interleaves architecture-level subprograms, processes and their
 // nested subprograms deterministically), one variable node per declared
 // object, and one port per entity port. Variables carry their storage
-// footprint; ports carry their per-access bit count.
+// footprint; ports carry their per-access bit count. The per-element
+// builders (extractPort, extractBehavior, extractObject) are the pass's
+// per-unit bodies, which Rebuild calls for just the affected subset.
 func passExtract(s *state) error {
 	for _, p := range s.d.Ports {
-		dir, err := portDir(p.Dir)
+		np, err := extractPort(p)
 		if err != nil {
 			return err
 		}
-		if err := s.g.AddPort(&core.Port{Name: p.Name, Dir: dir, Bits: p.Type.AccessBits()}); err != nil {
+		if err := s.g.AddPort(np); err != nil {
 			return err
 		}
 	}
 	for _, b := range s.d.Behaviors {
-		n := &core.Node{Name: b.UniqueID, Kind: core.BehaviorNode, IsProcess: b.IsProcess}
-		if err := s.g.AddNode(n); err != nil {
-			return err
+		if err := s.g.AddNode(extractBehavior(b)); err != nil {
+			return behErr(b, err)
 		}
 	}
 	for _, o := range s.d.Objects {
-		n := &core.Node{Name: o.UniqueID, Kind: core.VariableNode, StorageBits: o.Type.TotalBits()}
-		if err := s.g.AddNode(n); err != nil {
-			return err
+		if err := s.g.AddNode(extractObject(o)); err != nil {
+			return objErr(o, err)
 		}
 	}
 	return nil
+}
+
+// extractPort builds the IO element for one entity port.
+func extractPort(p *sem.Port) (*core.Port, error) {
+	dir, err := portDir(p.Dir)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Port{Name: p.Name, Dir: dir, Bits: p.Type.AccessBits()}, nil
+}
+
+// extractBehavior builds the (unannotated) behavior node for one behavior.
+func extractBehavior(b *sem.Behavior) *core.Node {
+	return &core.Node{Name: b.UniqueID, Kind: core.BehaviorNode, IsProcess: b.IsProcess}
+}
+
+// extractObject builds the variable node for one declared object.
+func extractObject(o *sem.Object) *core.Node {
+	return &core.Node{Name: o.UniqueID, Kind: core.VariableNode, StorageBits: o.Type.TotalBits()}
 }
 
 func portDir(d vhdl.PortDir) (core.PortDir, error) {
@@ -51,8 +70,41 @@ func portDir(d vhdl.PortDir) (core.PortDir, error) {
 	return core.In, fmt.Errorf("unknown port direction %v", d)
 }
 
-// endpoint resolves an access target symbol to its graph endpoint.
+// behErr prefixes an error with the behavior's declaration position, so a
+// build or rebuild failure points at the line the designer edited.
+func behErr(b *sem.Behavior, err error) error {
+	if err == nil || b.Pos.Line == 0 {
+		return err
+	}
+	return fmt.Errorf("%s: in %s: %w", b.Pos, b.Name, err)
+}
+
+// objErr is behErr for object declarations.
+func objErr(o *sem.Object, err error) error {
+	if err == nil || o.Pos.Line == 0 {
+		return err
+	}
+	return fmt.Errorf("%s: in declaration of %s: %w", o.Pos, o.Name, err)
+}
+
+// endpoint resolves an access target symbol to its graph endpoint. A
+// rebuild's resolver overlay (state.res) wins over the graph indexes, which
+// during copy-on-write surgery still point at the replaced structs.
 func (s *state) endpoint(sym *sem.Symbol) (core.Endpoint, error) {
+	if s.res != nil {
+		var name string
+		switch sym.Kind {
+		case sem.SymObject:
+			name = sym.Object.UniqueID
+		case sem.SymPort:
+			name = sym.Port.Name
+		case sem.SymBehavior:
+			name = sym.Behavior.UniqueID
+		}
+		if ep, ok := s.res[name]; ok {
+			return ep, nil
+		}
+	}
 	switch sym.Kind {
 	case sem.SymObject:
 		if n := s.g.NodeByName(sym.Object.UniqueID); n != nil {

@@ -111,3 +111,23 @@ func (o *Overrides) apply(g *core.Graph) error {
 	}
 	return nil
 }
+
+// applyTo re-pins the overrides naming one of the given fresh nodes. The
+// incremental rebuilder recomputes weights only for the replaced behavior
+// nodes; their overrides must be re-applied on top, while every other node
+// keeps the already-overridden annotations it carried over — and the full
+// build that produced the previous graph has already validated that every
+// entry names a declared node.
+func (o *Overrides) applyTo(fresh map[string]*core.Node) {
+	for _, e := range o.entries {
+		n := fresh[e.node]
+		if n == nil {
+			continue
+		}
+		if e.kind == "ict" {
+			n.SetICT(e.tech, e.value)
+		} else {
+			n.SetSize(e.tech, e.value)
+		}
+	}
+}

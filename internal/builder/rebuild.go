@@ -1,0 +1,430 @@
+// This file implements the incremental, edit-aware rebuild of the SLIF
+// graph. A source edit during interactive system design typically touches
+// one behavior; re-running the whole pipeline (parse → elaborate → six
+// passes) for every keystroke wastes nearly all of its work. Rebuild
+// instead diffs the previous and new sources at design-unit granularity via
+// AST content fingerprints (internal/vhdl.Fingerprint), re-runs the
+// per-behavior pass bodies for just the changed units and their dependents,
+// and patches the previous graph copy-on-write. The previous graph is never
+// mutated — concurrent readers (estimators, partition searches) keep a
+// consistent view — and the result is byte-identical, in compiled snapshot
+// form, to a from-scratch Build of the new source.
+//
+// Anything the unit diff cannot localize falls back to a full Build with
+// the reason recorded in the Delta: a change to the architecture context
+// (ports, arch-level declarations), any change to the unit or object
+// sequence (add/remove/rename/reorder, signature or type edits, implicit
+// symbols appearing or vanishing), or ambiguous duplicate unit paths.
+
+package builder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"specsyn/internal/core"
+	"specsyn/internal/sem"
+	"specsyn/internal/vhdl"
+)
+
+// Delta reports what a Rebuild did.
+type Delta struct {
+	// Changed lists the behaviors (by SLIF node name) whose unit
+	// fingerprint differed between the two sources.
+	Changed []string
+	// Dependents lists the behaviors re-processed without a fingerprint
+	// change of their own: lexical descendants of a changed unit (their
+	// meaning can depend on the parent's declarations) and transitive
+	// callers (their operation counts inline callee bodies).
+	Dependents []string
+	// AddedNodes and RemovedNodes name the SLIF nodes that exist in only
+	// one of the graphs. Non-empty only on a full rebuild; the fast path
+	// never changes the node set.
+	AddedNodes   []string
+	RemovedNodes []string
+	// Full marks a fall-back to a from-scratch Build, with Reason saying
+	// why the edit could not be localized.
+	Full   bool
+	Reason string
+}
+
+// Empty reports whether the rebuild found no semantic change at all — the
+// previous graph was returned unmodified (comment or formatting edits).
+func (d Delta) Empty() bool {
+	return !d.Full && len(d.Changed) == 0 && len(d.Dependents) == 0
+}
+
+// frontEnd is one cached parse+elaborate+fingerprint of a source text.
+type frontEnd struct {
+	df *vhdl.DesignFile
+	d  *sem.Design
+	fp *vhdl.DesignFP
+}
+
+// The front-end cache memoizes parse results by exact source text. Reload
+// chains always look up the previous source (it was the new source of the
+// preceding call), so an incremental rebuild pays for one parse, not two.
+// The cap keeps a small editing history without holding every draft alive.
+const feCacheCap = 3
+
+var feCache = struct {
+	sync.Mutex
+	m   map[string]*frontEnd
+	mru []string // oldest first
+}{m: make(map[string]*frontEnd)}
+
+func frontend(src string) (*frontEnd, error) {
+	feCache.Lock()
+	if fe := feCache.m[src]; fe != nil {
+		for i, s := range feCache.mru {
+			if s == src {
+				feCache.mru = append(append(feCache.mru[:i:i], feCache.mru[i+1:]...), src)
+				break
+			}
+		}
+		feCache.Unlock()
+		return fe, nil
+	}
+	feCache.Unlock()
+
+	df, err := vhdl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	d, err := sem.Elaborate(df)
+	if err != nil {
+		return nil, err
+	}
+	fe := &frontEnd{df: df, d: d, fp: vhdl.Fingerprint(df)}
+
+	feCache.Lock()
+	defer feCache.Unlock()
+	if won := feCache.m[src]; won != nil { // lost a race; keep the first
+		return won, nil
+	}
+	feCache.m[src] = fe
+	feCache.mru = append(feCache.mru, src)
+	if len(feCache.mru) > feCacheCap {
+		delete(feCache.m, feCache.mru[0])
+		feCache.mru = feCache.mru[1:]
+	}
+	return fe, nil
+}
+
+// Frontend returns the parsed and elaborated form of src through the same
+// memoizing cache Rebuild uses, so a caller that just rebuilt can fetch
+// the matching design for free.
+func Frontend(src string) (*vhdl.DesignFile, *sem.Design, error) {
+	fe, err := frontend(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fe.df, fe.d, nil
+}
+
+// Rebuild builds the SLIF graph of newSrc, reusing prev — the graph built
+// from prevSrc with the same Options — wherever the edit did not reach.
+// Three outcomes, reported in the Delta:
+//
+//   - no semantic change: prev itself is returned (pointer-equal), Delta
+//     empty;
+//   - localized edit: a copy-on-write patch of prev with only the changed
+//     behaviors and their dependents re-extracted; prev is not mutated;
+//   - anything else: a from-scratch Build, Delta.Full set with the reason.
+//
+// In every case the result is byte-identical (core.Compile + MarshalBinary)
+// to Build of the new source, in the pre-allocation form Build produces:
+// component sets on prev (an applied allocation) are ignored, never copied,
+// and never mutated — re-apply the allocation to the result.
+func Rebuild(prev *core.Graph, prevSrc, newSrc string, opts Options) (*core.Graph, Delta, error) {
+	newFE, err := frontend(newSrc)
+	if err != nil {
+		return nil, Delta{}, err
+	}
+	if prev == nil {
+		return rebuildFull(prev, newFE, opts, "no previous graph")
+	}
+	prevFE, err := frontend(prevSrc)
+	if err != nil {
+		return rebuildFull(prev, newFE, opts, "previous source no longer parses")
+	}
+	if reason := structureChanged(prevFE, newFE); reason != "" {
+		return rebuildFull(prev, newFE, opts, reason)
+	}
+
+	// Unit-level diff. The two fingerprint unit sequences are now known to
+	// agree path-for-path, so changed units are found positionally.
+	changed := make(map[string]bool)
+	for i, u := range newFE.fp.Units {
+		if prevFE.fp.Units[i].Hash != u.Hash {
+			changed[u.Path] = true
+		}
+	}
+	if len(changed) == 0 {
+		return prev, Delta{}, nil
+	}
+	affectedPath := func(path string) bool {
+		if changed[path] {
+			return true
+		}
+		for cp := range changed {
+			if strings.HasPrefix(path, cp+"/") {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Map the new design's behaviors onto unit paths. Every non-implicit
+	// behavior must have a fingerprinted unit; a mismatch means the lexical
+	// naming schemes disagree and the edit cannot be trusted to localize.
+	var delta Delta
+	affected := make(map[string]*sem.Behavior)
+	byID := make(map[string]*sem.Behavior, len(newFE.d.Behaviors))
+	for _, b := range newFE.d.Behaviors {
+		byID[b.UniqueID] = b
+		if b.Implicit {
+			continue
+		}
+		path := behaviorPath(b)
+		if _, ok := newFE.fp.Lookup(path); !ok {
+			return rebuildFull(prev, newFE, opts, fmt.Sprintf("behavior %s has no fingerprinted unit", b.UniqueID))
+		}
+		if affectedPath(path) {
+			affected[b.UniqueID] = b
+			if changed[path] {
+				delta.Changed = append(delta.Changed, b.UniqueID)
+			} else {
+				delta.Dependents = append(delta.Dependents, b.UniqueID)
+			}
+		}
+	}
+
+	// Pull in transitive callers via the previous graph's access relation:
+	// a behavior with a channel into an affected behavior inlines its
+	// operation counts (internal/synth) and must be re-weighted too.
+	queue := make([]string, 0, len(affected))
+	for id := range affected {
+		queue = append(queue, id)
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, c := range prev.InChans(id) {
+			caller := c.Src.Name
+			if _, ok := affected[caller]; ok {
+				continue
+			}
+			b := byID[caller]
+			if b == nil {
+				return rebuildFull(prev, newFE, opts, fmt.Sprintf("caller %s not in new design", caller))
+			}
+			affected[caller] = b
+			delta.Dependents = append(delta.Dependents, caller)
+			queue = append(queue, caller)
+		}
+	}
+	sort.Strings(delta.Changed)
+	sort.Strings(delta.Dependents)
+
+	g, err := patch(prev, newFE, opts, affected)
+	if err != nil {
+		return nil, Delta{}, err
+	}
+	if g == nil { // surgery refused (non-builder-shaped prev): rebuild
+		return rebuildFull(prev, newFE, opts, "previous graph not in builder form")
+	}
+	return g, delta, nil
+}
+
+// patch replays the per-behavior pass bodies for the affected behaviors on
+// a copy-on-write copy of prev. It returns (nil, nil) if prev's channel
+// layout refuses the splice — the caller then falls back to a full build.
+func patch(prev *core.Graph, fe *frontEnd, opts Options, affected map[string]*sem.Behavior) (*core.Graph, error) {
+	s := newBuildState(fe.d, opts)
+	if err := s.validateTechs(); err != nil {
+		return nil, fmt.Errorf("builder: pass weights: %w", err)
+	}
+
+	// Swap fresh nodes in for every affected behavior, then point the
+	// resolver overlay at them so destination resolution during the replay
+	// never sees the stale index entries.
+	cow := prev.ShallowClone()
+	fresh := make(map[string]*core.Node, len(affected))
+	for id, b := range affected {
+		fresh[id] = extractBehavior(b)
+	}
+	for i, n := range cow.Nodes {
+		if f := fresh[n.Name]; f != nil {
+			cow.Nodes[i] = f
+		}
+	}
+	s.g = cow
+	s.res = make(map[string]core.Endpoint, len(fresh))
+	for id, n := range fresh {
+		s.res[id] = n
+	}
+
+	// Replay frequencies → wires → tags → weights for each affected
+	// behavior in design order, splicing each rebuilt channel block in at
+	// the old block's position. Old and new destinations are collected for
+	// the one index repair at the end.
+	reindex := make(map[string]bool, 2*len(affected))
+	for id := range affected {
+		reindex[id] = true
+	}
+	for _, b := range fe.d.Behaviors {
+		id := b.UniqueID
+		if affected[id] == nil {
+			continue
+		}
+		if old := prev.NodeByName(id); old != nil {
+			for _, c := range prev.BehChans(old) {
+				reindex[c.Dst.EndpointName()] = true
+			}
+		}
+		chans, err := s.behaviorChannels(b, fresh[id])
+		if err != nil {
+			return nil, fmt.Errorf("builder: pass frequencies: %w", behErr(b, err))
+		}
+		for _, c := range chans {
+			s.wireChannel(c)
+			reindex[c.Dst.EndpointName()] = true
+		}
+		if !s.opts.SkipTags {
+			s.tagChannels(b, chans)
+		}
+		if err := cow.SpliceBehChans(id, chans); err != nil {
+			return nil, nil
+		}
+		s.behaviorWeights(b, fresh[id])
+	}
+
+	names := make([]string, 0, len(reindex))
+	for n := range reindex {
+		names = append(names, n)
+	}
+	cow.ReindexNodes(names...)
+
+	if s.opts.Overrides != nil {
+		s.opts.Overrides.applyTo(fresh)
+	}
+	if err := passValidate(s); err != nil {
+		return nil, fmt.Errorf("builder: pass validate: %w", err)
+	}
+	return cow, nil
+}
+
+// rebuildFull is the fall-back: a from-scratch Build of the new source,
+// with the node-set difference against prev reported in the Delta.
+func rebuildFull(prev *core.Graph, fe *frontEnd, opts Options, reason string) (*core.Graph, Delta, error) {
+	g, err := Build(fe.d, opts)
+	if err != nil {
+		return nil, Delta{}, err
+	}
+	d := Delta{Full: true, Reason: reason}
+	prevNames := make(map[string]bool)
+	if prev != nil {
+		for _, n := range prev.Nodes {
+			prevNames[n.Name] = true
+		}
+	}
+	newNames := make(map[string]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		newNames[n.Name] = true
+		if !prevNames[n.Name] {
+			d.AddedNodes = append(d.AddedNodes, n.Name)
+		}
+	}
+	if prev != nil {
+		for _, n := range prev.Nodes {
+			if !newNames[n.Name] {
+				d.RemovedNodes = append(d.RemovedNodes, n.Name)
+			}
+		}
+	}
+	return g, d, nil
+}
+
+// behaviorPath is the lexical path of an elaborated behavior, matching the
+// paths internal/vhdl.Fingerprint assigns to AST units: enclosing names
+// joined with slashes. Both sides name unlabeled processes by the parser's
+// synthesized label, so the schemes agree by construction.
+func behaviorPath(b *sem.Behavior) string {
+	if b.Parent == nil {
+		return b.Name
+	}
+	return behaviorPath(b.Parent) + "/" + b.Name
+}
+
+// structureChanged reports (as a non-empty reason) every condition under
+// which the unit diff cannot localize the edit and Rebuild must fall back
+// to a full build.
+func structureChanged(prev, next *frontEnd) string {
+	if prev.fp.Context != next.fp.Context {
+		return "architecture context changed"
+	}
+	if len(prev.fp.Units) != len(next.fp.Units) {
+		return "design unit added or removed"
+	}
+	for i, u := range next.fp.Units {
+		if prev.fp.Units[i].Path != u.Path {
+			return fmt.Sprintf("design unit %s renamed or moved", prev.fp.Units[i].Path)
+		}
+		// A duplicate path carries a "#n" disambiguator; positional
+		// matching across edits is not safe for those.
+		if strings.Contains(u.Path, "#") {
+			return fmt.Sprintf("duplicate unit path %s", u.Path)
+		}
+	}
+
+	// The elaborated element sequences must agree on everything the kept
+	// annotations depend on: any add/remove/rename/reorder, signature or
+	// type change, or implicit symbol appearing/vanishing defeats reuse.
+	pd, nd := prev.d, next.d
+	if pd.Name != nd.Name || pd.ArchName != nd.ArchName {
+		return "entity or architecture renamed"
+	}
+	if len(pd.Ports) != len(nd.Ports) {
+		return "port added or removed"
+	}
+	for i, p := range nd.Ports {
+		q := pd.Ports[i]
+		if p.Name != q.Name || p.Dir != q.Dir || p.Type.AccessBits() != q.Type.AccessBits() {
+			return fmt.Sprintf("port %s changed", q.Name)
+		}
+	}
+	if len(pd.Behaviors) != len(nd.Behaviors) {
+		return "behavior added or removed"
+	}
+	for i, b := range nd.Behaviors {
+		q := pd.Behaviors[i]
+		if b.Name != q.Name || b.UniqueID != q.UniqueID ||
+			b.IsProcess != q.IsProcess || b.IsFunction != q.IsFunction ||
+			b.Implicit != q.Implicit || b.ParamBits() != q.ParamBits() {
+			return fmt.Sprintf("behavior %s changed shape", q.UniqueID)
+		}
+	}
+	if len(pd.Objects) != len(nd.Objects) {
+		return "object added or removed"
+	}
+	for i, o := range nd.Objects {
+		q := pd.Objects[i]
+		if o.Name != q.Name || o.UniqueID != q.UniqueID || o.Class != q.Class ||
+			o.Implicit != q.Implicit || o.IsParam != q.IsParam ||
+			ownerID(o) != ownerID(q) ||
+			o.Type.AccessBits() != q.Type.AccessBits() || o.Type.TotalBits() != q.Type.TotalBits() {
+			return fmt.Sprintf("object %s changed shape", q.UniqueID)
+		}
+	}
+	return ""
+}
+
+func ownerID(o *sem.Object) string {
+	if o.Owner == nil {
+		return ""
+	}
+	return o.Owner.UniqueID
+}

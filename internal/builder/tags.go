@@ -1,6 +1,7 @@
 package builder
 
 import (
+	"specsyn/internal/core"
 	"specsyn/internal/sched"
 	"specsyn/internal/sem"
 )
@@ -16,18 +17,24 @@ import (
 func passTags(s *state) error {
 	for _, b := range s.d.Behaviors {
 		src := s.g.NodeByName(b.UniqueID)
-		chans := s.g.BehChans(src)
-		if len(chans) == 0 {
-			continue
-		}
-		tags := sched.Tags(s.d, b)
-		for _, c := range chans {
-			if tag, ok := tags[targetID(s.chanSym[c])]; ok {
-				c.Tag = tag
-			}
-		}
+		s.tagChannels(b, s.g.BehChans(src))
 	}
 	return nil
+}
+
+// tagChannels is the tag pass's per-behavior body: it schedules one
+// behavior and stamps the verdicts onto the given channels (which must all
+// originate from that behavior).
+func (s *state) tagChannels(b *sem.Behavior, chans []*core.Channel) {
+	if len(chans) == 0 {
+		return
+	}
+	tags := sched.Tags(s.d, b)
+	for _, c := range chans {
+		if tag, ok := tags[targetID(s.chanSym[c])]; ok {
+			c.Tag = tag
+		}
+	}
 }
 
 // targetID names a channel's destination the way sched keys its verdicts.

@@ -1,6 +1,8 @@
 package builder
 
 import (
+	"specsyn/internal/core"
+	"specsyn/internal/sem"
 	"specsyn/internal/synth"
 )
 
@@ -11,31 +13,48 @@ import (
 // custom hardware (memories cannot host behaviors); variables get storage
 // access/footprint weights on every technology class.
 func passWeights(s *state) error {
+	if err := s.validateTechs(); err != nil {
+		return err
+	}
+	for _, b := range s.d.Behaviors {
+		s.behaviorWeights(b, s.g.NodeByName(b.UniqueID))
+	}
+	for _, o := range s.d.Objects {
+		s.variableWeights(o, s.g.NodeByName(o.UniqueID))
+	}
+	return nil
+}
+
+// validateTechs checks every candidate technology once per build.
+func (s *state) validateTechs() error {
 	for _, t := range s.techs {
 		if err := t.Validate(); err != nil {
 			return err
 		}
 	}
-	for _, b := range s.d.Behaviors {
-		n := s.g.NodeByName(b.UniqueID)
-		ops := synth.CountOps(s.d, b, s.prof)
-		for _, t := range s.techs {
-			if ict, size, ok := t.BehaviorWeights(ops); ok {
-				n.SetICT(t.Name, ict)
-				n.SetSize(t.Name, size)
-			}
-		}
-	}
-	for _, o := range s.d.Objects {
-		n := s.g.NodeByName(o.UniqueID)
-		for _, t := range s.techs {
-			if ict, size, ok := t.VariableWeights(o.Type.TotalBits()); ok {
-				n.SetICT(t.Name, ict)
-				n.SetSize(t.Name, size)
-			}
-		}
-	}
 	return nil
+}
+
+// behaviorWeights is the weight pass's per-behavior body: operation counts
+// via internal/synth, then per-technology ict/size annotations.
+func (s *state) behaviorWeights(b *sem.Behavior, n *core.Node) {
+	ops := synth.CountOps(s.d, b, s.prof)
+	for _, t := range s.techs {
+		if ict, size, ok := t.BehaviorWeights(ops); ok {
+			n.SetICT(t.Name, ict)
+			n.SetSize(t.Name, size)
+		}
+	}
+}
+
+// variableWeights is the weight pass's per-object body.
+func (s *state) variableWeights(o *sem.Object, n *core.Node) {
+	for _, t := range s.techs {
+		if ict, size, ok := t.VariableWeights(o.Type.TotalBits()); ok {
+			n.SetICT(t.Name, ict)
+			n.SetSize(t.Name, size)
+		}
+	}
 }
 
 // passOverrides applies designer weight overrides on top of the computed

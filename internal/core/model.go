@@ -393,15 +393,19 @@ func (g *Graph) Components() []Component {
 // partition): channel endpoints are present, sources are behaviors,
 // annotations are non-negative, and channel keys are unique.
 func (g *Graph) Validate() error {
-	seen := map[string]bool{}
+	// Dedupe on the (src, dst) name pair rather than Key(): building the
+	// "src->dst" string for every channel dominates validation on large
+	// graphs, and this check sits on the incremental-rebuild hot path.
+	seen := make(map[[2]string]bool, len(g.Channels))
 	for _, c := range g.Channels {
 		if !c.Src.IsBehavior() {
 			return fmt.Errorf("slif: channel %s has variable source", c.Key())
 		}
-		if seen[c.Key()] {
+		k := [2]string{c.Src.Name, c.Dst.EndpointName()}
+		if seen[k] {
 			return fmt.Errorf("slif: duplicate channel %s", c.Key())
 		}
-		seen[c.Key()] = true
+		seen[k] = true
 		if c.AccFreq < 0 || c.Bits < 0 {
 			return fmt.Errorf("slif: channel %s has negative annotation", c.Key())
 		}

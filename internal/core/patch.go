@@ -1,0 +1,180 @@
+// This file holds the in-place surgery helpers behind the incremental
+// rebuild: a copy-on-write graph copy, a contiguous per-behavior channel
+// splice, and a targeted index repair that costs one pointer scan instead
+// of the full map rebuild Reindex performs. The discipline they support:
+// the exported slices are the truth, shared element structs are never
+// mutated (replaced wholesale instead), and after direct slice surgery the
+// caller names the touched elements so only their index entries are
+// repaired.
+
+package core
+
+import (
+	"fmt"
+	"maps"
+)
+
+// ShallowClone returns a copy-on-write copy of the graph: the Nodes, Ports
+// and Channels slices are fresh, the element structs they hold are shared
+// with the original, and the lookup indexes are bucket-copied. Component
+// sets are not copied (the copy is the pre-allocation form, like
+// Clone(false)).
+//
+// The contract is strict: a caller must never mutate a shared struct —
+// patch by replacing g.Nodes[i] / splicing g.Channels with fresh structs,
+// then repair the indexes with ReindexNodes (or Reindex). Under that
+// discipline the original graph stays fully intact, so readers of the old
+// graph (estimators, concurrent searches) race with nothing.
+func (g *Graph) ShallowClone() *Graph {
+	ng := &Graph{
+		Name:       g.Name,
+		Nodes:      append([]*Node(nil), g.Nodes...),
+		Ports:      append([]*Port(nil), g.Ports...),
+		Channels:   append([]*Channel(nil), g.Channels...),
+		nodeByName: maps.Clone(g.nodeByName),
+		portByName: maps.Clone(g.portByName),
+		chanByKey:  maps.Clone(g.chanByKey),
+		outgoing:   maps.Clone(g.outgoing),
+		incoming:   maps.Clone(g.incoming),
+	}
+	// A nil map survives maps.Clone as nil; normalize so later repairs can
+	// write. (Graphs built by NewGraph always have maps.)
+	if ng.nodeByName == nil {
+		ng.nodeByName = make(map[string]*Node)
+	}
+	if ng.portByName == nil {
+		ng.portByName = make(map[string]*Port)
+	}
+	if ng.chanByKey == nil {
+		ng.chanByKey = make(map[string]*Channel)
+	}
+	if ng.outgoing == nil {
+		ng.outgoing = make(map[*Node][]*Channel)
+	}
+	if ng.incoming == nil {
+		ng.incoming = make(map[string][]*Channel)
+	}
+	return ng
+}
+
+// SpliceBehChans replaces the contiguous block of channels whose source
+// node is named src with repl, splicing repl in at the block's position.
+// When the source currently has no channels, repl is inserted where the
+// builder would have placed it: after every channel of source nodes that
+// precede src in Nodes order. The graphs the builder produces always keep
+// one contiguous block per source, in node order; a non-contiguous source
+// is reported as an error.
+//
+// Only the Channels slice is edited. Lookup indexes go stale; the caller
+// must ReindexNodes (naming src and every old and new destination) or
+// Reindex before the next lookup.
+func (g *Graph) SpliceBehChans(src string, repl []*Channel) error {
+	first, last := -1, -1
+	for i, c := range g.Channels {
+		if c.Src.Name != src {
+			continue
+		}
+		if first < 0 {
+			first = i
+		} else if i != last+1 {
+			return fmt.Errorf("slif: channels of %q are not contiguous", src)
+		}
+		last = i
+	}
+	if first < 0 {
+		// No existing block: find the insertion point from node order.
+		order := make(map[string]int, len(g.Nodes))
+		for i, n := range g.Nodes {
+			order[n.Name] = i
+		}
+		si, ok := order[src]
+		if !ok {
+			return fmt.Errorf("slif: splice source %q not in graph", src)
+		}
+		first = len(g.Channels)
+		for i, c := range g.Channels {
+			if order[c.Src.Name] > si {
+				first = i
+				break
+			}
+		}
+		last = first - 1
+	}
+	out := make([]*Channel, 0, len(g.Channels)-(last-first+1)+len(repl))
+	out = append(out, g.Channels[:first]...)
+	out = append(out, repl...)
+	out = append(out, g.Channels[last+1:]...)
+	g.Channels = out
+	return nil
+}
+
+// ReindexNodes repairs the lookup indexes for the named nodes and ports
+// after direct slice surgery — replacing a node struct at the same name,
+// splicing channel blocks, or removing an element. The slices must already
+// be consistent (every channel endpoint struct is present in Nodes/Ports);
+// ReindexNodes then makes the indexes agree with them, touching only
+// entries that involve a named element. Unlike Reindex it rebuilds no
+// unrelated entry: the cost is the stale-entry cleanup plus one pointer
+// scan over Channels, with map writes only for the named slice.
+func (g *Graph) ReindexNodes(names ...string) {
+	if len(names) == 0 {
+		return
+	}
+	named := make(map[string]bool, len(names))
+	for _, n := range names {
+		named[n] = true
+	}
+	// Drop the stale state reachable from the old index entries. The old
+	// adjacency lists enumerate exactly the channels whose keyed entries
+	// may now be dead; live ones are re-added below.
+	for name := range named {
+		if old := g.nodeByName[name]; old != nil {
+			for _, c := range g.outgoing[old] {
+				delete(g.chanByKey, c.Key())
+			}
+			delete(g.outgoing, old)
+		}
+		for _, c := range g.incoming[name] {
+			delete(g.chanByKey, c.Key())
+		}
+		delete(g.incoming, name)
+	}
+	// Refresh name → struct from the slices; names no longer present lose
+	// their entries.
+	found := make(map[string]bool, len(named))
+	for _, n := range g.Nodes {
+		if named[n.Name] {
+			g.nodeByName[n.Name] = n
+			found[n.Name] = true
+		}
+	}
+	for _, p := range g.Ports {
+		if named[p.Name] {
+			g.portByName[p.Name] = p
+			found[p.Name] = true
+		}
+	}
+	for name := range named {
+		if !found[name] {
+			delete(g.nodeByName, name)
+			delete(g.portByName, name)
+		}
+	}
+	// One ordered scan rebuilds the channel indexes for every channel that
+	// touches a named element. Order is preserved: adjacency lists come
+	// out in Channels order, as Reindex would produce.
+	for _, c := range g.Channels {
+		srcNamed := named[c.Src.Name]
+		dstNamed := named[c.Dst.EndpointName()]
+		if !srcNamed && !dstNamed {
+			continue
+		}
+		g.chanByKey[c.Key()] = c
+		if srcNamed {
+			g.outgoing[c.Src] = append(g.outgoing[c.Src], c)
+		}
+		if dstNamed {
+			g.incoming[c.Dst.EndpointName()] = append(g.incoming[c.Dst.EndpointName()], c)
+		}
+	}
+}

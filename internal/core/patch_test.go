@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// blockGraph builds a graph shaped the way the builder emits them: one
+// contiguous channel block per source behavior, blocks in node order.
+//
+//	a ─▶ b, a ─▶ v │ b ─▶ c, b ─▶ w, b ─▶ p │ c ─▶ v
+func blockGraph(t testing.TB) *Graph {
+	t.Helper()
+	g := NewGraph("blocks")
+	a := &Node{Name: "a", Kind: BehaviorNode, IsProcess: true}
+	b := &Node{Name: "b", Kind: BehaviorNode}
+	c := &Node{Name: "c", Kind: BehaviorNode}
+	v := &Node{Name: "v", Kind: VariableNode, StorageBits: 32}
+	w := &Node{Name: "w", Kind: VariableNode, StorageBits: 64}
+	for _, n := range []*Node{a, b, c, v, w} {
+		n.SetICT("proc10", 1)
+		n.SetSize("proc10", 10)
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &Port{Name: "p", Dir: Out, Bits: 8}
+	if err := g.AddPort(p); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range []*Channel{
+		{Src: a, Dst: b, AccFreq: 2, Bits: 16, Tag: NoTag},
+		{Src: a, Dst: v, AccFreq: 1, Bits: 32, Tag: NoTag},
+		{Src: b, Dst: c, AccFreq: 3, Bits: 8, Tag: NoTag},
+		{Src: b, Dst: w, AccFreq: 4, Bits: 64, Tag: NoTag},
+		{Src: b, Dst: p, AccFreq: 1, Bits: 8, Tag: NoTag},
+		{Src: c, Dst: v, AccFreq: 5, Bits: 32, Tag: NoTag},
+	} {
+		if err := g.AddChannel(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func compiledBytes(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	s, err := Compile(g)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return data
+}
+
+func TestShallowCloneSharesStructsAndIsolatesSlices(t *testing.T) {
+	g := tinyGraph(t)
+	cow := g.ShallowClone()
+	if cow.NodeByName("main") != g.NodeByName("main") {
+		t.Error("ShallowClone must share node structs")
+	}
+	if len(cow.Procs) != 0 || len(cow.Buses) != 0 {
+		t.Error("ShallowClone must not copy components")
+	}
+	if !bytes.Equal(compiledBytes(t, cow), compiledBytes(t, g.Clone(false))) {
+		t.Error("ShallowClone changed the compiled form")
+	}
+	// Replacing an element in the copy must leave the original untouched.
+	repl := &Node{Name: "sub", Kind: BehaviorNode}
+	repl.SetICT("proc10", 99)
+	for i, n := range cow.Nodes {
+		if n.Name == "sub" {
+			cow.Nodes[i] = repl
+		}
+	}
+	cow.ReindexNodes("sub")
+	if cow.NodeByName("sub") != repl {
+		t.Error("replacement not visible in the copy")
+	}
+	if g.NodeByName("sub") == repl || g.NodeByName("sub").ICT["proc10"] == 99 {
+		t.Error("surgery on the copy leaked into the original")
+	}
+}
+
+func TestSpliceBehChansReplacesBlock(t *testing.T) {
+	g := blockGraph(t)
+	b, c := g.NodeByName("b"), g.NodeByName("c")
+	repl := []*Channel{
+		{Src: b, Dst: c, AccFreq: 7, Bits: 8, Tag: NoTag},
+		{Src: b, Dst: g.PortByName("p"), AccFreq: 2, Bits: 8, Tag: NoTag},
+	}
+	if err := g.SpliceBehChans("b", repl); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a->b", "a->v", "b->c", "b->p", "c->v"}
+	if len(g.Channels) != len(want) {
+		t.Fatalf("%d channels after splice, want %d", len(g.Channels), len(want))
+	}
+	for i, k := range want {
+		if g.Channels[i].Key() != k {
+			t.Errorf("channel %d = %s, want %s", i, g.Channels[i].Key(), k)
+		}
+	}
+	if g.Channels[2] != repl[0] || g.Channels[3] != repl[1] {
+		t.Error("splice kept stale channel structs in the block")
+	}
+}
+
+func TestSpliceBehChansEmptyAndInsert(t *testing.T) {
+	g := blockGraph(t)
+	// Remove c's block entirely...
+	if err := g.SpliceBehChans("c", nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(g.Channels); n != 5 {
+		t.Fatalf("%d channels after removing c's block, want 5", n)
+	}
+	// ...then insert a fresh block: it must land after b's block, in node
+	// order, exactly where the builder would have put it.
+	c := g.NodeByName("c")
+	fresh := &Channel{Src: c, Dst: g.NodeByName("w"), AccFreq: 1, Bits: 64, Tag: NoTag}
+	if err := g.SpliceBehChans("c", []*Channel{fresh}); err != nil {
+		t.Fatal(err)
+	}
+	if last := g.Channels[len(g.Channels)-1]; last != fresh {
+		t.Errorf("inserted block at %s, want tail position", last.Key())
+	}
+	// Splicing an unknown source is an error.
+	if err := g.SpliceBehChans("ghost", nil); err == nil {
+		t.Error("splice of unknown source must fail")
+	}
+}
+
+func TestSpliceBehChansRejectsNonContiguous(t *testing.T) {
+	g := tinyGraph(t) // main's channels straddle sub's block
+	if err := g.SpliceBehChans("main", nil); err == nil {
+		t.Error("splice must reject a non-contiguous source block")
+	}
+}
+
+// TestReindexNodesTargetedRepair is the ReindexNodes staleness regression
+// test, the targeted companion of TestReindexRestoresLookups: after
+// copy-on-write surgery — node struct replaced, channel block spliced —
+// one ReindexNodes call naming the touched elements must leave every
+// lookup exactly as a full Reindex would, without serving one stale
+// pointer, and the original graph must be untouched.
+func TestReindexNodesTargetedRepair(t *testing.T) {
+	orig := blockGraph(t)
+	origBytes := compiledBytes(t, orig)
+
+	cow := orig.ShallowClone()
+	// Replace behavior b and rebuild its channel block with one channel
+	// fewer and one frequency changed.
+	nb := &Node{Name: "b", Kind: BehaviorNode}
+	nb.SetICT("proc10", 2)
+	nb.SetSize("proc10", 20)
+	for i, n := range cow.Nodes {
+		if n.Name == "b" {
+			cow.Nodes[i] = nb
+		}
+	}
+	repl := []*Channel{
+		{Src: nb, Dst: cow.NodeByName("c"), AccFreq: 9, Bits: 8, Tag: NoTag},
+		{Src: nb, Dst: cow.PortByName("p"), AccFreq: 1, Bits: 8, Tag: NoTag},
+	}
+	if err := cow.SpliceBehChans("b", repl); err != nil {
+		t.Fatal(err)
+	}
+	// a's channel a->b still points at the old struct; in a real rebuild
+	// the dependent source a is rebuilt too. Do that here.
+	na := &Node{Name: "a", Kind: BehaviorNode, IsProcess: true}
+	na.SetICT("proc10", 1)
+	na.SetSize("proc10", 10)
+	for i, n := range cow.Nodes {
+		if n.Name == "a" {
+			cow.Nodes[i] = na
+		}
+	}
+	replA := []*Channel{
+		{Src: na, Dst: nb, AccFreq: 2, Bits: 16, Tag: NoTag},
+		{Src: na, Dst: cow.NodeByName("v"), AccFreq: 1, Bits: 32, Tag: NoTag},
+	}
+	if err := cow.SpliceBehChans("a", replA); err != nil {
+		t.Fatal(err)
+	}
+	// Repair naming the replaced sources and every old/new destination.
+	cow.ReindexNodes("a", "b", "c", "v", "w", "p")
+
+	// Every lookup must agree with a graph fully reindexed from the same
+	// slices.
+	ref := &Graph{Name: cow.Name, Nodes: cow.Nodes, Ports: cow.Ports, Channels: cow.Channels}
+	ref.Reindex()
+	for _, name := range []string{"a", "b", "c", "v", "w"} {
+		if cow.NodeByName(name) != ref.NodeByName(name) {
+			t.Errorf("NodeByName(%s) disagrees with full Reindex", name)
+		}
+	}
+	for _, n := range cow.Nodes {
+		if !n.IsBehavior() {
+			continue
+		}
+		got, want := cow.BehChans(n), ref.BehChans(n)
+		if len(got) != len(want) {
+			t.Fatalf("BehChans(%s): %d channels, want %d", n.Name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("BehChans(%s)[%d] disagrees with full Reindex", n.Name, i)
+			}
+		}
+	}
+	for _, name := range []string{"a", "b", "c", "v", "w", "p"} {
+		got, want := cow.InChans(name), ref.InChans(name)
+		if len(got) != len(want) {
+			t.Fatalf("InChans(%s): %d channels, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("InChans(%s)[%d] disagrees with full Reindex", name, i)
+			}
+		}
+	}
+	for _, c := range cow.Channels {
+		if cow.FindChannel(c.Src.Name, c.Dst.EndpointName()) != c {
+			t.Errorf("FindChannel(%s) serves a stale pointer", c.Key())
+		}
+	}
+	if cow.FindChannel("b", "w") != nil {
+		t.Error("FindChannel serves a spliced-out channel")
+	}
+	if cow.NodeByName("b") != nb || cow.NodeByName("a") != na {
+		t.Error("NodeByName serves a replaced struct")
+	}
+
+	// The original graph must be byte-identical to before the surgery.
+	if !bytes.Equal(compiledBytes(t, orig), origBytes) {
+		t.Error("copy-on-write surgery disturbed the original graph")
+	}
+	if orig.FindChannel("b", "w") == nil {
+		t.Error("original lost a channel to surgery on the copy")
+	}
+}
+
+func TestReindexNodesRemovedName(t *testing.T) {
+	g := blockGraph(t)
+	// Drop behavior c and its channels from the slices directly.
+	if err := g.SpliceBehChans("c", nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range g.Nodes {
+		if n.Name == "c" {
+			g.Nodes = append(g.Nodes[:i], g.Nodes[i+1:]...)
+			break
+		}
+	}
+	// b still has a channel to c — remove it too, keeping slices coherent.
+	b := g.NodeByName("b")
+	var keep []*Channel
+	for _, c := range g.BehChans(b) {
+		if c.Dst.EndpointName() != "c" {
+			keep = append(keep, c)
+		}
+	}
+	if err := g.SpliceBehChans("b", keep); err != nil {
+		t.Fatal(err)
+	}
+	g.ReindexNodes("b", "c", "v", "w", "p")
+	if g.NodeByName("c") != nil {
+		t.Error("NodeByName serves a removed node")
+	}
+	if g.FindChannel("c", "v") != nil || g.FindChannel("b", "c") != nil {
+		t.Error("FindChannel serves channels of a removed node")
+	}
+	if in := g.InChans("c"); len(in) != 0 {
+		t.Errorf("InChans of a removed node = %d channels, want 0", len(in))
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("graph invalid after removal repair: %v", err)
+	}
+}

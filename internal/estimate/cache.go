@@ -1,0 +1,48 @@
+package estimate
+
+import (
+	"sync"
+
+	"specsyn/internal/core"
+)
+
+// DepsCache memoizes the compiled snapshot and dependency index of the
+// current graph across estimator and evaluator constructions, keyed by
+// graph identity. It exists for the interactive reload loop: an
+// incremental rebuild that finds no semantic change keeps the graph
+// pointer, so the next partition search reuses the compiled state instead
+// of paying NewDeps again; any new graph pointer naturally misses and
+// replaces the entry. One entry suffices — a session has one current
+// graph — and errors are cached too, so a recursive design does not
+// recompile on every search just to fail again.
+//
+// The zero value is ready to use. Safe for concurrent use.
+type DepsCache struct {
+	mu   sync.Mutex
+	g    *core.Graph
+	deps *Deps
+	err  error
+}
+
+// For returns the dependency index compiled from g, building it on the
+// first call for this graph pointer and serving the memoized result on
+// subsequent calls.
+func (c *DepsCache) For(g *core.Graph) (*Deps, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.g == g {
+		return c.deps, c.err
+	}
+	deps, err := NewDeps(g)
+	c.g, c.deps, c.err = g, deps, err
+	return deps, err
+}
+
+// Invalidate drops the cached entry. Needed only when a graph is mutated
+// in place under the same pointer — the copy-on-write rebuild never does
+// that, but external graph surgery must call this before the next For.
+func (c *DepsCache) Invalidate() {
+	c.mu.Lock()
+	c.g, c.deps, c.err = nil, nil, nil
+	c.mu.Unlock()
+}

@@ -116,6 +116,22 @@ func (ev *Evaluator) Clone() *Evaluator {
 	}
 }
 
+// UseDeps pre-seeds the evaluator's shared compiled state with a
+// dependency index already built for ev.G — typically served by an
+// estimate.DepsCache that survives interactive reloads, so a search after
+// an unchanged (or incrementally patched) rebuild skips recompilation.
+// Call it before the first Cost/Snapshot use; once the shared state is
+// populated the call is a no-op. deps must have been built from ev.G.
+func (ev *Evaluator) UseDeps(deps *estimate.Deps) {
+	if deps == nil {
+		return
+	}
+	if ev.shared == nil {
+		ev.shared = &evalShared{}
+	}
+	ev.shared.once.Do(func() { ev.shared.deps = deps })
+}
+
 // sharedDeps returns the evaluator's shared dependency index (and with it
 // the compiled snapshot), building it on first use. Safe to call from any
 // clone concurrently; the build happens once.

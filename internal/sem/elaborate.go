@@ -51,6 +51,7 @@ type Object struct {
 	Implicit bool      // created for an unresolved name
 	IsParam  bool      // subprogram parameter: transferred via the call channel, not a SLIF node
 	Init     vhdl.Expr // declaration initializer, if any (used by the simulator)
+	Pos      vhdl.Pos  // declaration position; zero for implicit objects
 }
 
 // Param is an elaborated subprogram parameter.
@@ -73,6 +74,7 @@ type Behavior struct {
 	Body       []vhdl.Stmt
 	Implicit   bool      // created for an unresolved call target
 	Parent     *Behavior // lexically enclosing behavior, nil at architecture level
+	Pos        vhdl.Pos  // declaration position; zero for implicit behaviors
 	scope      *scope
 }
 
@@ -264,7 +266,7 @@ func (e *elaborator) declarePass(sc *scope, decls []vhdl.Decl, owner *Behavior) 
 		case *vhdl.ObjectDecl:
 			t := e.resolveTypeRef(sc, dd.Type)
 			for _, name := range dd.Names {
-				obj := &Object{Name: name, Class: dd.Class, Type: t, Owner: owner, Init: dd.Init}
+				obj := &Object{Name: name, Class: dd.Class, Type: t, Owner: owner, Init: dd.Init, Pos: dd.Pos}
 				d.Objects = append(d.Objects, obj)
 				if owner != nil {
 					owner.Decls = append(owner.Decls, obj)
@@ -278,7 +280,7 @@ func (e *elaborator) declarePass(sc *scope, decls []vhdl.Decl, owner *Behavior) 
 				sc.define(name, sym)
 			}
 		case *vhdl.SubprogramDecl:
-			b := &Behavior{Name: dd.Name, IsFunction: dd.IsFunction, Body: dd.Body, Parent: owner}
+			b := &Behavior{Name: dd.Name, IsFunction: dd.IsFunction, Body: dd.Body, Parent: owner, Pos: dd.Pos}
 			for _, pd := range dd.Params {
 				t := e.resolveTypeRef(sc, pd.Type)
 				for _, n := range pd.Names {
@@ -321,7 +323,7 @@ func (e *elaborator) bodyPass(sc *scope, decls []vhdl.Decl, owner *Behavior) {
 }
 
 func (e *elaborator) declareProcess(sc *scope, ps *vhdl.ProcessStmt) {
-	b := &Behavior{Name: ps.Label, IsProcess: true, Body: ps.Body}
+	b := &Behavior{Name: ps.Label, IsProcess: true, Body: ps.Body, Pos: ps.Pos}
 	e.d.Behaviors = append(e.d.Behaviors, b)
 	sc.define(ps.Label, &Symbol{Kind: SymBehavior, Name: ps.Label, Behavior: b})
 }

@@ -106,6 +106,8 @@ func (s *Session) dispatch(cmd string, args []string) error {
 		return s.cmdSave(args)
 	case "dot":
 		return s.cmdDot(args)
+	case "reload":
+		return s.cmdReload(args)
 	case "undo":
 		return s.cmdUndo()
 	}
@@ -125,6 +127,9 @@ func (s *Session) cmdHelp() error {
                                   the search, keeping the best found so far
   search multi [legs] [timeout]   parallel multi-start portfolio (default
                                   legs = GOMAXPROCS), same optional timeout
+  reload <file.vhd>               re-read an edited specification; the SLIF
+                                  graph is rebuilt incrementally (only the
+                                  edited behaviors and their dependents)
   inline <procedure>              inline a procedure into its single caller
   merge <procA> <procB>           merge two processes
   save <file.slif>                write the graph + partition
@@ -371,10 +376,39 @@ func (s *Session) cmdMerge(args []string) error {
 }
 
 // resetPartition rebuilds the all-software partition after graph surgery
-// and clears the undo stack (old snapshots reference removed nodes).
+// or replacement and clears the undo stack (old snapshots reference stale
+// nodes). It also drops the environment's cached compiled state, which
+// in-place transforms would otherwise leave stale.
 func (s *Session) resetPartition() {
+	s.Env.InvalidateCompiled()
 	s.Pt = core.AllToProcessor(s.Env.Graph, s.Env.Graph.Procs[0], s.Env.Graph.Buses[0])
 	s.history = nil
+}
+
+func (s *Session) cmdReload(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: reload <file.vhd>")
+	}
+	start := time.Now()
+	delta, err := s.Env.ReloadFile(args[0])
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Microsecond)
+	switch {
+	case delta.Empty():
+		// Same graph pointer: partition, undo stack and compiled state all
+		// stay valid.
+		fmt.Fprintf(s.out, "no semantic change (%v); partition kept\n", elapsed)
+	case delta.Full:
+		s.resetPartition()
+		fmt.Fprintf(s.out, "full rebuild in %v (%s); partition reset to all-software\n", elapsed, delta.Reason)
+	default:
+		s.resetPartition()
+		fmt.Fprintf(s.out, "incremental rebuild in %v (%d changed, %d dependent); partition reset to all-software\n",
+			elapsed, len(delta.Changed), len(delta.Dependents))
+	}
+	return nil
 }
 
 func (s *Session) cmdSave(args []string) error {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"specsyn/internal/specsyn"
+	"specsyn/internal/vhdl"
 )
 
 func session(t *testing.T) *Session {
@@ -276,5 +277,49 @@ func TestShellSearchCtxProvider(t *testing.T) {
 	}
 	if !strings.Contains(out, "(partial)") {
 		t.Errorf("interrupted search not reported partial:\n%s", out)
+	}
+}
+
+func TestShellReload(t *testing.T) {
+	s := session(t)
+	dir := t.TempDir()
+
+	// Comment-only edit: graph and partition survive.
+	same := filepath.Join(dir, "same.vhd")
+	if err := os.WriteFile(same, []byte("-- note\n"+s.Env.Source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g0 := s.Env.Graph
+	out := run(t, s, "reload "+same+"\nquit\n")
+	if !strings.Contains(out, "no semantic change") {
+		t.Fatalf("comment reload:\n%s", out)
+	}
+	if s.Env.Graph != g0 {
+		t.Fatal("comment reload replaced the graph")
+	}
+
+	// One-behavior edit: incremental rebuild, partition reset, and the
+	// session keeps working on the new graph.
+	edited := filepath.Join(dir, "edited.vhd")
+	df := vhdl.MustParse(s.Env.Source)
+	ps := df.Architectures[0].Processes[0]
+	ps.Body = append([]vhdl.Stmt{&vhdl.NullStmt{}}, ps.Body...)
+	if err := os.WriteFile(edited, []byte(vhdl.Format(df)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run(t, s, "reload "+edited+"\nest\nsearch greedy\nquit\n")
+	for _, frag := range []string{"incremental rebuild in", "partition reset", "estimated in", "greedy:"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+	if s.Env.Graph == g0 {
+		t.Fatal("incremental reload kept the old graph")
+	}
+
+	// Errors: usage and unreadable file leave the session intact.
+	out = run(t, s, "reload\nreload "+filepath.Join(dir, "missing.vhd")+"\nquit\n")
+	if !strings.Contains(out, "usage: reload") || !strings.Contains(out, "error:") {
+		t.Fatalf("reload error handling:\n%s", out)
 	}
 }

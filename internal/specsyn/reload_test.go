@@ -1,0 +1,186 @@
+package specsyn
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"specsyn/internal/core"
+	"specsyn/internal/partition"
+	"specsyn/internal/vhdl"
+)
+
+// reloadBytes compiles a graph stripped of its allocation, so Reload
+// results can be compared against fresh full builds.
+func reloadBytes(t testing.TB, g *core.Graph) []byte {
+	t.Helper()
+	s, err := core.Compile(g.Clone(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// insertNull returns src with a null statement prepended to the body of
+// its first process — the canonical one-behavior edit.
+func insertNull(t testing.TB, src string) string {
+	t.Helper()
+	df := vhdl.MustParse(src)
+	ps := df.Architectures[0].Processes[0]
+	ps.Body = append([]vhdl.Stmt{&vhdl.NullStmt{}}, ps.Body...)
+	return vhdl.Format(df)
+}
+
+func TestEnvReloadPaths(t *testing.T) {
+	env := load(t, "fuzzy")
+	g0 := env.Graph
+
+	// Comment-only edit: same graph pointer, empty delta.
+	delta, err := env.Reload("-- edited\n" + env.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Empty() || env.Graph != g0 {
+		t.Fatalf("comment edit: delta %+v, graph changed %v", delta, env.Graph != g0)
+	}
+
+	// One-behavior edit: incremental rebuild, byte-identical to a fresh
+	// session built from the edited source, previous graph left intact.
+	before := reloadBytes(t, g0)
+	edited := insertNull(t, env.Source)
+	delta, err = env.Reload(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Full || delta.Empty() {
+		t.Fatalf("one-behavior edit: delta %+v", delta)
+	}
+	if env.Graph == g0 {
+		t.Fatal("incremental reload kept the old graph pointer")
+	}
+	if !bytes.Equal(reloadBytes(t, g0), before) {
+		t.Error("reload mutated the previous graph")
+	}
+	fresh := load(t, "fuzzy")
+	if _, err := fresh.Reload(edited); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reloadBytes(t, env.Graph), reloadBytes(t, fresh.Graph)) {
+		t.Error("incremental reload diverges from full build of edited source")
+	}
+	if len(env.Graph.Procs) == 0 || len(env.Graph.Buses) == 0 {
+		t.Error("reload dropped the allocation")
+	}
+
+	// Structural edit (renamed entity): full fallback with a reason.
+	renamed := strings.Replace(env.Source, "fuzzycontrollere", "fuzzycontrollerx", 2)
+	delta, err = env.Reload(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Full || delta.Reason == "" {
+		t.Fatalf("entity rename: delta %+v", delta)
+	}
+
+	// Broken edit: error reported, session state untouched.
+	prevSrc, prevGraph := env.Source, env.Graph
+	if _, err := env.Reload("entity broken is"); err == nil {
+		t.Fatal("broken source accepted")
+	}
+	if env.Source != prevSrc || env.Graph != prevGraph {
+		t.Error("failed reload disturbed the session")
+	}
+}
+
+// TestEnvReloadSearchAfter runs a search after each reload flavor: the
+// cached compiled state must never leak across graph versions.
+func TestEnvReloadSearchAfter(t *testing.T) {
+	env := load(t, "ans")
+	search := func() float64 {
+		t.Helper()
+		res, err := env.PartitionSearch(context.Background(), "greedy", partition.Constraints{}, partition.DefaultWeights(), 1, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost
+	}
+	c0 := search()
+	if _, err := env.Reload("-- same\n" + env.Source); err != nil {
+		t.Fatal(err)
+	}
+	if c1 := search(); c1 != c0 {
+		t.Errorf("cost changed across empty reload: %v vs %v", c1, c0)
+	}
+	if _, err := env.Reload(insertNull(t, env.Source)); err != nil {
+		t.Fatal(err)
+	}
+	search() // must not panic or use stale deps
+
+	// A fresh env over the edited source must agree with the reloaded one.
+	fresh := load(t, "ans")
+	if _, err := fresh.Reload(env.Source); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := env.PartitionSearch(context.Background(), "greedy", partition.Constraints{}, partition.DefaultWeights(), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := fresh.PartitionSearch(context.Background(), "greedy", partition.Constraints{}, partition.DefaultWeights(), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Cost != res2.Cost {
+		t.Errorf("search after reload diverges: %v vs %v", res1.Cost, res2.Cost)
+	}
+}
+
+// TestReloadDuringParallelSearch is the reload/search race: a search
+// running over a snapshot of the session must not observe a concurrent
+// Reload, because reloads are copy-on-write. Run under -race this fails
+// loudly on any shared-structure mutation.
+func TestReloadDuringParallelSearch(t *testing.T) {
+	env := load(t, "fuzzy")
+	// A shallow copy pins the current graph the way an in-flight search
+	// does: the original env reloads underneath it.
+	searchEnv := *env
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make(chan error, 16)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if _, err := searchEnv.PartitionSearchParallel(context.Background(), "multi",
+				partition.Constraints{}, partition.DefaultWeights(), 1, 0, 2000, partition.ParallelOptions{Legs: 4}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		src := env.Source
+		for i := 0; i < 8; i++ {
+			edited := insertNull(t, src)
+			if _, err := env.Reload(edited); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := env.Reload(src); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

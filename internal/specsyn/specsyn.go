@@ -30,14 +30,21 @@ type Env struct {
 	Prof      *profile.Profile
 	Overrides *builder.Overrides
 
-	// BuildTime is the wall-clock cost of the last Build — the paper's
-	// "T-slif" quantity.
+	// BuildTime is the wall-clock cost of the last Build or Reload — the
+	// paper's "T-slif" quantity (incremental for reloads).
 	BuildTime time.Duration
+
+	// depsCache keeps the compiled snapshot and dependency index alive
+	// across searches for the current graph; a Reload that finds no
+	// semantic change keeps the graph pointer and therefore the compiled
+	// state too. A pointer so shallow Env copies share one cache (and stay
+	// vet-clean); nil (a zero-literal Env) just disables the reuse.
+	depsCache *estimate.DepsCache
 }
 
 // New returns an empty session with the standard library and profile.
 func New() *Env {
-	return &Env{Lib: alloc.Std(), Prof: profile.Empty()}
+	return &Env{Lib: alloc.Std(), Prof: profile.Empty(), depsCache: &estimate.DepsCache{}}
 }
 
 // LoadVHDL sets the specification source.
@@ -114,6 +121,64 @@ func (e *Env) Build() error {
 	return nil
 }
 
+// Reload swaps in an edited specification source, rebuilding the SLIF
+// graph incrementally against the current one (builder.Rebuild): a
+// semantically empty edit keeps the graph — and every compiled estimator
+// structure — untouched; a localized edit patches a copy-on-write clone
+// and re-applies the allocation; anything else falls back to a full
+// build, with the reason in the Delta. The current graph is never
+// mutated, so searches already running on it stay consistent. On error
+// the session keeps its previous source and graph.
+func (e *Env) Reload(src string) (builder.Delta, error) {
+	if e.Graph == nil || e.Source == "" {
+		e.Source = src
+		if err := e.Build(); err != nil {
+			return builder.Delta{}, err
+		}
+		return builder.Delta{Full: true, Reason: "no previous build"}, nil
+	}
+	start := time.Now()
+	g, delta, err := builder.Rebuild(e.Graph, e.Source, src, builder.Options{
+		Profile:   e.Prof,
+		Techs:     e.Lib.Techs,
+		Overrides: e.Overrides,
+	})
+	if err != nil {
+		return builder.Delta{}, err
+	}
+	if !delta.Empty() {
+		if err := e.Lib.Apply(g); err != nil {
+			return delta, err
+		}
+	}
+	if _, d, err := builder.Frontend(src); err == nil {
+		e.Design = d
+	}
+	e.Source, e.Graph = src, g
+	e.BuildTime = time.Since(start)
+	return delta, nil
+}
+
+// ReloadFile reads an edited specification from disk and Reloads it.
+func (e *Env) ReloadFile(path string) (builder.Delta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return builder.Delta{}, err
+	}
+	return e.Reload(string(data))
+}
+
+// InvalidateCompiled drops the session's cached compiled state (snapshot
+// and dependency index). Required after in-place graph surgery — the
+// transform commands mutate the graph under the same pointer, which the
+// identity-keyed cache cannot see. Reload never needs it: its patches are
+// copy-on-write, so a changed graph is a changed pointer.
+func (e *Env) InvalidateCompiled() {
+	if e.depsCache != nil {
+		e.depsCache.Invalidate()
+	}
+}
+
 // DefaultPartition maps everything onto the first processor and the first
 // bus — the all-software starting point.
 func (e *Env) DefaultPartition() (*core.Partition, error) {
@@ -143,6 +208,13 @@ func (e *Env) searchConfig(cons partition.Constraints, w partition.Weights, seed
 		return partition.Config{}, fmt.Errorf("specsyn: allocation has no bus")
 	}
 	ev := partition.NewEvaluator(e.Graph, cons, w, estimate.Options{})
+	if e.depsCache != nil {
+		if deps, err := e.depsCache.For(e.Graph); err == nil {
+			// Pre-seed the evaluator with the session-cached compiled state;
+			// on a cache error the evaluator compiles (and reports) itself.
+			ev.UseDeps(deps)
+		}
+	}
 	// Single-bus allocations put everything on that bus; with two or more
 	// buses the first is the external (inter-component) bus and the second
 	// the internal one, re-derived after every move.

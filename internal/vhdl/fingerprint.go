@@ -1,0 +1,397 @@
+package vhdl
+
+import "strconv"
+
+// This file computes content fingerprints over the AST, the change-detection
+// layer of the incremental rebuild: a 64-bit hash per behavior unit (process
+// or subprogram) plus one "context" hash covering everything a unit's
+// meaning can depend on outside any unit — entity ports and
+// architecture-level type/subtype/object declarations. The hash walks the
+// same fragments the printer emits (names, operators, literals, structure
+// tags), so two subtrees have equal fingerprints exactly when their printed
+// forms are equal: formatting and comments never perturb a fingerprint,
+// any token-level edit does. Nested subprogram bodies are excluded from
+// their parent's hash (only their signatures are folded in) because each
+// nested subprogram is its own unit — a body edit inside a helper changes
+// that helper's fingerprint alone, which is what bounds re-analysis to the
+// edited unit plus its dependents.
+
+// UnitFP is the fingerprint of one behavior unit.
+type UnitFP struct {
+	// Path is the unit's lexical path: slash-joined enclosing unit names,
+	// with "#n" appended on same-path collisions. It is stable across edits
+	// elsewhere in the file and is the identity rebuilds match units by.
+	Path string
+	Name string // declared name or process label
+	Hash uint64 // fingerprint of the unit's printed form
+	Pos  Pos    // declaration position in the current source
+}
+
+// DesignFP is the fingerprint set of a whole design file.
+type DesignFP struct {
+	// Context hashes the declarations outside every unit: entity names and
+	// ports, architecture names, and architecture-level type, subtype and
+	// object declarations (including initializers). Any unit may depend on
+	// these, so a context change invalidates the whole design.
+	Context uint64
+	// Units lists every process and subprogram in deterministic AST order
+	// (architecture declarations first, then processes, nested units
+	// directly after their parent).
+	Units []UnitFP
+
+	byPath map[string]int
+}
+
+// Lookup returns the unit with the given path.
+func (fp *DesignFP) Lookup(path string) (UnitFP, bool) {
+	i, ok := fp.byPath[path]
+	if !ok {
+		return UnitFP{}, false
+	}
+	return fp.Units[i], true
+}
+
+// Fingerprint computes the fingerprint set of a design file.
+func Fingerprint(df *DesignFile) *DesignFP {
+	fp := &DesignFP{byPath: make(map[string]int)}
+	ctx := newFNV()
+	for _, e := range df.Entities {
+		ctx.str("entity")
+		ctx.str(e.Name)
+		for _, pd := range e.Ports {
+			ctx.str("port")
+			for _, n := range pd.Names {
+				ctx.str(n)
+			}
+			ctx.num(int64(pd.Dir))
+			ctx.typeRef(pd.Type)
+		}
+	}
+	for _, a := range df.Architectures {
+		ctx.str("architecture")
+		ctx.str(a.Name)
+		ctx.str(a.EntityName)
+		for _, d := range a.Decls {
+			if _, isSub := d.(*SubprogramDecl); !isSub {
+				ctx.decl(d)
+			}
+		}
+		fp.units(a.Decls, "")
+		for _, ps := range a.Processes {
+			h := newFNV()
+			h.str("process")
+			h.str(ps.Label)
+			for _, s := range ps.Sensitivity {
+				h.str(s)
+			}
+			h.unitDecls(ps.Decls)
+			h.stmts(ps.Body)
+			fp.add(UnitFP{Path: ps.Label, Name: ps.Label, Hash: h.sum(), Pos: ps.Pos})
+			fp.units(ps.Decls, ps.Label+"/")
+		}
+	}
+	fp.Context = ctx.sum()
+	return fp
+}
+
+// units appends a fingerprint for every subprogram in decls, recursively,
+// each nested unit directly after its parent.
+func (fp *DesignFP) units(decls []Decl, prefix string) {
+	for _, d := range decls {
+		sp, ok := d.(*SubprogramDecl)
+		if !ok {
+			continue
+		}
+		h := newFNV()
+		h.signature(sp)
+		h.unitDecls(sp.Decls)
+		h.stmts(sp.Body)
+		path := prefix + sp.Name
+		fp.add(UnitFP{Path: path, Name: sp.Name, Hash: h.sum(), Pos: sp.Pos})
+		fp.units(sp.Decls, path+"/")
+	}
+}
+
+func (fp *DesignFP) add(u UnitFP) {
+	if _, taken := fp.byPath[u.Path]; taken {
+		base := u.Path
+		for n := 2; ; n++ {
+			u.Path = base + "#" + strconv.Itoa(n)
+			if _, taken := fp.byPath[u.Path]; !taken {
+				break
+			}
+		}
+	}
+	fp.byPath[u.Path] = len(fp.Units)
+	fp.Units = append(fp.Units, u)
+}
+
+// fnv is an incremental FNV-1a 64 hasher over printed-form fragments,
+// mixing eight-byte lanes instead of single bytes: fingerprinting runs on
+// every incremental rebuild, and one multiply per word is 8x cheaper than
+// one per byte. Every string fragment ends with a mix of its length, so
+// adjacent fragments never alias ("ab"+"c" vs "a"+"bc"). The hashes live
+// only in memory and are compared within one process, so the exact mixing
+// function is free to change.
+type fnv struct{ h uint64 }
+
+func newFNV() fnv { return fnv{h: 14695981039346656037} }
+
+func (f *fnv) sum() uint64 { return f.h }
+
+func (f *fnv) word(w uint64) {
+	f.h = (f.h ^ w) * 1099511628211
+}
+
+func (f *fnv) byte(b byte) {
+	f.word(uint64(b))
+}
+
+func (f *fnv) str(s string) {
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		f.word(uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+			uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56)
+	}
+	var tail uint64
+	for sh := 0; i < len(s); i, sh = i+1, sh+8 {
+		tail |= uint64(s[i]) << sh
+	}
+	f.word(tail)
+	f.word(uint64(len(s)))
+}
+
+func (f *fnv) num(v int64) {
+	f.word(uint64(v))
+}
+
+func (f *fnv) bool(b bool) {
+	if b {
+		f.byte(1)
+	} else {
+		f.byte(0)
+	}
+}
+
+// signature folds in a subprogram's name, kind, parameters and return type
+// — everything a caller can observe without the body.
+func (f *fnv) signature(sp *SubprogramDecl) {
+	f.str("subprogram")
+	f.str(sp.Name)
+	f.bool(sp.IsFunction)
+	for _, pd := range sp.Params {
+		f.str("param")
+		for _, n := range pd.Names {
+			f.str(n)
+		}
+		f.num(int64(pd.Dir))
+		f.typeRef(pd.Type)
+	}
+	if sp.Return != nil {
+		f.str("return")
+		f.typeRef(sp.Return)
+	}
+}
+
+// unitDecls folds in a unit's declarative part: non-subprogram declarations
+// fully, nested subprograms by signature only (their bodies are separate
+// units).
+func (f *fnv) unitDecls(decls []Decl) {
+	for _, d := range decls {
+		if sp, ok := d.(*SubprogramDecl); ok {
+			f.signature(sp)
+			continue
+		}
+		f.decl(d)
+	}
+}
+
+func (f *fnv) decl(d Decl) {
+	switch dd := d.(type) {
+	case *TypeDecl:
+		f.str("type")
+		f.str(dd.Name)
+		switch {
+		case dd.Def.Array != nil:
+			ad := dd.Def.Array
+			f.str("array")
+			f.rangeOf(ad.Low, ad.High, ad.Downto)
+			f.typeRef(ad.Element)
+		case dd.Def.Range != nil:
+			f.str("range")
+			f.rangeOf(dd.Def.Range.Low, dd.Def.Range.High, dd.Def.Range.Downto)
+		default:
+			f.str("enum")
+			for _, lit := range dd.Def.EnumLits {
+				f.str(lit)
+			}
+		}
+	case *SubtypeDecl:
+		f.str("subtype")
+		f.str(dd.Name)
+		f.typeRef(dd.Base)
+	case *ObjectDecl:
+		f.str("object")
+		f.num(int64(dd.Class))
+		for _, n := range dd.Names {
+			f.str(n)
+		}
+		f.typeRef(dd.Type)
+		if dd.Init != nil {
+			f.str(":=")
+			f.expr(dd.Init)
+		}
+	case *SubprogramDecl:
+		f.signature(dd)
+		f.unitDecls(dd.Decls)
+		f.stmts(dd.Body)
+	}
+}
+
+func (f *fnv) typeRef(tr *TypeRef) {
+	if tr == nil {
+		f.str("<nil>")
+		return
+	}
+	f.str(tr.Name)
+	if tr.Range != nil {
+		f.str("range")
+		f.rangeOf(tr.Range.Low, tr.Range.High, tr.Range.Downto)
+	}
+	if tr.Index != nil {
+		f.str("index")
+		f.rangeOf(tr.Index.Low, tr.Index.High, tr.Index.Downto)
+	}
+}
+
+func (f *fnv) rangeOf(low, high Expr, downto bool) {
+	f.expr(low)
+	f.expr(high)
+	f.bool(downto)
+}
+
+func (f *fnv) stmts(stmts []Stmt) {
+	for _, s := range stmts {
+		f.stmt(s)
+	}
+	f.byte('$') // close the list: nesting vs. succession never alias
+}
+
+func (f *fnv) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *AssignStmt:
+		f.str("assign")
+		f.bool(st.IsSignal)
+		f.expr(st.Target)
+		f.expr(st.Value)
+	case *IfStmt:
+		f.str("if")
+		f.expr(st.Cond)
+		f.stmts(st.Then)
+		for _, el := range st.Elifs {
+			f.str("elsif")
+			f.expr(el.Cond)
+			f.stmts(el.Body)
+		}
+		f.str("else")
+		f.stmts(st.Else)
+	case *CaseStmt:
+		f.str("case")
+		f.expr(st.Expr)
+		for _, w := range st.Whens {
+			if w.Choices == nil {
+				f.str("others")
+			}
+			for _, c := range w.Choices {
+				f.expr(c)
+			}
+			f.stmts(w.Body)
+		}
+	case *ForStmt:
+		f.str("for")
+		f.str(st.Label)
+		f.str(st.Var)
+		f.rangeOf(st.Low, st.High, st.Downto)
+		f.stmts(st.Body)
+	case *WhileStmt:
+		f.str("while")
+		f.str(st.Label)
+		f.expr(st.Cond)
+		f.stmts(st.Body)
+	case *LoopStmt:
+		f.str("loop")
+		f.str(st.Label)
+		f.stmts(st.Body)
+	case *ExitStmt:
+		f.str("exit")
+		f.str(st.Label)
+		f.expr(st.Cond)
+	case *CallStmt:
+		f.str("call")
+		f.str(st.Name)
+		for _, a := range st.Args {
+			f.expr(a)
+		}
+	case *WaitStmt:
+		f.str("wait")
+		for _, sig := range st.OnSignals {
+			f.str(sig)
+		}
+		f.expr(st.Until)
+	case *ReturnStmt:
+		f.str("return")
+		f.expr(st.Value)
+	case *NullStmt:
+		f.str("null")
+	}
+	f.byte(';')
+}
+
+func (f *fnv) expr(e Expr) {
+	if e == nil {
+		f.str("<nil>")
+		return
+	}
+	switch x := e.(type) {
+	case *NameExpr:
+		f.str("n")
+		f.str(x.Name)
+	case *IntExpr:
+		f.str("i")
+		f.num(x.Val)
+	case *CharExpr:
+		f.str("c")
+		f.byte(x.Val)
+	case *StrExpr:
+		f.str("s")
+		f.str(x.Val)
+	case *CallExpr:
+		f.str("call")
+		f.str(x.Name)
+		for _, a := range x.Args {
+			f.expr(a)
+		}
+		f.byte(')')
+	case *BinExpr:
+		f.str("bin")
+		f.num(int64(x.Op))
+		f.expr(x.L)
+		f.expr(x.R)
+	case *UnaryExpr:
+		f.str("un")
+		f.num(int64(x.Op))
+		f.expr(x.X)
+	case *AttrExpr:
+		f.str("attr")
+		f.str(x.Prefix)
+		f.str(x.Attr)
+	case *AggregateExpr:
+		f.str("aggr")
+		for _, a := range x.Assocs {
+			f.bool(a.IsOthers)
+			f.expr(a.Choice)
+			f.expr(a.Value)
+		}
+		f.byte(')')
+	}
+}

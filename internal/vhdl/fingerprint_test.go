@@ -1,0 +1,194 @@
+package vhdl
+
+import (
+	"strings"
+	"testing"
+)
+
+const fpSrc = `
+entity e is
+    port ( clk : in bit; q : out integer );
+end;
+
+architecture a of e is
+    variable shared_v : integer := 3;
+    procedure outer(x : in integer) is
+        variable t : integer;
+        procedure inner(y : in integer) is
+        begin
+            t := y + 1;
+        end;
+    begin
+        inner(x);
+        t := t * 2;
+    end;
+begin
+    main: process (clk)
+        variable acc : integer;
+    begin
+        acc := shared_v;
+        outer(acc);
+        q <= acc;
+    end process;
+
+    aux: process
+    begin
+        wait on clk;
+    end process;
+end;
+`
+
+func fpOf(t *testing.T, src string) *DesignFP {
+	t.Helper()
+	df, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Fingerprint(df)
+}
+
+func TestFingerprintDeterministicAndFormatInsensitive(t *testing.T) {
+	a := fpOf(t, fpSrc)
+	b := fpOf(t, fpSrc)
+	if a.Context != b.Context || len(a.Units) != len(b.Units) {
+		t.Fatal("fingerprints of identical source differ")
+	}
+	for i := range a.Units {
+		if a.Units[i] != b.Units[i] {
+			t.Errorf("unit %d differs across identical parses", i)
+		}
+	}
+	// Reformatting (print round-trip) and comments must not perturb any hash.
+	pretty := Format(MustParse(fpSrc))
+	c := fpOf(t, "-- a leading comment\n"+pretty)
+	if c.Context != a.Context {
+		t.Error("context hash changed under reformatting")
+	}
+	for _, u := range a.Units {
+		cu, ok := c.Lookup(u.Path)
+		if !ok {
+			t.Fatalf("unit %q lost in reformatted source", u.Path)
+		}
+		if cu.Hash != u.Hash {
+			t.Errorf("unit %q hash changed under reformatting", u.Path)
+		}
+	}
+}
+
+func TestFingerprintPaths(t *testing.T) {
+	fp := fpOf(t, fpSrc)
+	want := []string{"outer", "outer/inner", "main", "aux"}
+	if len(fp.Units) != len(want) {
+		t.Fatalf("got %d units, want %d", len(fp.Units), len(want))
+	}
+	for i, path := range want {
+		if fp.Units[i].Path != path {
+			t.Errorf("unit %d path = %q, want %q", i, fp.Units[i].Path, path)
+		}
+		if fp.Units[i].Pos.Line == 0 {
+			t.Errorf("unit %q has no position", path)
+		}
+	}
+}
+
+// editUnits returns the set of unit paths whose hash differs between the
+// two sources, plus whether the context hash differs.
+func fpDiff(t *testing.T, oldSrc, newSrc string) (changed []string, ctx bool) {
+	t.Helper()
+	a, b := fpOf(t, oldSrc), fpOf(t, newSrc)
+	for _, u := range a.Units {
+		if nu, ok := b.Lookup(u.Path); !ok || nu.Hash != u.Hash {
+			changed = append(changed, u.Path)
+		}
+	}
+	return changed, a.Context != b.Context
+}
+
+func TestFingerprintLocalizesBodyEdit(t *testing.T) {
+	edited := strings.Replace(fpSrc, "acc := shared_v;", "acc := shared_v + 1;", 1)
+	changed, ctx := fpDiff(t, fpSrc, edited)
+	if ctx {
+		t.Error("process body edit changed the context hash")
+	}
+	if len(changed) != 1 || changed[0] != "main" {
+		t.Errorf("changed units = %v, want [main]", changed)
+	}
+}
+
+func TestFingerprintNestedBodyExcludedFromParent(t *testing.T) {
+	edited := strings.Replace(fpSrc, "t := y + 1;", "t := y + 2;", 1)
+	changed, ctx := fpDiff(t, fpSrc, edited)
+	if ctx {
+		t.Error("nested subprogram edit changed the context hash")
+	}
+	if len(changed) != 1 || changed[0] != "outer/inner" {
+		t.Errorf("changed units = %v, want [outer/inner]", changed)
+	}
+	// Editing the parent's own statements must not touch the nested unit.
+	edited = strings.Replace(fpSrc, "t := t * 2;", "t := t * 3;", 1)
+	changed, _ = fpDiff(t, fpSrc, edited)
+	if len(changed) != 1 || changed[0] != "outer" {
+		t.Errorf("changed units = %v, want [outer]", changed)
+	}
+}
+
+func TestFingerprintContextCoversArchDecls(t *testing.T) {
+	edited := strings.Replace(fpSrc, "shared_v : integer := 3", "shared_v : integer := 4", 1)
+	changed, ctx := fpDiff(t, fpSrc, edited)
+	if !ctx {
+		t.Error("architecture-level initializer edit did not change the context hash")
+	}
+	if len(changed) != 0 {
+		t.Errorf("initializer edit changed unit hashes %v", changed)
+	}
+	// Port edits are context too.
+	edited = strings.Replace(fpSrc, "q : out integer", "q : out bit", 1)
+	if _, ctx := fpDiff(t, fpSrc, edited); !ctx {
+		t.Error("port type edit did not change the context hash")
+	}
+}
+
+func TestFingerprintRenameMovesPath(t *testing.T) {
+	edited := strings.ReplaceAll(fpSrc, "aux", "aux2")
+	a, b := fpOf(t, fpSrc), fpOf(t, edited)
+	if _, ok := b.Lookup("aux"); ok {
+		t.Error("renamed unit still present under old path")
+	}
+	if _, ok := b.Lookup("aux2"); !ok {
+		t.Error("renamed unit missing under new path")
+	}
+	if _, ok := a.Lookup("aux"); !ok {
+		t.Error("original unit missing")
+	}
+}
+
+func TestFingerprintExamplesMatchPrintedForm(t *testing.T) {
+	// On the paper examples: two processes have equal hashes iff their
+	// printed forms are equal, tying the fingerprint to the printer
+	// contract it stands in for.
+	for _, name := range []string{"ans", "ether", "fuzzy", "vol"} {
+		src := readTestdata(t, name+".vhd")
+		df := MustParse(src)
+		fp := Fingerprint(df)
+		printed := make(map[string]string)
+		for _, a := range df.Architectures {
+			for _, ps := range a.Processes {
+				var sb strings.Builder
+				p := &printer{w: &sb}
+				p.process(ps)
+				printed[ps.Label] = sb.String()
+			}
+		}
+		seen := make(map[uint64]string) // hash → printed form
+		for _, u := range fp.Units {
+			text, ok := printed[u.Name]
+			if !ok {
+				continue // subprogram, not a process
+			}
+			if prev, dup := seen[u.Hash]; dup && prev != text {
+				t.Errorf("%s: hash collision between distinct printed forms", name)
+			}
+			seen[u.Hash] = text
+		}
+	}
+}

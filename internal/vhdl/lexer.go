@@ -66,21 +66,31 @@ func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
 func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
 func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) || c == '_' }
 
-// skipBlank consumes whitespace and "--" comments.
+// skipBlank consumes whitespace and "--" comments. It scans with a local
+// offset and batches the line/col bookkeeping: this loop visits most bytes
+// of the file, and a method call per byte dominates lexing time.
 func (l *Lexer) skipBlank() {
-	for l.off < len(l.src) {
-		c := l.peek()
-		switch {
-		case isSpace(c):
-			l.advance()
-		case c == '-' && l.peek2() == '-':
-			for l.off < len(l.src) && l.peek() != '\n' {
-				l.advance()
+	src, i := l.src, l.off
+	line, col := l.line, l.col
+	for i < len(src) {
+		c := src[i]
+		if c == '\n' {
+			line++
+			col = 1
+			i++
+		} else if c == ' ' || c == '\t' || c == '\r' {
+			col++
+			i++
+		} else if c == '-' && i+1 < len(src) && src[i+1] == '-' {
+			for i < len(src) && src[i] != '\n' {
+				i++
+				col++
 			}
-		default:
-			return
+		} else {
+			break
 		}
 	}
+	l.line, l.col, l.off = line, col, i
 }
 
 // pos returns the position of the next unread byte.
@@ -163,20 +173,37 @@ func (l *Lexer) Next() Token {
 }
 
 func (l *Lexer) ident(p Pos) Token {
-	start := l.off
-	for l.off < len(l.src) && isIdent(l.peek()) {
-		l.advance()
+	src, i := l.src, l.off
+	start := i
+	hasUpper := false
+	// Identifiers never contain newlines, so the column advances by the
+	// token length and the scan stays in this tight loop.
+	for i < len(src) && isIdent(src[i]) {
+		if c := src[i]; c >= 'A' && c <= 'Z' {
+			hasUpper = true
+		}
+		i++
 	}
+	l.col += i - l.off
+	l.off = i
 	orig := l.src[start:l.off]
-	lower := strings.ToLower(orig)
+	// VHDL identifiers are case-insensitive; most source is already
+	// lower-case, so only allocate a lowered copy when needed.
+	lower := orig
+	if hasUpper {
+		lower = strings.ToLower(orig)
+	}
 	return Token{Kind: Lookup(lower), Text: lower, Orig: orig, Pos: p}
 }
 
 func (l *Lexer) number(p Pos) Token {
-	start := l.off
-	for l.off < len(l.src) && (isDigit(l.peek()) || l.peek() == '_') {
-		l.advance()
+	src, i := l.src, l.off
+	start := i
+	for i < len(src) && (isDigit(src[i]) || src[i] == '_') {
+		i++
 	}
+	l.col += i - l.off
+	l.off = i
 	// Based literals like 16#FF# are accepted for completeness.
 	if l.peek() == '#' {
 		l.advance()
@@ -239,8 +266,16 @@ func (l *Lexer) strlit(p Pos) Token {
 // LexAll tokenizes the whole input, returning the tokens (terminated by a
 // single EOF token) and any lexical errors.
 func LexAll(src string) ([]Token, []*LexError) {
+	// Pre-size for the observed token density of the subset (one token per
+	// ~5 bytes of formatted source) to avoid repeated growth copies.
+	return lexAppend(make([]Token, 0, len(src)/5+16), src)
+}
+
+// lexAppend tokenizes src onto toks, reusing its capacity. The returned
+// tokens only reference substrings of src, never each other, so a caller
+// that copies what it needs may recycle the buffer.
+func lexAppend(toks []Token, src string) ([]Token, []*LexError) {
 	l := NewLexer(src)
-	var toks []Token
 	for {
 		t := l.Next()
 		toks = append(toks, t)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // A ParseError describes a syntax error with its position.
@@ -23,13 +24,24 @@ type Parser struct {
 	Errors []*ParseError
 }
 
+var tokPool = sync.Pool{New: func() any { return new([]Token) }}
+
 // Parse parses a complete design file. It returns the (possibly partial)
 // tree and an error summarizing all lexical and syntax diagnostics, or nil
 // if the file is clean.
 func Parse(src string) (*DesignFile, error) {
-	toks, lexErrs := LexAll(src)
+	// Token buffers are recycled across parses: the tree built below copies
+	// token values and holds only substrings of src, so nothing references
+	// the buffer once parseDesignFile returns. On large designs the buffer
+	// is megabytes, and reuse keeps it off the allocation hot path that
+	// incremental rebuilds hit on every edit.
+	bufp := tokPool.Get().(*[]Token)
+	toks, lexErrs := lexAppend((*bufp)[:0], src)
 	p := &Parser{toks: toks}
 	df := p.parseDesignFile()
+	p.toks = nil
+	*bufp = toks[:0]
+	tokPool.Put(bufp)
 	var msgs []string
 	for _, e := range lexErrs {
 		msgs = append(msgs, e.Error())

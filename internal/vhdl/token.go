@@ -180,11 +180,37 @@ func (t Token) String() string {
 	}
 }
 
+// keywordsByInitial buckets the reserved words by first byte: the lexer
+// calls Lookup for every identifier, and a handful of length-gated string
+// compares beats hashing the spelling into the map.
+var keywordsByInitial = func() [26][]struct {
+	s string
+	k Kind
+} {
+	var buckets [26][]struct {
+		s string
+		k Kind
+	}
+	for s, k := range keywords {
+		i := s[0] - 'a'
+		buckets[i] = append(buckets[i], struct {
+			s string
+			k Kind
+		}{s, k})
+	}
+	return buckets
+}()
+
 // Lookup maps an identifier spelling (already lower-cased) to its keyword
 // kind, or IDENT if it is not reserved.
 func Lookup(lower string) Kind {
-	if k, ok := keywords[lower]; ok {
-		return k
+	if len(lower) == 0 || lower[0] < 'a' || lower[0] > 'z' {
+		return IDENT
+	}
+	for _, e := range keywordsByInitial[lower[0]-'a'] {
+		if e.s == lower {
+			return e.k
+		}
 	}
 	return IDENT
 }
