@@ -7,9 +7,11 @@
 //	-buswidth bus-width sweep: exec time & I/O vs physical bus wires
 //	-granularity §2.2's knob: basic blocks as procedures
 //	-rebuild  incremental edit-aware rebuild vs full build
+//	-serve    daemon load test: N clients × M designs, mixed traffic
 //
-// With no mode flag, everything runs. -testdata points at the directory
-// holding the four example specifications (default "testdata").
+// With no mode flag, everything except -serve runs. -testdata points at
+// the directory holding the four example specifications (default
+// "testdata").
 package main
 
 import (
@@ -50,9 +52,14 @@ func main() {
 	buswidth := flag.Bool("buswidth", false, "sweep bus widths on the fuzzy example")
 	gran := flag.Bool("granularity", false, "basic-block granularity comparison")
 	rebuild := flag.Bool("rebuild", false, "benchmark incremental rebuild against full build")
+	serveMode := flag.Bool("serve", false, "load-test the exploration daemon (specsynd) in-process")
+	clients := flag.Int("clients", 8, "concurrent clients for the -serve load test")
+	requests := flag.Int("requests", 40, "requests per client for the -serve load test")
 	flag.Parse()
 
-	all := !*fig4 && !*formats && !*n2 && !*explore && !*buswidth && !*gran && !*rebuild
+	// -serve is opt-in only: a load test inside the run-everything default
+	// would double every CI lane's wall clock for no extra coverage.
+	all := !*fig4 && !*formats && !*n2 && !*explore && !*buswidth && !*gran && !*rebuild && !*serveMode
 	if *fig4 || all {
 		runFig4(*dir)
 	}
@@ -73,6 +80,9 @@ func main() {
 	}
 	if *rebuild || all {
 		runRebuild(*dir, *jsonOut)
+	}
+	if *serveMode {
+		runServe(*dir, *clients, *requests, *jsonOut)
 	}
 }
 

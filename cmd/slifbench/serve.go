@@ -1,0 +1,272 @@
+package main
+
+// The -serve mode load-tests the exploration daemon end to end: an
+// in-process serve.Server behind a real HTTP listener, N concurrent
+// clients round-robining over M design sessions with a mixed
+// estimate/search/explore/reload request stream — the daemon-shaped
+// counterpart of -explore's raw engine throughput. It reports request
+// throughput and latency percentiles, demands zero failed requests, and
+// with -json commits the measurements to BENCH_serve.json.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"specsyn/internal/serve"
+	"specsyn/internal/vhdl"
+)
+
+// serveDesigns are the sessions the load test builds and then hammers.
+var serveDesigns = []string{"ans", "fuzzy", "vol"}
+
+// opRecord is one completed request's accounting.
+type opRecord struct {
+	op  string
+	dur time.Duration
+	ok  bool
+}
+
+// opStats is the per-operation slice of BENCH_serve.json.
+type opStats struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// serveRecord is BENCH_serve.json.
+type serveRecord struct {
+	Clients       int                `json:"clients"`
+	Designs       []string           `json:"designs"`
+	Requests      int                `json:"requests"`
+	Failed        int                `json:"failed"`
+	ThroughputRPS float64            `json:"throughput_rps"`
+	P50Ms         float64            `json:"p50_ms"`
+	P95Ms         float64            `json:"p95_ms"`
+	P99Ms         float64            `json:"p99_ms"`
+	EvalsTotal    int64              `json:"evals_total"`
+	EvalsPerSec   float64            `json:"evals_per_sec"`
+	Workers       int                `json:"workers"`
+	Ops           map[string]opStats `json:"ops"`
+}
+
+func servePost(client *http.Client, url string, in any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// editProcess returns src with a null statement prepended to its first
+// process — the same one-behavior edit the rebuild benchmarks use, so
+// reload traffic exercises the incremental patch path.
+func editProcess(src string) string {
+	df, err := vhdl.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	ps := df.Architectures[0].Processes[0]
+	ps.Body = append([]vhdl.Stmt{&vhdl.NullStmt{}}, ps.Body...)
+	return vhdl.Format(df)
+}
+
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Microseconds()) / 1000
+}
+
+// runServe starts the daemon in-process and drives the mixed workload.
+func runServe(dir string, clients, perClient int, jsonOut bool) {
+	if clients <= 0 {
+		clients = 8
+	}
+	if perClient <= 0 {
+		perClient = 40
+	}
+	srv := serve.New(serve.Config{
+		MaxSessions:  16,
+		SessionSlots: clients,     // admit every client; contention is the point,
+		SessionQueue: clients * 4, // load-shedding is tested elsewhere
+		MaxEvals:     200_000,     // budget backstop per request
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+
+	fmt.Printf("Serving load test: %d clients × %d requests over %d designs\n\n",
+		clients, perClient, len(serveDesigns))
+
+	sources := make(map[string]string, len(serveDesigns))
+	edited := make(map[string]string, len(serveDesigns))
+	for _, name := range serveDesigns {
+		src, err := os.ReadFile(filepath.Join(dir, name+".vhd"))
+		if err != nil {
+			fatal(err)
+		}
+		prob, err := os.ReadFile(filepath.Join(dir, name+".prob"))
+		if err != nil {
+			fatal(err)
+		}
+		req := serve.BuildRequest{VHDL: string(src), Profile: string(prob)}
+		if name == "fuzzy" {
+			ov, err := os.ReadFile(filepath.Join(dir, "fuzzy.ov"))
+			if err != nil {
+				fatal(err)
+			}
+			req.Overrides = string(ov)
+		}
+		code, err := servePost(client, ts.URL+"/v1/designs/"+name+"/build", req)
+		if err != nil {
+			fatal(err)
+		}
+		if code != http.StatusOK {
+			fatal(fmt.Errorf("build %s: status %d", name, code))
+		}
+		sources[name] = string(src)
+		edited[name] = editProcess(string(src))
+	}
+
+	// The mixed stream: half estimates (the interactive hot path), then
+	// searches, a parallel explore, and reloads alternating between the
+	// edited and original source so every reload is a real incremental
+	// rebuild — the single-writer path under reader pressure.
+	records := make([][]opRecord, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			recs := make([]opRecord, 0, perClient)
+			for j := 0; j < perClient; j++ {
+				id := serveDesigns[(ci+j)%len(serveDesigns)]
+				url := ts.URL + "/v1/designs/" + id
+				var op string
+				var in any
+				switch j % 10 {
+				case 0, 1, 2, 3, 4:
+					op, in = "estimate", serve.EstimateRequest{}
+					url += "/estimate"
+				case 5, 6:
+					op = "search"
+					in = serve.SearchRequest{Algo: "greedy", Seed: int64(ci*1000 + j)}
+					url += "/search"
+				case 7:
+					op = "explore"
+					in = serve.ExploreRequest{Algo: "multi", Legs: 4, Seed: int64(ci*1000 + j), MaxEvals: 4000}
+					url += "/explore"
+				default:
+					op = "reload"
+					src := edited[id]
+					if j%4 == 1 {
+						src = sources[id]
+					}
+					in = serve.ReloadRequest{VHDL: src}
+					url += "/reload"
+				}
+				t0 := time.Now()
+				code, err := servePost(client, url, in)
+				recs = append(recs, opRecord{op: op, dur: time.Since(t0), ok: err == nil && code == http.StatusOK})
+			}
+			records[ci] = recs
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []opRecord
+	for _, recs := range records {
+		all = append(all, recs...)
+	}
+	failed := 0
+	byOp := make(map[string][]time.Duration)
+	var durs []time.Duration
+	for _, r := range all {
+		if !r.ok {
+			failed++
+		}
+		durs = append(durs, r.dur)
+		byOp[r.op] = append(byOp[r.op], r.dur)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+
+	stats := fetchStats(client, ts.URL)
+	rec := serveRecord{
+		Clients: clients, Designs: serveDesigns,
+		Requests:      len(all),
+		Failed:        failed,
+		ThroughputRPS: float64(len(all)) / elapsed.Seconds(),
+		P50Ms:         percentile(durs, 0.50),
+		P95Ms:         percentile(durs, 0.95),
+		P99Ms:         percentile(durs, 0.99),
+		EvalsTotal:    stats.Evals,
+		EvalsPerSec:   float64(stats.Evals) / elapsed.Seconds(),
+		Workers:       runtime.GOMAXPROCS(0),
+		Ops:           make(map[string]opStats, len(byOp)),
+	}
+	fmt.Printf("%-10s %8s %10s %10s %10s\n", "op", "count", "p50 ms", "p95 ms", "p99 ms")
+	opNames := make([]string, 0, len(byOp))
+	for op := range byOp {
+		opNames = append(opNames, op)
+	}
+	sort.Strings(opNames)
+	for _, op := range opNames {
+		ds := byOp[op]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		st := opStats{Count: len(ds), P50Ms: percentile(ds, 0.50), P95Ms: percentile(ds, 0.95), P99Ms: percentile(ds, 0.99)}
+		rec.Ops[op] = st
+		fmt.Printf("%-10s %8d %10.2f %10.2f %10.2f\n", op, st.Count, st.P50Ms, st.P95Ms, st.P99Ms)
+	}
+	fmt.Printf("\n%d requests in %.2fs: %.0f req/s, %d failed, %.0f evals/s (daemon: %d evals, %d builds, %d panics)\n",
+		rec.Requests, elapsed.Seconds(), rec.ThroughputRPS, rec.Failed, rec.EvalsPerSec,
+		stats.Evals, stats.Builds, stats.Panics)
+
+	if jsonOut {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote BENCH_serve.json")
+	}
+	if failed > 0 || stats.Failures > 0 || stats.Panics > 0 {
+		fatal(fmt.Errorf("load test failed: %d failed requests, %d server failures, %d panics",
+			failed, stats.Failures, stats.Panics))
+	}
+	fmt.Println()
+}
+
+func fetchStats(client *http.Client, base string) serve.Stats {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fatal(err)
+	}
+	return st
+}

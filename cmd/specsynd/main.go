@@ -1,0 +1,91 @@
+// Command specsynd is the SpecSyn exploration daemon: it holds built SLIF
+// design sessions in memory and serves estimation, partition-search and
+// exploration requests over HTTP/JSON — build once, estimate thousands of
+// times, for many designs and many clients at once.
+//
+//	specsynd -addr :8650
+//
+//	curl -X POST localhost:8650/v1/designs/fuzzy/build \
+//	     -d "{\"vhdl\": $(jq -Rs . < testdata/fuzzy.vhd)}"
+//	curl -X POST localhost:8650/v1/designs/fuzzy/estimate -d '{}'
+//	curl -X POST localhost:8650/v1/designs/fuzzy/explore \
+//	     -d '{"algo":"multi","legs":8,"max_evals":20000}'
+//
+// See the README's "specsynd" section for the full endpoint tour and
+// DESIGN.md's "Serving" section for the concurrency contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specsyn/internal/alloc"
+	"specsyn/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8650", "listen address")
+	maxSessions := flag.Int("max-sessions", 64, "LRU cap on cached design sessions")
+	maxConcurrent := flag.Int("max-concurrent", 0, "heavy requests in flight across all sessions (0 = GOMAXPROCS)")
+	sessionSlots := flag.Int("session-slots", 2, "requests running concurrently per session")
+	sessionQueue := flag.Int("session-queue", 8, "requests waiting per session before load-shedding with 503")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on request-supplied deadlines")
+	maxEvals := flag.Int("max-evals", 0, "cap on per-request cost-evaluation budgets (0 = unlimited)")
+	libPath := flag.String("lib", "", "component library file used by builds that ship none (default: built-in std library)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.Parse()
+
+	cfg := serve.Config{
+		MaxSessions:    *maxSessions,
+		MaxConcurrent:  *maxConcurrent,
+		SessionSlots:   *sessionSlots,
+		SessionQueue:   *sessionQueue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxEvals:       *maxEvals,
+		EnablePprof:    *pprofOn,
+	}
+	if *libPath != "" {
+		lib, err := alloc.Load(*libPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "specsynd:", err)
+			os.Exit(1)
+		}
+		cfg.Library = lib
+	}
+
+	srv := serve.New(cfg)
+	expvar.Publish("specsynd", expvar.Func(func() any { return srv.Stats() }))
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Println("specsynd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.MaxTimeout)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("specsynd: listening on %s (sessions %d, workers %d)",
+		*addr, *maxSessions, *maxConcurrent)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal("specsynd: ", err)
+	}
+}

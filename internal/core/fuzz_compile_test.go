@@ -53,7 +53,7 @@ func FuzzCompile(f *testing.F) {
 
 	f.Add(golden.String())
 	f.Add("slif x\nnode a process\n")
-	f.Add("slif x\nnode a process\nproc p t std sizecon 1 pincon 2\nproc p t std sizecon 1 pincon 2\n") // duplicate comp name
+	f.Add("slif x\nnode a process\nproc p t std sizecon 1 pincon 2\nproc p t std sizecon 1 pincon 2\n")                                      // duplicate comp name
 	f.Add("slif x\nnode a process\nnode b behavior\nchan a b freq 1 min 0 max 2 bits 8 tag -1\nchan b a freq 1 min 0 max 2 bits 8 tag -1\n") // cycle
 	f.Add("slif x\nnode a process\nict a t 1\nsize a t 2\nproc p t std sizecon 0 pincon 0\nbus b width 0 ts 1 td 2\n")                       // zero-width bus
 	f.Add("slif x\nnode a process\nproc p t std sizecon 1 pincon 2\nmem p t sizecon 8\nbus b width 8 ts 1 td 2\n")                           // proc/mem name clash

@@ -311,17 +311,18 @@ func (e *Estimator) IO(comp core.Component) int {
 	return total
 }
 
-// CompReport is the estimate for one processor or memory.
+// CompReport is the estimate for one processor or memory. The JSON tags
+// are the serving daemon's wire format.
 type CompReport struct {
-	Name    string
-	Type    string
-	Custom  bool
-	IsMem   bool
-	Size    float64
-	SizeCon float64
-	IO      int
-	PinCon  int
-	Nodes   int
+	Name    string  `json:"name"`
+	Type    string  `json:"type"`
+	Custom  bool    `json:"custom"`
+	IsMem   bool    `json:"is_mem"`
+	Size    float64 `json:"size"`
+	SizeCon float64 `json:"size_con"`
+	IO      int     `json:"io"`
+	PinCon  int     `json:"pin_con"`
+	Nodes   int     `json:"nodes"`
 }
 
 // SizeViolated reports whether the size constraint is exceeded.
@@ -332,23 +333,23 @@ func (r *CompReport) PinViolated() bool { return r.PinCon > 0 && r.IO > r.PinCon
 
 // BusReport is the estimate for one bus.
 type BusReport struct {
-	Name     string
-	Bitrate  float64 // bits/µs
-	Channels int
+	Name     string  `json:"name"`
+	Bitrate  float64 `json:"bitrate"` // bits/µs
+	Channels int     `json:"channels"`
 }
 
 // ProcessReport is the execution-time estimate for one process behavior.
 type ProcessReport struct {
-	Name     string
-	Exectime float64 // µs per start-to-finish execution
+	Name     string  `json:"name"`
+	Exectime float64 `json:"exectime"` // µs per start-to-finish execution
 }
 
 // Report bundles every §3 metric for a partition: what SpecSyn shows the
 // designer after each allocation/partitioning step.
 type Report struct {
-	Comps     []CompReport
-	Buses     []BusReport
-	Processes []ProcessReport
+	Comps     []CompReport    `json:"components"`
+	Buses     []BusReport     `json:"buses"`
+	Processes []ProcessReport `json:"processes"`
 }
 
 // Report computes all metrics for the current partition.

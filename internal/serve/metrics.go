@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon's observability surface: monotonic counters over
+// the server's whole life plus two point-in-time gauges. Every field is
+// updated with atomics, so handlers touch it lock-free; Snapshot reads a
+// consistent-enough view for dashboards (the counters are independent).
+type Metrics struct {
+	start time.Time
+
+	requests  atomic.Int64 // requests accepted into a handler
+	failures  atomic.Int64 // 5xx responses, panics included
+	rejects   atomic.Int64 // load-shed responses (session queue full)
+	clientErr atomic.Int64 // 4xx responses (bad input, unknown session)
+	panics    atomic.Int64 // handler panics contained by the middleware
+	evals     atomic.Int64 // cost evaluations spent by search/estimate work
+	builds    atomic.Int64 // full builds + incremental reloads performed
+	evictions atomic.Int64 // sessions dropped by the LRU cap
+	queued    atomic.Int64 // gauge: requests waiting or running in a session
+}
+
+// Stats is one JSON-serializable snapshot of the metrics, served at
+// /v1/stats and published through expvar by cmd/specsynd.
+type Stats struct {
+	UptimeSec   float64 `json:"uptime_sec"`
+	Requests    int64   `json:"requests"`
+	Failures    int64   `json:"failures"`
+	Rejects     int64   `json:"rejects"`
+	ClientErrs  int64   `json:"client_errors"`
+	Panics      int64   `json:"panics"`
+	Evals       int64   `json:"evals"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+	Builds      int64   `json:"builds"`
+	Evictions   int64   `json:"evictions"`
+	QueueDepth  int64   `json:"queue_depth"`
+	Sessions    int     `json:"sessions"`
+}
+
+func (m *Metrics) snapshot(sessions int) Stats {
+	up := time.Since(m.start).Seconds()
+	evals := m.evals.Load()
+	var eps float64
+	if up > 0 {
+		eps = float64(evals) / up
+	}
+	return Stats{
+		UptimeSec:   up,
+		Requests:    m.requests.Load(),
+		Failures:    m.failures.Load(),
+		Rejects:     m.rejects.Load(),
+		ClientErrs:  m.clientErr.Load(),
+		Panics:      m.panics.Load(),
+		Evals:       evals,
+		EvalsPerSec: eps,
+		Builds:      m.builds.Load(),
+		Evictions:   m.evictions.Load(),
+		QueueDepth:  m.queued.Load(),
+		Sessions:    sessions,
+	}
+}

@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specsyn/internal/vhdl"
+)
+
+var testdata = filepath.Join("..", "..", "testdata")
+
+func readExample(t testing.TB, name string) (vhdlSrc, prob string) {
+	t.Helper()
+	v, err := os.ReadFile(filepath.Join(testdata, name+".vhd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := os.ReadFile(filepath.Join(testdata, name+".prob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(v), string(p)
+}
+
+// postJSON sends one request and decodes the response into out (unless
+// out is nil), returning the status code.
+func postJSON(t testing.TB, client *http.Client, url string, in, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+func buildDesign(t testing.TB, ts *httptest.Server, id, name string) {
+	t.Helper()
+	src, prob := readExample(t, name)
+	var resp BuildResponse
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/designs/"+id+"/build",
+		BuildRequest{VHDL: src, Profile: prob}, &resp); code != http.StatusOK {
+		t.Fatalf("build %s: status %d", id, code)
+	}
+	if resp.BV == 0 || resp.Procs == 0 || resp.Buses == 0 {
+		t.Fatalf("build %s: empty response %+v", id, resp)
+	}
+}
+
+// insertNull returns src with a null statement prepended to the body of
+// its first process — the canonical one-behavior edit.
+func insertNull(t testing.TB, src string) string {
+	t.Helper()
+	df := vhdl.MustParse(src)
+	ps := df.Architectures[0].Processes[0]
+	ps.Body = append([]vhdl.Stmt{&vhdl.NullStmt{}}, ps.Body...)
+	return vhdl.Format(df)
+}
+
+// TestServerLifecycle walks one session through every endpoint: build,
+// estimate, search, reload (empty and incremental), explore, list, stats,
+// delete.
+func TestServerLifecycle(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	c := ts.Client()
+	buildDesign(t, ts, "fuzzy", "fuzzy")
+
+	var est EstimateResponse
+	if code := postJSON(t, c, ts.URL+"/v1/designs/fuzzy/estimate", EstimateRequest{}, &est); code != http.StatusOK {
+		t.Fatalf("estimate: status %d", code)
+	}
+	if len(est.Report.Comps) == 0 || len(est.Report.Processes) == 0 {
+		t.Fatalf("estimate: empty report %+v", est)
+	}
+
+	var moved EstimateResponse
+	if code := postJSON(t, c, ts.URL+"/v1/designs/fuzzy/estimate",
+		EstimateRequest{Assign: map[string]string{"evaluaterule": "asic"}}, &moved); code != http.StatusOK {
+		t.Fatalf("estimate with assign: status %d", code)
+	}
+	if code := postJSON(t, c, ts.URL+"/v1/designs/fuzzy/estimate",
+		EstimateRequest{Assign: map[string]string{"nonesuch": "asic"}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("estimate with bad node: status %d, want 400", code)
+	}
+
+	var search SearchResponse
+	if code := postJSON(t, c, ts.URL+"/v1/designs/fuzzy/search",
+		SearchRequest{Algo: "greedy", Seed: 1}, &search); code != http.StatusOK {
+		t.Fatalf("search: status %d", code)
+	}
+	if search.Evals == 0 || len(search.Assignment) == 0 {
+		t.Fatalf("search: empty result %+v", search)
+	}
+
+	// Determinism through the API: same seed, same cost.
+	var again SearchResponse
+	postJSON(t, c, ts.URL+"/v1/designs/fuzzy/search", SearchRequest{Algo: "greedy", Seed: 1}, &again)
+	if again.Cost != search.Cost {
+		t.Errorf("same-seed search diverged: %v vs %v", again.Cost, search.Cost)
+	}
+
+	src, _ := readExample(t, "fuzzy")
+	var rel ReloadResponse
+	if code := postJSON(t, c, ts.URL+"/v1/designs/fuzzy/reload",
+		ReloadRequest{VHDL: "-- comment\n" + src}, &rel); code != http.StatusOK {
+		t.Fatalf("reload: status %d", code)
+	}
+	if !rel.Empty {
+		t.Errorf("comment edit reported non-empty delta: %+v", rel)
+	}
+	if code := postJSON(t, c, ts.URL+"/v1/designs/fuzzy/reload",
+		ReloadRequest{VHDL: insertNull(t, src)}, &rel); code != http.StatusOK {
+		t.Fatalf("incremental reload: status %d", code)
+	}
+	if rel.Empty || rel.Full || len(rel.Changed) == 0 {
+		t.Errorf("one-behavior edit: delta %+v", rel)
+	}
+
+	var exp ExploreResponse
+	if code := postJSON(t, c, ts.URL+"/v1/designs/fuzzy/explore",
+		ExploreRequest{Legs: 4, MaxEvals: 5000, Seed: 7}, &exp); code != http.StatusOK {
+		t.Fatalf("explore: status %d", code)
+	}
+	if exp.LegsPlanned != 4 || exp.Evals == 0 {
+		t.Fatalf("explore: %+v", exp)
+	}
+
+	resp, err := c.Get(ts.URL + "/v1/designs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].ID != "fuzzy" {
+		t.Fatalf("list: %+v", infos)
+	}
+
+	resp, err = c.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Sessions != 1 || stats.Evals == 0 || stats.Failures != 0 || stats.Panics != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/designs/fuzzy", nil)
+	dresp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", dresp.StatusCode)
+	}
+	if code := postJSON(t, c, ts.URL+"/v1/designs/fuzzy/estimate", EstimateRequest{}, nil); code != http.StatusNotFound {
+		t.Fatalf("estimate after delete: status %d, want 404", code)
+	}
+}
+
+// TestServerBadInput checks the input-validation edges: broken VHDL, bad
+// JSON, missing sessions, bad reloads that must not corrupt the session.
+func TestServerBadInput(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	c := ts.Client()
+
+	if code := postJSON(t, c, ts.URL+"/v1/designs/x/build",
+		BuildRequest{VHDL: "entity broken is"}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("broken build: status %d, want 422", code)
+	}
+	if code := postJSON(t, c, ts.URL+"/v1/designs/x/estimate", EstimateRequest{}, nil); code != http.StatusNotFound {
+		t.Fatalf("estimate without session: status %d, want 404", code)
+	}
+	resp, err := c.Post(ts.URL+"/v1/designs/x/build", "application/json", strings.NewReader("{broken json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d, want 400", resp.StatusCode)
+	}
+
+	// A failed reload must leave the session serving its previous graph.
+	buildDesign(t, ts, "ans", "ans")
+	if code := postJSON(t, c, ts.URL+"/v1/designs/ans/reload",
+		ReloadRequest{VHDL: "entity broken is"}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("broken reload: status %d, want 422", code)
+	}
+	if code := postJSON(t, c, ts.URL+"/v1/designs/ans/estimate", EstimateRequest{}, nil); code != http.StatusOK {
+		t.Fatalf("estimate after failed reload: status %d", code)
+	}
+
+	var stats Stats
+	resp, err = c.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if stats.Failures != 0 {
+		t.Errorf("client errors were counted as failures: %+v", stats)
+	}
+	if stats.ClientErrs == 0 {
+		t.Errorf("no client errors recorded: %+v", stats)
+	}
+}
+
+// TestServerSearchBudgetAndDeadline checks that request budgets flow into
+// the ctx-first search APIs: a tiny eval budget yields a partial result,
+// and a server-side MaxEvals cap binds even when the request asks for more.
+func TestServerSearchBudgetAndDeadline(t *testing.T) {
+	ts := httptest.NewServer(New(Config{MaxEvals: 50}))
+	defer ts.Close()
+	c := ts.Client()
+	buildDesign(t, ts, "fuzzy", "fuzzy")
+
+	var res SearchResponse
+	if code := postJSON(t, c, ts.URL+"/v1/designs/fuzzy/search",
+		SearchRequest{Algo: "random", Iters: 100000, MaxEvals: 1000000}, &res); code != http.StatusOK {
+		t.Fatalf("budgeted search: status %d", code)
+	}
+	// The server cap (50) must bind despite the request asking for 1e6.
+	// The budget runner may spend one grace eval past the cap.
+	if res.Evals > 51 {
+		t.Fatalf("server MaxEvals cap did not bind: %d evals", res.Evals)
+	}
+	if !res.Partial {
+		t.Errorf("capped search not marked partial: %+v", res)
+	}
+}
+
+// TestServerPanicContainment drives a panicking handler through the
+// containment middleware: 500 out, panic counted, daemon still serving.
+func TestServerPanicContainment(t *testing.T) {
+	s := New(Config{})
+	s.mux.HandleFunc("GET /boom", s.contained(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic: status %d, want 500", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("kaboom")) {
+		t.Errorf("panic response does not name the panic: %s", body)
+	}
+	if st := s.Stats(); st.Panics != 1 || st.Failures != 1 {
+		t.Errorf("panic not counted: %+v", st)
+	}
+
+	// The daemon is still alive and serving.
+	hresp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic: status %d", hresp.StatusCode)
+	}
+}
+
+// TestServerHealthz pins the liveness endpoint.
+func TestServerHealthz(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestServerConcurrentMixedTraffic hammers one server with concurrent
+// builds, estimates, searches and reloads across two designs — the
+// daemon-shaped smoke test. Run under -race this doubles as the session
+// locking proof at the HTTP layer.
+func TestServerConcurrentMixedTraffic(t *testing.T) {
+	ts := httptest.NewServer(New(Config{SessionSlots: 4, SessionQueue: 64}))
+	defer ts.Close()
+	c := ts.Client()
+	buildDesign(t, ts, "fuzzy", "fuzzy")
+	buildDesign(t, ts, "vol", "vol")
+	fuzzySrc, _ := readExample(t, "fuzzy")
+	volSrc, _ := readExample(t, "vol")
+	edited := map[string]string{"fuzzy": insertNull(t, fuzzySrc), "vol": insertNull(t, volSrc)}
+	orig := map[string]string{"fuzzy": fuzzySrc, "vol": volSrc}
+
+	const clients = 6
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			ids := []string{"fuzzy", "vol"}
+			id := ids[i%2]
+			for j := 0; j < 6; j++ {
+				var code int
+				switch j % 3 {
+				case 0:
+					code = postJSON(t, c, ts.URL+"/v1/designs/"+id+"/estimate", EstimateRequest{}, nil)
+				case 1:
+					code = postJSON(t, c, ts.URL+"/v1/designs/"+id+"/search",
+						SearchRequest{Algo: "greedy", Seed: int64(i*10 + j)}, nil)
+				case 2:
+					src := edited[id]
+					if j%2 == 0 {
+						src = orig[id]
+					}
+					code = postJSON(t, c, ts.URL+"/v1/designs/"+id+"/reload", ReloadRequest{VHDL: src}, nil)
+				}
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("client %d op %d on %s: status %d", i, j, id, code)
+					return
+				}
+			}
+			errc <- nil
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errc; err != nil {
+			t.Error(err)
+		}
+	}
+	if st := s0(ts, t); st.Failures != 0 || st.Panics != 0 || st.Rejects != 0 {
+		t.Errorf("mixed traffic left failures: %+v", st)
+	}
+}
+
+func s0(ts *httptest.Server, t *testing.T) Stats {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specsyn/internal/specsyn"
+)
+
+// errBusy is returned when a session's queue (running + waiting requests)
+// is at capacity; the handler maps it to 503 so clients can back off.
+var errBusy = errors.New("serve: session queue full")
+
+// session is one cached design: a built specsyn.Env behind the daemon's
+// concurrency discipline.
+//
+// The locking contract mirrors Env.Reload's copy-on-write guarantee:
+// Reload never mutates the current graph, it installs a new one. So
+// readers (estimate, search, explore) take the read lock only long enough
+// to shallow-copy the Env — pinning the graph, design and deps cache they
+// will use — and run the expensive work outside any lock. The single
+// writer (reload) holds the write lock for the whole incremental rebuild,
+// serializing source-diff chains so every reload diffs against the source
+// that actually produced the current graph.
+type session struct {
+	id string
+
+	mu  sync.RWMutex // guards env's fields; see contract above
+	env *specsyn.Env
+
+	created time.Time
+
+	// slots caps the requests concurrently *running* against this
+	// session; maxQueue additionally bounds the ones *waiting* for a
+	// slot. pending counts both, so admission is one atomic add.
+	slots    chan struct{}
+	maxQueue int
+	pending  atomic.Int64
+}
+
+func newSession(id string, env *specsyn.Env, slots, queue int) *session {
+	if slots < 1 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &session{
+		id:       id,
+		env:      env,
+		created:  time.Now(),
+		slots:    make(chan struct{}, slots),
+		maxQueue: queue,
+	}
+}
+
+// acquire admits one request: it fails fast with errBusy when the session
+// already has a full complement of running and queued requests, otherwise
+// waits for a slot or for the request's context.
+func (s *session) acquire(ctx context.Context) error {
+	if s.pending.Add(1) > int64(cap(s.slots)+s.maxQueue) {
+		s.pending.Add(-1)
+		return errBusy
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.pending.Add(-1)
+		return ctx.Err()
+	}
+}
+
+func (s *session) release() {
+	<-s.slots
+	s.pending.Add(-1)
+}
+
+// snapshot pins the session's current state for a reader: a shallow Env
+// copy shares the graph, design, library and deps-cache pointers, all of
+// which reloads replace rather than mutate.
+func (s *session) snapshot() specsyn.Env {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return *s.env
+}
+
+// withWrite runs fn as the session's single writer.
+func (s *session) withWrite(fn func(env *specsyn.Env) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn(s.env)
+}
+
+// cache is the LRU session store: most recently used at the front, evicted
+// from the back once len exceeds max. Eviction only unlinks the session —
+// requests already admitted keep their Env snapshot and finish normally;
+// the memory goes when the last of them returns.
+type cache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List               // of *session
+	m   map[string]*list.Element // id → element
+}
+
+func newCache(max int) *cache {
+	if max < 1 {
+		max = 1
+	}
+	return &cache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the session and bumps it to most-recently-used.
+func (c *cache) get(id string) *session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.m[id]
+	if el == nil {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*session)
+}
+
+// put installs (or replaces) a session and returns how many sessions the
+// LRU cap evicted to make room.
+func (c *cache) put(s *session) (evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.m[s.id]; el != nil {
+		el.Value = s
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.m[s.id] = c.ll.PushFront(s)
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*session).id)
+		evicted++
+	}
+	return evicted
+}
+
+func (c *cache) delete(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.m[id]
+	if el == nil {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.m, id)
+	return true
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// sessions lists the cached sessions, most recently used first.
+func (c *cache) sessions() []*session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*session, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*session))
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"specsyn/internal/partition"
+	"specsyn/internal/profile"
+	"specsyn/internal/specsyn"
+)
+
+// loadEnv builds one example into a fresh Env, bypassing HTTP.
+func loadEnv(t testing.TB, name string) *specsyn.Env {
+	t.Helper()
+	src, prob := readExample(t, name)
+	env := specsyn.New()
+	env.LoadVHDL(src)
+	p, err := profile.Load(testdata + "/" + name + ".prob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = prob
+	env.Prof = p
+	if err := env.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestSessionCacheEviction fills the LRU past its cap and checks the
+// least-recently-used session goes first, the survivors keep serving, and
+// the eviction is counted.
+func TestSessionCacheEviction(t *testing.T) {
+	ts := httptest.NewServer(New(Config{MaxSessions: 2}))
+	defer ts.Close()
+	c := ts.Client()
+
+	buildDesign(t, ts, "a", "ans")
+	buildDesign(t, ts, "b", "vol")
+	// Touch "a" so "b" is the LRU victim when "c" arrives.
+	if code := postJSON(t, c, ts.URL+"/v1/designs/a/estimate", EstimateRequest{}, nil); code != http.StatusOK {
+		t.Fatalf("estimate a: %d", code)
+	}
+	buildDesign(t, ts, "c", "fuzzy")
+
+	if code := postJSON(t, c, ts.URL+"/v1/designs/b/estimate", EstimateRequest{}, nil); code != http.StatusNotFound {
+		t.Fatalf("evicted session b still resolves: status %d, want 404", code)
+	}
+	for _, id := range []string{"a", "c"} {
+		if code := postJSON(t, c, ts.URL+"/v1/designs/"+id+"/estimate", EstimateRequest{}, nil); code != http.StatusOK {
+			t.Fatalf("survivor %s: status %d", id, code)
+		}
+	}
+	if st := s0(ts, t); st.Evictions != 1 || st.Sessions != 2 {
+		t.Errorf("eviction accounting: %+v", st)
+	}
+
+	// Rebuilding an existing id replaces in place — no eviction.
+	buildDesign(t, ts, "a", "ans")
+	if st := s0(ts, t); st.Evictions != 1 || st.Sessions != 2 {
+		t.Errorf("in-place rebuild evicted: %+v", st)
+	}
+}
+
+// TestSessionQueueLimit pins the load-shedding contract: with one slot and
+// a queue of one, a third simultaneous request is refused with 503 and
+// counted as a reject, not a failure.
+func TestSessionQueueLimit(t *testing.T) {
+	s := New(Config{SessionSlots: 1, SessionQueue: 1, MaxConcurrent: 8})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	buildDesign(t, ts, "ans", "ans")
+
+	sess := s.cache.get("ans")
+	if sess == nil {
+		t.Fatal("session missing")
+	}
+	// Occupy the one slot out-of-band, so one HTTP request can queue and
+	// the next must be shed.
+	if err := sess.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		done <- postJSON(t, ts.Client(), ts.URL+"/v1/designs/ans/estimate", EstimateRequest{}, nil)
+	}()
+	// Wait until that request is actually parked in the queue.
+	for i := 0; sess.pending.Load() < 2 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := sess.pending.Load(); got != 2 {
+		t.Fatalf("queued request not pending: %d", got)
+	}
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/designs/ans/estimate", EstimateRequest{}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("over-queue request: status %d, want 503", code)
+	}
+	sess.release() // the parked request proceeds
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("queued request: status %d", code)
+	}
+	st := s.Stats()
+	if st.Rejects != 1 || st.Failures != 0 {
+		t.Errorf("shed accounting: %+v", st)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("queue depth gauge leaked: %+v", st)
+	}
+}
+
+// TestSessionReloadRacesParallelSearch is the satellite concurrency test:
+// one session, one underlying Env, a writer thrashing Reload while readers
+// run PartitionSearchParallel — through the session's locking discipline,
+// exactly as the daemon's handlers do it. Under -race any violation of the
+// copy-on-write contract or the snapshot pattern fails loudly.
+func TestSessionReloadRacesParallelSearch(t *testing.T) {
+	env := loadEnv(t, "fuzzy")
+	sess := newSession("fuzzy", env, 8, 64)
+	src := env.Source
+	edited := insertNull(t, src)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				snap := sess.snapshot()
+				if _, err := snap.PartitionSearchParallel(context.Background(), "multi",
+					partition.Constraints{}, partition.DefaultWeights(),
+					int64(r*100+i), 0, 2000, partition.ParallelOptions{Legs: 4}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			next := edited
+			if i%2 == 1 {
+				next = src
+			}
+			if err := sess.withWrite(func(env *specsyn.Env) error {
+				_, err := env.Reload(next)
+				return err
+			}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheLRUOrder pins the cache's bookkeeping without HTTP.
+func TestCacheLRUOrder(t *testing.T) {
+	c := newCache(2)
+	mk := func(id string) *session { return newSession(id, specsyn.New(), 1, 0) }
+	if n := c.put(mk("x")); n != 0 {
+		t.Fatalf("put x evicted %d", n)
+	}
+	c.put(mk("y"))
+	c.get("x") // x now MRU
+	if n := c.put(mk("z")); n != 1 {
+		t.Fatalf("put z evicted %d, want 1", n)
+	}
+	if c.get("y") != nil {
+		t.Error("y survived, want evicted")
+	}
+	if c.get("x") == nil || c.get("z") == nil {
+		t.Error("x/z missing")
+	}
+	ids := []string{}
+	for _, s := range c.sessions() {
+		ids = append(ids, s.id)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("sessions: %v", ids)
+	}
+	if !c.delete("x") || c.delete("x") {
+		t.Error("delete x semantics")
+	}
+	if c.len() != 1 {
+		t.Errorf("len %d", c.len())
+	}
+}

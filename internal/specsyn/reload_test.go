@@ -3,6 +3,7 @@ package specsyn
 import (
 	"bytes"
 	"context"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -95,6 +96,83 @@ func TestEnvReloadPaths(t *testing.T) {
 	}
 	if env.Source != prevSrc || env.Graph != prevGraph {
 		t.Error("failed reload disturbed the session")
+	}
+}
+
+// TestReloadNoPreviousBuildKeepsSource is the regression test for the
+// no-previous-build path: a Reload whose Build fails must restore the
+// source that was loaded before, not leave the session holding the broken
+// text (which would make a designer's subsequent Build fail on input they
+// never asked to keep, and corrupt the base of the next incremental diff).
+func TestReloadNoPreviousBuildKeepsSource(t *testing.T) {
+	env := New()
+	if err := env.LoadVHDLFile(filepath.Join(testdata, "fuzzy.vhd")); err != nil {
+		t.Fatal(err)
+	}
+	good := env.Source
+	if _, err := env.Reload("entity broken is"); err == nil {
+		t.Fatal("broken source accepted on the no-previous-build path")
+	}
+	if env.Source != good {
+		t.Fatalf("failed reload replaced the loaded source (kept %d bytes of broken text)", len(env.Source))
+	}
+	if env.Graph != nil {
+		t.Fatal("failed reload installed a graph")
+	}
+	// The session is intact: building the originally loaded source works.
+	if err := env.Build(); err != nil {
+		t.Fatalf("Build after failed reload: %v", err)
+	}
+
+	// Same contract for a completely fresh session (Source == "").
+	empty := New()
+	if _, err := empty.Reload("entity broken is"); err == nil {
+		t.Fatal("broken source accepted by an empty session")
+	}
+	if empty.Source != "" {
+		t.Error("failed reload left broken source in an empty session")
+	}
+}
+
+// TestReloadEmptyDeltaKeepsDesign is the regression test for the reload
+// front-end path: a semantically empty edit must not re-run the front end
+// at all — the elaborated design stays pointer-identical, matching the
+// untouched graph — while a real edit must advance the design along with
+// the graph.
+func TestReloadEmptyDeltaKeepsDesign(t *testing.T) {
+	env := load(t, "fuzzy")
+	d0, g0 := env.Design, env.Graph
+
+	commented := "-- comment only\n" + env.Source
+	delta, err := env.Reload(commented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Empty() {
+		t.Fatalf("comment edit produced non-empty delta %+v", delta)
+	}
+	if env.Design != d0 {
+		t.Error("empty-delta reload re-elaborated the design (front end ran for nothing)")
+	}
+	if env.Graph != g0 {
+		t.Error("empty-delta reload replaced the graph")
+	}
+	if env.Source != commented {
+		t.Error("empty-delta reload did not advance the source text")
+	}
+
+	// A real one-behavior edit must swap in the design elaborated from the
+	// new source, keeping Design and Graph in step.
+	edited := insertNull(t, env.Source)
+	delta, err = env.Reload(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Empty() || delta.Full {
+		t.Fatalf("one-behavior edit: delta %+v", delta)
+	}
+	if env.Design == d0 {
+		t.Error("incremental reload left the design stale relative to the graph")
 	}
 }
 

@@ -128,11 +128,13 @@ func (e *Env) Build() error {
 // and re-applies the allocation; anything else falls back to a full
 // build, with the reason in the Delta. The current graph is never
 // mutated, so searches already running on it stay consistent. On error
-// the session keeps its previous source and graph.
+// the session keeps its previous source, design and graph.
 func (e *Env) Reload(src string) (builder.Delta, error) {
 	if e.Graph == nil || e.Source == "" {
+		prevSrc := e.Source
 		e.Source = src
 		if err := e.Build(); err != nil {
+			e.Source = prevSrc
 			return builder.Delta{}, err
 		}
 		return builder.Delta{Full: true, Reason: "no previous build"}, nil
@@ -146,14 +148,27 @@ func (e *Env) Reload(src string) (builder.Delta, error) {
 	if err != nil {
 		return builder.Delta{}, err
 	}
-	if !delta.Empty() {
-		if err := e.Lib.Apply(g); err != nil {
-			return delta, err
-		}
+	if delta.Empty() {
+		// Comment or formatting edit: the graph pointer — and with it the
+		// elaborated design and every compiled estimator structure — stays
+		// as it was; only the source text advances so the next diff runs
+		// against the right base.
+		e.Source = src
+		e.BuildTime = time.Since(start)
+		return delta, nil
 	}
-	if _, d, err := builder.Frontend(src); err == nil {
-		e.Design = d
+	if err := e.Lib.Apply(g); err != nil {
+		return delta, err
 	}
+	// The design matching the new graph comes out of the front-end cache
+	// Rebuild just populated, so this re-parses nothing. It is fetched —
+	// and checked — before any session field changes, so a failure leaves
+	// the previous source, design and graph fully intact.
+	_, d, err := builder.Frontend(src)
+	if err != nil {
+		return delta, fmt.Errorf("specsyn: reload front end: %w", err)
+	}
+	e.Design = d
 	e.Source, e.Graph = src, g
 	e.BuildTime = time.Since(start)
 	return delta, nil
