@@ -55,6 +55,7 @@ func main() {
 	serveMode := flag.Bool("serve", false, "load-test the exploration daemon (specsynd) in-process")
 	clients := flag.Int("clients", 8, "concurrent clients for the -serve load test")
 	requests := flag.Int("requests", 40, "requests per client for the -serve load test")
+	chaos := flag.Bool("chaos", false, "run -serve against a fault-injecting store with tight admission, then crash and recover")
 	flag.Parse()
 
 	// -serve is opt-in only: a load test inside the run-everything default
@@ -82,7 +83,7 @@ func main() {
 		runRebuild(*dir, *jsonOut)
 	}
 	if *serveMode {
-		runServe(*dir, *clients, *requests, *jsonOut)
+		runServe(*dir, *clients, *requests, *jsonOut, *chaos)
 	}
 }
 

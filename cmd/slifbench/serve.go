@@ -4,9 +4,16 @@ package main
 // in-process serve.Server behind a real HTTP listener, N concurrent
 // clients round-robining over M design sessions with a mixed
 // estimate/search/explore/reload request stream — the daemon-shaped
-// counterpart of -explore's raw engine throughput. It reports request
-// throughput and latency percentiles, demands zero failed requests, and
-// with -json commits the measurements to BENCH_serve.json.
+// counterpart of -explore's raw engine throughput. Clients retry load-shed
+// 503s with bounded backoff, honoring the server's Retry-After hint. It
+// reports request throughput and latency percentiles, demands zero failed
+// requests, and with -json commits the measurements to BENCH_serve.json.
+//
+// With -chaos the daemon runs against a durable store on a fault-injecting
+// filesystem (torn writes, failed syncs, slow disk) and under admission
+// pressure that actually sheds; after the load the run "crashes" the
+// daemon, recovers a fresh one from the store, and demands zero recovery
+// failures with every surviving session still serving estimates.
 
 import (
 	"bytes"
@@ -19,10 +26,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"specsyn/internal/faultinject"
 	"specsyn/internal/serve"
+	"specsyn/internal/store"
 	"specsyn/internal/vhdl"
 )
 
@@ -31,9 +41,10 @@ var serveDesigns = []string{"ans", "fuzzy", "vol"}
 
 // opRecord is one completed request's accounting.
 type opRecord struct {
-	op  string
-	dur time.Duration
-	ok  bool
+	op      string
+	dur     time.Duration
+	ok      bool
+	retries int
 }
 
 // opStats is the per-operation slice of BENCH_serve.json.
@@ -58,20 +69,59 @@ type serveRecord struct {
 	EvalsPerSec   float64            `json:"evals_per_sec"`
 	Workers       int                `json:"workers"`
 	Ops           map[string]opStats `json:"ops"`
+
+	// Robustness accounting: Shed is the daemon's load-shed (503) count,
+	// Retried the client requests that needed at least one retry. The
+	// recovery fields are filled by -chaos's crash-restart phase.
+	Shed             int64 `json:"shed"`
+	Retried          int   `json:"retried"`
+	Chaos            bool  `json:"chaos,omitempty"`
+	StoreErrors      int64 `json:"store_errors,omitempty"`
+	Checkpoints      int64 `json:"checkpoints,omitempty"`
+	Recovered        int   `json:"recovered,omitempty"`
+	RecoveryFailures int   `json:"recovery_failures,omitempty"`
 }
 
-func servePost(client *http.Client, url string, in any) (int, error) {
+func servePost(client *http.Client, url string, in any) (code int, retryAfter time.Duration, err error) {
 	body, err := json.Marshal(in)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, nil
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+// servePostRetry posts with a bounded retry-with-backoff loop: a 503 is
+// retried after the server's Retry-After hint (capped at a second so the
+// load keeps moving), falling back to exponential backoff when the server
+// sent none. Anything else — success, client error, transport failure —
+// returns immediately.
+func servePostRetry(client *http.Client, url string, in any) (code int, retries int, err error) {
+	const maxRetries = 4
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		code, hint, err := servePost(client, url, in)
+		if err != nil || code != http.StatusServiceUnavailable || attempt == maxRetries {
+			return code, attempt, err
+		}
+		wait := backoff
+		if hint > 0 {
+			wait = hint
+		}
+		if wait > time.Second {
+			wait = time.Second
+		}
+		time.Sleep(wait)
+		backoff *= 2
+	}
 }
 
 // editProcess returns src with a null statement prepended to its first
@@ -96,25 +146,62 @@ func percentile(sorted []time.Duration, p float64) float64 {
 }
 
 // runServe starts the daemon in-process and drives the mixed workload.
-func runServe(dir string, clients, perClient int, jsonOut bool) {
+// With chaos it also runs the store on a fault-injecting filesystem, under
+// admission pressure tight enough to shed, and finishes with a
+// crash-restart recovery phase.
+func runServe(dir string, clients, perClient int, jsonOut, chaos bool) {
 	if clients <= 0 {
 		clients = 8
 	}
 	if perClient <= 0 {
 		perClient = 40
 	}
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		MaxSessions:  16,
 		SessionSlots: clients,     // admit every client; contention is the point,
-		SessionQueue: clients * 4, // load-shedding is tested elsewhere
+		SessionQueue: clients * 4, // load-shedding is covered by -chaos
 		MaxEvals:     200_000,     // budget backstop per request
-	})
+	}
+	var stateDir string
+	if chaos {
+		var err error
+		stateDir, err = os.MkdirTemp("", "slifbench-chaos-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(stateDir)
+		// A misbehaving disk: a torn journal write early on, then every 9th
+		// write fails, every 7th sync fails, and every 5th I/O stalls. The
+		// daemon must keep serving through all of it.
+		cfs := faultinject.NewChaosFS(nil, faultinject.FSPlan{
+			TornWriteAt: 6,
+			FailWriteAt: 9, EveryWrite: 9,
+			FailSyncAt: 7,
+			Delay:      200 * time.Microsecond, DelayEvery: 5,
+		})
+		st, _, err := store.Open(stateDir, cfs)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = st
+		cfg.CheckpointEvery = 2 // checkpoint often so the store stays hot
+		// Tight admission so the retry path actually runs: one slot and a
+		// one-deep queue per session, so colliding clients get shed and must
+		// come back on the Retry-After hint.
+		cfg.SessionSlots = 1
+		cfg.SessionQueue = 1
+	}
+	srv := serve.New(cfg)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
 
-	fmt.Printf("Serving load test: %d clients × %d requests over %d designs\n\n",
-		clients, perClient, len(serveDesigns))
+	mode := ""
+	if chaos {
+		mode = " [chaos: faulty disk + tight admission]"
+	}
+	fmt.Printf("Serving load test: %d clients × %d requests over %d designs%s\n\n",
+		clients, perClient, len(serveDesigns), mode)
 
 	sources := make(map[string]string, len(serveDesigns))
 	edited := make(map[string]string, len(serveDesigns))
@@ -135,7 +222,7 @@ func runServe(dir string, clients, perClient int, jsonOut bool) {
 			}
 			req.Overrides = string(ov)
 		}
-		code, err := servePost(client, ts.URL+"/v1/designs/"+name+"/build", req)
+		code, _, err := servePostRetry(client, ts.URL+"/v1/designs/"+name+"/build", req)
 		if err != nil {
 			fatal(err)
 		}
@@ -185,8 +272,12 @@ func runServe(dir string, clients, perClient int, jsonOut bool) {
 					url += "/reload"
 				}
 				t0 := time.Now()
-				code, err := servePost(client, url, in)
-				recs = append(recs, opRecord{op: op, dur: time.Since(t0), ok: err == nil && code == http.StatusOK})
+				code, retries, err := servePostRetry(client, url, in)
+				recs = append(recs, opRecord{
+					op: op, dur: time.Since(t0),
+					ok:      err == nil && code == http.StatusOK,
+					retries: retries,
+				})
 			}
 			records[ci] = recs
 		}(ci)
@@ -198,12 +289,15 @@ func runServe(dir string, clients, perClient int, jsonOut bool) {
 	for _, recs := range records {
 		all = append(all, recs...)
 	}
-	failed := 0
+	failed, retried := 0, 0
 	byOp := make(map[string][]time.Duration)
 	var durs []time.Duration
 	for _, r := range all {
 		if !r.ok {
 			failed++
+		}
+		if r.retries > 0 {
+			retried++
 		}
 		durs = append(durs, r.dur)
 		byOp[r.op] = append(byOp[r.op], r.dur)
@@ -223,6 +317,11 @@ func runServe(dir string, clients, perClient int, jsonOut bool) {
 		EvalsPerSec:   float64(stats.Evals) / elapsed.Seconds(),
 		Workers:       runtime.GOMAXPROCS(0),
 		Ops:           make(map[string]opStats, len(byOp)),
+		Shed:          stats.Rejects,
+		Retried:       retried,
+		Chaos:         chaos,
+		StoreErrors:   stats.StoreErrors,
+		Checkpoints:   stats.Checkpoints,
 	}
 	fmt.Printf("%-10s %8s %10s %10s %10s\n", "op", "count", "p50 ms", "p95 ms", "p99 ms")
 	opNames := make([]string, 0, len(byOp))
@@ -240,6 +339,46 @@ func runServe(dir string, clients, perClient int, jsonOut bool) {
 	fmt.Printf("\n%d requests in %.2fs: %.0f req/s, %d failed, %.0f evals/s (daemon: %d evals, %d builds, %d panics)\n",
 		rec.Requests, elapsed.Seconds(), rec.ThroughputRPS, rec.Failed, rec.EvalsPerSec,
 		stats.Evals, stats.Builds, stats.Panics)
+	if rec.Shed > 0 || rec.Retried > 0 || rec.StoreErrors > 0 {
+		fmt.Printf("robustness: %d shed by the daemon, %d requests retried, %d store errors absorbed, %d checkpoints\n",
+			rec.Shed, rec.Retried, rec.StoreErrors, rec.Checkpoints)
+	}
+
+	if chaos {
+		// Crash-restart phase: drop the daemon on the floor mid-life (no
+		// drain, no flush — the store handle is simply abandoned, as SIGKILL
+		// would leave it), then recover a fresh daemon from the same
+		// directory on a clean filesystem and demand every surviving session
+		// still serves estimates.
+		ts.Close()
+		st2, rstats, err := store.Open(stateDir, nil)
+		if err != nil {
+			fatal(fmt.Errorf("chaos: store did not reopen after crash: %w", err))
+		}
+		defer st2.Close()
+		fmt.Printf("\nchaos: crash-restart: store reopened with %d sessions, %d checkpoints"+
+			" (truncated %d torn bytes, dropped %d corrupt checkpoints)\n",
+			rstats.Sessions, rstats.Checkpoints, rstats.TruncatedBytes, rstats.CorruptCkpts)
+		srv2 := serve.New(serve.Config{MaxSessions: 16, MaxEvals: 200_000, Store: st2})
+		rep := srv2.Recover(nil)
+		ts2 := httptest.NewServer(srv2)
+		defer ts2.Close()
+		alive := 0
+		for _, id := range st2.Sessions() {
+			code, _, err := servePostRetry(client, ts2.URL+"/v1/designs/"+id+"/estimate", serve.EstimateRequest{})
+			if err != nil || code != http.StatusOK {
+				fatal(fmt.Errorf("chaos: recovered session %s does not estimate: status %d, err %v", id, code, err))
+			}
+			alive++
+		}
+		rec.Recovered = rep.Restored + rep.Rebuilt
+		rec.RecoveryFailures = rep.Failed
+		fmt.Printf("chaos: recovered %d/%d sessions (%d from checkpoints, %d rebuilt, %d failed), %d serving estimates\n",
+			rec.Recovered, rep.Sessions, rep.Restored, rep.Rebuilt, rep.Failed, alive)
+		if rep.Failed > 0 {
+			fatal(fmt.Errorf("chaos: %d sessions failed to recover", rep.Failed))
+		}
+	}
 
 	if jsonOut {
 		data, err := json.MarshalIndent(rec, "", "  ")

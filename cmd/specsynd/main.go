@@ -3,7 +3,7 @@
 // exploration requests over HTTP/JSON — build once, estimate thousands of
 // times, for many designs and many clients at once.
 //
-//	specsynd -addr :8650
+//	specsynd -addr :8650 -state-dir /var/lib/specsynd
 //
 //	curl -X POST localhost:8650/v1/designs/fuzzy/build \
 //	     -d "{\"vhdl\": $(jq -Rs . < testdata/fuzzy.vhd)}"
@@ -11,8 +11,15 @@
 //	curl -X POST localhost:8650/v1/designs/fuzzy/explore \
 //	     -d '{"algo":"multi","legs":8,"max_evals":20000}'
 //
+// With -state-dir, sessions survive crashes: inputs are journaled, the
+// compiled SLIF is checkpointed, and on startup the daemon replays the
+// store (answering 503 on /readyz until it is done). On SIGTERM it drains:
+// stops accepting work, waits out in-flight requests up to -drain-timeout,
+// and flushes every dirty session's checkpoint before exiting.
+//
 // See the README's "specsynd" section for the full endpoint tour and
-// DESIGN.md's "Serving" section for the concurrency contract.
+// DESIGN.md's "Serving" and "Durability & recovery" sections for the
+// concurrency and crash-safety contracts.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 
 	"specsyn/internal/alloc"
 	"specsyn/internal/serve"
+	"specsyn/internal/store"
 )
 
 func main() {
@@ -43,17 +51,23 @@ func main() {
 	maxEvals := flag.Int("max-evals", 0, "cap on per-request cost-evaluation budgets (0 = unlimited)")
 	libPath := flag.String("lib", "", "component library file used by builds that ship none (default: built-in std library)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	stateDir := flag.String("state-dir", "", "directory for the durable session store (empty = serve from memory only)")
+	ckptEvery := flag.Int("checkpoint-every", 8, "journal records between compiled-image checkpoints of a session")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period on SIGTERM for in-flight requests and checkpoint flushes")
+	retryAfter := flag.Duration("retry-after", time.Second, "backoff hint sent in Retry-After on load-shed 503 responses")
 	flag.Parse()
 
 	cfg := serve.Config{
-		MaxSessions:    *maxSessions,
-		MaxConcurrent:  *maxConcurrent,
-		SessionSlots:   *sessionSlots,
-		SessionQueue:   *sessionQueue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxEvals:       *maxEvals,
-		EnablePprof:    *pprofOn,
+		MaxSessions:     *maxSessions,
+		MaxConcurrent:   *maxConcurrent,
+		SessionSlots:    *sessionSlots,
+		SessionQueue:    *sessionQueue,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxEvals:        *maxEvals,
+		EnablePprof:     *pprofOn,
+		CheckpointEvery: *ckptEvery,
+		RetryAfter:      *retryAfter,
 	}
 	if *libPath != "" {
 		lib, err := alloc.Load(*libPath)
@@ -63,9 +77,35 @@ func main() {
 		}
 		cfg.Library = lib
 	}
+	if *stateDir != "" {
+		st, stats, err := store.Open(*stateDir, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "specsynd:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		log.Printf("specsynd: store %s: %d journal records, %d sessions, %d checkpoints"+
+			" (truncated %d torn bytes, dropped %d corrupt checkpoints)",
+			*stateDir, stats.Records, stats.Sessions, stats.Checkpoints,
+			stats.TruncatedBytes, stats.CorruptCkpts)
+		cfg.Store = st
+	}
 
 	srv := serve.New(cfg)
 	expvar.Publish("specsynd", expvar.Func(func() any { return srv.Stats() }))
+
+	if cfg.Store != nil {
+		// Replay before (well, concurrently with) accepting traffic: the
+		// listener opens immediately so probes can watch /readyz flip, but
+		// every data-plane request is 503 until the replay finishes.
+		go func() {
+			start := time.Now()
+			rep := srv.Recover(log.Printf)
+			log.Printf("specsynd: recovered %d/%d sessions in %s (%d from checkpoints, %d rebuilt, %d failed)",
+				rep.Restored+rep.Rebuilt, rep.Sessions, time.Since(start).Round(time.Millisecond),
+				rep.Restored, rep.Rebuilt, rep.Failed)
+		}()
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -75,12 +115,27 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		<-ctx.Done()
-		log.Println("specsynd: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.MaxTimeout)
+		// Drain, not die: shed new work, give in-flight requests their own
+		// -drain-timeout budget (NOT the request deadline cap), then flush
+		// every dirty session so the next start recovers without a replay.
+		inflight := srv.Stats().QueueDepth
+		log.Printf("specsynd: draining (%d requests in flight, %s grace)", inflight, *drainTimeout)
+		srv.BeginDrain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		_ = hs.Shutdown(shutdownCtx)
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("specsynd: shutdown: %v (in-flight requests cut off)", err)
+		}
+		rep := srv.Drain(shutdownCtx)
+		if rep.Dirty > 0 || rep.Errors > 0 {
+			log.Printf("specsynd: flushed %d/%d dirty sessions (%d errors)",
+				rep.Flushed, rep.Dirty, rep.Errors)
+		}
+		log.Println("specsynd: drained")
 	}()
 
 	log.Printf("specsynd: listening on %s (sessions %d, workers %d)",
@@ -88,4 +143,5 @@ func main() {
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal("specsynd: ", err)
 	}
+	<-done // let the drain goroutine finish its flush before exiting
 }

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// UnmarshalBinary decodes a MarshalBinary image into s, replacing its
+// contents. The decoder is strict: a wrong magic, a truncated or oversized
+// section, an out-of-range ID, an inconsistent CSR table, or trailing
+// bytes all fail with an error and never panic — the session store feeds
+// it checkpoint files that may have been torn by a crash, and the fuzzer
+// feeds it anything at all. On success the decoded snapshot re-marshals
+// byte-identically, which is what pins the round-trip in tests.
+func (s *Snapshot) UnmarshalBinary(data []byte) error {
+	d := &decoder{b: data}
+	if !d.magic(snapMagic) {
+		return fmt.Errorf("slif: snapshot decode: bad magic (want %q v2)", "SLIFSNAP")
+	}
+	var ns Snapshot
+	ns.Name = d.str()
+	ns.NumProcs = int(d.u32())
+
+	nn := d.count(9) // kind byte + storage u64 per node
+	ns.NodeKind = make([]NodeKind, nn)
+	ns.IsProcess = make([]bool, nn)
+	ns.Storage = make([]int64, nn)
+	for i := 0; i < nn; i++ {
+		k := d.byte()
+		ns.IsProcess[i] = k&0x80 != 0
+		ns.NodeKind[i] = NodeKind(k & 0x7f)
+		if ns.NodeKind[i] > VariableNode {
+			d.fail("node %d has unknown kind %d", i, ns.NodeKind[i])
+		}
+		ns.Storage[i] = int64(d.u64())
+	}
+
+	np := d.count(5) // dir byte + bits u32 per port
+	ns.PortDir = make([]PortDir, np)
+	ns.PortBits = make([]int32, np)
+	for i := 0; i < np; i++ {
+		ns.PortDir[i] = PortDir(d.byte())
+		if ns.PortDir[i] > InOut {
+			d.fail("port %d has unknown direction %d", i, ns.PortDir[i])
+		}
+		ns.PortBits[i] = int32(d.u32())
+	}
+
+	nc := d.count(17) // flag byte + sizecon u64 + pincon u32 + type u32
+	ns.CompCustom = make([]bool, nc)
+	ns.CompSizeCon = make([]float64, nc)
+	ns.CompPinCon = make([]int32, nc)
+	ns.CompType = make([]int32, nc)
+	for i := 0; i < nc; i++ {
+		flag := d.byte()
+		if flag > 1 {
+			d.fail("component %d has flag byte %d", i, flag)
+		}
+		ns.CompCustom[i] = flag == 1
+		ns.CompSizeCon[i] = math.Float64frombits(d.u64())
+		ns.CompPinCon[i] = int32(d.u32())
+		ns.CompType[i] = int32(d.u32())
+	}
+	if ns.NumProcs < 0 || ns.NumProcs > nc {
+		d.fail("NumProcs %d outside the %d components", ns.NumProcs, nc)
+	}
+
+	ns.ICT = d.floats()
+	ns.Size = d.floats()
+	if len(ns.ICT) != nn*nc || len(ns.Size) != nn*nc {
+		d.fail("weight tables are %d/%d entries, want %d×%d", len(ns.ICT), len(ns.Size), nn, nc)
+	}
+	ns.ExtraICT = d.extras(nn)
+	ns.ExtraSize = d.extras(nn)
+
+	nb := d.count(20) // width u32 + ts/td u64
+	ns.BusWidth = make([]int32, nb)
+	ns.BusTS = make([]float64, nb)
+	ns.BusTD = make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		ns.BusWidth[i] = int32(d.u32())
+		ns.BusTS[i] = math.Float64frombits(d.u64())
+		ns.BusTD[i] = math.Float64frombits(d.u64())
+	}
+
+	nch := d.count(40) // src/dst u32 + freq/min/max u64 + bits/tag u32
+	ns.ChanSrc = make([]int32, nch)
+	ns.ChanDst = make([]int32, nch)
+	ns.ChanFreq = make([]float64, nch)
+	ns.ChanMin = make([]float64, nch)
+	ns.ChanMax = make([]float64, nch)
+	ns.ChanBits = make([]int32, nch)
+	ns.ChanTag = make([]int32, nch)
+	for i := 0; i < nch; i++ {
+		ns.ChanSrc[i] = int32(d.u32())
+		ns.ChanDst[i] = int32(d.u32())
+		ns.ChanFreq[i] = math.Float64frombits(d.u64())
+		ns.ChanMin[i] = math.Float64frombits(d.u64())
+		ns.ChanMax[i] = math.Float64frombits(d.u64())
+		ns.ChanBits[i] = int32(d.u32())
+		ns.ChanTag[i] = int32(d.u32())
+		if s := ns.ChanSrc[i]; s < 0 || int(s) >= nn {
+			d.fail("channel %d source %d outside %d nodes", i, s, nn)
+		}
+		if dst := ns.ChanDst[i]; int(dst) >= nn || (dst < 0 && int(-dst-1) >= np) {
+			d.fail("channel %d destination %d outside %d nodes / %d ports", i, dst, nn, np)
+		}
+	}
+
+	ns.OutStart = d.ints()
+	ns.OutChan = d.ints()
+	ns.InStart = d.ints()
+	ns.InChan = d.ints()
+	if len(ns.OutStart) != nn+1 || len(ns.InStart) != nn+1 ||
+		len(ns.OutChan) != nch || len(ns.InChan) > nch {
+		d.fail("CSR tables sized %d/%d/%d/%d for %d nodes, %d channels",
+			len(ns.OutStart), len(ns.OutChan), len(ns.InStart), len(ns.InChan), nn, nch)
+	}
+	checkCSR := func(start, chans []int32, what string) {
+		if d.err != nil || len(start) == 0 {
+			return
+		}
+		if start[0] != 0 || int(start[len(start)-1]) != len(chans) {
+			d.fail("%s CSR does not span its channel list", what)
+		}
+		for i := 1; i < len(start); i++ {
+			if start[i] < start[i-1] {
+				d.fail("%s CSR offsets not monotonic at node %d", what, i-1)
+				return
+			}
+		}
+		for _, ci := range chans {
+			if ci < 0 || int(ci) >= nch {
+				d.fail("%s CSR references channel %d of %d", what, ci, nch)
+				return
+			}
+		}
+	}
+	checkCSR(ns.OutStart, ns.OutChan, "out")
+	checkCSR(ns.InStart, ns.InChan, "in")
+
+	ns.NodeNames = d.strs()
+	ns.PortNames = d.strs()
+	ns.CompNames = d.strs()
+	ns.BusNames = d.strs()
+	ns.TypeNames = d.strs()
+	if len(ns.NodeNames) != nn || len(ns.PortNames) != np ||
+		len(ns.CompNames) != nc || len(ns.BusNames) != nb {
+		d.fail("name tables do not match the object counts")
+	}
+	nt := len(ns.TypeNames)
+	for i, t := range ns.CompType {
+		if t < 0 || int(t) >= nt {
+			d.fail("component %d has type ID %d of %d", i, t, nt)
+		}
+	}
+	for _, e := range append(append([]ExtraWeight{}, ns.ExtraICT...), ns.ExtraSize...) {
+		if e.Type < 0 || int(e.Type) >= nt {
+			d.fail("extra weight on node %d has type ID %d of %d", e.Node, e.Type, nt)
+		}
+	}
+	if d.err == nil && len(d.b) != d.off {
+		d.fail("%d trailing bytes", len(d.b)-d.off)
+	}
+	if d.err != nil {
+		return d.err
+	}
+
+	ns.nodeID = internIDs(ns.NodeNames)
+	ns.portID = internIDs(ns.PortNames)
+	ns.compID = internIDs(ns.CompNames)
+	ns.busID = internIDs(ns.BusNames)
+	*s = ns
+	return nil
+}
+
+func internIDs(names []string) map[string]int32 {
+	m := make(map[string]int32, len(names))
+	for i, n := range names {
+		m[n] = int32(i)
+	}
+	return m
+}
+
+// decoder is a cursor over a snapshot image. The first failure sticks;
+// every accessor after it returns zero values, so decode loops need no
+// per-read error checks. count/str bound every allocation by the bytes
+// actually remaining, so a hostile length prefix cannot balloon memory.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("slif: snapshot decode: "+format, args...)
+	}
+}
+
+func (d *decoder) magic(m string) bool {
+	if len(d.b) < len(m) || string(d.b[:len(m)]) != m {
+		return false
+	}
+	d.off = len(m)
+	return true
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail("truncated at byte %d", d.off)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail("truncated at byte %d", d.off)
+		return 0
+	}
+	b := d.b[d.off:]
+	d.off += 4
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (d *decoder) u64() uint64 {
+	lo := uint64(d.u32())
+	return lo | uint64(d.u32())<<32
+}
+
+// count reads a section length and rejects any that could not fit in the
+// remaining bytes at elemSize bytes per element.
+func (d *decoder) count(elemSize int) int {
+	n := d.u32()
+	if d.err == nil && int(n) > (len(d.b)-d.off)/elemSize {
+		d.fail("section of %d elements does not fit in %d bytes", n, len(d.b)-d.off)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) str() string {
+	n := d.count(1)
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) strs() []string {
+	n := d.count(4) // at least a length prefix per string
+	if d.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.str()
+	}
+	return out
+}
+
+func (d *decoder) ints() []int32 {
+	n := d.count(4)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(d.u32())
+	}
+	return out
+}
+
+func (d *decoder) floats() []float64 {
+	n := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(d.u64())
+	}
+	return out
+}
+
+func (d *decoder) extras(numNodes int) []ExtraWeight {
+	n := d.count(16)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]ExtraWeight, n)
+	for i := range out {
+		out[i] = ExtraWeight{Node: int32(d.u32()), Type: int32(d.u32()), W: math.Float64frombits(d.u64())}
+		if e := out[i]; d.err == nil && (e.Node < 0 || int(e.Node) >= numNodes) {
+			d.fail("extra weight %d on node %d of %d", i, e.Node, numNodes)
+		}
+	}
+	return out
+}
+
+// Decompile lifts a Snapshot back into a pointer Graph — the inverse of
+// Compile, used by the session store to restore a checkpointed design
+// without re-running the front end. The reconstruction preserves object
+// order exactly, so recompiling the result is byte-identical to the
+// snapshot it came from (pinned by TestDecompileRoundTrip), and every
+// estimate over the restored graph reproduces the original bit for bit.
+// Snapshots decoded from untrusted bytes may still violate graph
+// invariants (duplicate names, non-behavior channel sources); Decompile
+// routes construction through the Graph's validating Add helpers so those
+// come back as errors, never as a corrupt graph.
+func Decompile(s *Snapshot) (*Graph, error) {
+	g := NewGraph(s.Name)
+	nn, np := s.NumNodes(), len(s.PortNames)
+	nc := s.NumComps()
+	for i := 0; i < nn; i++ {
+		n := &Node{
+			Name:        s.NodeNames[i],
+			Kind:        s.NodeKind[i],
+			IsProcess:   s.IsProcess[i],
+			StorageBits: s.Storage[i],
+		}
+		for ci := 0; ci < nc; ci++ {
+			t := s.TypeNames[s.CompType[ci]]
+			if w := s.ICT[i*nc+ci]; !math.IsNaN(w) {
+				n.SetICT(t, w)
+			}
+			if w := s.Size[i*nc+ci]; !math.IsNaN(w) {
+				n.SetSize(t, w)
+			}
+		}
+		if err := g.AddNode(n); err != nil {
+			return nil, fmt.Errorf("slif: decompile: %w", err)
+		}
+	}
+	for _, e := range s.ExtraICT {
+		g.Nodes[e.Node].SetICT(s.TypeNames[e.Type], e.W)
+	}
+	for _, e := range s.ExtraSize {
+		g.Nodes[e.Node].SetSize(s.TypeNames[e.Type], e.W)
+	}
+	for i := 0; i < np; i++ {
+		p := &Port{Name: s.PortNames[i], Dir: s.PortDir[i], Bits: int(s.PortBits[i])}
+		if err := g.AddPort(p); err != nil {
+			return nil, fmt.Errorf("slif: decompile: %w", err)
+		}
+	}
+	for i := 0; i < nc; i++ {
+		t := s.TypeNames[s.CompType[i]]
+		if i < s.NumProcs {
+			g.AddProcessor(&Processor{
+				Name: s.CompNames[i], TypeName: t, Custom: s.CompCustom[i],
+				SizeCon: s.CompSizeCon[i], PinCon: int(s.CompPinCon[i]),
+			})
+		} else {
+			g.AddMemory(&Memory{Name: s.CompNames[i], TypeName: t, SizeCon: s.CompSizeCon[i]})
+		}
+	}
+	for i := range s.BusWidth {
+		g.AddBus(&Bus{
+			Name: s.BusNames[i], BitWidth: int(s.BusWidth[i]),
+			TS: s.BusTS[i], TD: s.BusTD[i],
+		})
+	}
+	for ci := range s.ChanSrc {
+		var dst Endpoint
+		if di := s.ChanDst[ci]; di >= 0 {
+			dst = g.Nodes[di]
+		} else {
+			dst = g.Ports[-di-1]
+		}
+		c := &Channel{
+			Src: g.Nodes[s.ChanSrc[ci]], Dst: dst,
+			AccFreq: s.ChanFreq[ci], AccMin: s.ChanMin[ci], AccMax: s.ChanMax[ci],
+			Bits: int(s.ChanBits[ci]), Tag: int(s.ChanTag[ci]),
+		}
+		if err := g.AddChannel(c); err != nil {
+			return nil, fmt.Errorf("slif: decompile: %w", err)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// weirdGraph is tinyGraph plus the edge shapes a faithful round-trip must
+// carry: annotation types with no allocated component, an inout port, a
+// multi-bus allocation, and a channel to a port.
+func weirdGraph(t testing.TB) *Graph {
+	t.Helper()
+	g := tinyGraph(t)
+	g.NodeByName("main").SetICT("dsp99", 3.25)
+	g.NodeByName("arr").SetSize("fpga7", 12)
+	if err := g.AddPort(&Port{Name: "cfg", Dir: InOut, Bits: 3}); err != nil {
+		t.Fatal(err)
+	}
+	g.AddBus(&Bus{Name: "bus2", BitWidth: 8, TS: 0.01, TD: 0.9})
+	return g
+}
+
+// TestSnapshotEncodeDecodeRoundTrip pins the durability format: a decoded
+// snapshot re-marshals byte-identically and serves the same lookups.
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	for _, build := range []func(testing.TB) *Graph{tinyGraph, weirdGraph} {
+		g := build(t)
+		s := mustCompile(t, g)
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec Snapshot
+		if err := dec.UnmarshalBinary(data); err != nil {
+			t.Fatalf("UnmarshalBinary: %v", err)
+		}
+		redata, err := dec.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, redata) {
+			t.Fatal("decoded snapshot re-marshals differently")
+		}
+		// The interned lookup maps must be rebuilt, not left nil.
+		if dec.NodeID("main") != s.NodeID("main") || dec.CompID("cpu") != s.CompID("cpu") ||
+			dec.BusID("bus") != s.BusID("bus") || dec.NodeID("nope") != -1 {
+			t.Error("decoded snapshot lookups differ from the original")
+		}
+		if dec.ChanKey(0) != s.ChanKey(0) {
+			t.Errorf("ChanKey(0) = %q, want %q", dec.ChanKey(0), s.ChanKey(0))
+		}
+	}
+}
+
+// TestDecompileRoundTrip is the differential pin against Compile: lifting
+// a snapshot back to a Graph and recompiling it must reproduce the exact
+// bytes — including port directions and annotation types no component
+// uses, which only exist in the graph.
+func TestDecompileRoundTrip(t *testing.T) {
+	for _, build := range []func(testing.TB) *Graph{tinyGraph, weirdGraph} {
+		g := build(t)
+		s := mustCompile(t, g)
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec Snapshot
+		if err := dec.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := Decompile(&dec)
+		if err != nil {
+			t.Fatalf("Decompile: %v", err)
+		}
+		if err := g2.Validate(); err != nil {
+			t.Fatalf("decompiled graph invalid: %v", err)
+		}
+		redata, err := mustCompile(t, g2).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, redata) {
+			t.Fatal("Compile(Decompile(s)) is not byte-identical to s")
+		}
+		// Graph-level fidelity Compile alone cannot pin: port metadata.
+		for i, p := range g.Ports {
+			q := g2.Ports[i]
+			if q.Name != p.Name || q.Dir != p.Dir || q.Bits != p.Bits {
+				t.Errorf("port %d round-tripped to %+v, want %+v", i, q, p)
+			}
+		}
+		for _, n := range g.Nodes {
+			m := g2.NodeByName(n.Name)
+			if len(m.ICT) != len(n.ICT) || len(m.Size) != len(n.Size) {
+				t.Errorf("node %s annotations: %d/%d ict, %d/%d size",
+					n.Name, len(m.ICT), len(n.ICT), len(m.Size), len(n.Size))
+			}
+			for k, v := range n.ICT {
+				if m.ICT[k] != v {
+					t.Errorf("node %s ict[%s] = %v, want %v", n.Name, k, m.ICT[k], v)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotDecodeRejectsCorrupt drives the decoder through every torn
+// prefix and a byte-flip sweep: it must error or decode cleanly, never
+// panic, and never accept trailing garbage.
+func TestSnapshotDecodeRejectsCorrupt(t *testing.T) {
+	s := mustCompile(t, weirdGraph(t))
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Snapshot
+	if err := dec.UnmarshalBinary(nil); err == nil {
+		t.Error("empty input must fail")
+	}
+	if err := dec.UnmarshalBinary([]byte("SLIFSNAP\x01rest")); err == nil {
+		t.Error("version-1 magic must be rejected")
+	}
+	if err := dec.UnmarshalBinary(append(append([]byte{}, data...), 0)); err == nil {
+		t.Error("trailing bytes must be rejected")
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if err := dec.UnmarshalBinary(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(data))
+		}
+	}
+	flipped := 0
+	for i := len(snapMagic); i < len(data); i++ {
+		mut := append([]byte{}, data...)
+		mut[i] ^= 0xff
+		var m Snapshot
+		if err := m.UnmarshalBinary(mut); err == nil {
+			// Some flips hit float payloads or names and stay structurally
+			// valid; those must still round-trip canonically.
+			re, err := m.MarshalBinary()
+			if err != nil || !bytes.Equal(re, mut) {
+				t.Fatalf("accepted flip at byte %d does not re-marshal identically", i)
+			}
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Log("no single-byte flip survived decoding (fine: all structural)")
+	}
+}
+
+// FuzzSnapshotDecode feeds the checkpoint decoder arbitrary bytes — the
+// exact input a torn or bit-rotted checkpoint file produces. Invariants:
+// no panic anywhere; an accepted input re-marshals byte-identically (the
+// decode is canonical); and one Decompile→Compile pass is a fixed point —
+// a corrupted-but-structurally-valid image may normalize once (CSR tables
+// and NaN payloads Compile would never emit get rebuilt), but the
+// normalized bytes must then round-trip exactly. Genuine Compile-produced
+// snapshots are already at the fixed point, which TestDecompileRoundTrip
+// pins byte for byte.
+func FuzzSnapshotDecode(f *testing.F) {
+	s, err := Compile(tinyGraph(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := s.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(snapMagic))
+	f.Add(seed[:len(seed)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dec Snapshot
+		if err := dec.UnmarshalBinary(data); err != nil {
+			return
+		}
+		re, err := dec.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted snapshot fails to marshal: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatal("accepted snapshot does not re-marshal byte-identically")
+		}
+		g, err := Decompile(&dec)
+		if err != nil {
+			return // e.g. duplicate names the flat form can carry
+		}
+		s2, err := Compile(g)
+		if err != nil {
+			return // e.g. duplicate component names Decompile does not police
+		}
+		norm, err := s2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The normalized image is a fixed point of decode→decompile→compile.
+		var dec2 Snapshot
+		if err := dec2.UnmarshalBinary(norm); err != nil {
+			t.Fatalf("normalized snapshot does not decode: %v", err)
+		}
+		g2, err := Decompile(&dec2)
+		if err != nil {
+			t.Fatalf("normalized snapshot does not decompile: %v", err)
+		}
+		s3, err := Compile(g2)
+		if err != nil {
+			t.Fatalf("normalized snapshot does not recompile: %v", err)
+		}
+		again, err := s3.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(norm, again) {
+			t.Fatal("Decompile→Compile is not idempotent")
+		}
+	})
+}

@@ -41,6 +41,12 @@ type Snapshot struct {
 	IsProcess []bool
 	Storage   []int64 // StorageBits
 
+	// Per-port arrays, indexed by port ID. The estimators never read
+	// these, but Decompile must reproduce the Graph's ports exactly, so
+	// the snapshot carries them.
+	PortDir  []PortDir
+	PortBits []int32
+
 	// Per-component arrays, indexed by comp ID. IDs < NumProcs are
 	// processors, the rest memories.
 	NumProcs    int
@@ -53,6 +59,14 @@ type Snapshot struct {
 	// missing annotation (the node has no weight for that component type).
 	ICT  []float64
 	Size []float64
+
+	// Extra annotation weights: ICT/Size entries keyed by component types
+	// that no allocated component uses. The node×comp tables above cannot
+	// hold them (there is no comp ID), but TypeNames interns their type
+	// names and Decompile must restore them, so they ride along as sparse
+	// triples sorted by (node ID, type ID) — deterministic by construction.
+	ExtraICT  []ExtraWeight
+	ExtraSize []ExtraWeight
 
 	// Per-bus arrays, indexed by bus ID.
 	BusWidth []int32
@@ -91,6 +105,14 @@ type Snapshot struct {
 	portID map[string]int32
 	compID map[string]int32
 	busID  map[string]int32
+}
+
+// ExtraWeight is one sparse annotation entry: node ni carries weight W for
+// the component type TypeNames[Type], which no allocated component uses.
+type ExtraWeight struct {
+	Node int32
+	Type int32
+	W    float64
 }
 
 // NumNodes returns the node count.
@@ -165,6 +187,9 @@ func Compile(g *Graph) (*Snapshot, error) {
 		IsProcess: make([]bool, nn),
 		Storage:   make([]int64, nn),
 
+		PortDir:  make([]PortDir, np),
+		PortBits: make([]int32, np),
+
 		NumProcs:    len(g.Procs),
 		CompCustom:  make([]bool, nc),
 		CompSizeCon: make([]float64, nc),
@@ -229,6 +254,8 @@ func Compile(g *Graph) (*Snapshot, error) {
 		}
 		s.portID[p.Name] = int32(i)
 		s.PortNames[i] = p.Name
+		s.PortDir[i] = p.Dir
+		s.PortBits[i] = int32(p.Bits)
 		portOf[p] = int32(i)
 	}
 
@@ -289,6 +316,30 @@ func Compile(g *Graph) (*Snapshot, error) {
 		for ci, c := range comps {
 			s.ICT[i*nc+ci] = weightOrNaN(n.ICT, c.TypeKey())
 			s.Size[i*nc+ci] = weightOrNaN(n.Size, c.TypeKey())
+		}
+	}
+
+	// Extra weights: annotations on types no component uses. Iterating
+	// nodes in ID order and types in sorted-name (= type ID) order keeps
+	// the slices deterministic regardless of map iteration.
+	compType := make(map[string]bool, nc)
+	for _, c := range comps {
+		compType[c.TypeKey()] = true
+	}
+	var extraTypes []string
+	for _, t := range s.TypeNames {
+		if !compType[t] {
+			extraTypes = append(extraTypes, t)
+		}
+	}
+	for i, n := range g.Nodes {
+		for _, t := range extraTypes {
+			if w, ok := n.ICT[t]; ok {
+				s.ExtraICT = append(s.ExtraICT, ExtraWeight{Node: int32(i), Type: typeID[t], W: w})
+			}
+			if w, ok := n.Size[t]; ok {
+				s.ExtraSize = append(s.ExtraSize, ExtraWeight{Node: int32(i), Type: typeID[t], W: w})
+			}
 		}
 	}
 
@@ -424,13 +475,20 @@ func (s *Snapshot) Capture(pt *Partition, a *Assignment) error {
 	return nil
 }
 
+// snapMagic is the versioned header of the snapshot encoding. Version 2
+// added the port dir/bits arrays and the sparse extra-weight tables that
+// make the snapshot a complete image of its Graph (so Decompile can
+// reconstruct it exactly); version-1 bytes are not accepted.
+const snapMagic = "SLIFSNAP\x02"
+
 // MarshalBinary serializes the snapshot deterministically: equal snapshots
 // (and therefore equal compiled graphs) produce equal bytes. The format is
 // a versioned magic followed by every array, length-prefixed, in struct
-// order — a diagnostic/determinism format, not an interchange one.
+// order — the durability format the session store checkpoints, decoded by
+// UnmarshalBinary and lifted back to a Graph by Decompile.
 func (s *Snapshot) MarshalBinary() ([]byte, error) {
 	var b []byte
-	b = append(b, "SLIFSNAP\x01"...)
+	b = append(b, snapMagic...)
 	b = appendString(b, s.Name)
 	b = appendU32(b, uint32(s.NumProcs))
 
@@ -442,6 +500,12 @@ func (s *Snapshot) MarshalBinary() ([]byte, error) {
 		}
 		b = append(b, k)
 		b = appendU64(b, uint64(s.Storage[i]))
+	}
+
+	b = appendU32(b, uint32(len(s.PortDir)))
+	for i := range s.PortDir {
+		b = append(b, byte(s.PortDir[i]))
+		b = appendU32(b, uint32(s.PortBits[i]))
 	}
 
 	b = appendU32(b, uint32(len(s.CompType)))
@@ -458,6 +522,8 @@ func (s *Snapshot) MarshalBinary() ([]byte, error) {
 
 	b = appendFloats(b, s.ICT)
 	b = appendFloats(b, s.Size)
+	b = appendExtras(b, s.ExtraICT)
+	b = appendExtras(b, s.ExtraSize)
 
 	b = appendU32(b, uint32(len(s.BusWidth)))
 	for i := range s.BusWidth {
@@ -524,6 +590,16 @@ func appendFloats(b []byte, vs []float64) []byte {
 	b = appendU32(b, uint32(len(vs)))
 	for _, v := range vs {
 		b = appendU64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+func appendExtras(b []byte, vs []ExtraWeight) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendU32(b, uint32(v.Node))
+		b = appendU32(b, uint32(v.Type))
+		b = appendU64(b, math.Float64bits(v.W))
 	}
 	return b
 }

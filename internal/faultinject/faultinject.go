@@ -1,9 +1,11 @@
 // Package faultinject provides deterministic, seeded fault injection for
-// the exploration stack. It defines the Hook interface the partition
-// evaluator consults before every cost evaluation (a nil hook costs one
-// branch — the production fast path is untouched) plus concrete injectors
-// that panic, delay, or fail legs of a parallel search on a reproducible
-// schedule.
+// the exploration and durability stacks. It defines the Hook interface the
+// partition evaluator consults before every cost evaluation (a nil hook
+// costs one branch — the production fast path is untouched) plus concrete
+// injectors that panic, delay, or fail legs of a parallel search on a
+// reproducible schedule; and the FS/File filesystem surface the session
+// store writes through, with a ChaosFS that fails, tears, or delays those
+// writes on an equally reproducible schedule (see fs.go).
 //
 // The package is a leaf: it depends only on the standard library, so any
 // layer (partition, alloc, tests) can import it without cycles. The

@@ -1,0 +1,283 @@
+package faultinject
+
+// The filesystem fault layer: the store-facing counterpart of the
+// evaluator hooks above. The session store (internal/store) does all its
+// durability I/O through the FS interface; production hands it OSFS, and
+// crash tests hand it a ChaosFS that fails, tears, or delays writes on a
+// deterministic schedule — so "kill the daemon mid-write and recover" is
+// an ordinary table-driven test, exactly as the evaluator hooks made
+// injected search panics ordinary tests.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// File is a writable file handle as the store needs it: write, fsync,
+// close. Reads go through FS.ReadFile — recovery slurps whole files.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the session store writes through. Every
+// mutation the store's durability depends on is a method here, so a fault
+// plan can intercept all of them.
+type FS interface {
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it if absent.
+	Append(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	// ReadDir returns the names (not paths) of the entries in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making a rename durable.
+	SyncDir(dir string) error
+}
+
+// OSFS is the production FS: the os package, nothing else.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OSFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+func (OSFS) Truncate(name string, size int64) error {
+	return os.Truncate(name, size)
+}
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// FSError is an injected filesystem fault — distinguishable from a real
+// one, like the evaluator's Error type.
+type FSError struct {
+	Op string // "write", "torn write", "sync", "rename"
+	N  int    // 1-based count of that operation at which it fired
+}
+
+func (e *FSError) Error() string {
+	return fmt.Sprintf("faultinject: injected %s error (op %d)", e.Op, e.N)
+}
+
+// FSPlan is a deterministic filesystem fault schedule. Counts are 1-based
+// over the whole ChaosFS (all files); zero disables a fault. The zero
+// plan injects nothing.
+type FSPlan struct {
+	// FailWriteAt makes the Nth Write call fail with nothing written.
+	FailWriteAt int
+	// TornWriteAt makes the Nth Write call write only the first half of
+	// its buffer and then fail — the torn-frame crash model. A journal
+	// append hit by it leaves a half-frame on disk that recovery must
+	// truncate, not choke on.
+	TornWriteAt int
+	// EveryWrite repeats the FailWriteAt/TornWriteAt faults every N
+	// writes after the first firing (0 = fire once).
+	EveryWrite int
+	// FailSyncAt makes the Nth Sync or SyncDir call fail (the write
+	// preceding it may or may not be on "disk" — exactly the ambiguity a
+	// real fsync failure leaves).
+	FailSyncAt int
+	// FailRenameAt makes the Nth Rename fail before renaming, so the
+	// temp file exists but the atomic install never happened.
+	FailRenameAt int
+	// Delay, if positive, is slept before every DelayEvery-th write and
+	// sync (DelayEvery 0 means every one) — the slow-disk knob.
+	Delay      time.Duration
+	DelayEvery int
+}
+
+// ChaosFS wraps a base FS with an FSPlan. It is safe for concurrent use;
+// the operation counters are global to the ChaosFS so a fixed plan fires
+// at a reproducible point in a single-writer store's operation stream.
+type ChaosFS struct {
+	Base FS
+	Plan FSPlan
+
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	renames int
+}
+
+// NewChaosFS wraps base (OSFS if nil) with plan.
+func NewChaosFS(base FS, plan FSPlan) *ChaosFS {
+	if base == nil {
+		base = OSFS{}
+	}
+	return &ChaosFS{Base: base, Plan: plan}
+}
+
+// Counts reports how many writes, syncs and renames the FS has seen —
+// handy for asserting a fault actually fired.
+func (c *ChaosFS) Counts() (writes, syncs, renames int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes, c.syncs, c.renames
+}
+
+// fires reports whether a 1-based schedule point at (plus EveryWrite
+// repeats, for write faults) matches count n.
+func fires(at, every, n int) bool {
+	if at <= 0 || n < at {
+		return false
+	}
+	if n == at {
+		return true
+	}
+	return every > 0 && (n-at)%every == 0
+}
+
+// nextWrite advances the write counter and returns the fault to apply:
+// 0 = none, 1 = fail, 2 = torn.
+func (c *ChaosFS) nextWrite() (kind, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writes++
+	n = c.writes
+	c.sleepLocked(n)
+	switch {
+	case fires(c.Plan.FailWriteAt, c.Plan.EveryWrite, n):
+		return 1, n
+	case fires(c.Plan.TornWriteAt, c.Plan.EveryWrite, n):
+		return 2, n
+	}
+	return 0, n
+}
+
+func (c *ChaosFS) nextSync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncs++
+	c.sleepLocked(c.syncs)
+	if c.Plan.FailSyncAt > 0 && c.syncs == c.Plan.FailSyncAt {
+		return &FSError{Op: "sync", N: c.syncs}
+	}
+	return nil
+}
+
+func (c *ChaosFS) sleepLocked(n int) {
+	if c.Plan.Delay <= 0 {
+		return
+	}
+	every := c.Plan.DelayEvery
+	if every <= 0 {
+		every = 1
+	}
+	if n%every == 0 {
+		time.Sleep(c.Plan.Delay)
+	}
+}
+
+func (c *ChaosFS) MkdirAll(dir string) error { return c.Base.MkdirAll(dir) }
+
+func (c *ChaosFS) Create(name string) (File, error) {
+	f, err := c.Base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{fs: c, f: f}, nil
+}
+
+func (c *ChaosFS) Append(name string) (File, error) {
+	f, err := c.Base.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{fs: c, f: f}, nil
+}
+
+func (c *ChaosFS) ReadFile(name string) ([]byte, error)   { return c.Base.ReadFile(name) }
+func (c *ChaosFS) ReadDir(dir string) ([]string, error)   { return c.Base.ReadDir(dir) }
+func (c *ChaosFS) Remove(name string) error               { return c.Base.Remove(name) }
+func (c *ChaosFS) Truncate(name string, size int64) error { return c.Base.Truncate(name, size) }
+
+func (c *ChaosFS) Rename(oldpath, newpath string) error {
+	c.mu.Lock()
+	c.renames++
+	n := c.renames
+	fail := c.Plan.FailRenameAt > 0 && n == c.Plan.FailRenameAt
+	c.mu.Unlock()
+	if fail {
+		return &FSError{Op: "rename", N: n}
+	}
+	return c.Base.Rename(oldpath, newpath)
+}
+
+func (c *ChaosFS) SyncDir(dir string) error {
+	if err := c.nextSync(); err != nil {
+		return err
+	}
+	return c.Base.SyncDir(dir)
+}
+
+// chaosFile applies the plan's write faults to one handle.
+type chaosFile struct {
+	fs *ChaosFS
+	f  File
+}
+
+func (cf *chaosFile) Write(p []byte) (int, error) {
+	switch kind, n := cf.fs.nextWrite(); kind {
+	case 1:
+		return 0, &FSError{Op: "write", N: n}
+	case 2:
+		half := len(p) / 2
+		if wn, err := cf.f.Write(p[:half]); err != nil {
+			return wn, err
+		}
+		return half, &FSError{Op: "torn write", N: n}
+	}
+	return cf.f.Write(p)
+}
+
+func (cf *chaosFile) Sync() error {
+	if err := cf.fs.nextSync(); err != nil {
+		return err
+	}
+	return cf.f.Sync()
+}
+
+func (cf *chaosFile) Close() error { return cf.f.Close() }

@@ -1,0 +1,164 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSFSBasics drives the production FS through the store's whole
+// operation vocabulary on a real temp dir.
+func TestOSFSBasics(t *testing.T) {
+	fs := OSFS{}
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := fs.MkdirAll(sub); err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(sub, "f")
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := fs.Append(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(name)
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := fs.Truncate(name, 5); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = fs.ReadFile(name)
+	if string(data) != "hello" {
+		t.Fatalf("after truncate: %q", data)
+	}
+	dst := filepath.Join(sub, "g")
+	if err := fs.Rename(name, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir(sub)
+	if err != nil || len(names) != 1 || names[0] != "g" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := fs.Remove(dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile(dst); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("removed file still readable: %v", err)
+	}
+}
+
+// TestChaosFSWriteFaults pins the injected write faults: the scheduled
+// write fails (clean or torn), the schedule is deterministic, and a torn
+// write leaves exactly the first half of the buffer on disk.
+func TestChaosFSWriteFaults(t *testing.T) {
+	run := func(plan FSPlan) (contents []byte, errs []error) {
+		dir := t.TempDir()
+		fs := NewChaosFS(OSFS{}, plan)
+		name := filepath.Join(dir, "f")
+		f, err := fs.Append(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			_, err := f.Write([]byte("01234567"))
+			errs = append(errs, err)
+		}
+		f.Close()
+		data, err := OSFS{}.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, errs
+	}
+
+	data, errs := run(FSPlan{FailWriteAt: 2})
+	if errs[0] != nil || errs[1] == nil || errs[2] != nil {
+		t.Fatalf("FailWriteAt=2 errs = %v", errs)
+	}
+	var fe *FSError
+	if !errors.As(errs[1], &fe) || fe.Op != "write" || fe.N != 2 {
+		t.Fatalf("injected error = %v", errs[1])
+	}
+	if string(data) != "012345670123456701234567" {
+		t.Fatalf("failed write leaked bytes: %q", data)
+	}
+
+	data, errs = run(FSPlan{TornWriteAt: 3})
+	if errs[2] == nil {
+		t.Fatalf("TornWriteAt=3 errs = %v", errs)
+	}
+	if string(data) != "0123456701234567"+"0123"+"01234567" {
+		t.Fatalf("torn write wrote %q", data)
+	}
+
+	// EveryWrite repeats the fault.
+	_, errs = run(FSPlan{FailWriteAt: 1, EveryWrite: 2})
+	if errs[0] == nil || errs[1] != nil || errs[2] == nil || errs[3] != nil {
+		t.Fatalf("EveryWrite schedule = %v", errs)
+	}
+
+	// Same plan, same failure point: determinism.
+	_, errs1 := run(FSPlan{TornWriteAt: 3})
+	_, errs2 := run(FSPlan{TornWriteAt: 3})
+	for i := range errs1 {
+		if (errs1[i] == nil) != (errs2[i] == nil) {
+			t.Fatalf("nondeterministic schedule at write %d", i)
+		}
+	}
+}
+
+// TestChaosFSSyncAndRenameFaults pins the sync and rename schedules.
+func TestChaosFSSyncAndRenameFaults(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewChaosFS(OSFS{}, FSPlan{FailSyncAt: 2, FailRenameAt: 1})
+	f, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1 should pass: %v", err)
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync 2 should fail")
+	}
+	f.Close()
+
+	if err := fs.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); err == nil {
+		t.Fatal("rename 1 should fail")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "f")); err != nil {
+		t.Fatalf("failed rename moved the file: %v", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); err != nil {
+		t.Fatalf("rename 2 should pass: %v", err)
+	}
+	if w, s, r := fs.Counts(); w != 1 || s < 2 || r != 2 {
+		t.Fatalf("Counts = %d writes, %d syncs, %d renames", w, s, r)
+	}
+}

@@ -21,6 +21,12 @@ type Metrics struct {
 	builds    atomic.Int64 // full builds + incremental reloads performed
 	evictions atomic.Int64 // sessions dropped by the LRU cap
 	queued    atomic.Int64 // gauge: requests waiting or running in a session
+
+	checkpoints  atomic.Int64 // compiled-image checkpoints written to the store
+	restores     atomic.Int64 // sessions restored from a checkpoint (no front end)
+	recovered    atomic.Int64 // sessions brought back by startup recovery
+	recoveryFail atomic.Int64 // sessions that failed to restore or recover
+	storeErrs    atomic.Int64 // store operations that failed (serving continued)
 }
 
 // Stats is one JSON-serializable snapshot of the metrics, served at
@@ -38,6 +44,12 @@ type Stats struct {
 	Evictions   int64   `json:"evictions"`
 	QueueDepth  int64   `json:"queue_depth"`
 	Sessions    int     `json:"sessions"`
+
+	Checkpoints      int64 `json:"checkpoints"`
+	Restores         int64 `json:"restores"`
+	Recovered        int64 `json:"recovered"`
+	RecoveryFailures int64 `json:"recovery_failures"`
+	StoreErrors      int64 `json:"store_errors"`
 }
 
 func (m *Metrics) snapshot(sessions int) Stats {
@@ -60,5 +72,11 @@ func (m *Metrics) snapshot(sessions int) Stats {
 		Evictions:   m.evictions.Load(),
 		QueueDepth:  m.queued.Load(),
 		Sessions:    sessions,
+
+		Checkpoints:      m.checkpoints.Load(),
+		Restores:         m.restores.Load(),
+		Recovered:        m.recovered.Load(),
+		RecoveryFailures: m.recoveryFail.Load(),
+		StoreErrors:      m.storeErrs.Load(),
 	}
 }

@@ -29,7 +29,10 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"specsyn/internal/alloc"
@@ -37,8 +40,8 @@ import (
 	"specsyn/internal/core"
 	"specsyn/internal/estimate"
 	"specsyn/internal/partition"
-	"specsyn/internal/profile"
 	"specsyn/internal/specsyn"
+	"specsyn/internal/store"
 )
 
 // Config tunes the daemon; the zero value serves with sane defaults.
@@ -68,6 +71,17 @@ type Config struct {
 	Library *alloc.Library
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Store, if non-nil, makes sessions durable: inputs are journaled on
+	// build/reload/delete, compiled images are checkpointed, and Recover
+	// replays the store on startup. nil serves from memory only.
+	Store *store.Store
+	// CheckpointEvery writes a session checkpoint once this many journal
+	// records have accumulated past the last one (builds always
+	// checkpoint); 0 means 8.
+	CheckpointEvery int
+	// RetryAfter is the backoff hint sent in the Retry-After header of
+	// load-shed 503 responses; 0 means 1s.
+	RetryAfter time.Duration
 }
 
 func (c Config) maxSessions() int {
@@ -122,6 +136,20 @@ func (c Config) library() *alloc.Library {
 	return alloc.Std()
 }
 
+func (c Config) checkpointEvery() int {
+	if c.CheckpointEvery > 0 {
+		return c.CheckpointEvery
+	}
+	return 8
+}
+
+func (c Config) retryAfter() time.Duration {
+	if c.RetryAfter > 0 {
+		return c.RetryAfter
+	}
+	return time.Second
+}
+
 // Server is the exploration daemon. Create it with New and mount it as an
 // http.Handler; it is safe for concurrent use.
 type Server struct {
@@ -130,6 +158,17 @@ type Server struct {
 	work    chan struct{} // global heavy-work pool
 	metrics Metrics
 	mux     *http.ServeMux
+
+	// ready is false only while Recover replays the store; draining is
+	// set by BeginDrain. Either one 503s data-plane requests and /readyz,
+	// while /healthz keeps answering — liveness and readiness are
+	// different questions.
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// restoreMu singleflights restore-on-miss so a burst of requests for
+	// one evicted session decodes its checkpoint once.
+	restoreMu sync.Mutex
 }
 
 // New builds a Server from cfg.
@@ -141,10 +180,26 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 	}
 	s.metrics.start = time.Now()
+	s.ready.Store(true) // Recover, if used, flips it off for the replay
 
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		switch {
+		case !s.ready.Load():
+			w.Header().Set("Retry-After", s.retryAfterSecs())
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "recovering")
+		case s.draining.Load():
+			w.Header().Set("Retry-After", s.retryAfterSecs())
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+		default:
+			fmt.Fprintln(w, "ready")
+		}
 	})
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/designs", s.handleList)
@@ -181,6 +236,14 @@ func (s *Server) Stats() Stats {
 func (s *Server) contained(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests.Add(1)
+		if !s.ready.Load() {
+			s.writeError(w, http.StatusServiceUnavailable, errors.New("starting: session recovery in progress"))
+			return
+		}
+		if s.draining.Load() {
+			s.writeError(w, http.StatusServiceUnavailable, errors.New("draining: daemon is shutting down"))
+			return
+		}
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.metrics.panics.Add(1) // writeError counts the failure
@@ -201,12 +264,25 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	switch {
 	case status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests:
 		s.metrics.rejects.Add(1)
+		// Load-shed responses carry a backoff hint so clients retry
+		// instead of hammering or giving up.
+		w.Header().Set("Retry-After", s.retryAfterSecs())
 	case status >= 500:
 		s.metrics.failures.Add(1)
 	case status >= 400:
 		s.metrics.clientErr.Add(1)
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// retryAfterSecs renders the configured backoff as whole seconds (the
+// header's delay-seconds form), never less than 1.
+func (s *Server) retryAfterSecs() string {
+	secs := int((s.cfg.retryAfter() + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -290,15 +366,25 @@ func (s *Server) admit(ctx context.Context, sess *session, w http.ResponseWriter
 	}, true
 }
 
-// lookup fetches the session or writes a 404.
+// lookup fetches the session — from the cache, or restored from the
+// durable store after an LRU eviction or restart — or writes a 404.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	id := r.PathValue("id")
-	sess := s.cache.get(id)
-	if sess == nil {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q (build it first)", id))
-		return nil, false
+	if sess := s.cache.get(id); sess != nil {
+		return sess, true
 	}
-	return sess, true
+	if s.cfg.Store != nil && s.cfg.Store.Has(id) {
+		sess, err := s.restoreMiss(id)
+		if err != nil {
+			s.metrics.recoveryFail.Add(1)
+			s.writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("session %q failed to restore from the store: %w", id, err))
+			return nil, false
+		}
+		return sess, true
+	}
+	s.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q (build it first)", id))
+	return nil, false
 }
 
 // BuildRequest creates or replaces one design session. VHDL is required;
@@ -342,32 +428,10 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseWork()
 
-	env := specsyn.New()
-	env.Lib = s.cfg.library()
-	env.LoadVHDL(req.VHDL)
-	if req.Profile != "" {
-		p, err := profile.Parse(strings.NewReader(req.Profile))
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("profile: %w", err))
-			return
-		}
-		env.Prof = p
-	}
-	if req.Library != "" {
-		l, err := alloc.Parse(strings.NewReader(req.Library))
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("library: %w", err))
-			return
-		}
-		env.Lib = l
-	}
-	if req.Overrides != "" {
-		o, err := builder.ParseOverrides(strings.NewReader(req.Overrides))
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("overrides: %w", err))
-			return
-		}
-		env.Overrides = o
+	env, err := s.newEnv(req.VHDL, req.Profile, req.Library, req.Overrides)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	if err := env.Build(); err != nil {
 		s.writeError(w, http.StatusUnprocessableEntity, err)
@@ -376,14 +440,18 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	s.metrics.builds.Add(1)
 
 	sess := newSession(id, env, s.cfg.sessionSlots(), s.cfg.sessionQueue())
-	if n := s.cache.put(sess); n > 0 {
-		s.metrics.evictions.Add(int64(n))
-	}
+	sess.profile, sess.library, sess.overrides = req.Profile, req.Library, req.Overrides
+	sess.seq = s.journalBuild(id, req)
+	evicted := s.install(sess)
+	// A fresh build is always checkpointed: restore-on-miss and crash
+	// recovery then skip the front end entirely.
+	s.checkpoint(sess)
 	st := env.Graph.Stats()
 	writeJSON(w, http.StatusOK, BuildResponse{
 		ID: id, BV: st.BV, Channels: st.Channels,
 		Procs: len(env.Graph.Procs), Buses: len(env.Graph.Buses),
 		BuildMs: float64(env.BuildTime.Microseconds()) / 1000,
+		Evicted: evicted,
 	})
 }
 
@@ -432,6 +500,14 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		var err error
 		delta, err = env.Reload(req.VHDL)
 		buildTime = env.BuildTime
+		if err == nil {
+			// Journal inside the write lock: journal order is apply order,
+			// so replay reproduces exactly this source chain. (withWrite
+			// holds sess.mu, which also guards sess.seq.)
+			if seq := s.journalReload(sess.id, req.VHDL); seq > 0 {
+				sess.seq = seq
+			}
+		}
 		return err
 	})
 	if err != nil {
@@ -439,6 +515,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.builds.Add(1)
+	s.maybeCheckpoint(sess)
 	writeJSON(w, http.StatusOK, ReloadResponse{
 		ID: sess.id, Empty: delta.Empty(), Full: delta.Full, Reason: delta.Reason,
 		Changed: delta.Changed, Dependents: delta.Dependents,
@@ -692,9 +769,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 	id := r.PathValue("id")
-	if !s.cache.delete(id) {
+	inCache := s.cache.delete(id)
+	inStore := s.cfg.Store != nil && s.cfg.Store.Has(id)
+	if !inCache && !inStore {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
 		return
+	}
+	if inStore {
+		s.journalDelete(id)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }

@@ -40,6 +40,24 @@ type session struct {
 	slots    chan struct{}
 	maxQueue int
 	pending  atomic.Int64
+
+	// Durability bookkeeping (guarded by mu): seq is the latest journal
+	// sequence applied to this session and ckptSeq the one its on-disk
+	// checkpoint covers — their difference is the dirty reload count. The
+	// auxiliary input texts ride along for checkpoint writes. flushMu
+	// serializes checkpoint writers independently of mu, so a slow image
+	// write never blocks readers or the reload writer, and an
+	// eviction-triggered flush cannot interleave with a periodic one.
+	seq, ckptSeq                uint64
+	profile, library, overrides string
+	flushMu                     sync.Mutex
+}
+
+// persist reads the session's durability cursor.
+func (s *session) persist() (seq, ckptSeq uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq, s.ckptSeq
 }
 
 func newSession(id string, env *specsyn.Env, slots, queue int) *session {
@@ -126,22 +144,24 @@ func (c *cache) get(id string) *session {
 	return el.Value.(*session)
 }
 
-// put installs (or replaces) a session and returns how many sessions the
-// LRU cap evicted to make room.
-func (c *cache) put(s *session) (evicted int) {
+// put installs (or replaces) a session and returns the sessions the LRU
+// cap evicted to make room — the caller flushes their dirty state to the
+// store before letting them go.
+func (c *cache) put(s *session) (evicted []*session) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el := c.m[s.id]; el != nil {
 		el.Value = s
 		c.ll.MoveToFront(el)
-		return 0
+		return nil
 	}
 	c.m[s.id] = c.ll.PushFront(s)
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*session).id)
-		evicted++
+		old := oldest.Value.(*session)
+		delete(c.m, old.id)
+		evicted = append(evicted, old)
 	}
 	return evicted
 }

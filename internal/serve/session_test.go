@@ -167,13 +167,13 @@ func TestSessionReloadRacesParallelSearch(t *testing.T) {
 func TestCacheLRUOrder(t *testing.T) {
 	c := newCache(2)
 	mk := func(id string) *session { return newSession(id, specsyn.New(), 1, 0) }
-	if n := c.put(mk("x")); n != 0 {
-		t.Fatalf("put x evicted %d", n)
+	if ev := c.put(mk("x")); len(ev) != 0 {
+		t.Fatalf("put x evicted %d", len(ev))
 	}
 	c.put(mk("y"))
 	c.get("x") // x now MRU
-	if n := c.put(mk("z")); n != 1 {
-		t.Fatalf("put z evicted %d, want 1", n)
+	if ev := c.put(mk("z")); len(ev) != 1 || ev[0].id != "y" {
+		t.Fatalf("put z evicted %v, want [y]", ev)
 	}
 	if c.get("y") != nil {
 		t.Error("y survived, want evicted")
