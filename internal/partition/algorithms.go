@@ -41,6 +41,18 @@ type Config struct {
 	// path — the two produce identical searches up to floating-point
 	// rounding, and the differential tests hold them to 1e-9.
 	FullEval bool
+
+	// SwapProb, when positive, makes Anneal propose a pair-swap move (two
+	// nodes exchanging components, costed in one SwapCost evaluation) with
+	// this probability per iteration instead of a single-node move. Zero
+	// keeps the historical single-move proposal stream bit-identical.
+	SwapProb float64
+
+	// SwapPass, when set, makes GroupMigration follow its converged move
+	// passes with a Kernighan–Lin style swap pass: repeatedly commit the
+	// best strictly-improving pair exchange until none remains. Off by
+	// default so existing runs are unchanged.
+	SwapPass bool
 }
 
 // checkInterval is how many candidates/iterations a search hot loop runs
@@ -106,15 +118,17 @@ func evalWith(cfg Config, pt *core.Partition) (float64, error) {
 
 // mover is what a move-based search needs from an evaluator: the cost of
 // the current partition, the cost the partition would have after one node
-// move (without keeping it), and committing a move. DeltaEval satisfies
-// it at O(degree) per call; fullMover is the O(graph) recompute with
-// identical semantics. Both count one evaluation per Cost/MoveCost and
-// none per Apply, so budgets and fault injection see the same sequence
-// whichever implementation runs.
+// move or one pair exchange (without keeping it), and committing either.
+// DeltaEval satisfies it at O(degree) per call; fullMover is the O(graph)
+// recompute with identical semantics. Both count one evaluation per
+// Cost/MoveCost/SwapCost and none per Apply/ApplySwap, so budgets and
+// fault injection see the same sequence whichever implementation runs.
 type mover interface {
 	Cost() (float64, error)
 	MoveCost(n *core.Node, to core.Component) (float64, error)
 	Apply(n *core.Node, to core.Component) error
+	SwapCost(a, b *core.Node) (float64, error)
+	ApplySwap(a, b *core.Node) error
 }
 
 // fullMover implements mover by full recompute: MoveCost assigns, costs
@@ -142,6 +156,51 @@ func (m *fullMover) MoveCost(n *core.Node, to core.Component) (float64, error) {
 // next evaluation (evalWith), as the searches always did.
 func (m *fullMover) Apply(n *core.Node, to core.Component) error {
 	return m.pt.Assign(n, to)
+}
+
+// SwapCost costs the pair exchange of a and b by assign-cost-restore,
+// mirroring DeltaEval.SwapCost: one evaluation, and a degenerate swap
+// (same node or same component) is costed as a no-op.
+func (m *fullMover) SwapCost(a, b *core.Node) (float64, error) {
+	ca, cb := m.pt.BvComp(a), m.pt.BvComp(b)
+	if a == b || ca == cb {
+		return evalWith(m.cfg, m.pt)
+	}
+	if err := m.pt.Assign(a, cb); err != nil {
+		return 0, err
+	}
+	if err := m.pt.Assign(b, ca); err != nil {
+		if rerr := m.pt.Assign(a, ca); rerr != nil {
+			return 0, rerr
+		}
+		return 0, err
+	}
+	cost, cerr := evalWith(m.cfg, m.pt)
+	if err := m.pt.Assign(b, cb); err != nil {
+		return 0, err
+	}
+	if err := m.pt.Assign(a, ca); err != nil {
+		return 0, err
+	}
+	return cost, cerr
+}
+
+// ApplySwap commits the pair exchange only, like Apply.
+func (m *fullMover) ApplySwap(a, b *core.Node) error {
+	ca, cb := m.pt.BvComp(a), m.pt.BvComp(b)
+	if a == b || ca == cb {
+		return nil
+	}
+	if err := m.pt.Assign(a, cb); err != nil {
+		return err
+	}
+	if err := m.pt.Assign(b, ca); err != nil {
+		if rerr := m.pt.Assign(a, ca); rerr != nil {
+			return rerr
+		}
+		return err
+	}
+	return nil
 }
 
 // newMover binds the best available mover to pt: the evaluator's pooled
@@ -331,7 +390,13 @@ place:
 			}
 			if !cfg.budgetLeft(start) {
 				// Mid-node budget exhaustion: commit the best candidate
-				// tried so far (the mapping stays complete) and stop.
+				// tried so far (the mapping stays complete) and stop. The
+				// same fallback as below — no candidate may have beaten
+				// +Inf yet (every cost so far NaN), and Apply(n, nil)
+				// would tear the mapping.
+				if bestComp == nil {
+					bestComp = from
+				}
 				if err := m.Apply(n, bestComp); err != nil {
 					return Result{}, err
 				}
@@ -387,7 +452,6 @@ func GroupMigration(ctx context.Context, init *core.Partition, cfg Config) (Resu
 		locked := map[*core.Node]bool{}
 		work := cur.Clone()
 		wm := newMover(cfg, work)
-		workCost := curCost
 		var seq []move
 
 		for len(locked) < len(g.Nodes) {
@@ -424,9 +488,7 @@ func GroupMigration(ctx context.Context, init *core.Partition, cfg Config) (Resu
 			}
 			locked[bestMove.n] = true
 			seq = append(seq, *bestMove)
-			workCost = bestMove.cost
 		}
-		_ = workCost
 
 		// Keep the best prefix of the move sequence.
 		bestPrefix, bestPrefixCost := 0, curCost
@@ -451,14 +513,92 @@ func GroupMigration(ctx context.Context, init *core.Partition, cfg Config) (Resu
 			break
 		}
 	}
+	if cfg.SwapPass && !partial {
+		var err error
+		curCost, partial, err = swapPass(ctx, g, cur, curCost, cfg, start)
+		if err != nil {
+			return Result{}, err
+		}
+	}
 	return Result{Best: cur, Cost: curCost, Evals: cfg.Eval.Evals - start, Partial: partial}, nil
 }
 
+// swapPass is GroupMigration's Kernighan–Lin style pair-exchange phase:
+// single-node passes move mass between components, but a pair of nodes
+// whose individual moves both worsen the cost can still improve it as an
+// exchange (the classic KL insight). Each iteration trials every cross-
+// component pair whose endpoints can legally host each other's component
+// and commits the single best strictly-improving exchange; iterations
+// repeat until none improves. Every committed swap strictly improves cur,
+// so an abandoned pass (cancel/budget) never needs prefix rollback.
+func swapPass(ctx context.Context, g *core.Graph, cur *core.Partition, curCost float64, cfg Config, start int) (float64, bool, error) {
+	// Hostability table: swaps must stay within each node's candidate set.
+	allowed := make(map[*core.Node]map[core.Component]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		set := make(map[core.Component]bool)
+		for _, c := range Allowed(g, n) {
+			set[c] = true
+		}
+		allowed[n] = set
+	}
+	work := cur.Clone()
+	wm := newMover(cfg, work)
+	trials := 0
+	for {
+		if cancelled(ctx) || !cfg.budgetLeft(start) {
+			return curCost, true, nil
+		}
+		bestCost := curCost
+		var bestA, bestB *core.Node
+		for i, a := range g.Nodes {
+			for _, b := range g.Nodes[i+1:] {
+				ca, cb := work.BvComp(a), work.BvComp(b)
+				if ca == cb || !allowed[a][cb] || !allowed[b][ca] {
+					continue
+				}
+				if trials%checkInterval == 0 && cancelled(ctx) {
+					return curCost, true, nil
+				}
+				if !cfg.budgetLeft(start) {
+					return curCost, true, nil
+				}
+				trials++
+				cost, err := wm.SwapCost(a, b)
+				if err != nil {
+					return 0, false, err
+				}
+				if cost < bestCost {
+					bestCost, bestA, bestB = cost, a, b
+				}
+			}
+		}
+		if bestA == nil {
+			return curCost, false, nil // no improving exchange left
+		}
+		if err := wm.ApplySwap(bestA, bestB); err != nil {
+			return 0, false, err
+		}
+		// Commit through to cur immediately: strictly-improving exchanges
+		// need no prefix bookkeeping to be safe against abandonment.
+		if err := cur.Assign(bestA, work.BvComp(bestA)); err != nil {
+			return 0, false, err
+		}
+		if err := cur.Assign(bestB, work.BvComp(bestB)); err != nil {
+			return 0, false, err
+		}
+		curCost = bestCost
+		if err := ApplyBusPolicy(cur, cfg.Policy); err != nil {
+			return 0, false, err
+		}
+	}
+}
+
 // Anneal runs simulated annealing from an initial partition: random node
-// moves accepted when improving or with Boltzmann probability otherwise,
-// geometric cooling. A cancelled or budget-exhausted run returns the best
-// partition seen so far with Partial set; the context is polled every
-// checkInterval iterations so the RNG stream is untouched by the checks.
+// moves — plus, with Config.SwapProb, random pair exchanges — accepted
+// when improving or with Boltzmann probability otherwise, geometric
+// cooling. A cancelled or budget-exhausted run returns the best partition
+// seen so far with Partial set; the context is polled every checkInterval
+// iterations so the RNG stream is untouched by the checks.
 func Anneal(ctx context.Context, init *core.Partition, cfg Config) (Result, error) {
 	g := init.Graph()
 	start := cfg.Eval.Evals
@@ -490,6 +630,20 @@ func Anneal(ctx context.Context, init *core.Partition, cfg Config) (Result, erro
 		return Result{Best: best, Cost: bestCost, Evals: cfg.Eval.Evals - start}, nil
 	}
 
+	// Swap proposals need the candidate sets as membership tests; built
+	// only when the move kind is enabled so SwapProb == 0 costs nothing.
+	var swapAllowed map[*core.Node]map[core.Component]bool
+	if cfg.SwapProb > 0 {
+		swapAllowed = make(map[*core.Node]map[core.Component]bool, len(movable))
+		for _, n := range movable {
+			set := make(map[core.Component]bool)
+			for _, c := range Allowed(g, n) {
+				set[c] = true
+			}
+			swapAllowed[n] = set
+		}
+	}
+
 	partial := false
 	for i := 0; i < iters; i++ {
 		if i%checkInterval == 0 && cancelled(ctx) {
@@ -499,6 +653,32 @@ func Anneal(ctx context.Context, init *core.Partition, cfg Config) (Result, erro
 		if !cfg.budgetLeft(start) {
 			partial = true
 			break
+		}
+		if cfg.SwapProb > 0 && len(movable) > 1 && rng.Float64() < cfg.SwapProb {
+			a := movable[rng.Intn(len(movable))]
+			b := movable[rng.Intn(len(movable))]
+			ca, cb := cur.BvComp(a), cur.BvComp(b)
+			if a != b && ca != cb && swapAllowed[a][cb] && swapAllowed[b][ca] {
+				cost, err := m.SwapCost(a, b)
+				if err != nil {
+					return Result{}, err
+				}
+				if cost <= curCost || rng.Float64() < math.Exp((curCost-cost)/temp) {
+					if err := m.ApplySwap(a, b); err != nil {
+						return Result{}, err
+					}
+					curCost = cost
+					if cost < bestCost {
+						bestCost = cost
+						best = cur.Clone()
+					}
+				}
+				temp *= cool
+				continue
+			}
+			// Infeasible draw (same node, same component, or a component the
+			// partner cannot host): fall through to a single-node move so
+			// the iteration still proposes something and cools exactly once.
 		}
 		n := movable[rng.Intn(len(movable))]
 		from := cur.BvComp(n)

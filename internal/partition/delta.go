@@ -95,6 +95,9 @@ type DeltaEval struct {
 	sinceRefresh int
 	undoNode     int32
 	undoComp     int32
+	undoNode2    int32 // swap partner (undoIsSwap only)
+	undoComp2    int32
+	undoIsSwap   bool
 	hasUndo      bool
 	broken       bool // a move failed midway; sums are unreliable
 }
@@ -204,7 +207,7 @@ func newDeltaEval(ev *Evaluator) (*DeltaEval, error) {
 // Rebind clears any installed IndexedPolicy; reinstall it afterwards.
 func (d *DeltaEval) Rebind(pt *core.Partition, policy BusPolicy) error {
 	d.pt, d.policy, d.ipol = pt, policy, nil
-	d.broken, d.hasUndo = false, false
+	d.broken, d.hasUndo, d.undoIsSwap = false, false, false
 	d.w = d.ev.W
 	for i := range d.hasRate {
 		d.hasRate[i] = false
@@ -632,7 +635,7 @@ func (d *DeltaEval) Apply(n *core.Node, to core.Component) error {
 	if !ok {
 		return fmt.Errorf("partition: component %q is not in the evaluator's graph", to.CompName())
 	}
-	d.undoNode, d.undoComp, d.hasUndo = ni, d.asg.NodeComp[ni], true
+	d.undoNode, d.undoComp, d.undoIsSwap, d.hasUndo = ni, d.asg.NodeComp[ni], false, true
 	if err := d.move(ni, toIdx); err != nil {
 		return err
 	}
@@ -640,7 +643,7 @@ func (d *DeltaEval) Apply(n *core.Node, to core.Component) error {
 	return nil
 }
 
-// Undo reverts the most recent Apply. Only one level is kept.
+// Undo reverts the most recent Apply or ApplySwap. Only one level is kept.
 func (d *DeltaEval) Undo() error {
 	if d.broken {
 		return fmt.Errorf("partition: delta evaluator is broken by an earlier failed move; Rebind it")
@@ -649,10 +652,113 @@ func (d *DeltaEval) Undo() error {
 		return fmt.Errorf("partition: Undo without a preceding Apply")
 	}
 	d.hasUndo = false
+	if d.undoIsSwap {
+		d.undoIsSwap = false
+		if err := d.move(d.undoNode2, d.undoComp2); err != nil {
+			return err
+		}
+		d.syncNode(d.undoNode2)
+	}
 	if err := d.move(d.undoNode, d.undoComp); err != nil {
 		return err
 	}
 	d.syncNode(d.undoNode)
+	return nil
+}
+
+// swapIdx resolves a swap's endpoints to dense indices and their current
+// components, rejecting nodes outside the evaluator's graph.
+func (d *DeltaEval) swapIdx(a, b *core.Node) (ai, bi, ca, cb int32, err error) {
+	ai, ok := d.deps.Index(a)
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("partition: node %q is not in the evaluator's graph", a.Name)
+	}
+	bi, ok = d.deps.Index(b)
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("partition: node %q is not in the evaluator's graph", b.Name)
+	}
+	return ai, bi, d.asg.NodeComp[ai], d.asg.NodeComp[bi], nil
+}
+
+// SwapCost returns the cost the bound partition would have with nodes a
+// and b exchanging components, leaving the partition as it was. The
+// exchange is composed of two single-node moves — each a correct O(degree
+// + dependent region) transition of every sum, so their composition needs
+// no special handling of channels the two nodes share — then inverted in
+// reverse order. It counts as one evaluation, exactly like MoveCost. A
+// degenerate swap (a == b, or both on one component) is costed as a no-op.
+func (d *DeltaEval) SwapCost(a, b *core.Node) (float64, error) {
+	if err := d.beginEval(); err != nil {
+		return 0, err
+	}
+	if err := d.refreshIfDue(); err != nil {
+		return 0, err
+	}
+	ai, bi, ca, cb, err := d.swapIdx(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if ai == bi || ca == cb {
+		return d.costNow()
+	}
+	if err := d.move(ai, cb); err != nil {
+		return 0, err
+	}
+	if err := d.move(bi, ca); err != nil {
+		// b cannot host a's component: roll a back. The inverse of a
+		// completed move validates trivially, so a failure here means
+		// the sums are no longer trustworthy.
+		if rerr := d.move(ai, ca); rerr != nil {
+			d.broken = true
+			return 0, rerr
+		}
+		return 0, err
+	}
+	cost, cerr := d.costNow()
+	if err := d.move(bi, cb); err != nil {
+		d.broken = true
+		return 0, err
+	}
+	if err := d.move(ai, ca); err != nil {
+		d.broken = true
+		return 0, err
+	}
+	return cost, cerr
+}
+
+// ApplySwap commits the exchange of a's and b's components and remembers
+// it for Undo, writing the new state through to the bound Partition. Like
+// Apply it is bookkeeping: no hook fires and no evaluation is counted. A
+// degenerate swap commits nothing but still arms Undo (as a no-op).
+func (d *DeltaEval) ApplySwap(a, b *core.Node) error {
+	if d.broken {
+		return fmt.Errorf("partition: delta evaluator is broken by an earlier failed move; Rebind it")
+	}
+	if err := d.refreshIfDue(); err != nil {
+		return err
+	}
+	ai, bi, ca, cb, err := d.swapIdx(a, b)
+	if err != nil {
+		return err
+	}
+	d.undoNode, d.undoComp = ai, ca
+	d.undoNode2, d.undoComp2 = bi, cb
+	d.undoIsSwap, d.hasUndo = true, true
+	if ai == bi || ca == cb {
+		return nil
+	}
+	if err := d.move(ai, cb); err != nil {
+		return err
+	}
+	if err := d.move(bi, ca); err != nil {
+		if rerr := d.move(ai, ca); rerr != nil {
+			d.broken = true
+			return rerr
+		}
+		return err
+	}
+	d.syncNode(ai)
+	d.syncNode(bi)
 	return nil
 }
 

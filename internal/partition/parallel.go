@@ -32,13 +32,43 @@ import (
 	"specsyn/internal/core"
 )
 
-// ParallelOptions sizes the worker pool and the leg plan.
+// ParallelOptions sizes the worker pool and the leg plan, and opts in to
+// the adaptive portfolio orchestrator (see portfolio.go). All adaptive
+// knobs default to off/zero, which keeps MultiStart bit-identical to the
+// static engine.
 type ParallelOptions struct {
 	// Workers is the number of concurrent goroutines; 0 means GOMAXPROCS.
 	// The worker count affects only scheduling, never the result.
 	Workers int
 	// Legs is the number of independent search starts; 0 means Workers.
 	Legs int
+
+	// Adaptive turns MultiStart into the round-based portfolio
+	// orchestrator: legs run in eval-budget rounds against a lock-free
+	// incumbent board, laggards are killed and respawned with perturbed
+	// derived seeds, and the report carries the anytime curve. The result
+	// is still deterministic for a fixed seed and leg count at any worker
+	// count — all cross-leg decisions happen at round barriers in leg
+	// order. Off by default: the static engine runs unchanged.
+	Adaptive bool
+	// Share lets adaptive improvement rounds reheat from the shared
+	// incumbent instead of each leg's own best (implies Adaptive). With
+	// sharing on, a run is reproducible at a fixed seed and leg count.
+	Share bool
+	// RoundEvals is the per-leg evaluation budget of one adaptive round;
+	// 0 means 256.
+	RoundEvals int
+	// MaxRounds bounds the adaptive rounds; 0 means 8.
+	MaxRounds int
+	// KillMargin is the relative cost lag over the incumbent that kills a
+	// leg at a round barrier; 0 means 0.25, negative disables killing.
+	KillMargin float64
+	// MaxRespawns bounds the total respawns across the run; 0 means one
+	// per leg, negative disables respawning.
+	MaxRespawns int
+	// SwapProb is copied into Config.SwapProb for the portfolio's anneal
+	// legs, enabling pair-swap proposals (see Config.SwapProb).
+	SwapProb float64
 }
 
 func (o ParallelOptions) workers() int {
@@ -97,6 +127,22 @@ type SearchReport struct {
 
 	Panics []PanicRecord // contained panics, ordered by leg index
 	Errors []LegError    // leg errors, ordered by leg index
+
+	// Adaptive-orchestrator accounting; all zero for the static engine.
+	Rounds        int          // round barriers executed
+	LegsKilled    int          // legs killed for lagging the incumbent
+	LegsRespawned int          // legs respawned (after kills or contained faults)
+	Curve         []CurvePoint // incumbent trajectory, one point per round
+}
+
+// CurvePoint is one sample of an adaptive run's anytime curve: the
+// incumbent cost at a round barrier. Evals is deterministic; ElapsedMs is
+// wall clock and varies run to run.
+type CurvePoint struct {
+	Round     int     `json:"round"`
+	Evals     int     `json:"evals"`
+	BestCost  float64 `json:"best_cost"`
+	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
 func (r SearchReport) String() string {
@@ -106,6 +152,15 @@ func (r SearchReport) String() string {
 	}
 	if r.LegsSkipped > 0 {
 		s += fmt.Sprintf(", %d skipped", r.LegsSkipped)
+	}
+	if r.Rounds > 0 {
+		s += fmt.Sprintf(", %d rounds", r.Rounds)
+	}
+	if r.LegsKilled > 0 {
+		s += fmt.Sprintf(", %d killed", r.LegsKilled)
+	}
+	if r.LegsRespawned > 0 {
+		s += fmt.Sprintf(", %d respawned", r.LegsRespawned)
 	}
 	if len(r.Panics) > 0 {
 		s += fmt.Sprintf(", %d panics contained", len(r.Panics))
@@ -323,7 +378,13 @@ func ParallelRandom(ctx context.Context, g *core.Graph, cfg Config, opt Parallel
 // always the canonical greedy construction, so a 1-leg MultiStart equals
 // Greedy exactly. A MaxEvals budget is dealt out across the legs evenly
 // (remainder to the lower indices), keeping budgeted runs deterministic.
+//
+// With opt.Adaptive (or opt.Share) set the same portfolio runs under the
+// round-based adaptive orchestrator instead — see adaptiveMultiStart.
 func MultiStart(ctx context.Context, g *core.Graph, cfg Config, opt ParallelOptions) (MultiResult, error) {
+	if opt.Adaptive || opt.Share {
+		return adaptiveMultiStart(ctx, g, cfg, opt)
+	}
 	nLegs := opt.legs()
 	// Portfolio split: greedy gets the first share (rounded up), then
 	// anneal restarts, then random shards.

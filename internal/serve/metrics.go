@@ -22,6 +22,10 @@ type Metrics struct {
 	evictions atomic.Int64 // sessions dropped by the LRU cap
 	queued    atomic.Int64 // gauge: requests waiting or running in a session
 
+	rounds        atomic.Int64 // adaptive explore rounds scheduled
+	legsKilled    atomic.Int64 // portfolio legs killed for lagging the incumbent
+	legsRespawned atomic.Int64 // killed or crashed legs respawned with fresh seeds
+
 	checkpoints  atomic.Int64 // compiled-image checkpoints written to the store
 	restores     atomic.Int64 // sessions restored from a checkpoint (no front end)
 	recovered    atomic.Int64 // sessions brought back by startup recovery
@@ -44,6 +48,10 @@ type Stats struct {
 	Evictions   int64   `json:"evictions"`
 	QueueDepth  int64   `json:"queue_depth"`
 	Sessions    int     `json:"sessions"`
+
+	Rounds        int64 `json:"search_rounds"`
+	LegsKilled    int64 `json:"legs_killed"`
+	LegsRespawned int64 `json:"legs_respawned"`
 
 	Checkpoints      int64 `json:"checkpoints"`
 	Restores         int64 `json:"restores"`
@@ -72,6 +80,10 @@ func (m *Metrics) snapshot(sessions int) Stats {
 		Evictions:   m.evictions.Load(),
 		QueueDepth:  m.queued.Load(),
 		Sessions:    sessions,
+
+		Rounds:        m.rounds.Load(),
+		LegsKilled:    m.legsKilled.Load(),
+		LegsRespawned: m.legsRespawned.Load(),
 
 		Checkpoints:      m.checkpoints.Load(),
 		Restores:         m.restores.Load(),

@@ -660,28 +660,40 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 // ExploreRequest runs the parallel multi-start engine on the session.
 type ExploreRequest struct {
-	Algo      string `json:"algo,omitempty"` // multi (default) or random
+	Algo      string `json:"algo,omitempty"` // multi (default), random or portfolio
 	Seed      int64  `json:"seed,omitempty"`
 	Legs      int    `json:"legs,omitempty"`
 	Workers   int    `json:"workers,omitempty"`
 	Iters     int    `json:"iters,omitempty"`
 	MaxEvals  int    `json:"max_evals,omitempty"`
 	TimeoutMs int    `json:"timeout_ms,omitempty"`
+
+	// Adaptive orchestrator knobs; Adaptive (or Share, which implies it)
+	// switches the engine to round-based scheduling.
+	Adaptive   bool    `json:"adaptive,omitempty"`
+	Share      bool    `json:"share,omitempty"`
+	RoundEvals int     `json:"round_evals,omitempty"`
+	MaxRounds  int     `json:"max_rounds,omitempty"`
+	KillMargin float64 `json:"kill_margin,omitempty"`
 }
 
 // ExploreResponse reports the merged portfolio result.
 type ExploreResponse struct {
-	ID            string            `json:"id"`
-	Algo          string            `json:"algo"`
-	Cost          float64           `json:"cost"`
-	Evals         int               `json:"evals"`
-	Partial       bool              `json:"partial"`
-	BestLeg       int               `json:"best_leg"`
-	LegsPlanned   int               `json:"legs_planned"`
-	LegsCompleted int               `json:"legs_completed"`
-	Panics        int               `json:"panics_contained"`
-	Assignment    map[string]string `json:"assignment"`
-	SearchMs      float64           `json:"search_ms"`
+	ID            string                 `json:"id"`
+	Algo          string                 `json:"algo"`
+	Cost          float64                `json:"cost"`
+	Evals         int                    `json:"evals"`
+	Partial       bool                   `json:"partial"`
+	BestLeg       int                    `json:"best_leg"`
+	LegsPlanned   int                    `json:"legs_planned"`
+	LegsCompleted int                    `json:"legs_completed"`
+	Panics        int                    `json:"panics_contained"`
+	Rounds        int                    `json:"rounds,omitempty"`
+	LegsKilled    int                    `json:"legs_killed,omitempty"`
+	LegsRespawned int                    `json:"legs_respawned,omitempty"`
+	Curve         []partition.CurvePoint `json:"curve,omitempty"`
+	Assignment    map[string]string      `json:"assignment"`
+	SearchMs      float64                `json:"search_ms"`
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
@@ -709,12 +721,19 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := env.PartitionSearchParallel(ctx, req.Algo, partition.Constraints{},
 		partition.DefaultWeights(), req.Seed, req.Iters, s.budget(req.MaxEvals),
-		partition.ParallelOptions{Workers: req.Workers, Legs: req.Legs})
+		partition.ParallelOptions{
+			Workers: req.Workers, Legs: req.Legs,
+			Adaptive: req.Adaptive, Share: req.Share,
+			RoundEvals: req.RoundEvals, MaxRounds: req.MaxRounds, KillMargin: req.KillMargin,
+		})
 	if err != nil {
 		s.writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	s.metrics.evals.Add(int64(res.Report.Evals))
+	s.metrics.rounds.Add(int64(res.Report.Rounds))
+	s.metrics.legsKilled.Add(int64(res.Report.LegsKilled))
+	s.metrics.legsRespawned.Add(int64(res.Report.LegsRespawned))
 	if res.Best == nil {
 		s.writeError(w, http.StatusUnprocessableEntity,
 			errors.New("explore stopped before evaluating any partition (deadline or budget too tight)"))
@@ -724,9 +743,13 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		ID: sess.id, Algo: req.Algo, Cost: res.Cost, Evals: res.Report.Evals,
 		Partial: res.Report.Partial, BestLeg: res.BestLeg,
 		LegsPlanned: res.Report.LegsPlanned, LegsCompleted: res.Report.LegsCompleted,
-		Panics:     len(res.Report.Panics),
-		Assignment: assignment(&env, res.Best),
-		SearchMs:   float64(time.Since(start).Microseconds()) / 1000,
+		Panics:        len(res.Report.Panics),
+		Rounds:        res.Report.Rounds,
+		LegsKilled:    res.Report.LegsKilled,
+		LegsRespawned: res.Report.LegsRespawned,
+		Curve:         res.Report.Curve,
+		Assignment:    assignment(&env, res.Best),
+		SearchMs:      float64(time.Since(start).Microseconds()) / 1000,
 	})
 }
 

@@ -187,6 +187,59 @@ func TestServerLifecycle(t *testing.T) {
 	}
 }
 
+// TestServerAdaptiveExplore drives the adaptive portfolio through the
+// API: the response carries rounds and a monotone anytime curve, repeat
+// requests at the same seed are identical, and the orchestrator counters
+// reach /v1/stats.
+func TestServerAdaptiveExplore(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	c := ts.Client()
+	buildDesign(t, ts, "fuzzy", "fuzzy")
+
+	req := ExploreRequest{Algo: "portfolio", Legs: 5, Seed: 7, MaxEvals: 4000,
+		RoundEvals: 128, MaxRounds: 4, KillMargin: 0.05, Share: true}
+	var exp ExploreResponse
+	if code := postJSON(t, c, ts.URL+"/v1/designs/fuzzy/explore", req, &exp); code != http.StatusOK {
+		t.Fatalf("adaptive explore: status %d", code)
+	}
+	if exp.Rounds == 0 || len(exp.Curve) != exp.Rounds {
+		t.Fatalf("adaptive explore: rounds %d, curve %d points", exp.Rounds, len(exp.Curve))
+	}
+	for i := 1; i < len(exp.Curve); i++ {
+		if exp.Curve[i].BestCost > exp.Curve[i-1].BestCost {
+			t.Errorf("anytime curve not monotone at round %d", i)
+		}
+	}
+	if len(exp.Assignment) == 0 {
+		t.Fatal("adaptive explore: empty assignment")
+	}
+
+	var again ExploreResponse
+	postJSON(t, c, ts.URL+"/v1/designs/fuzzy/explore", req, &again)
+	if again.Cost != exp.Cost || again.Rounds != exp.Rounds ||
+		again.LegsKilled != exp.LegsKilled || again.LegsRespawned != exp.LegsRespawned {
+		t.Errorf("same-seed adaptive explore diverged: %+v vs %+v", again, exp)
+	}
+
+	resp, err := c.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Rounds != int64(exp.Rounds+again.Rounds) {
+		t.Errorf("stats rounds %d, want %d", stats.Rounds, exp.Rounds+again.Rounds)
+	}
+	if stats.LegsKilled != int64(exp.LegsKilled+again.LegsKilled) ||
+		stats.LegsRespawned != int64(exp.LegsRespawned+again.LegsRespawned) {
+		t.Errorf("stats kill/respawn counters drifted: %+v", stats)
+	}
+}
+
 // TestServerBadInput checks the input-validation edges: broken VHDL, bad
 // JSON, missing sessions, bad reloads that must not corrupt the session.
 func TestServerBadInput(t *testing.T) {

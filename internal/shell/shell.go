@@ -127,6 +127,10 @@ func (s *Session) cmdHelp() error {
                                   the search, keeping the best found so far
   search multi [legs] [timeout]   parallel multi-start portfolio (default
                                   legs = GOMAXPROCS), same optional timeout
+  search portfolio [legs] [timeout]
+                                  adaptive portfolio: round-based scheduling
+                                  with incumbent sharing and kill/respawn of
+                                  lagging legs; prints round counters
   reload <file.vhd>               re-read an edited specification; the SLIF
                                   graph is rebuilt incrementally (only the
                                   edited behaviors and their dependents)
@@ -303,12 +307,16 @@ func (s *Session) cmdSearch(args []string) error {
 	}
 	ctx, cancel := s.searchCtx(timeout)
 	defer cancel()
-	if algo == "multi" {
+	if algo == "multi" || algo == "portfolio" {
 		opt := partition.ParallelOptions{}
+		if algo == "portfolio" {
+			opt.Adaptive = true
+			opt.Share = true
+		}
 		if len(args) > 1 {
 			legs, err := strconv.Atoi(args[1])
 			if err != nil || legs < 1 {
-				return fmt.Errorf("usage: search multi [legs] [timeout]")
+				return fmt.Errorf("usage: search %s [legs] [timeout]", algo)
 			}
 			opt.Legs = legs
 		}
@@ -318,7 +326,11 @@ func (s *Session) cmdSearch(args []string) error {
 		}
 		s.snapshot()
 		s.Pt = res.Best
-		fmt.Fprintf(s.out, "multi: %s (%d legs, best from leg %d)\n", res.Result, len(res.Legs), res.BestLeg)
+		fmt.Fprintf(s.out, "%s: %s (%d legs, best from leg %d)\n", algo, res.Result, len(res.Legs), res.BestLeg)
+		if rep := res.Report; rep.Rounds > 0 {
+			fmt.Fprintf(s.out, "adaptive: %d rounds, %d legs killed, %d respawned\n",
+				rep.Rounds, rep.LegsKilled, rep.LegsRespawned)
+		}
 		if res.Report.Partial {
 			fmt.Fprintf(s.out, "note: search interrupted — %s\n", res.Report.String())
 		}

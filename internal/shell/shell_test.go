@@ -114,6 +114,24 @@ func TestShellSearchMulti(t *testing.T) {
 	}
 }
 
+func TestShellSearchPortfolio(t *testing.T) {
+	s := session(t)
+	out := run(t, s, "search portfolio 5\nquit\n")
+	if !strings.Contains(out, "portfolio: cost") || !strings.Contains(out, "5 legs") {
+		t.Fatalf("search portfolio failed:\n%s", out)
+	}
+	if !strings.Contains(out, "adaptive:") || !strings.Contains(out, "rounds") {
+		t.Fatalf("portfolio search printed no round counters:\n%s", out)
+	}
+	if err := s.Pt.Validate(); err != nil {
+		t.Errorf("searched partition invalid: %v", err)
+	}
+	out = run(t, s, "search portfolio zero\nquit\n")
+	if !strings.Contains(out, "usage: search portfolio") {
+		t.Fatalf("bad leg count not rejected:\n%s", out)
+	}
+}
+
 func TestShellTransforms(t *testing.T) {
 	s := session(t)
 	// smooth was folded into the main body; recordhistory has one caller.

@@ -287,7 +287,9 @@ func (e *Env) PartitionSearch(ctx context.Context, algo string, cons partition.C
 // PartitionSearchParallel runs the parallel multi-start engine: "random"
 // shards the random candidate enumeration across legs (bit-identical to
 // the sequential Random at equal seeds), "multi" (or "") runs the mixed
-// greedy/anneal/random portfolio. The result is deterministic for a given
+// greedy/anneal/random portfolio, and "portfolio" runs the same mix under
+// the adaptive round-based orchestrator (incumbent tracking, laggard
+// kill/respawn, anytime curve). The result is deterministic for a given
 // seed and leg count, whatever the worker count.
 func (e *Env) PartitionSearchParallel(ctx context.Context, algo string, cons partition.Constraints, w partition.Weights, seed int64, iters, maxEvals int, opt partition.ParallelOptions) (partition.MultiResult, error) {
 	cfg, err := e.searchConfig(cons, w, seed, iters)
@@ -300,6 +302,9 @@ func (e *Env) PartitionSearchParallel(ctx context.Context, algo string, cons par
 		return partition.ParallelRandom(ctx, e.Graph, cfg, opt)
 	case "multi", "":
 		return partition.MultiStart(ctx, e.Graph, cfg, opt)
+	case "portfolio":
+		opt.Adaptive = true
+		return partition.MultiStart(ctx, e.Graph, cfg, opt)
 	}
-	return partition.MultiResult{}, fmt.Errorf("specsyn: unknown parallel algorithm %q (want random or multi)", algo)
+	return partition.MultiResult{}, fmt.Errorf("specsyn: unknown parallel algorithm %q (want random, multi or portfolio)", algo)
 }

@@ -21,35 +21,42 @@ import (
 	"strings"
 )
 
-// Config sizes a generated specification. Zero fields take defaults.
+// Config sizes a generated specification. Zero fields take defaults; a
+// negative count means "none" — lean configurations (no procedures, no
+// arrays, no shared signals) generate thousand-process subjects cheap
+// enough for CI-scale partitioning benchmarks.
 type Config struct {
 	Seed       int64
 	Processes  int // concurrent processes (default 2)
-	ProcsPer   int // procedures/functions per process (default 3)
-	VarsPer    int // variables per process (default 4)
-	ArraysPer  int // array variables per process (default 1)
-	StmtsPer   int // statements per body (default 6)
-	SharedSigs int // architecture-level signals (default 2)
+	ProcsPer   int // procedures/functions per process (default 3, -1 none)
+	VarsPer    int // variables per process (default 4, -1 none)
+	ArraysPer  int // array variables per process (default 1, -1 none)
+	StmtsPer   int // statements per body (default 6, min 1)
+	SharedSigs int // architecture-level signals (default 2, -1 none)
 }
 
 func (c *Config) defaults() {
-	if c.Processes == 0 {
+	clamp := func(n *int, def int) {
+		switch {
+		case *n == 0:
+			*n = def
+		case *n < 0:
+			*n = 0
+		}
+	}
+	if c.Processes <= 0 {
 		c.Processes = 2
 	}
-	if c.ProcsPer == 0 {
-		c.ProcsPer = 3
-	}
-	if c.VarsPer == 0 {
-		c.VarsPer = 4
-	}
-	if c.ArraysPer == 0 {
-		c.ArraysPer = 1
-	}
-	if c.StmtsPer == 0 {
-		c.StmtsPer = 6
-	}
-	if c.SharedSigs == 0 {
-		c.SharedSigs = 2
+	clamp(&c.ProcsPer, 3)
+	clamp(&c.VarsPer, 4)
+	clamp(&c.ArraysPer, 1)
+	clamp(&c.SharedSigs, 2)
+	if c.StmtsPer <= 0 { // every body needs at least one statement
+		if c.StmtsPer == 0 {
+			c.StmtsPer = 6
+		} else {
+			c.StmtsPer = 1
+		}
 	}
 }
 

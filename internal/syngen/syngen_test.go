@@ -115,6 +115,32 @@ func TestGeneratedSpecsSimulate(t *testing.T) {
 	}
 }
 
+// TestGenerateLeanConfig: negative counts mean "none", producing the lean
+// many-process shape the thousand-node partitioning benchmarks use. The
+// output must stay a valid subset member end to end.
+func TestGenerateLeanConfig(t *testing.T) {
+	cfg := Config{Seed: 7, Processes: 64, ProcsPer: -1, VarsPer: 1, ArraysPer: -1, StmtsPer: 2, SharedSigs: 1}
+	src := Generate(cfg)
+	if src != Generate(cfg) {
+		t.Error("lean config not deterministic")
+	}
+	for _, kw := range []string{"procedure ", "function ", " array "} {
+		if strings.Contains(src, kw) {
+			t.Errorf("lean config emitted %q", kw)
+		}
+	}
+	g, err := builder.BuildVHDL(src, builder.Options{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Nodes); got < 64 {
+		t.Errorf("lean config built only %d nodes for 64 processes", got)
+	}
+}
+
 // Property: generation is total and grows monotonically with the process
 // count.
 func TestGenerateSizeQuick(t *testing.T) {
